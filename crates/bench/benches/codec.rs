@@ -1,0 +1,92 @@
+//! Criterion micro-benchmarks of the wire codec.
+
+use bytes::BytesMut;
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use hlock_core::{Envelope, LockId, Mode, ModeSet, NodeId, Payload, Priority, QueueEntry, Stamp, Waiter};
+use hlock_wire::WireCodec;
+
+fn sample_request() -> Envelope {
+    Envelope {
+        lock: LockId(17),
+        payload: Payload::Request {
+            origin: NodeId(93),
+            mode: Mode::Read,
+            stamp: Stamp(123_456),
+            priority: Priority::NORMAL,
+        },
+    }
+}
+
+fn sample_token() -> Envelope {
+    Envelope {
+        lock: LockId(3),
+        payload: Payload::Token {
+            mode: Mode::Write,
+            queue: (0..16)
+                .map(|i| {
+                    QueueEntry::new(Waiter::Remote(NodeId(i)), Mode::Read, Stamp(u64::from(i)))
+                })
+                .collect(),
+            sender_owned: Some(Mode::IntentRead),
+        },
+    }
+}
+
+fn encode(c: &mut Criterion) {
+    let req = sample_request();
+    let tok = sample_token();
+    c.bench_function("encode_request", |b| {
+        let mut buf = BytesMut::with_capacity(64);
+        b.iter(|| {
+            buf.clear();
+            black_box(&req).encode(&mut buf);
+            black_box(buf.len())
+        });
+    });
+    c.bench_function("encode_token_16q", |b| {
+        let mut buf = BytesMut::with_capacity(256);
+        b.iter(|| {
+            buf.clear();
+            black_box(&tok).encode(&mut buf);
+            black_box(buf.len())
+        });
+    });
+}
+
+fn decode(c: &mut Criterion) {
+    let mut buf = BytesMut::new();
+    sample_request().encode(&mut buf);
+    let req_bytes = buf.freeze();
+    let mut buf = BytesMut::new();
+    sample_token().encode(&mut buf);
+    let tok_bytes = buf.freeze();
+    c.bench_function("decode_request", |b| {
+        b.iter(|| {
+            let mut bytes = req_bytes.clone();
+            black_box(Envelope::decode(&mut bytes).unwrap())
+        });
+    });
+    c.bench_function("decode_token_16q", |b| {
+        b.iter(|| {
+            let mut bytes = tok_bytes.clone();
+            black_box(Envelope::decode(&mut bytes).unwrap())
+        });
+    });
+    // A freeze message is the smallest frame.
+    let mut buf = BytesMut::new();
+    Envelope { lock: LockId(0), payload: Payload::Freeze { modes: ModeSet::ALL } }.encode(&mut buf);
+    let frz = buf.freeze();
+    c.bench_function("decode_freeze", |b| {
+        b.iter(|| {
+            let mut bytes = frz.clone();
+            black_box(Envelope::decode(&mut bytes).unwrap())
+        });
+    });
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = encode, decode
+);
+criterion_main!(benches);

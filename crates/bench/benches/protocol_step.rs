@@ -1,0 +1,103 @@
+//! Criterion micro-benchmarks of the protocol state machine itself:
+//! the zero-message local grant (Rule 2), a full remote grant round, and
+//! queue absorption under a pending request.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use hlock_core::{
+    Effect, EffectSink, LockId, LockNode, Mode, NodeId, Payload, Priority, ProtocolConfig, Stamp,
+    Ticket,
+};
+
+fn local_grant(c: &mut Criterion) {
+    c.bench_function("rule2_local_grant_release", |b| {
+        let mut node = LockNode::new(NodeId(0), LockId(0), NodeId(0), ProtocolConfig::default());
+        let mut fx = EffectSink::new();
+        // Pre-own R so IR requests are served locally with no messages.
+        node.request(Mode::Read, Ticket(u64::MAX), &mut fx).unwrap();
+        fx.drain().count();
+        let mut t = 0u64;
+        b.iter(|| {
+            t += 1;
+            node.request(black_box(Mode::IntentRead), Ticket(t), &mut fx).unwrap();
+            node.release(Ticket(t), &mut fx).unwrap();
+            fx.drain().count()
+        });
+    });
+}
+
+fn remote_grant_round(c: &mut Criterion) {
+    c.bench_function("remote_request_grant_release_round", |b| {
+        let cfg = ProtocolConfig::default();
+        let mut token = LockNode::new(NodeId(0), LockId(0), NodeId(0), cfg);
+        let mut other = LockNode::new(NodeId(1), LockId(0), NodeId(0), cfg);
+        let mut fx = EffectSink::new();
+        token.request(Mode::Read, Ticket(u64::MAX), &mut fx).unwrap();
+        fx.drain().count();
+        let mut t = 0u64;
+        b.iter(|| {
+            t += 1;
+            // other asks for R, token copy-grants, other releases.
+            other.request(Mode::Read, Ticket(t), &mut fx).unwrap();
+            pump(&mut token, &mut other, &mut fx);
+            other.release(Ticket(t), &mut fx).unwrap();
+            pump(&mut token, &mut other, &mut fx);
+        });
+    });
+}
+
+/// Delivers all pending sends between the two nodes until quiet.
+fn pump(a: &mut LockNode, b: &mut LockNode, fx: &mut EffectSink<Payload>) {
+    loop {
+        let msgs: Vec<(NodeId, Payload)> = fx
+            .drain()
+            .filter_map(|e| match e {
+                Effect::Send { to, message } => Some((to, message)),
+                Effect::Granted { .. } => None,
+            })
+            .collect();
+        if msgs.is_empty() {
+            return;
+        }
+        for (to, m) in msgs {
+            if to == a.id() {
+                let from = b.id();
+                a.on_message(from, m, fx);
+            } else {
+                let from = a.id();
+                b.on_message(from, m, fx);
+            }
+        }
+    }
+}
+
+fn queue_absorption(c: &mut Criterion) {
+    c.bench_function("rule4_queue_absorb_incoming_request", |b| {
+        let mut node = LockNode::new(NodeId(1), LockId(0), NodeId(0), ProtocolConfig::default());
+        let mut fx = EffectSink::new();
+        // A pending W absorbs every incoming request.
+        node.request(Mode::Write, Ticket(u64::MAX), &mut fx).unwrap();
+        fx.drain().count();
+        let mut n = 2u32;
+        b.iter(|| {
+            n += 1;
+            node.on_message(
+                NodeId(n % 64 + 2),
+                Payload::Request {
+                    origin: NodeId(n % 64 + 2),
+                    mode: black_box(Mode::Read),
+                    stamp: Stamp(u64::from(n)),
+                    priority: Priority::NORMAL,
+                },
+                &mut fx,
+            );
+            fx.drain().count()
+        });
+    });
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = local_grant, remote_grant_round, queue_absorption
+);
+criterion_main!(benches);

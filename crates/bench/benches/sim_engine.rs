@@ -1,0 +1,33 @@
+//! Criterion macro-benchmark: end-to-end simulated airline runs for each
+//! protocol (exercises engine + protocol + workload together).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use hlock_core::ProtocolConfig;
+use hlock_sim::LatencyModel;
+use hlock_workload::{run_experiment, ProtocolKind, WorkloadConfig};
+
+fn sim_runs(c: &mut Criterion) {
+    let wl = WorkloadConfig { entries: 8, ops_per_node: 6, seed: 42, ..Default::default() };
+    let mut group = c.benchmark_group("sim_airline_8nodes");
+    for (name, kind) in [
+        ("hierarchical", ProtocolKind::Hierarchical(ProtocolConfig::default())),
+        ("naimi_same_work", ProtocolKind::NaimiSameWork),
+        ("naimi_pure", ProtocolKind::NaimiPure),
+    ] {
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                let r = run_experiment(black_box(kind), 8, &wl, LatencyModel::paper(), 0)
+                    .expect("run ok");
+                black_box(r.metrics.total_messages())
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = sim_runs
+);
+criterion_main!(benches);

@@ -1,0 +1,98 @@
+//! **Ablation study** (extension beyond the paper): measures the
+//! contribution of each design ingredient called out in DESIGN.md by
+//! switching them off one at a time:
+//!
+//! * request absorption into local queues (Rule 4),
+//! * release suppression (Rule 5.2),
+//! * mode freezing / FIFO fairness (Rule 6),
+//! * Naimi-style path compression for inactive forwarders.
+//!
+//! Reported per variant: messages per request, latency factor, and the
+//! worst-case (max) request latency — the fairness ablation shows up in
+//! the tail, not the mean.
+//!
+//! ```text
+//! cargo run --release -p hlock-bench --bin ablations [--quick]
+//! ```
+
+use hlock_bench::{Harness, ResultTable};
+use hlock_core::ProtocolConfig;
+use hlock_workload::ProtocolKind;
+
+fn main() {
+    let mut harness = Harness::from_args();
+    // Ablations are about relative deltas; a mid-size system suffices.
+    if !std::env::args().any(|a| a == "--quick") {
+        harness.sweep = vec![10, 40];
+    }
+    let variants: [(&str, ProtocolConfig); 5] = [
+        ("paper (all on)", ProtocolConfig::paper()),
+        ("no absorption", ProtocolConfig::paper().without_absorption()),
+        ("no release suppression", ProtocolConfig::paper().without_release_suppression()),
+        ("no freezing", ProtocolConfig::paper().without_freezing()),
+        ("no path compression", ProtocolConfig::paper().without_path_compression()),
+    ];
+    let base = harness.base_latency();
+
+    let mut msgs = ResultTable::new(
+        "Ablations: messages per request",
+        "nodes",
+        variants.iter().map(|(n, _)| n.to_string()).collect(),
+    );
+    let mut lat = ResultTable::new(
+        "Ablations: mean latency factor",
+        "nodes",
+        variants.iter().map(|(n, _)| n.to_string()).collect(),
+    );
+    let mut tail = ResultTable::new(
+        "Ablations: max latency factor (fairness tail)",
+        "nodes",
+        variants.iter().map(|(n, _)| n.to_string()).collect(),
+    );
+    for &nodes in &harness.sweep {
+        let mut m_row = Vec::new();
+        let mut l_row = Vec::new();
+        let mut t_row = Vec::new();
+        for (name, cfg) in variants {
+            let m = harness.measure(ProtocolKind::Hierarchical(cfg), nodes);
+            println!(
+                "nodes={nodes:>3} {name:<24} msgs/req={:.2} latency={:.1}x p99={:.1}x max={:.1}x",
+                m.messages_per_request(),
+                m.latency_factor(base),
+                m.latency_percentile(0.99).as_millis_f64() / base.as_millis_f64(),
+                m.max_latency().as_millis_f64() / base.as_millis_f64(),
+            );
+            m_row.push(m.messages_per_request());
+            l_row.push(m.latency_factor(base));
+            t_row.push(m.max_latency().as_millis_f64() / base.as_millis_f64());
+        }
+        msgs.push_row(nodes, m_row);
+        lat.push_row(nodes, l_row);
+        tail.push_row(nodes, t_row);
+    }
+    // Token-home placement (a workload-level extension knob).
+    println!();
+    for &nodes in &harness.sweep {
+        for (name, spread) in [("homes at node 0", false), ("homes spread", true)] {
+            let mut h = harness.clone();
+            h.workload.spread_token_homes = spread;
+            let m = h.measure(ProtocolKind::Hierarchical(ProtocolConfig::paper()), nodes);
+            let hot = m.hottest_node().map(|(n, c)| format!("{n} sent {c}")).unwrap_or_default();
+            println!(
+                "nodes={nodes:>3} {name:<24} msgs/req={:.2} latency={:.1}x imbalance={:.1} ({hot})",
+                m.messages_per_request(),
+                m.latency_factor(base),
+                m.load_imbalance(),
+            );
+        }
+    }
+
+    println!("\n{}", msgs.render());
+    println!("{}", lat.render());
+    println!("{}", tail.render());
+    for (t, n) in [(&msgs, "ablation_msgs"), (&lat, "ablation_latency"), (&tail, "ablation_tail")] {
+        if let Some(p) = t.save_csv(n) {
+            println!("csv: {}", p.display());
+        }
+    }
+}

@@ -1,0 +1,65 @@
+//! **Figure 5 — Scalability Behavior**: average number of messages per
+//! lock request as the number of nodes grows, for our protocol, Naimi
+//! doing the same work, and Naimi pure.
+//!
+//! Paper shape: our protocol rises to a flat asymptote of ≈3 messages;
+//! Naimi pure is slightly above (≈4); Naimi same-work is clearly higher
+//! and keeps growing.
+//!
+//! ```text
+//! cargo run --release -p hlock-bench --bin fig5_message_overhead [--quick]
+//! ```
+
+use hlock_bench::{Harness, ResultTable};
+use hlock_core::ProtocolConfig;
+use hlock_workload::ProtocolKind;
+
+fn main() {
+    let harness = Harness::from_args();
+    let kinds = [
+        ProtocolKind::NaimiSameWork,
+        ProtocolKind::NaimiPure,
+        ProtocolKind::Hierarchical(ProtocolConfig::paper()),
+    ];
+    let mut table = ResultTable::new(
+        "Figure 5: message overhead (messages per lock request) vs number of nodes",
+        "nodes",
+        kinds.iter().map(|k| k.label().to_string()).collect(),
+    );
+    let mut per_op = ResultTable::new(
+        "Figure 5 (alternate normalization): messages per application operation",
+        "nodes",
+        kinds.iter().map(|k| k.label().to_string()).collect(),
+    );
+    for &nodes in &harness.sweep {
+        // Same logical operations for all three systems.
+        let ops = (nodes as u64 * u64::from(harness.workload.ops_per_node) * harness.seeds) as f64;
+        let mut row = Vec::new();
+        let mut op_row = Vec::new();
+        for &k in &kinds {
+            let m = harness.measure(k, nodes);
+            row.push(m.messages_per_request());
+            op_row.push(m.total_messages() as f64 / ops);
+        }
+        println!(
+            "nodes={nodes:>3}  same-work={:.2}  pure={:.2}  ours={:.2}   (per op: {:.1} / {:.1} / {:.1})",
+            row[0], row[1], row[2], op_row[0], op_row[1], op_row[2]
+        );
+        table.push_row(nodes, row);
+        per_op.push_row(nodes, op_row);
+    }
+    println!("\n{}", table.render());
+    println!("{}", per_op.render());
+    if let Some(p) = table.save_csv("fig5_message_overhead") {
+        println!("csv: {}", p.display());
+    }
+    if let Some(p) = per_op.save_csv("fig5_per_operation") {
+        println!("csv: {}", p.display());
+    }
+    if let (Some(ours), Some(pure)) = (table.last(2), table.last(1)) {
+        println!(
+            "\npaper claim at 120 nodes: ours ≈ 3 msgs vs Naimi pure ≈ 4 msgs; \
+             measured: ours = {ours:.2}, pure = {pure:.2}"
+        );
+    }
+}

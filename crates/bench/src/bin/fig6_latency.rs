@@ -1,0 +1,53 @@
+//! **Figure 6 — Request Latency**: average request-to-grant latency as a
+//! multiple of the mean point-to-point network latency (150 ms), vs the
+//! number of nodes.
+//!
+//! Paper shape: our protocol grows linearly (≈90× at 120 nodes); Naimi
+//! same-work grows superlinearly (≈160× at 120 nodes); Naimi pure is
+//! linear with a higher constant than ours.
+//!
+//! ```text
+//! cargo run --release -p hlock-bench --bin fig6_latency [--quick]
+//! ```
+
+use hlock_bench::{Harness, ResultTable};
+use hlock_core::ProtocolConfig;
+use hlock_workload::ProtocolKind;
+
+fn main() {
+    let harness = Harness::from_args();
+    let base = harness.base_latency();
+    let kinds = [
+        ProtocolKind::NaimiSameWork,
+        ProtocolKind::NaimiPure,
+        ProtocolKind::Hierarchical(ProtocolConfig::paper()),
+    ];
+    let mut table = ResultTable::new(
+        format!(
+            "Figure 6: request latency (as a factor of the {base} point-to-point latency) vs nodes"
+        ),
+        "nodes",
+        kinds.iter().map(|k| k.label().to_string()).collect(),
+    );
+    for &nodes in &harness.sweep {
+        let row: Vec<f64> = kinds
+            .iter()
+            .map(|&k| harness.measure(k, nodes).latency_factor(base))
+            .collect();
+        println!(
+            "nodes={nodes:>3}  same-work={:.1}x  pure={:.1}x  ours={:.1}x",
+            row[0], row[1], row[2]
+        );
+        table.push_row(nodes, row);
+    }
+    println!("\n{}", table.render());
+    if let Some(p) = table.save_csv("fig6_latency") {
+        println!("csv: {}", p.display());
+    }
+    if let (Some(ours), Some(same)) = (table.last(2), table.last(0)) {
+        println!(
+            "\npaper claim at 120 nodes: ours ≈ 90× vs Naimi same-work ≈ 160×; \
+             measured: ours = {ours:.0}×, same-work = {same:.0}×"
+        );
+    }
+}

@@ -1,0 +1,53 @@
+//! **Figure 7 — Message Behavior**: the per-kind breakdown of our
+//! protocol's message overhead (messages of each kind per lock request)
+//! vs the number of nodes.
+//!
+//! Paper shape: *request* messages rise quickly then flatten; *transfer
+//! token* messages dip then flatten; *grant* (copy) and *release*
+//! messages rise and stabilize; *freeze* messages rise and stay roughly
+//! constant (at most five modes can ever be frozen).
+//!
+//! ```text
+//! cargo run --release -p hlock-bench --bin fig7_breakdown [--quick]
+//! ```
+
+use hlock_bench::{Harness, ResultTable};
+use hlock_core::{MessageKind, ProtocolConfig};
+use hlock_workload::ProtocolKind;
+
+fn main() {
+    let harness = Harness::from_args();
+    // Freeze and update messages are both fairness traffic; the paper
+    // plots them as one "freeze" series.
+    let series: [(&str, &[MessageKind]); 5] = [
+        ("request", &[MessageKind::Request]),
+        ("grant-copy", &[MessageKind::Grant]),
+        ("transfer-token", &[MessageKind::Token]),
+        ("release", &[MessageKind::Release]),
+        ("freeze+update", &[MessageKind::Freeze, MessageKind::Update]),
+    ];
+    let mut table = ResultTable::new(
+        "Figure 7: message overhead by kind (messages per request), our protocol",
+        "nodes",
+        series.iter().map(|(n, _)| n.to_string()).collect(),
+    );
+    for &nodes in &harness.sweep {
+        let m = harness.measure(ProtocolKind::Hierarchical(ProtocolConfig::paper()), nodes);
+        let row: Vec<f64> = series
+            .iter()
+            .map(|(_, kinds)| {
+                kinds.iter().map(|&k| m.messages_per_request_of_kind(k)).sum()
+            })
+            .collect();
+        println!(
+            "nodes={nodes:>3}  req={:.2} grant={:.2} token={:.2} release={:.2} freeze={:.2}  (total {:.2})",
+            row[0], row[1], row[2], row[3], row[4],
+            m.messages_per_request(),
+        );
+        table.push_row(nodes, row);
+    }
+    println!("\n{}", table.render());
+    if let Some(p) = table.save_csv("fig7_breakdown") {
+        println!("csv: {}", p.display());
+    }
+}

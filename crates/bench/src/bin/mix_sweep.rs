@@ -1,0 +1,68 @@
+//! **Mode-mix sensitivity** (extension beyond the paper): how does the
+//! advantage of hierarchical locking depend on the read/write balance?
+//! Sweeps the fraction of write-like principal modes at a fixed system
+//! size and compares our protocol against Naimi pure.
+//!
+//! Expected: with reads dominating (the paper's regime) ours wins big on
+//! latency thanks to concurrent copysets; as writes take over, every
+//! protocol degenerates toward serialized token passing and the gap
+//! narrows.
+//!
+//! ```text
+//! cargo run --release -p hlock-bench --bin mix_sweep [--quick]
+//! ```
+
+use hlock_bench::{Harness, ResultTable};
+use hlock_core::ProtocolConfig;
+use hlock_workload::{ModeMix, ProtocolKind, WorkloadConfig};
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let nodes = if quick { 10 } else { 40 };
+    let base_harness = Harness::from_args();
+    // (label, write-ish percent, mix): interpolate between the paper's
+    // read-heavy mix and a write-storm.
+    let mixes: [(u32, ModeMix); 5] = [
+        (0, ModeMix { weights: [85, 15, 0, 0, 0] }),
+        (6, ModeMix::paper()),
+        (25, ModeMix { weights: [55, 20, 5, 15, 5] }),
+        (50, ModeMix { weights: [35, 15, 10, 25, 15] }),
+        (80, ModeMix { weights: [10, 10, 20, 30, 30] }),
+    ];
+    let base = base_harness.base_latency();
+    let mut table = ResultTable::new(
+        format!("Mode-mix sweep at {nodes} nodes: write-ish fraction vs cost"),
+        "write%",
+        vec![
+            "ours msgs/req".into(),
+            "pure msgs/req".into(),
+            "ours latency x".into(),
+            "pure latency x".into(),
+        ],
+    );
+    for (pct, mix) in mixes {
+        let harness = Harness {
+            workload: WorkloadConfig { mix, ..base_harness.workload },
+            ..base_harness.clone()
+        };
+        let ours = harness.measure(ProtocolKind::Hierarchical(ProtocolConfig::paper()), nodes);
+        let pure = harness.measure(ProtocolKind::NaimiPure, nodes);
+        println!(
+            "write%={pct:>3}  ours: {:.2} msgs/req, {:.1}x   pure: {:.2} msgs/req, {:.1}x",
+            ours.messages_per_request(),
+            ours.latency_factor(base),
+            pure.messages_per_request(),
+            pure.latency_factor(base),
+        );
+        table.push_row(pct as usize, vec![
+            ours.messages_per_request(),
+            pure.messages_per_request(),
+            ours.latency_factor(base),
+            pure.latency_factor(base),
+        ]);
+    }
+    println!("\n{}", table.render());
+    if let Some(p) = table.save_csv("mix_sweep") {
+        println!("csv: {}", p.display());
+    }
+}

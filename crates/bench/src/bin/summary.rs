@@ -1,0 +1,67 @@
+//! **Headline-claims check** (§4/§6 of the paper): runs the largest
+//! configuration (120 nodes) once for each system and prints the paper's
+//! summary numbers next to the measured ones:
+//!
+//! * message overhead at 120 nodes: ours ≈ 3 vs Naimi pure ≈ 4 (ours
+//!   ~20 % below the baseline despite doing more);
+//! * response time at 120 nodes: ours ≈ 90× vs Naimi same-work ≈ 160×
+//!   the point-to-point latency;
+//! * message overhead reaches a flat (logarithmic) asymptote.
+//!
+//! ```text
+//! cargo run --release -p hlock-bench --bin summary [--quick]
+//! ```
+
+use hlock_bench::Harness;
+use hlock_core::ProtocolConfig;
+use hlock_workload::ProtocolKind;
+
+fn main() {
+    let harness = Harness::from_args();
+    let nodes = *harness.sweep.last().expect("sweep nonempty");
+    let mid = harness.sweep[harness.sweep.len() / 2];
+    let base = harness.base_latency();
+
+    let ours_big = harness.measure(ProtocolKind::Hierarchical(ProtocolConfig::paper()), nodes);
+    let ours_mid = harness.measure(ProtocolKind::Hierarchical(ProtocolConfig::paper()), mid);
+    let pure_big = harness.measure(ProtocolKind::NaimiPure, nodes);
+    let same_big = harness.measure(ProtocolKind::NaimiSameWork, nodes);
+
+    println!("=== headline claims at {nodes} nodes (paper: 120) ===\n");
+    println!(
+        "message overhead : ours {:.2} vs Naimi pure {:.2} msgs/request   (paper: 3 vs 4)",
+        ours_big.messages_per_request(),
+        pure_big.messages_per_request()
+    );
+    println!(
+        "response time    : ours {:.0}x vs Naimi same-work {:.0}x base latency (paper: 90 vs 160)",
+        ours_big.latency_factor(base),
+        same_big.latency_factor(base)
+    );
+    let growth = ours_big.messages_per_request() / ours_mid.messages_per_request().max(1e-9);
+    println!(
+        "asymptote        : ours msgs/request grows {:.0}% from {mid} to {nodes} nodes \
+         (paper: flat after the initial rise)",
+        (growth - 1.0) * 100.0
+    );
+    println!(
+        "functionality    : ours grants {} requests with hierarchical modes; \
+         the pure baseline serializes everything through one exclusive lock",
+        ours_big.total_grants()
+    );
+    if let Some((hot, count)) = ours_big.hottest_node() {
+        println!(
+            "load             : busiest node {hot} sent {count} of {} messages \
+             (imbalance {:.1}x the mean — the token home is the natural hotspot)",
+            ours_big.total_messages(),
+            ours_big.load_imbalance()
+        );
+    }
+    println!("\nper-mode mean latency (ours, {nodes} nodes):");
+    for (mode, latency, count) in ours_big.latency_by_mode() {
+        println!(
+            "  {mode:>3}: {:>8.1} ms ({count} grants)",
+            latency.as_millis_f64()
+        );
+    }
+}

@@ -1,0 +1,15 @@
+//! Regenerates the paper's protocol rule tables:
+//! Table 1(a) compatibility, Table 1(b) non-token grant legality,
+//! Table 2(a) queue/forward, Table 2(b) frozen modes.
+//!
+//! ```text
+//! cargo run -p hlock-bench --bin tables
+//! ```
+
+fn main() {
+    println!("{}", hlock_core::compatibility_table());
+    println!("{}", hlock_core::child_grant_table());
+    println!("{}", hlock_core::queue_forward_table());
+    println!("{}", hlock_core::freeze_table());
+    println!("strength order (Definition 1): 0 < IR < R < U = IW < W");
+}

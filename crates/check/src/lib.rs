@@ -1,0 +1,776 @@
+//! # hlock-check
+//!
+//! An exhaustive-interleaving model checker for the locking protocols of
+//! this workspace. For small scenarios (2–4 nodes, a handful of
+//! operations) it explores **every** possible ordering of message
+//! deliveries and application actions, asserting in every reachable
+//! state:
+//!
+//! * **Mutual-exclusion safety** — all concurrently held modes are
+//!   pairwise compatible (for the hierarchical protocol) / at most one
+//!   holder (for the exclusive baseline);
+//! * **Single token** — at most one node possesses the token per lock;
+//! * **Progress** — every terminal state (no more possible steps) has
+//!   every scripted request granted and every node protocol-quiescent,
+//!   i.e. no deadlock and no lost request.
+//!
+//! Scenarios are scripts of [`Action`]s per node, executed in order; a
+//! release or upgrade only becomes enabled once its ticket is granted,
+//! so hold durations interleave arbitrarily with message deliveries.
+//!
+//! ```
+//! use hlock_check::{Action, Checker, Scenario};
+//! use hlock_core::{LockId, LockSpace, Mode, NodeId, ProtocolConfig, Ticket};
+//!
+//! let scenario = Scenario::new(2, 1)
+//!     .script(NodeId(1), vec![
+//!         Action::request(LockId(0), Mode::Write, Ticket(1)),
+//!         Action::release(LockId(0), Ticket(1)),
+//!     ]);
+//! let cfg = ProtocolConfig::default();
+//! let stats = Checker::hierarchical(cfg).run(&scenario).expect("all interleavings safe");
+//! assert!(stats.states > 0);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+use hlock_core::{
+    Classify, ConcurrencyProtocol, Effect, EffectSink, Inspect, LockId, LockSpace, Mode, NodeId,
+    Priority, ProtocolConfig, Ticket,
+};
+use hlock_naimi::NaimiSpace;
+use hlock_raymond::RaymondSpace;
+use hlock_suzuki::SuzukiSpace;
+use std::collections::hash_map::DefaultHasher;
+use std::collections::HashSet;
+use std::fmt::Debug;
+use std::hash::{Hash, Hasher};
+
+/// One scripted application step at a node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Action {
+    /// Request `lock` in `mode` under `ticket`.
+    Request {
+        /// Lock to request.
+        lock: LockId,
+        /// Requested mode.
+        mode: Mode,
+        /// Correlation ticket.
+        ticket: Ticket,
+    },
+    /// Release the grant held by `ticket` (enabled once granted).
+    Release {
+        /// Lock to release.
+        lock: LockId,
+        /// The granted ticket.
+        ticket: Ticket,
+    },
+    /// Upgrade the `U` held by `ticket` to `W` (enabled once granted).
+    Upgrade {
+        /// Lock to upgrade on.
+        lock: LockId,
+        /// The granted ticket.
+        ticket: Ticket,
+    },
+    /// Request with an explicit priority.
+    RequestWithPriority {
+        /// Lock to request.
+        lock: LockId,
+        /// Requested mode.
+        mode: Mode,
+        /// Correlation ticket.
+        ticket: Ticket,
+        /// Priority for queue ordering.
+        priority: Priority,
+    },
+    /// Cancel `ticket`'s request (enabled while requested but not yet
+    /// granted — cancels race against in-flight grants by construction).
+    Cancel {
+        /// Lock concerned.
+        lock: LockId,
+        /// The outstanding ticket.
+        ticket: Ticket,
+    },
+    /// Downgrade the lock held by `ticket` to `to` (enabled once granted).
+    Downgrade {
+        /// Lock concerned.
+        lock: LockId,
+        /// The granted ticket.
+        ticket: Ticket,
+        /// Target mode (must be a legal downgrade).
+        to: Mode,
+    },
+}
+
+impl Action {
+    /// Shorthand for [`Action::Request`].
+    pub fn request(lock: LockId, mode: Mode, ticket: Ticket) -> Action {
+        Action::Request { lock, mode, ticket }
+    }
+    /// Shorthand for [`Action::Release`].
+    pub fn release(lock: LockId, ticket: Ticket) -> Action {
+        Action::Release { lock, ticket }
+    }
+    /// Shorthand for [`Action::Upgrade`].
+    pub fn upgrade(lock: LockId, ticket: Ticket) -> Action {
+        Action::Upgrade { lock, ticket }
+    }
+    /// Shorthand for [`Action::Cancel`].
+    pub fn cancel(lock: LockId, ticket: Ticket) -> Action {
+        Action::Cancel { lock, ticket }
+    }
+    /// Shorthand for [`Action::Downgrade`].
+    pub fn downgrade(lock: LockId, ticket: Ticket, to: Mode) -> Action {
+        Action::Downgrade { lock, ticket, to }
+    }
+}
+
+/// A checkable configuration: node count, lock count and per-node scripts.
+#[derive(Debug, Clone)]
+pub struct Scenario {
+    nodes: usize,
+    locks: usize,
+    scripts: Vec<Vec<Action>>,
+}
+
+impl Scenario {
+    /// A scenario with `nodes` nodes and `locks` locks, empty scripts.
+    pub fn new(nodes: usize, locks: usize) -> Self {
+        Scenario { nodes, locks, scripts: vec![Vec::new(); nodes] }
+    }
+
+    /// Sets node `node`'s script.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is out of range.
+    #[must_use]
+    pub fn script(mut self, node: NodeId, actions: Vec<Action>) -> Self {
+        self.scripts[node.index()] = actions;
+        self
+    }
+
+    /// Number of nodes.
+    pub fn nodes(&self) -> usize {
+        self.nodes
+    }
+
+    /// Number of locks.
+    pub fn locks(&self) -> usize {
+        self.locks
+    }
+}
+
+/// Exploration statistics of a successful check.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CheckStats {
+    /// Distinct states visited.
+    pub states: u64,
+    /// Transitions executed.
+    pub transitions: u64,
+    /// Terminal (fully quiescent) states reached.
+    pub terminals: u64,
+}
+
+/// A property violation, with the trace of steps that reaches it.
+#[derive(Debug, Clone)]
+pub struct CheckError {
+    /// What went wrong.
+    pub message: String,
+    /// Human-readable steps from the initial state to the violation.
+    pub trace: Vec<String>,
+}
+
+impl std::fmt::Display for CheckError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(f, "{}", self.message)?;
+        for (i, step) in self.trace.iter().enumerate() {
+            writeln!(f,"  {i}: {step}")?;
+        }
+        Ok(())
+    }
+}
+
+impl std::error::Error for CheckError {}
+
+/// In-flight message.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+struct Flight<M> {
+    from: NodeId,
+    to: NodeId,
+    /// Per-link sequence number (for FIFO-link mode).
+    seq: u64,
+    message: M,
+}
+
+#[derive(Clone)]
+struct State<P: ConcurrencyProtocol> {
+    nodes: Vec<P>,
+    inflight: Vec<Flight<P::Message>>,
+    /// Next action index per node.
+    pc: Vec<usize>,
+    /// Tickets granted so far, per node: (lock, ticket, mode).
+    granted: Vec<Vec<(LockId, Ticket, Mode)>>,
+    /// Tickets requested so far, per node (grant may be outstanding).
+    requested: Vec<Vec<(LockId, Ticket)>>,
+    /// Tickets cancelled, per node (their grants never surface).
+    cancelled: Vec<Vec<(LockId, Ticket)>>,
+    /// Monotonic per-link sequence counter.
+    link_seq: u64,
+}
+
+/// The model checker, parameterized by protocol factory.
+pub struct Checker<P: ConcurrencyProtocol> {
+    make: Box<dyn Fn(usize, usize) -> Vec<P>>,
+    /// Deliver messages per-link FIFO (TCP-like) instead of arbitrary order.
+    pub fifo_links: bool,
+    /// Abort after this many distinct states (guards against explosion).
+    pub max_states: u64,
+}
+
+impl Checker<LockSpace> {
+    /// A checker for the paper's hierarchical protocol.
+    pub fn hierarchical(config: ProtocolConfig) -> Checker<LockSpace> {
+        Checker {
+            make: Box::new(move |nodes, locks| {
+                (0..nodes)
+                    .map(|i| LockSpace::new(NodeId(i as u32), locks, NodeId(0), config))
+                    .collect()
+            }),
+            fifo_links: true,
+            max_states: 5_000_000,
+        }
+    }
+}
+
+impl Checker<NaimiSpace> {
+    /// A checker for the Naimi–Trehel baseline.
+    pub fn naimi() -> Checker<NaimiSpace> {
+        Checker {
+            make: Box::new(move |nodes, locks| {
+                (0..nodes)
+                    .map(|i| NaimiSpace::new(NodeId(i as u32), locks, NodeId(0)))
+                    .collect()
+            }),
+            fifo_links: true,
+            max_states: 5_000_000,
+        }
+    }
+}
+
+impl Checker<RaymondSpace> {
+    /// A checker for Raymond's static-tree baseline.
+    pub fn raymond() -> Checker<RaymondSpace> {
+        Checker {
+            make: Box::new(move |nodes, locks| {
+                (0..nodes)
+                    .map(|i| RaymondSpace::new(NodeId(i as u32), nodes, locks, NodeId(0)))
+                    .collect()
+            }),
+            fifo_links: true,
+            max_states: 5_000_000,
+        }
+    }
+}
+
+impl Checker<SuzukiSpace> {
+    /// A checker for the Suzuki–Kasami broadcast baseline.
+    pub fn suzuki() -> Checker<SuzukiSpace> {
+        Checker {
+            make: Box::new(move |nodes, locks| {
+                (0..nodes)
+                    .map(|i| SuzukiSpace::new(NodeId(i as u32), nodes, locks, NodeId(0)))
+                    .collect()
+            }),
+            fifo_links: true,
+            max_states: 5_000_000,
+        }
+    }
+}
+
+impl<P> Checker<P>
+where
+    P: ConcurrencyProtocol + Inspect + Clone + Hash,
+    P::Message: Hash + Debug + Clone,
+{
+    /// Explores all interleavings of `scenario`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`CheckError`] with a repro trace on the first violated
+    /// property, or if the state budget is exhausted.
+    pub fn run(&self, scenario: &Scenario) -> Result<CheckStats, CheckError> {
+        let initial = State {
+            nodes: (self.make)(scenario.nodes, scenario.locks),
+            inflight: Vec::new(),
+            pc: vec![0; scenario.nodes],
+            granted: vec![Vec::new(); scenario.nodes],
+            requested: vec![Vec::new(); scenario.nodes],
+            cancelled: vec![Vec::new(); scenario.nodes],
+            link_seq: 0,
+        };
+        let mut visited: HashSet<u64> = HashSet::new();
+        visited.insert(fingerprint(&initial));
+        let mut stats = CheckStats { states: 1, transitions: 0, terminals: 0 };
+        // DFS with explicit stack of (state, trace).
+        let mut stack: Vec<(State<P>, Vec<String>)> = vec![(initial, Vec::new())];
+        while let Some((state, trace)) = stack.pop() {
+            let steps = self.enabled_steps(scenario, &state);
+            if steps.is_empty() {
+                stats.terminals += 1;
+                self.check_terminal(scenario, &state, &trace)?;
+                continue;
+            }
+            for step in steps {
+                let mut next = state.clone();
+                let label = self.apply(scenario, &mut next, step).map_err(|msg| CheckError {
+                    message: msg,
+                    trace: trace.clone(),
+                })?;
+                stats.transitions += 1;
+                self.check_safety(scenario, &next, &trace, &label)?;
+                let fp = fingerprint(&next);
+                if visited.insert(fp) {
+                    stats.states += 1;
+                    if stats.states > self.max_states {
+                        return Err(CheckError {
+                            message: format!("state budget exceeded ({} states)", stats.states),
+                            trace,
+                        });
+                    }
+                    let mut t = trace.clone();
+                    t.push(label);
+                    stack.push((next, t));
+                }
+            }
+        }
+        Ok(stats)
+    }
+
+    fn enabled_steps(&self, scenario: &Scenario, s: &State<P>) -> Vec<Step> {
+        let mut steps = Vec::new();
+        // Message deliveries.
+        for (i, f) in s.inflight.iter().enumerate() {
+            if self.fifo_links {
+                // Only the oldest message per (from, to) link is deliverable.
+                let oldest = s
+                    .inflight
+                    .iter()
+                    .filter(|g| g.from == f.from && g.to == f.to)
+                    .min_by_key(|g| g.seq)
+                    .map(|g| g.seq);
+                if oldest != Some(f.seq) {
+                    continue;
+                }
+            }
+            steps.push(Step::Deliver(i));
+        }
+        // Script actions.
+        for n in 0..scenario.nodes {
+            let Some(action) = scenario.scripts[n].get(s.pc[n]) else { continue };
+            let enabled = match *action {
+                Action::Request { .. } | Action::RequestWithPriority { .. } => true,
+                Action::Release { lock, ticket }
+                | Action::Upgrade { lock, ticket }
+                | Action::Downgrade { lock, ticket, .. } => {
+                    s.granted[n].iter().any(|&(l, t, _)| l == lock && t == ticket)
+                }
+                // Cancel races the grant: always enabled once requested.
+                // If the grant won, the cancel degrades to a release
+                // (mirroring the transport's timeout behavior).
+                Action::Cancel { lock, ticket } => {
+                    s.requested[n].iter().any(|&(l, t)| l == lock && t == ticket)
+                }
+            };
+            if enabled {
+                steps.push(Step::Script(NodeId(n as u32)));
+            }
+        }
+        steps
+    }
+
+    fn apply(
+        &self,
+        _scenario: &Scenario,
+        s: &mut State<P>,
+        step: Step,
+    ) -> Result<String, String> {
+        let mut fx = EffectSink::new();
+        let label;
+        match step {
+            Step::Deliver(i) => {
+                let f = s.inflight.remove(i);
+                label = format!("deliver {:?} {}→{}", f.message.kind(), f.from, f.to);
+                s.nodes[f.to.index()].on_message(f.from, f.message, &mut fx);
+                Self::absorb(s, f.to, fx)?;
+            }
+            Step::Script(node) => {
+                let action = {
+                    let pc = s.pc[node.index()];
+                    s.pc[node.index()] = pc + 1;
+                    // scripts are static; re-fetch by index
+                    _scenario.scripts[node.index()][pc]
+                };
+                match action {
+                    Action::Request { lock, mode, ticket } => {
+                        label = format!("{node} request {mode} on {lock}");
+                        s.requested[node.index()].push((lock, ticket));
+                        s.nodes[node.index()]
+                            .request(lock, mode, ticket, &mut fx)
+                            .map_err(|e| format!("script misuse: {e}"))?;
+                    }
+                    Action::RequestWithPriority { lock, mode, ticket, priority } => {
+                        label = format!("{node} request {mode} {priority} on {lock}");
+                        s.requested[node.index()].push((lock, ticket));
+                        s.nodes[node.index()]
+                            .request_with_priority(lock, mode, ticket, priority, &mut fx)
+                            .map_err(|e| format!("script misuse: {e}"))?;
+                    }
+                    Action::Release { lock, ticket } => {
+                        label = format!("{node} release {ticket} on {lock}");
+                        s.granted[node.index()].retain(|&(l, t, _)| !(l == lock && t == ticket));
+                        s.nodes[node.index()]
+                            .release(lock, ticket, &mut fx)
+                            .map_err(|e| format!("script misuse: {e}"))?;
+                    }
+                    Action::Upgrade { lock, ticket } => {
+                        label = format!("{node} upgrade {ticket} on {lock}");
+                        // The W grant will be re-recorded via effects.
+                        s.granted[node.index()].retain(|&(l, t, _)| !(l == lock && t == ticket));
+                        s.nodes[node.index()]
+                            .upgrade(lock, ticket, &mut fx)
+                            .map_err(|e| format!("script misuse: {e}"))?;
+                    }
+                    Action::Cancel { lock, ticket } => {
+                        let won = s.granted[node.index()]
+                            .iter()
+                            .any(|&(l, t, _)| l == lock && t == ticket);
+                        if won {
+                            // Grant raced ahead: cancel degrades to release.
+                            label = format!("{node} cancel->release {ticket} on {lock}");
+                            s.granted[node.index()]
+                                .retain(|&(l, t, _)| !(l == lock && t == ticket));
+                            s.nodes[node.index()]
+                                .release(lock, ticket, &mut fx)
+                                .map_err(|e| format!("script misuse: {e}"))?;
+                        } else {
+                            label = format!("{node} cancel {ticket} on {lock}");
+                            s.cancelled[node.index()].push((lock, ticket));
+                            s.nodes[node.index()]
+                                .cancel(lock, ticket, &mut fx)
+                                .map_err(|e| format!("script misuse: {e}"))?;
+                        }
+                    }
+                    Action::Downgrade { lock, ticket, to } => {
+                        label = format!("{node} downgrade {ticket} to {to} on {lock}");
+                        for g in &mut s.granted[node.index()] {
+                            if g.0 == lock && g.1 == ticket {
+                                g.2 = to;
+                            }
+                        }
+                        s.nodes[node.index()]
+                            .downgrade(lock, ticket, to, &mut fx)
+                            .map_err(|e| format!("script misuse: {e}"))?;
+                    }
+                }
+                Self::absorb(s, node, fx)?;
+            }
+        }
+        Ok(label)
+    }
+
+    /// Moves effects into state: sends become in-flight messages, grants
+    /// are recorded.
+    fn absorb(s: &mut State<P>, node: NodeId, mut fx: EffectSink<P::Message>) -> Result<(), String> {
+        for e in fx.drain() {
+            match e {
+                Effect::Send { to, message } => {
+                    s.link_seq += 1;
+                    s.inflight.push(Flight { from: node, to, seq: s.link_seq, message });
+                }
+                Effect::Granted { lock, ticket, mode } => {
+                    debug_assert!(
+                        !s.cancelled[node.index()].contains(&(lock, ticket)),
+                        "cancelled tickets never surface grants"
+                    );
+                    s.granted[node.index()].push((lock, ticket, mode));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Safety in every state: pairwise-compatible holders, ≤ 1 token per
+    /// lock (in nodes; plus in-flight tokens must keep the total at 1 —
+    /// checked approximately as "held tokens + in-flight token messages ≥ 1").
+    fn check_safety(
+        &self,
+        scenario: &Scenario,
+        s: &State<P>,
+        trace: &[String],
+        label: &str,
+    ) -> Result<(), CheckError> {
+        for l in 0..scenario.locks {
+            let lock = LockId(l as u32);
+            let mut held: Vec<(NodeId, Mode)> = Vec::new();
+            let mut tokens = 0usize;
+            for n in &s.nodes {
+                for m in n.held_modes(lock) {
+                    held.push((n.node_id(), m));
+                }
+                if n.holds_token(lock) {
+                    tokens += 1;
+                }
+            }
+            if tokens > 1 {
+                return Err(self.err(
+                    format!("{tokens} token holders for {lock}"),
+                    trace,
+                    label,
+                ));
+            }
+            for i in 0..held.len() {
+                for j in i + 1..held.len() {
+                    let (na, ma) = held[i];
+                    let (nb, mb) = held[j];
+                    if na != nb && !ma.compatible(mb) {
+                        return Err(self.err(
+                            format!(
+                                "incompatible holders on {lock}: {na}:{ma} vs {nb}:{mb}"
+                            ),
+                            trace,
+                            label,
+                        ));
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Terminal states must have completed every script and be quiescent.
+    fn check_terminal(
+        &self,
+        scenario: &Scenario,
+        s: &State<P>,
+        trace: &[String],
+    ) -> Result<(), CheckError> {
+        if !s.inflight.is_empty() {
+            // Unreachable: deliveries are always enabled.
+            return Err(self.err("terminal state with in-flight messages".into(), trace, "end"));
+        }
+        for n in 0..scenario.nodes {
+            if s.pc[n] != scenario.scripts[n].len() {
+                return Err(self.err(
+                    format!(
+                        "deadlock: node n{n} stuck at script step {} of {} \
+                         (a request was never granted)",
+                        s.pc[n],
+                        scenario.scripts[n].len()
+                    ),
+                    trace,
+                    "end",
+                ));
+            }
+            if !s.nodes[n].is_quiescent() {
+                return Err(self.err(
+                    format!("node n{n} not quiescent in terminal state"),
+                    trace,
+                    "end",
+                ));
+            }
+        }
+        // Exactly one token per lock must exist somewhere at quiescence.
+        for l in 0..scenario.locks {
+            let lock = LockId(l as u32);
+            let tokens = s.nodes.iter().filter(|n| n.holds_token(lock)).count();
+            if tokens != 1 {
+                return Err(self.err(
+                    format!("{tokens} tokens for {lock} at quiescence"),
+                    trace,
+                    "end",
+                ));
+            }
+            // Deep structural audit (hierarchical protocol only).
+            let states: Vec<&hlock_core::LockNode> =
+                s.nodes.iter().filter_map(|n| n.lock_node(lock)).collect();
+            if states.len() == s.nodes.len() {
+                let findings = hlock_core::audit_lock(states);
+                if let Some(first) = findings.first() {
+                    return Err(self.err(
+                        format!("terminal-state audit: {first}"),
+                        trace,
+                        "end",
+                    ));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn err(&self, message: String, trace: &[String], label: &str) -> CheckError {
+        let mut t = trace.to_vec();
+        t.push(label.to_string());
+        CheckError { message, trace: t }
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+enum Step {
+    Deliver(usize),
+    Script(NodeId),
+}
+
+fn fingerprint<P>(s: &State<P>) -> u64
+where
+    P: ConcurrencyProtocol + Hash,
+    P::Message: Hash,
+{
+    let mut h = DefaultHasher::new();
+    s.nodes.hash(&mut h);
+    s.pc.hash(&mut h);
+    s.granted.hash(&mut h);
+    s.requested.hash(&mut h);
+    s.cancelled.hash(&mut h);
+    // In-flight messages as an (unordered) multiset: combine per-message
+    // hashes commutatively, keeping per-link order via seq normalization.
+    let mut flight_hash: u64 = 0;
+    for f in &s.inflight {
+        let mut fh = DefaultHasher::new();
+        f.from.hash(&mut fh);
+        f.to.hash(&mut fh);
+        f.message.hash(&mut fh);
+        // Relative order on the link matters; absolute seq does not.
+        let rank = s
+            .inflight
+            .iter()
+            .filter(|g| g.from == f.from && g.to == f.to && g.seq < f.seq)
+            .count();
+        rank.hash(&mut fh);
+        flight_hash = flight_hash.wrapping_add(fh.finish());
+    }
+    flight_hash.hash(&mut h);
+    h.finish()
+}
+
+/// Messages need `Hash` for fingerprints; provide it for the core types.
+mod hash_impls {
+    // Payload and Envelope derive Hash? They contain Vec<QueueEntry> etc.
+    // hlock-core derives Hash where needed; nothing to do here.
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn two_writers() -> Scenario {
+        Scenario::new(3, 1)
+            .script(
+                NodeId(1),
+                vec![
+                    Action::request(LockId(0), Mode::Write, Ticket(1)),
+                    Action::release(LockId(0), Ticket(1)),
+                ],
+            )
+            .script(
+                NodeId(2),
+                vec![
+                    Action::request(LockId(0), Mode::Write, Ticket(2)),
+                    Action::release(LockId(0), Ticket(2)),
+                ],
+            )
+    }
+
+    #[test]
+    fn hierarchical_two_writers_all_interleavings() {
+        let stats = Checker::hierarchical(ProtocolConfig::default())
+            .run(&two_writers())
+            .expect("safe");
+        assert!(stats.states > 10);
+        assert!(stats.terminals > 0);
+    }
+
+    #[test]
+    fn naimi_two_writers_all_interleavings() {
+        let stats = Checker::naimi().run(&two_writers()).expect("safe");
+        assert!(stats.states > 10);
+    }
+
+    #[test]
+    fn readers_and_writer_mix() {
+        let scenario = Scenario::new(3, 1)
+            .script(
+                NodeId(0),
+                vec![
+                    Action::request(LockId(0), Mode::Read, Ticket(1)),
+                    Action::release(LockId(0), Ticket(1)),
+                ],
+            )
+            .script(
+                NodeId(1),
+                vec![
+                    Action::request(LockId(0), Mode::Read, Ticket(2)),
+                    Action::release(LockId(0), Ticket(2)),
+                ],
+            )
+            .script(
+                NodeId(2),
+                vec![
+                    Action::request(LockId(0), Mode::Write, Ticket(3)),
+                    Action::release(LockId(0), Ticket(3)),
+                ],
+            );
+        let stats = Checker::hierarchical(ProtocolConfig::default())
+            .run(&scenario)
+            .expect("safe");
+        assert!(stats.terminals > 0);
+    }
+
+    #[test]
+    fn upgrade_scenario() {
+        let scenario = Scenario::new(2, 1)
+            .script(
+                NodeId(0),
+                vec![
+                    Action::request(LockId(0), Mode::Upgrade, Ticket(1)),
+                    Action::upgrade(LockId(0), Ticket(1)),
+                    Action::release(LockId(0), Ticket(1)),
+                ],
+            )
+            .script(
+                NodeId(1),
+                vec![
+                    Action::request(LockId(0), Mode::Read, Ticket(2)),
+                    Action::release(LockId(0), Ticket(2)),
+                ],
+            );
+        Checker::hierarchical(ProtocolConfig::default())
+            .run(&scenario)
+            .expect("upgrade interleavings safe");
+    }
+
+    #[test]
+    fn hierarchical_two_locks_intentions() {
+        let scenario = Scenario::new(2, 2)
+            .script(
+                NodeId(0),
+                vec![
+                    Action::request(LockId(0), Mode::IntentWrite, Ticket(1)),
+                    Action::request(LockId(1), Mode::Write, Ticket(2)),
+                    Action::release(LockId(1), Ticket(2)),
+                    Action::release(LockId(0), Ticket(1)),
+                ],
+            )
+            .script(
+                NodeId(1),
+                vec![
+                    Action::request(LockId(0), Mode::IntentRead, Ticket(3)),
+                    Action::release(LockId(0), Ticket(3)),
+                ],
+            );
+        Checker::hierarchical(ProtocolConfig::default())
+            .run(&scenario)
+            .expect("hierarchical scripts safe");
+    }
+}

@@ -1,0 +1,325 @@
+//! Global consistency auditing.
+//!
+//! At *quiescence* (no pending requests, empty queues, no in-flight
+//! messages) the distributed state of one lock must be mutually
+//! consistent across nodes. [`audit_lock`] checks, given every node's
+//! [`LockNode`] for the same lock:
+//!
+//! 1. exactly one token node exists, and only it has no parent;
+//! 2. copysets and parent pointers agree: `C ∈ children(P)` iff
+//!    `parent(C) = P ∧ owned(C) ≠ ∅`, and the recorded mode equals `C`'s
+//!    actual owned mode — in particular **no node is accounted in two
+//!    copysets** (the "phantom child" failure mode);
+//! 3. the parent graph is a tree rooted at the token node (no cycles);
+//! 4. owned-mode dominance: a parent's owned mode is at least as strong
+//!    as each child's, and all concurrently held modes in the whole
+//!    system are pairwise compatible;
+//! 5. frozen bookkeeping has drained: with no queued requests anywhere,
+//!    no mode may remain frozen.
+//!
+//! Hosts run this after a run completes (the simulator when safety
+//! checking is on; the model checker in every terminal state).
+
+use crate::ids::NodeId;
+use crate::mode::owned_strength;
+use crate::node::LockNode;
+use std::collections::BTreeMap;
+
+/// One inconsistency found by [`audit_lock`]; the string is a
+/// human-readable description precise enough to debug from.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AuditFinding(pub String);
+
+impl std::fmt::Display for AuditFinding {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+/// Audits the quiescent global state of one lock. `nodes` must contain
+/// the [`LockNode`] of **every** node in the system, in any order.
+///
+/// Returns all findings (empty = consistent). Callers should only invoke
+/// this at quiescence; with messages in flight the checks do not hold.
+pub fn audit_lock<'a>(nodes: impl IntoIterator<Item = &'a LockNode>) -> Vec<AuditFinding> {
+    let nodes: Vec<&LockNode> = nodes.into_iter().collect();
+    let mut findings = Vec::new();
+    let mut f = |msg: String| findings.push(AuditFinding(msg));
+
+    let lock = match nodes.first() {
+        Some(n) => n.lock(),
+        None => return findings,
+    };
+    let by_id: BTreeMap<NodeId, &LockNode> = nodes.iter().map(|n| (n.id(), *n)).collect();
+
+    // 1. Exactly one token; token iff parentless.
+    let tokens: Vec<NodeId> = nodes.iter().filter(|n| n.is_token()).map(|n| n.id()).collect();
+    if tokens.len() != 1 {
+        f(format!("{lock}: expected exactly one token node, found {tokens:?}"));
+    }
+    for n in &nodes {
+        if n.is_token() != n.parent().is_none() {
+            f(format!(
+                "{lock}: {} token={} but parent={:?}",
+                n.id(),
+                n.is_token(),
+                n.parent()
+            ));
+        }
+    }
+
+    // 2. Copyset/parent agreement and single accounting.
+    let mut accounted_at: BTreeMap<NodeId, NodeId> = BTreeMap::new();
+    for p in &nodes {
+        for (&c, &mode) in p.children() {
+            if let Some(prev) = accounted_at.insert(c, p.id()) {
+                f(format!(
+                    "{lock}: {c} is accounted in two copysets ({prev} and {})",
+                    p.id()
+                ));
+            }
+            match by_id.get(&c) {
+                None => f(format!("{lock}: {} lists unknown child {c}", p.id())),
+                Some(child) => {
+                    if child.parent() != Some(p.id()) {
+                        f(format!(
+                            "{lock}: {} believes {c} is its child, but {c}'s parent is {:?}",
+                            p.id(),
+                            child.parent()
+                        ));
+                    }
+                    if child.owned() != Some(mode) {
+                        f(format!(
+                            "{lock}: {} records child {c} as {mode}, but {c} owns {:?}",
+                            p.id(),
+                            child.owned()
+                        ));
+                    }
+                }
+            }
+        }
+    }
+    // Conversely: every node owning something (except the token) must be
+    // accounted exactly once.
+    for n in &nodes {
+        if !n.is_token() && n.owned().is_some() && !accounted_at.contains_key(&n.id()) {
+            f(format!(
+                "{lock}: {} owns {:?} but no copyset accounts for it",
+                n.id(),
+                n.owned()
+            ));
+        }
+    }
+
+    // 3. Parent graph acyclic and rooted at the token.
+    for n in &nodes {
+        let mut cur = *n;
+        let mut hops = 0usize;
+        while let Some(p) = cur.parent() {
+            match by_id.get(&p) {
+                Some(next) => cur = next,
+                None => {
+                    f(format!("{lock}: {} has unknown parent {p}", cur.id()));
+                    break;
+                }
+            }
+            hops += 1;
+            if hops > nodes.len() {
+                f(format!("{lock}: parent chain from {} does not terminate (cycle)", n.id()));
+                break;
+            }
+        }
+        if hops <= nodes.len() && !cur.is_token() && cur.parent().is_none() && !tokens.is_empty()
+        {
+            f(format!("{lock}: chain from {} ends at non-token {}", n.id(), cur.id()));
+        }
+    }
+
+    // 4. Dominance and global pairwise compatibility.
+    for p in &nodes {
+        for (&c, &mode) in p.children() {
+            if owned_strength(p.owned()) < mode.strength() {
+                f(format!(
+                    "{lock}: {} owns {:?} but child {c} owns {mode} (dominance violated)",
+                    p.id(),
+                    p.owned()
+                ));
+            }
+        }
+    }
+    let held: Vec<(NodeId, crate::Mode)> = nodes
+        .iter()
+        .flat_map(|n| n.held().iter().map(move |&(_, m)| (n.id(), m)))
+        .collect();
+    for i in 0..held.len() {
+        for j in i + 1..held.len() {
+            let (na, ma) = held[i];
+            let (nb, mb) = held[j];
+            if na != nb && !ma.compatible(mb) {
+                f(format!("{lock}: incompatible holders {na}:{ma} vs {nb}:{mb}"));
+            }
+        }
+    }
+
+    // 5. With no queued work anywhere, nothing may stay frozen.
+    let any_queued = nodes.iter().any(|n| n.queue_len() > 0);
+    if !any_queued {
+        for n in &nodes {
+            if !n.frozen().is_empty() {
+                f(format!(
+                    "{lock}: {} still has frozen modes {} with no queued requests anywhere",
+                    n.id(),
+                    n.frozen()
+                ));
+            }
+        }
+    }
+
+    findings
+}
+
+/// Depth of every node in the parent tree (root = 0), in node order.
+/// Returns `None` for nodes whose chain does not resolve (corrupt state).
+///
+/// Shallow trees mean short request paths; the lazy transfer policy keeps
+/// the tree a near-star while eager (literal Rule 3.2) transfers let
+/// depths grow with the transfer history.
+pub fn tree_depths<'a>(nodes: impl IntoIterator<Item = &'a LockNode>) -> Vec<Option<usize>> {
+    let nodes: Vec<&LockNode> = nodes.into_iter().collect();
+    let by_id: BTreeMap<NodeId, &LockNode> = nodes.iter().map(|n| (n.id(), *n)).collect();
+    nodes
+        .iter()
+        .map(|n| {
+            let mut cur = *n;
+            let mut depth = 0usize;
+            while let Some(p) = cur.parent() {
+                cur = by_id.get(&p)?;
+                depth += 1;
+                if depth > nodes.len() {
+                    return None;
+                }
+            }
+            cur.is_token().then_some(depth)
+        })
+        .collect()
+}
+
+/// Mean tree depth over all resolvable nodes (0.0 for an empty system).
+pub fn mean_tree_depth<'a>(nodes: impl IntoIterator<Item = &'a LockNode>) -> f64 {
+    let depths: Vec<usize> = tree_depths(nodes).into_iter().flatten().collect();
+    if depths.is_empty() {
+        0.0
+    } else {
+        depths.iter().sum::<usize>() as f64 / depths.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::ProtocolConfig;
+    use crate::effect::{Effect, EffectSink};
+    use crate::ids::{LockId, Ticket};
+    use crate::message::Payload;
+    use crate::mode::Mode;
+
+    const L: LockId = LockId(0);
+
+    fn fresh(n: usize) -> Vec<LockNode> {
+        (0..n as u32)
+            .map(|i| LockNode::new(NodeId(i), L, NodeId(0), ProtocolConfig::default()))
+            .collect()
+    }
+
+    /// Delivers all pending messages between nodes until quiet.
+    fn pump(nodes: &mut [LockNode], fx: &mut EffectSink<Payload>, from: NodeId) {
+        let mut queue: Vec<(NodeId, NodeId, Payload)> = fx
+            .drain()
+            .filter_map(|e| match e {
+                Effect::Send { to, message } => Some((from, to, message)),
+                _ => None,
+            })
+            .collect();
+        while let Some((src, dst, msg)) = queue.pop() {
+            nodes[dst.index()].on_message(src, msg, fx);
+            queue.extend(fx.drain().filter_map(|e| match e {
+                Effect::Send { to, message } => Some((dst, to, message)),
+                _ => None,
+            }));
+        }
+    }
+
+    #[test]
+    fn initial_state_is_consistent() {
+        let nodes = fresh(4);
+        assert!(audit_lock(nodes.iter()).is_empty());
+    }
+
+    #[test]
+    fn post_exchange_state_is_consistent() {
+        let mut nodes = fresh(4);
+        let mut fx = EffectSink::new();
+        // Node 1 takes R, node 2 takes IR, node 3 takes and releases W.
+        for (i, mode, t) in
+            [(1usize, Mode::Read, 1u64), (2, Mode::IntentRead, 2), (3, Mode::Write, 3)]
+        {
+            // Release previous holders first for the W request to go through.
+            if mode == Mode::Write {
+                nodes[1].release(Ticket(1), &mut fx).unwrap();
+                pump(&mut nodes, &mut fx, NodeId(1));
+                nodes[2].release(Ticket(2), &mut fx).unwrap();
+                pump(&mut nodes, &mut fx, NodeId(2));
+            }
+            nodes[i].request(mode, Ticket(t), &mut fx).unwrap();
+            pump(&mut nodes, &mut fx, NodeId(i as u32));
+        }
+        nodes[3].release(Ticket(3), &mut fx).unwrap();
+        pump(&mut nodes, &mut fx, NodeId(3));
+        let findings = audit_lock(nodes.iter());
+        assert!(findings.is_empty(), "{findings:?}");
+    }
+
+    #[test]
+    fn tree_depths_of_initial_star() {
+        let nodes = fresh(5);
+        let depths = tree_depths(nodes.iter());
+        assert_eq!(depths[0], Some(0), "token home is the root");
+        assert!(depths[1..].iter().all(|d| *d == Some(1)), "{depths:?}");
+        assert!((mean_tree_depth(nodes.iter()) - 0.8).abs() < 1e-9);
+    }
+
+    #[test]
+    fn audit_detects_empty_system() {
+        let nodes: Vec<LockNode> = Vec::new();
+        assert!(audit_lock(nodes.iter()).is_empty());
+    }
+
+    #[test]
+    fn audit_detects_two_tokens() {
+        // Two separately-initialized "token homes" — an illegal global state.
+        let a = LockNode::new(NodeId(0), L, NodeId(0), ProtocolConfig::default());
+        let b = LockNode::new(NodeId(1), L, NodeId(1), ProtocolConfig::default());
+        let findings = audit_lock([&a, &b]);
+        assert!(findings.iter().any(|f| f.0.contains("exactly one token")), "{findings:?}");
+    }
+
+    #[test]
+    fn audit_detects_phantom_child() {
+        // A child was granted by node 0 but then re-pointed elsewhere
+        // without node 0 learning — fabricate it via raw message plays.
+        let mut nodes = fresh(3);
+        let mut fx = EffectSink::new();
+        // Node 1 obtains R from the token (copy grant).
+        nodes[1].request(Mode::Read, Ticket(1), &mut fx).unwrap();
+        pump(&mut nodes, &mut fx, NodeId(1));
+        fx.drain().count();
+        // Corrupt: node 1 releases, but we drop its release message.
+        nodes[1].release(Ticket(1), &mut fx).unwrap();
+        let _dropped = fx.drain().count();
+        let findings = audit_lock(nodes.iter());
+        assert!(
+            findings.iter().any(|f| f.0.contains("records child") || f.0.contains("owns")),
+            "stale copyset entry must be flagged: {findings:?}"
+        );
+    }
+}

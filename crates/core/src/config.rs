@@ -1,0 +1,124 @@
+//! Protocol configuration and ablation flags.
+
+/// Tunable switches for the hierarchical locking protocol.
+///
+/// The defaults reproduce the paper's protocol exactly. Each flag turns
+/// off one of the paper's design ingredients so its contribution can be
+/// measured (the `ablations` bench):
+///
+/// ```
+/// use hlock_core::ProtocolConfig;
+/// let cfg = ProtocolConfig::default();
+/// assert!(cfg.absorb_requests && cfg.suppress_releases && cfg.freezing);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ProtocolConfig {
+    /// Rule 4.1: absorb requests into local queues along the path
+    /// (Table 2(a)). When `false`, every non-grantable request is
+    /// forwarded straight toward the token node (the "eager variant"
+    /// the paper compares against in prose).
+    pub absorb_requests: bool,
+    /// Rule 5.2: send a release to the parent only when the subtree's
+    /// owned mode actually weakens. When `false`, every release is
+    /// propagated eagerly ("one message suffices, irrespective of the
+    /// number of grandchildren" — this flag measures that saving).
+    pub suppress_releases: bool,
+    /// Rule 6: freeze modes at the token node to preserve FIFO fairness.
+    /// When `false`, compatible newcomers may starve queued requests.
+    pub freezing: bool,
+    /// Naimi-style probable-owner path compression for *inactive*
+    /// forwarders (nodes owning nothing, with no pending request and an
+    /// empty queue may repoint their parent to the request origin).
+    pub path_compression: bool,
+    /// Token-transfer policy at the token node for a compatible request
+    /// stronger than the owned mode. `true` follows Rule 3.2 literally
+    /// (transfer whenever `owned < requested`); `false` (default)
+    /// transfers only for `U` and `W` — the modes that *cannot* be served
+    /// by a copy grant — keeping the token pinned and request paths
+    /// short. The paper's measured behavior (Figure 7: transfer-token
+    /// messages decline to a small constant while copy grants dominate)
+    /// corresponds to the lazy policy.
+    pub eager_transfers: bool,
+}
+
+impl Default for ProtocolConfig {
+    fn default() -> Self {
+        ProtocolConfig {
+            absorb_requests: true,
+            suppress_releases: true,
+            freezing: true,
+            path_compression: true,
+            eager_transfers: false,
+        }
+    }
+}
+
+impl ProtocolConfig {
+    /// The paper's protocol (all ingredients on).
+    pub fn paper() -> Self {
+        Self::default()
+    }
+
+    /// Returns a copy with request absorption (Rule 4.1) disabled.
+    #[must_use]
+    pub fn without_absorption(mut self) -> Self {
+        self.absorb_requests = false;
+        self
+    }
+
+    /// Returns a copy with release suppression (Rule 5.2) disabled.
+    #[must_use]
+    pub fn without_release_suppression(mut self) -> Self {
+        self.suppress_releases = false;
+        self
+    }
+
+    /// Returns a copy with freezing (Rule 6) disabled.
+    #[must_use]
+    pub fn without_freezing(mut self) -> Self {
+        self.freezing = false;
+        self
+    }
+
+    /// Returns a copy with path compression disabled.
+    #[must_use]
+    pub fn without_path_compression(mut self) -> Self {
+        self.path_compression = false;
+        self
+    }
+
+    /// Returns a copy with literal Rule 3.2 transfers (`owned < requested`
+    /// always moves the token).
+    #[must_use]
+    pub fn with_eager_transfers(mut self) -> Self {
+        self.eager_transfers = true;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_paper_protocol() {
+        assert_eq!(ProtocolConfig::default(), ProtocolConfig::paper());
+    }
+
+    #[test]
+    fn builders_flip_single_flags() {
+        let c = ProtocolConfig::paper().without_freezing();
+        assert!(!c.freezing);
+        assert!(c.absorb_requests && c.suppress_releases && c.path_compression);
+
+        let c = ProtocolConfig::paper().without_absorption();
+        assert!(!c.absorb_requests);
+        assert!(c.freezing);
+
+        let c = ProtocolConfig::paper().without_release_suppression();
+        assert!(!c.suppress_releases);
+
+        let c = ProtocolConfig::paper().without_path_compression();
+        assert!(!c.path_compression);
+    }
+}

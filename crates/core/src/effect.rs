@@ -1,0 +1,158 @@
+//! Effects: what a sans-I/O protocol step asks its host to do.
+//!
+//! The protocol state machines never touch sockets or clocks. Every
+//! operation (`request`, `release`, `on_message`, …) appends [`Effect`]s
+//! to an [`EffectSink`]; the host (simulator, model checker or TCP
+//! transport) executes them.
+
+use crate::ids::{LockId, NodeId, Ticket};
+use crate::mode::Mode;
+use core::fmt;
+
+/// An instruction from the protocol to its host.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Effect<M> {
+    /// Send `message` to node `to`.
+    Send {
+        /// Destination node.
+        to: NodeId,
+        /// Protocol message to deliver.
+        message: M,
+    },
+    /// The local request identified by `ticket` has been granted `mode`
+    /// on `lock`; the caller may enter its critical section.
+    Granted {
+        /// Lock concerned.
+        lock: LockId,
+        /// The ticket supplied with the original request.
+        ticket: Ticket,
+        /// The granted mode (equals the requested mode, or `W` after an
+        /// upgrade).
+        mode: Mode,
+    },
+}
+
+impl<M> Effect<M> {
+    /// Returns the destination if this is a `Send`.
+    pub fn send_to(&self) -> Option<NodeId> {
+        match self {
+            Effect::Send { to, .. } => Some(*to),
+            Effect::Granted { .. } => None,
+        }
+    }
+}
+
+impl<M: fmt::Debug> fmt::Display for Effect<M> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Effect::Send { to, message } => write!(f, "send {message:?} -> {to}"),
+            Effect::Granted { lock, ticket, mode } => {
+                write!(f, "granted {lock} {mode} ({ticket})")
+            }
+        }
+    }
+}
+
+/// Accumulator for the effects of one protocol step.
+///
+/// Reusable across steps via [`EffectSink::drain`] to avoid reallocation
+/// in hot simulation loops.
+///
+/// ```
+/// use hlock_core::{Effect, EffectSink, LockId, Mode, NodeId, Ticket};
+/// let mut sink: EffectSink<&'static str> = EffectSink::new();
+/// sink.send(NodeId(1), "hello");
+/// sink.granted(LockId(0), Ticket(7), Mode::Read);
+/// assert_eq!(sink.len(), 2);
+/// let effects: Vec<Effect<&str>> = sink.drain().collect();
+/// assert!(sink.is_empty());
+/// assert_eq!(effects[0].send_to(), Some(NodeId(1)));
+/// ```
+#[derive(Debug, Clone)]
+pub struct EffectSink<M> {
+    effects: Vec<Effect<M>>,
+}
+
+impl<M> Default for EffectSink<M> {
+    fn default() -> Self {
+        EffectSink::new()
+    }
+}
+
+impl<M> EffectSink<M> {
+    /// Creates an empty sink.
+    pub fn new() -> Self {
+        EffectSink { effects: Vec::new() }
+    }
+
+    /// Queues a `Send` effect.
+    pub fn send(&mut self, to: NodeId, message: M) {
+        self.effects.push(Effect::Send { to, message });
+    }
+
+    /// Queues a `Granted` effect.
+    pub fn granted(&mut self, lock: LockId, ticket: Ticket, mode: Mode) {
+        self.effects.push(Effect::Granted { lock, ticket, mode });
+    }
+
+    /// Number of queued effects.
+    pub fn len(&self) -> usize {
+        self.effects.len()
+    }
+
+    /// Whether no effects are queued.
+    pub fn is_empty(&self) -> bool {
+        self.effects.is_empty()
+    }
+
+    /// Drains the queued effects in order.
+    pub fn drain(&mut self) -> impl Iterator<Item = Effect<M>> + '_ {
+        self.effects.drain(..)
+    }
+
+    /// Immutable view of the queued effects.
+    pub fn as_slice(&self) -> &[Effect<M>] {
+        &self.effects
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sink_accumulates_in_order() {
+        let mut sink: EffectSink<u8> = EffectSink::new();
+        sink.send(NodeId(2), 10);
+        sink.send(NodeId(3), 11);
+        sink.granted(LockId(1), Ticket(5), Mode::Write);
+        assert_eq!(sink.len(), 3);
+        let v: Vec<_> = sink.drain().collect();
+        assert_eq!(v[0], Effect::Send { to: NodeId(2), message: 10 });
+        assert_eq!(v[1], Effect::Send { to: NodeId(3), message: 11 });
+        assert_eq!(
+            v[2],
+            Effect::Granted { lock: LockId(1), ticket: Ticket(5), mode: Mode::Write }
+        );
+        assert!(sink.is_empty());
+    }
+
+    #[test]
+    fn send_to_extracts_destination() {
+        let e: Effect<u8> = Effect::Send { to: NodeId(4), message: 0 };
+        assert_eq!(e.send_to(), Some(NodeId(4)));
+        let g: Effect<u8> =
+            Effect::Granted { lock: LockId(0), ticket: Ticket(0), mode: Mode::Read };
+        assert_eq!(g.send_to(), None);
+    }
+
+    #[test]
+    fn display_formats() {
+        let e: Effect<u8> = Effect::Send { to: NodeId(4), message: 9 };
+        assert!(e.to_string().contains("n4"));
+        let g: Effect<u8> =
+            Effect::Granted { lock: LockId(3), ticket: Ticket(1), mode: Mode::Upgrade };
+        assert!(g.to_string().contains("L3"));
+        assert!(g.to_string().contains('U'));
+    }
+}

@@ -1,0 +1,113 @@
+//! Error types.
+
+use crate::ids::{LockId, Ticket};
+use crate::mode::Mode;
+use core::fmt;
+
+/// Errors returned by the protocol's public API.
+///
+/// All variants indicate caller mistakes; the protocol state is left
+/// unchanged when an error is returned.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ProtocolError {
+    /// The ticket is already used by an outstanding request or held lock.
+    DuplicateTicket {
+        /// The offending ticket.
+        ticket: Ticket,
+    },
+    /// The ticket holds nothing (it may still be waiting for a grant).
+    NotHeld {
+        /// The offending ticket.
+        ticket: Ticket,
+    },
+    /// `upgrade` was called on a ticket holding a mode other than `U`.
+    UpgradeRequiresUpgradeLock {
+        /// The offending ticket.
+        ticket: Ticket,
+        /// The mode it actually holds.
+        held: Mode,
+    },
+    /// The referenced lock does not exist in this [`crate::LockSpace`].
+    UnknownLock {
+        /// The offending lock id.
+        lock: LockId,
+    },
+    /// `cancel` was called on a ticket that already holds the lock;
+    /// release it instead.
+    NotCancellable {
+        /// The offending ticket.
+        ticket: Ticket,
+    },
+    /// The requested mode change is not a legal downgrade (it would
+    /// constrain concurrency more than the held mode).
+    InvalidDowngrade {
+        /// The offending ticket.
+        ticket: Ticket,
+        /// Currently held mode.
+        from: Mode,
+        /// Requested mode.
+        to: Mode,
+    },
+}
+
+impl fmt::Display for ProtocolError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ProtocolError::DuplicateTicket { ticket } => {
+                write!(f, "ticket {ticket} is already in use")
+            }
+            ProtocolError::NotHeld { ticket } => {
+                write!(f, "ticket {ticket} does not hold the lock")
+            }
+            ProtocolError::UpgradeRequiresUpgradeLock { ticket, held } => {
+                write!(f, "ticket {ticket} holds {held}, not U; only U can be upgraded")
+            }
+            ProtocolError::UnknownLock { lock } => write!(f, "unknown lock {lock}"),
+            ProtocolError::NotCancellable { ticket } => {
+                write!(f, "ticket {ticket} already holds the lock; release it instead")
+            }
+            ProtocolError::InvalidDowngrade { ticket, from, to } => {
+                write!(f, "ticket {ticket} cannot change {from} to {to}: not a downgrade")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ProtocolError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        assert_eq!(
+            ProtocolError::DuplicateTicket { ticket: Ticket(3) }.to_string(),
+            "ticket t3 is already in use"
+        );
+        assert!(ProtocolError::NotHeld { ticket: Ticket(1) }.to_string().contains("t1"));
+        assert!(ProtocolError::UpgradeRequiresUpgradeLock {
+            ticket: Ticket(2),
+            held: Mode::Read
+        }
+        .to_string()
+        .contains("holds R"));
+        assert!(ProtocolError::UnknownLock { lock: LockId(7) }.to_string().contains("L7"));
+        assert!(ProtocolError::NotCancellable { ticket: Ticket(4) }
+            .to_string()
+            .contains("release it instead"));
+        assert!(ProtocolError::InvalidDowngrade {
+            ticket: Ticket(4),
+            from: Mode::Read,
+            to: Mode::Write
+        }
+        .to_string()
+        .contains("not a downgrade"));
+    }
+
+    #[test]
+    fn implements_std_error() {
+        fn assert_err<E: std::error::Error + Send + Sync + 'static>() {}
+        assert_err::<ProtocolError>();
+    }
+}

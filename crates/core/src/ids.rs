@@ -1,0 +1,188 @@
+//! Identifier newtypes shared across the workspace.
+//!
+//! All identifiers are small `Copy` integers wrapped in newtypes
+//! ([`NodeId`], [`LockId`], [`Ticket`], [`Stamp`]) so that the type system
+//! keeps "which node" and "which lock" apart (C-NEWTYPE).
+
+use core::fmt;
+
+/// Identity of a participant (process/host) in the distributed system.
+///
+/// Nodes are numbered densely from zero; the initial token holder for every
+/// lock is the node given to [`crate::LockSpace::new`].
+///
+/// ```
+/// use hlock_core::NodeId;
+/// let a = NodeId(3);
+/// assert_eq!(a.index(), 3);
+/// assert_eq!(a.to_string(), "n3");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct NodeId(pub u32);
+
+impl NodeId {
+    /// Returns the raw index as a `usize`, convenient for vector indexing.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+impl From<u32> for NodeId {
+    fn from(v: u32) -> Self {
+        NodeId(v)
+    }
+}
+
+/// Identity of one lock object (one token) in the system.
+///
+/// In the paper's evaluation, lock 0 is the whole-table lock and locks
+/// `1..=E` guard the `E` individual table entries.
+///
+/// ```
+/// use hlock_core::LockId;
+/// assert_eq!(LockId(7).to_string(), "L7");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct LockId(pub u32);
+
+impl LockId {
+    /// Returns the raw index as a `usize`, convenient for vector indexing.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for LockId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "L{}", self.0)
+    }
+}
+
+impl From<u32> for LockId {
+    fn from(v: u32) -> Self {
+        LockId(v)
+    }
+}
+
+/// Caller-chosen identifier correlating a lock request with its grant.
+///
+/// The protocol is sans-I/O: `request` is asynchronous and the eventual
+/// grant is reported as an [`crate::Effect::Granted`] carrying the same
+/// ticket. Tickets must be unique among the *outstanding* requests of one
+/// node; reuse after release is fine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Ticket(pub u64);
+
+impl fmt::Display for Ticket {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t{}", self.0)
+    }
+}
+
+impl From<u64> for Ticket {
+    fn from(v: u64) -> Self {
+        Ticket(v)
+    }
+}
+
+/// Request priority: higher values are served first; ties are FIFO by
+/// Lamport stamp. The default ([`Priority::NORMAL`] = 0) reproduces the
+/// paper's pure FIFO arbitration; non-zero priorities implement the
+/// "strict priority ordering" arbitration of the paper's §1 (following
+/// Mueller's prioritized token protocols, the paper's refs \[11, 12\]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Priority(pub u8);
+
+impl Priority {
+    /// The default, FIFO-only priority.
+    pub const NORMAL: Priority = Priority(0);
+    /// The highest priority.
+    pub const URGENT: Priority = Priority(u8::MAX);
+}
+
+impl fmt::Display for Priority {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "p{}", self.0)
+    }
+}
+
+/// Lamport-style logical timestamp used to merge request queues FIFO.
+///
+/// Every node keeps a scalar clock; a request is stamped at its origin and
+/// the `(stamp, origin)` pair totally orders requests when the local queue
+/// of an old token node is merged into the new token node's queue
+/// (footnote c of the paper's Figure 4, referring to \[11\]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Stamp(pub u64);
+
+impl Stamp {
+    /// The zero timestamp (before any event).
+    pub const ZERO: Stamp = Stamp(0);
+
+    /// Returns the successor timestamp.
+    #[must_use]
+    pub fn next(self) -> Stamp {
+        Stamp(self.0 + 1)
+    }
+
+    /// Lamport receive rule: `max(self, other) + 1`.
+    #[must_use]
+    pub fn merged(self, other: Stamp) -> Stamp {
+        Stamp(self.0.max(other.0) + 1)
+    }
+}
+
+impl fmt::Display for Stamp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "@{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn node_id_roundtrip_and_display() {
+        let n: NodeId = 5u32.into();
+        assert_eq!(n, NodeId(5));
+        assert_eq!(n.index(), 5);
+        assert_eq!(format!("{n}"), "n5");
+    }
+
+    #[test]
+    fn lock_id_roundtrip_and_display() {
+        let l: LockId = 9u32.into();
+        assert_eq!(l, LockId(9));
+        assert_eq!(l.index(), 9);
+        assert_eq!(format!("{l}"), "L9");
+    }
+
+    #[test]
+    fn ticket_display() {
+        assert_eq!(Ticket(42).to_string(), "t42");
+        assert_eq!(Ticket::from(1u64), Ticket(1));
+    }
+
+    #[test]
+    fn stamp_ordering_and_merge() {
+        assert!(Stamp(1) < Stamp(2));
+        assert_eq!(Stamp(3).next(), Stamp(4));
+        assert_eq!(Stamp(3).merged(Stamp(7)), Stamp(8));
+        assert_eq!(Stamp(9).merged(Stamp(2)), Stamp(10));
+        assert_eq!(Stamp::ZERO, Stamp(0));
+    }
+
+    #[test]
+    fn ids_are_ordered_for_map_keys() {
+        let mut v = vec![NodeId(3), NodeId(1), NodeId(2)];
+        v.sort();
+        assert_eq!(v, vec![NodeId(1), NodeId(2), NodeId(3)]);
+    }
+}

@@ -1,0 +1,201 @@
+//! Protocol messages.
+//!
+//! Six message types, exactly as enumerated in the paper's §3.4:
+//! *request*, *grant*, *token*, *release*, *freeze* and *update*.
+//! Each message is scoped to one lock by the [`Envelope`] wrapper.
+
+use crate::ids::{LockId, NodeId, Priority, Stamp};
+use crate::mode::{Mode, ModeSet};
+use crate::queue::QueueEntry;
+use core::fmt;
+
+/// Coarse classification of messages, shared by all protocols in the
+/// workspace so the simulator can count per-kind overhead (Figure 7).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MessageKind {
+    /// A lock request travelling toward a granter.
+    Request,
+    /// A copy grant from a (token or non-token) granter.
+    Grant,
+    /// A token transfer.
+    Token,
+    /// A release notification from child to parent.
+    Release,
+    /// A freeze notification (Rule 6).
+    Freeze,
+    /// A frozen-set update (unfreeze) notification.
+    Update,
+}
+
+impl MessageKind {
+    /// All kinds, in the order used by the Figure 7 breakdown.
+    pub const ALL: [MessageKind; 6] = [
+        MessageKind::Request,
+        MessageKind::Grant,
+        MessageKind::Token,
+        MessageKind::Release,
+        MessageKind::Freeze,
+        MessageKind::Update,
+    ];
+
+    /// Stable label used in benchmark output.
+    pub fn label(self) -> &'static str {
+        match self {
+            MessageKind::Request => "request",
+            MessageKind::Grant => "grant",
+            MessageKind::Token => "token",
+            MessageKind::Release => "release",
+            MessageKind::Freeze => "freeze",
+            MessageKind::Update => "update",
+        }
+    }
+}
+
+impl fmt::Display for MessageKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Anything the simulator or transport can count by [`MessageKind`].
+pub trait Classify {
+    /// The kind of this message, for metrics.
+    fn kind(&self) -> MessageKind;
+}
+
+/// One protocol message about a single lock.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum Payload {
+    /// A request by `origin` for the lock in `mode`, stamped at the origin
+    /// (Rule 2); relayed hop-by-hop toward the token (Rule 4.1).
+    Request {
+        /// The node that wants the lock (not necessarily the sender — the
+        /// message may have been forwarded).
+        origin: NodeId,
+        /// The requested mode.
+        mode: Mode,
+        /// Lamport stamp assigned at the origin, for FIFO queue merges.
+        stamp: Stamp,
+        /// Request priority (higher served first, FIFO within).
+        priority: Priority,
+    },
+    /// A granted copy: the requester becomes a child of the sender holding
+    /// `mode` (Rules 3.1, 3.2 copy case). Carries the granter's current
+    /// frozen set so the new child obeys Rule 6 immediately.
+    Grant {
+        /// The granted mode.
+        mode: Mode,
+        /// Frozen modes in effect at the granter.
+        frozen: ModeSet,
+    },
+    /// The token moves to the receiver, which becomes the new token node
+    /// (Rule 3.2 transfer case).
+    Token {
+        /// The mode the receiver had requested (its grant).
+        mode: Mode,
+        /// The old token node's remaining local queue, merged FIFO into
+        /// the receiver's queue (Figure 4, footnote c).
+        queue: Vec<QueueEntry>,
+        /// The mode the sender still owns, if any; `Some` makes the sender
+        /// a child of the new token node (Figure 4, footnote b).
+        sender_owned: Option<Mode>,
+    },
+    /// Child-to-parent notification that the child subtree's owned mode
+    /// weakened to `new_owned` (Rule 5.2); `None` removes the child from
+    /// the parent's copyset.
+    Release {
+        /// The child's new owned mode (`None` = fully released).
+        new_owned: Option<Mode>,
+    },
+    /// Token-to-children notification that `modes` are now frozen (Rule 6).
+    Freeze {
+        /// Modes newly frozen.
+        modes: ModeSet,
+    },
+    /// Replacement of the receiver's frozen set (unfreeze propagation).
+    Update {
+        /// The complete new frozen set.
+        frozen: ModeSet,
+    },
+}
+
+impl Classify for Payload {
+    fn kind(&self) -> MessageKind {
+        match self {
+            Payload::Request { .. } => MessageKind::Request,
+            Payload::Grant { .. } => MessageKind::Grant,
+            Payload::Token { .. } => MessageKind::Token,
+            Payload::Release { .. } => MessageKind::Release,
+            Payload::Freeze { .. } => MessageKind::Freeze,
+            Payload::Update { .. } => MessageKind::Update,
+        }
+    }
+}
+
+/// A [`Payload`] addressed to a specific lock instance.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Envelope {
+    /// The lock this message concerns.
+    pub lock: LockId,
+    /// The protocol message.
+    pub payload: Payload,
+}
+
+impl Classify for Envelope {
+    fn kind(&self) -> MessageKind {
+        self.payload.kind()
+    }
+}
+
+impl fmt::Display for Envelope {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{}] {:?}", self.lock, self.payload)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::{LockId, NodeId, Priority, Stamp};
+    use crate::mode::Mode;
+
+    #[test]
+    fn kinds_classify() {
+        let req = Payload::Request {
+            origin: NodeId(1),
+            mode: Mode::Read,
+            stamp: Stamp(4),
+            priority: Priority::NORMAL,
+        };
+        assert_eq!(req.kind(), MessageKind::Request);
+        assert_eq!(
+            Payload::Grant { mode: Mode::Read, frozen: ModeSet::EMPTY }.kind(),
+            MessageKind::Grant
+        );
+        assert_eq!(
+            Payload::Token { mode: Mode::Write, queue: vec![], sender_owned: None }.kind(),
+            MessageKind::Token
+        );
+        assert_eq!(Payload::Release { new_owned: None }.kind(), MessageKind::Release);
+        assert_eq!(Payload::Freeze { modes: ModeSet::ALL }.kind(), MessageKind::Freeze);
+        assert_eq!(Payload::Update { frozen: ModeSet::EMPTY }.kind(), MessageKind::Update);
+    }
+
+    #[test]
+    fn envelope_classifies_via_payload() {
+        let env = Envelope {
+            lock: LockId(2),
+            payload: Payload::Release { new_owned: Some(Mode::IntentRead) },
+        };
+        assert_eq!(env.kind(), MessageKind::Release);
+        assert!(env.to_string().contains("L2"));
+    }
+
+    #[test]
+    fn kind_labels_are_unique() {
+        let mut labels: Vec<&str> = MessageKind::ALL.iter().map(|k| k.label()).collect();
+        labels.sort_unstable();
+        labels.dedup();
+        assert_eq!(labels.len(), MessageKind::ALL.len());
+    }
+}

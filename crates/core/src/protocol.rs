@@ -1,0 +1,171 @@
+//! The protocol abstraction shared by every locking implementation in
+//! this workspace.
+//!
+//! Both the paper's hierarchical protocol ([`crate::LockSpace`]) and the
+//! Naimi–Trehel baseline (`hlock-naimi`) implement [`ConcurrencyProtocol`],
+//! so the simulator, the model checker and the TCP transport can drive
+//! either without knowing which one they host.
+
+use crate::effect::EffectSink;
+use crate::error::ProtocolError;
+use crate::ids::{LockId, NodeId, Priority, Ticket};
+use crate::message::Classify;
+use crate::mode::Mode;
+use core::fmt;
+
+/// Result of cancelling an outstanding request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CancelOutcome {
+    /// The request was still queued locally and is gone; no grant will
+    /// ever arrive for this ticket.
+    Cancelled,
+    /// The request is already in flight toward a granter; the grant will
+    /// be absorbed and relinquished automatically when it arrives (no
+    /// `Granted` effect will be emitted).
+    WillAbort,
+}
+
+/// A sans-I/O distributed locking protocol instance living at one node.
+///
+/// All operations are asynchronous: grants arrive later as
+/// [`crate::Effect::Granted`] effects carrying the caller's ticket.
+pub trait ConcurrencyProtocol {
+    /// The wire message type exchanged between nodes.
+    type Message: Clone + fmt::Debug + Classify;
+
+    /// The node this instance lives at.
+    fn node_id(&self) -> NodeId;
+
+    /// Requests `lock` in `mode` on behalf of `ticket`.
+    ///
+    /// # Errors
+    ///
+    /// Implementations reject duplicate tickets and unknown locks.
+    fn request(
+        &mut self,
+        lock: LockId,
+        mode: Mode,
+        ticket: Ticket,
+        fx: &mut EffectSink<Self::Message>,
+    ) -> Result<(), ProtocolError>;
+
+    /// Like [`ConcurrencyProtocol::request`] with an explicit priority:
+    /// higher priorities are served first, FIFO within a priority.
+    /// Protocols without priority support ignore it (the default).
+    ///
+    /// # Errors
+    ///
+    /// As for `request`.
+    fn request_with_priority(
+        &mut self,
+        lock: LockId,
+        mode: Mode,
+        ticket: Ticket,
+        priority: Priority,
+        fx: &mut EffectSink<Self::Message>,
+    ) -> Result<(), ProtocolError> {
+        let _ = priority;
+        self.request(lock, mode, ticket, fx)
+    }
+
+    /// Releases the grant held by `ticket` on `lock`.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the ticket holds nothing on that lock.
+    fn release(
+        &mut self,
+        lock: LockId,
+        ticket: Ticket,
+        fx: &mut EffectSink<Self::Message>,
+    ) -> Result<(), ProtocolError>;
+
+    /// Upgrades a held `U` lock to `W` (Rule 7). Protocols without an
+    /// upgrade notion (exclusive-only baselines) report an immediate
+    /// grant of `W`.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the ticket does not hold an upgradable lock.
+    fn upgrade(
+        &mut self,
+        lock: LockId,
+        ticket: Ticket,
+        fx: &mut EffectSink<Self::Message>,
+    ) -> Result<(), ProtocolError>;
+
+    /// Attempts a **message-free** acquisition: succeeds only if this
+    /// node can grant locally right now (Rule 2 fast path); never queues
+    /// or sends. Returns whether the lock was granted (if `true`, a
+    /// `Granted` effect was emitted).
+    ///
+    /// # Errors
+    ///
+    /// Duplicate tickets and unknown locks, as for `request`.
+    fn try_request(
+        &mut self,
+        lock: LockId,
+        mode: Mode,
+        ticket: Ticket,
+        fx: &mut EffectSink<Self::Message>,
+    ) -> Result<bool, ProtocolError>;
+
+    /// Downgrades a held lock to a weaker mode (the safe direction of
+    /// CCS `change_mode`). Exclusive-only baselines treat any target
+    /// mode as a no-op (they have no modes to weaken).
+    ///
+    /// # Errors
+    ///
+    /// [`ProtocolError::NotHeld`] if the ticket holds nothing;
+    /// [`ProtocolError::InvalidDowngrade`] if the change could admit an
+    /// incompatible holder.
+    fn downgrade(
+        &mut self,
+        lock: LockId,
+        ticket: Ticket,
+        new_mode: Mode,
+        fx: &mut EffectSink<Self::Message>,
+    ) -> Result<(), ProtocolError>;
+
+    /// Cancels an outstanding (not yet granted) request.
+    ///
+    /// # Errors
+    ///
+    /// [`ProtocolError::NotCancellable`] if the ticket already holds the
+    /// lock, [`ProtocolError::NotHeld`] if the ticket is unknown.
+    fn cancel(
+        &mut self,
+        lock: LockId,
+        ticket: Ticket,
+        fx: &mut EffectSink<Self::Message>,
+    ) -> Result<CancelOutcome, ProtocolError>;
+
+    /// Delivers one message from node `from`.
+    fn on_message(&mut self, from: NodeId, message: Self::Message, fx: &mut EffectSink<Self::Message>);
+
+    /// Whether this node has no protocol work in flight (no pending or
+    /// queued requests). Used by hosts to detect system quiescence.
+    fn is_quiescent(&self) -> bool;
+}
+
+/// Read-only introspection for invariant checking.
+///
+/// Hosts (the simulator and the model checker) use this to assert global
+/// safety: all concurrently held modes must be pairwise compatible, and
+/// exactly one token may exist per lock (counting in-flight transfers).
+pub trait Inspect {
+    /// The modes currently held (inside critical sections) at this node
+    /// for `lock`.
+    fn held_modes(&self, lock: LockId) -> Vec<Mode>;
+
+    /// Whether this node currently possesses the token for `lock`.
+    fn holds_token(&self, lock: LockId) -> bool;
+
+    /// The full per-lock state machine, when the protocol is the
+    /// hierarchical one (enables the global [`crate::audit_lock`] checks);
+    /// `None` for other protocols.
+    fn lock_node(&self, lock: LockId) -> Option<&crate::LockNode> {
+        let _ = lock;
+        None
+    }
+}

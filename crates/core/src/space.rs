@@ -1,0 +1,361 @@
+//! Multi-lock multiplexing: one [`LockSpace`] per node manages a
+//! [`crate::LockNode`] state machine for every lock in the system.
+
+use crate::config::ProtocolConfig;
+use crate::effect::{Effect, EffectSink};
+use crate::error::ProtocolError;
+use crate::ids::{LockId, NodeId, Priority, Ticket};
+use crate::message::{Envelope, Payload};
+use crate::mode::Mode;
+use crate::node::LockNode;
+use crate::protocol::{CancelOutcome, ConcurrencyProtocol, Inspect};
+
+/// All per-lock protocol state of one node.
+///
+/// Lock ids are dense (`0..lock_count`); every lock starts with the same
+/// token home. The type implements [`ConcurrencyProtocol`], wrapping each
+/// per-lock [`Payload`] into an [`Envelope`].
+///
+/// ```
+/// use hlock_core::{ConcurrencyProtocol, EffectSink, LockId, LockSpace, Mode,
+///                  NodeId, ProtocolConfig, Ticket};
+/// let mut space = LockSpace::new(NodeId(0), 2, NodeId(0), ProtocolConfig::default());
+/// let mut fx = EffectSink::new();
+/// space.request(LockId(1), Mode::Write, Ticket(1), &mut fx)?;
+/// assert_eq!(fx.len(), 1); // granted locally: node 0 is the token home
+/// # Ok::<(), hlock_core::ProtocolError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct LockSpace {
+    id: NodeId,
+    locks: Vec<LockNode>,
+    scratch: EffectSink<Payload>,
+}
+
+impl LockSpace {
+    /// Creates the state for `lock_count` locks at node `id`, with
+    /// `token_home` initially holding every token.
+    pub fn new(id: NodeId, lock_count: usize, token_home: NodeId, config: ProtocolConfig) -> Self {
+        Self::with_homes(id, &vec![token_home; lock_count], config)
+    }
+
+    /// Like [`LockSpace::new`] but with one initial token home per lock
+    /// (`homes[l]` holds lock `l`'s token). Spreading homes across nodes
+    /// avoids a single hot root when many locks are busy at once.
+    ///
+    /// Every node in the system must be constructed with the *same*
+    /// `homes` slice.
+    pub fn with_homes(id: NodeId, homes: &[NodeId], config: ProtocolConfig) -> Self {
+        let locks = homes
+            .iter()
+            .enumerate()
+            .map(|(l, &home)| LockNode::new(id, LockId(l as u32), home, config))
+            .collect();
+        LockSpace { id, locks, scratch: EffectSink::new() }
+    }
+
+    /// Number of locks managed.
+    pub fn lock_count(&self) -> usize {
+        self.locks.len()
+    }
+
+    /// Read-only access to one lock's state machine.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lock` is out of range.
+    pub fn lock_state(&self, lock: LockId) -> &LockNode {
+        &self.locks[lock.index()]
+    }
+
+    fn lock_mut(&mut self, lock: LockId) -> Result<&mut LockNode, ProtocolError> {
+        let idx = lock.index();
+        if idx >= self.locks.len() {
+            return Err(ProtocolError::UnknownLock { lock });
+        }
+        Ok(&mut self.locks[idx])
+    }
+
+    /// Re-emits scratch effects, wrapping payloads in envelopes.
+    fn flush(&mut self, lock: LockId, fx: &mut EffectSink<Envelope>) {
+        for effect in self.scratch.drain() {
+            match effect {
+                Effect::Send { to, message } => {
+                    fx.send(to, Envelope { lock, payload: message });
+                }
+                Effect::Granted { lock, ticket, mode } => fx.granted(lock, ticket, mode),
+            }
+        }
+    }
+}
+
+impl ConcurrencyProtocol for LockSpace {
+    type Message = Envelope;
+
+    fn node_id(&self) -> NodeId {
+        self.id
+    }
+
+    fn request(
+        &mut self,
+        lock: LockId,
+        mode: Mode,
+        ticket: Ticket,
+        fx: &mut EffectSink<Envelope>,
+    ) -> Result<(), ProtocolError> {
+        let mut scratch = std::mem::take(&mut self.scratch);
+        let result = self.lock_mut(lock)?.request(mode, ticket, &mut scratch);
+        self.scratch = scratch;
+        self.flush(lock, fx);
+        result
+    }
+
+    fn request_with_priority(
+        &mut self,
+        lock: LockId,
+        mode: Mode,
+        ticket: Ticket,
+        priority: Priority,
+        fx: &mut EffectSink<Envelope>,
+    ) -> Result<(), ProtocolError> {
+        let mut scratch = std::mem::take(&mut self.scratch);
+        let result =
+            self.lock_mut(lock)?.request_with_priority(mode, ticket, priority, &mut scratch);
+        self.scratch = scratch;
+        self.flush(lock, fx);
+        result
+    }
+
+    fn release(
+        &mut self,
+        lock: LockId,
+        ticket: Ticket,
+        fx: &mut EffectSink<Envelope>,
+    ) -> Result<(), ProtocolError> {
+        let mut scratch = std::mem::take(&mut self.scratch);
+        let result = self.lock_mut(lock)?.release(ticket, &mut scratch).map(|_| ());
+        self.scratch = scratch;
+        self.flush(lock, fx);
+        result
+    }
+
+    fn upgrade(
+        &mut self,
+        lock: LockId,
+        ticket: Ticket,
+        fx: &mut EffectSink<Envelope>,
+    ) -> Result<(), ProtocolError> {
+        let mut scratch = std::mem::take(&mut self.scratch);
+        let result = self.lock_mut(lock)?.upgrade(ticket, &mut scratch);
+        self.scratch = scratch;
+        self.flush(lock, fx);
+        result
+    }
+
+    fn try_request(
+        &mut self,
+        lock: LockId,
+        mode: Mode,
+        ticket: Ticket,
+        fx: &mut EffectSink<Envelope>,
+    ) -> Result<bool, ProtocolError> {
+        let mut scratch = std::mem::take(&mut self.scratch);
+        let result = self.lock_mut(lock)?.try_request(mode, ticket, &mut scratch);
+        self.scratch = scratch;
+        self.flush(lock, fx);
+        result
+    }
+
+    fn downgrade(
+        &mut self,
+        lock: LockId,
+        ticket: Ticket,
+        new_mode: Mode,
+        fx: &mut EffectSink<Envelope>,
+    ) -> Result<(), ProtocolError> {
+        let mut scratch = std::mem::take(&mut self.scratch);
+        let result = self.lock_mut(lock)?.downgrade(ticket, new_mode, &mut scratch);
+        self.scratch = scratch;
+        self.flush(lock, fx);
+        result
+    }
+
+    fn cancel(
+        &mut self,
+        lock: LockId,
+        ticket: Ticket,
+        fx: &mut EffectSink<Envelope>,
+    ) -> Result<CancelOutcome, ProtocolError> {
+        let mut scratch = std::mem::take(&mut self.scratch);
+        let result = self.lock_mut(lock)?.cancel(ticket, &mut scratch);
+        self.scratch = scratch;
+        self.flush(lock, fx);
+        result
+    }
+
+    fn on_message(&mut self, from: NodeId, message: Envelope, fx: &mut EffectSink<Envelope>) {
+        let lock = message.lock;
+        let idx = lock.index();
+        debug_assert!(idx < self.locks.len(), "message for unknown lock {lock}");
+        if idx >= self.locks.len() {
+            return;
+        }
+        let mut scratch = std::mem::take(&mut self.scratch);
+        self.locks[idx].on_message(from, message.payload, &mut scratch);
+        self.scratch = scratch;
+        self.flush(lock, fx);
+    }
+
+    fn is_quiescent(&self) -> bool {
+        self.locks.iter().all(LockNode::is_quiescent)
+    }
+}
+
+impl PartialEq for LockSpace {
+    fn eq(&self, other: &Self) -> bool {
+        self.id == other.id && self.locks == other.locks
+    }
+}
+
+impl Eq for LockSpace {}
+
+impl std::hash::Hash for LockSpace {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        self.id.hash(state);
+        self.locks.hash(state);
+    }
+}
+
+impl Inspect for LockSpace {
+    fn held_modes(&self, lock: LockId) -> Vec<Mode> {
+        self.locks
+            .get(lock.index())
+            .map(|l| l.held().iter().map(|&(_, m)| m).collect())
+            .unwrap_or_default()
+    }
+
+    fn holds_token(&self, lock: LockId) -> bool {
+        self.locks.get(lock.index()).is_some_and(LockNode::is_token)
+    }
+
+    fn lock_node(&self, lock: LockId) -> Option<&LockNode> {
+        self.locks.get(lock.index())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn locks_are_independent() {
+        let cfg = ProtocolConfig::default();
+        let mut a = LockSpace::new(NodeId(0), 3, NodeId(0), cfg);
+        let mut fx = EffectSink::new();
+        a.request(LockId(0), Mode::Write, Ticket(1), &mut fx).unwrap();
+        a.request(LockId(1), Mode::Write, Ticket(1), &mut fx).unwrap();
+        let grants = fx
+            .drain()
+            .filter(|e| matches!(e, Effect::Granted { .. }))
+            .count();
+        assert_eq!(grants, 2, "same ticket on different locks is fine");
+        assert!(a.lock_state(LockId(0)).is_token());
+        assert_eq!(a.lock_state(LockId(2)).owned(), None);
+    }
+
+    #[test]
+    fn unknown_lock_is_rejected() {
+        let cfg = ProtocolConfig::default();
+        let mut a = LockSpace::new(NodeId(0), 1, NodeId(0), cfg);
+        let mut fx = EffectSink::new();
+        let err = a.request(LockId(5), Mode::Read, Ticket(1), &mut fx).unwrap_err();
+        assert_eq!(err, ProtocolError::UnknownLock { lock: LockId(5) });
+    }
+
+    #[test]
+    fn envelopes_round_trip_between_spaces() {
+        let cfg = ProtocolConfig::default();
+        let mut a = LockSpace::new(NodeId(0), 2, NodeId(0), cfg);
+        let mut b = LockSpace::new(NodeId(1), 2, NodeId(0), cfg);
+        let mut fx = EffectSink::new();
+        b.request(LockId(1), Mode::Write, Ticket(7), &mut fx).unwrap();
+        let msgs: Vec<_> = fx
+            .drain()
+            .filter_map(|e| match e {
+                Effect::Send { to, message } => Some((to, message)),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(msgs.len(), 1);
+        assert_eq!(msgs[0].0, NodeId(0));
+        assert_eq!(msgs[0].1.lock, LockId(1));
+        a.on_message(NodeId(1), msgs[0].1.clone(), &mut fx);
+        let msgs: Vec<_> = fx
+            .drain()
+            .filter_map(|e| match e {
+                Effect::Send { to, message } => Some((to, message)),
+                _ => None,
+            })
+            .collect();
+        b.on_message(NodeId(0), msgs[0].1.clone(), &mut fx);
+        let granted: Vec<_> = fx
+            .drain()
+            .filter_map(|e| match e {
+                Effect::Granted { lock, ticket, mode } => Some((lock, ticket, mode)),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(granted, vec![(LockId(1), Ticket(7), Mode::Write)]);
+        assert!(b.lock_state(LockId(1)).is_token());
+        assert!(a.lock_state(LockId(0)).is_token());
+    }
+
+    #[test]
+    fn try_request_never_sends_messages() {
+        let cfg = ProtocolConfig::default();
+        let mut home = LockSpace::new(NodeId(0), 1, NodeId(0), cfg);
+        let mut other = LockSpace::new(NodeId(1), 1, NodeId(0), cfg);
+        let mut fx = EffectSink::new();
+        // Token home: immediate local grant.
+        assert!(home.try_request(LockId(0), Mode::Read, Ticket(1), &mut fx).unwrap());
+        assert_eq!(fx.drain().count(), 1, "grant only, no sends");
+        // Non-owner: immediate refusal, zero messages.
+        assert!(!other.try_request(LockId(0), Mode::Read, Ticket(1), &mut fx).unwrap());
+        assert!(fx.is_empty());
+        // Incompatible at the token: refusal, not a queue entry.
+        assert!(!home.try_request(LockId(0), Mode::Write, Ticket(2), &mut fx).unwrap());
+        assert!(home.is_quiescent());
+        // Duplicate ticket detection still applies.
+        assert_eq!(
+            home.try_request(LockId(0), Mode::Read, Ticket(1), &mut fx).unwrap_err(),
+            ProtocolError::DuplicateTicket { ticket: Ticket(1) }
+        );
+    }
+
+    #[test]
+    fn token_homes_can_be_distributed() {
+        let cfg = ProtocolConfig::default();
+        let homes = [NodeId(0), NodeId(1), NodeId(2)];
+        let spaces: Vec<LockSpace> =
+            (0..3).map(|i| LockSpace::with_homes(NodeId(i), &homes, cfg)).collect();
+        for (i, s) in spaces.iter().enumerate() {
+            for l in 0..3u32 {
+                assert_eq!(s.lock_state(LockId(l)).is_token(), l as usize == i);
+            }
+        }
+        // Each node can locally grant on its own lock.
+        let mut fx = EffectSink::new();
+        let mut s1 = spaces[1].clone();
+        assert!(s1.try_request(LockId(1), Mode::Write, Ticket(1), &mut fx).unwrap());
+    }
+
+    #[test]
+    fn quiescence_tracks_all_locks() {
+        let cfg = ProtocolConfig::default();
+        let mut b = LockSpace::new(NodeId(1), 2, NodeId(0), cfg);
+        assert!(b.is_quiescent());
+        let mut fx = EffectSink::new();
+        b.request(LockId(0), Mode::Read, Ticket(1), &mut fx).unwrap();
+        assert!(!b.is_quiescent());
+    }
+}

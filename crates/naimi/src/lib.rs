@@ -1,0 +1,604 @@
+//! # hlock-naimi
+//!
+//! The comparison baseline of the paper's evaluation: the token-based
+//! distributed mutual-exclusion algorithm of **Naimi, Trehel and Arnold**
+//! (*A log(N) distributed mutual exclusion algorithm based on path
+//! reversal*, JPDC 34(1), 1996) — reference \[14\] of the paper.
+//!
+//! Each lock is exclusive (no modes). Nodes keep two pointers:
+//!
+//! * `last` — the *probable owner*: where requests are sent; every node a
+//!   request passes through repoints `last` to the requester (path
+//!   reversal), which compresses future request paths to `O(log n)`
+//!   hops on average;
+//! * `next` — the distributed FIFO queue: the root that cannot serve a
+//!   request immediately remembers the requester and hands the token
+//!   over on release.
+//!
+//! The crate is sans-I/O like `hlock-core` and implements the same
+//! [`ConcurrencyProtocol`] trait, so the simulator and transports can run
+//! either protocol. Lock modes are accepted but ignored (every grant is
+//! exclusive); [`NaimiSpace::upgrade`] is an immediate no-op grant since
+//! the holder is already exclusive.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+use hlock_core::{
+    CancelOutcome, Classify, ConcurrencyProtocol, EffectSink, Inspect, LockId, MessageKind, Mode,
+    NodeId, ProtocolError, Ticket,
+};
+use std::collections::VecDeque;
+
+/// A Naimi–Trehel protocol message about one lock.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum NaimiPayload {
+    /// `origin` wants the token; forwarded along `last` pointers.
+    Request {
+        /// The requesting node.
+        origin: NodeId,
+    },
+    /// The token moves to the receiver.
+    Token,
+}
+
+impl Classify for NaimiPayload {
+    fn kind(&self) -> MessageKind {
+        match self {
+            NaimiPayload::Request { .. } => MessageKind::Request,
+            NaimiPayload::Token => MessageKind::Token,
+        }
+    }
+}
+
+/// A [`NaimiPayload`] addressed to one lock instance.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct NaimiEnvelope {
+    /// The lock concerned.
+    pub lock: LockId,
+    /// The protocol message.
+    pub payload: NaimiPayload,
+}
+
+impl Classify for NaimiEnvelope {
+    fn kind(&self) -> MessageKind {
+        self.payload.kind()
+    }
+}
+
+/// Per-lock state of the Naimi–Trehel algorithm at one node.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+struct NaimiLock {
+    /// Probable owner; `None` means this node believes it is the root.
+    last: Option<NodeId>,
+    /// Successor in the distributed queue.
+    next: Option<NodeId>,
+    has_token: bool,
+    /// Ticket currently inside the critical section.
+    in_cs: Option<Ticket>,
+    /// Ticket whose request is travelling toward the token.
+    requesting: Option<Ticket>,
+    /// Whether the requesting ticket was cancelled (token is absorbed and
+    /// passed on without entering the critical section).
+    request_cancelled: bool,
+    /// Additional local tickets waiting their turn.
+    waiting: VecDeque<Ticket>,
+}
+
+impl NaimiLock {
+    fn new(id: NodeId, token_home: NodeId) -> Self {
+        NaimiLock {
+            last: if id == token_home { None } else { Some(token_home) },
+            next: None,
+            has_token: id == token_home,
+            in_cs: None,
+            requesting: None,
+            request_cancelled: false,
+            waiting: VecDeque::new(),
+        }
+    }
+
+    fn busy(&self) -> bool {
+        self.in_cs.is_some() || self.requesting.is_some()
+    }
+}
+
+/// All per-lock Naimi–Trehel state of one node.
+///
+/// ```
+/// use hlock_core::{ConcurrencyProtocol, Effect, EffectSink, LockId, Mode, NodeId, Ticket};
+/// use hlock_naimi::NaimiSpace;
+///
+/// # fn main() -> Result<(), hlock_core::ProtocolError> {
+/// let mut home = NaimiSpace::new(NodeId(0), 1, NodeId(0));
+/// let mut fx = EffectSink::new();
+/// // The token home enters its critical section without messages.
+/// home.request(LockId(0), Mode::Write, Ticket(1), &mut fx)?;
+/// assert!(matches!(fx.drain().next(), Some(Effect::Granted { .. })));
+/// home.release(LockId(0), Ticket(1), &mut fx)?;
+/// # Ok(()) }
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct NaimiSpace {
+    id: NodeId,
+    locks: Vec<NaimiLock>,
+}
+
+impl NaimiSpace {
+    /// Creates the state for `lock_count` locks at node `id`, with
+    /// `token_home` initially holding every token (and being every
+    /// node's initial probable owner).
+    pub fn new(id: NodeId, lock_count: usize, token_home: NodeId) -> Self {
+        NaimiSpace {
+            id,
+            locks: (0..lock_count).map(|_| NaimiLock::new(id, token_home)).collect(),
+        }
+    }
+
+    /// Number of locks managed.
+    pub fn lock_count(&self) -> usize {
+        self.locks.len()
+    }
+
+    /// Whether this node currently possesses the token for `lock`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lock` is out of range.
+    pub fn has_token(&self, lock: LockId) -> bool {
+        self.locks[lock.index()].has_token
+    }
+
+    /// The ticket currently inside the critical section of `lock`, if any.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lock` is out of range.
+    pub fn in_critical_section(&self, lock: LockId) -> Option<Ticket> {
+        self.locks[lock.index()].in_cs
+    }
+
+    fn lock_mut(&mut self, lock: LockId) -> Result<&mut NaimiLock, ProtocolError> {
+        self.locks
+            .get_mut(lock.index())
+            .ok_or(ProtocolError::UnknownLock { lock })
+    }
+
+    fn enter_cs(
+        lock: LockId,
+        state: &mut NaimiLock,
+        ticket: Ticket,
+        fx: &mut EffectSink<NaimiEnvelope>,
+    ) {
+        debug_assert!(state.has_token && state.in_cs.is_none());
+        state.in_cs = Some(ticket);
+        fx.granted(lock, ticket, Mode::Write);
+    }
+
+    fn send_request(
+        id: NodeId,
+        lock: LockId,
+        state: &mut NaimiLock,
+        ticket: Ticket,
+        fx: &mut EffectSink<NaimiEnvelope>,
+    ) {
+        let to = state.last.expect("non-root node has a probable owner");
+        state.requesting = Some(ticket);
+        // Path reversal at the requester: it will own the token next, so
+        // it becomes (its own view of) the root.
+        state.last = None;
+        fx.send(to, NaimiEnvelope { lock, payload: NaimiPayload::Request { origin: id } });
+    }
+}
+
+impl Inspect for NaimiSpace {
+    fn held_modes(&self, lock: LockId) -> Vec<Mode> {
+        self.locks
+            .get(lock.index())
+            .and_then(|s| s.in_cs)
+            .map(|_| vec![Mode::Write])
+            .unwrap_or_default()
+    }
+
+    fn holds_token(&self, lock: LockId) -> bool {
+        self.locks.get(lock.index()).is_some_and(|s| s.has_token)
+    }
+}
+
+impl ConcurrencyProtocol for NaimiSpace {
+    type Message = NaimiEnvelope;
+
+    fn node_id(&self) -> NodeId {
+        self.id
+    }
+
+    fn request(
+        &mut self,
+        lock: LockId,
+        _mode: Mode,
+        ticket: Ticket,
+        fx: &mut EffectSink<NaimiEnvelope>,
+    ) -> Result<(), ProtocolError> {
+        let id = self.id;
+        let state = self.lock_mut(lock)?;
+        let dup = state.in_cs == Some(ticket)
+            || state.requesting == Some(ticket)
+            || state.waiting.contains(&ticket);
+        if dup {
+            return Err(ProtocolError::DuplicateTicket { ticket });
+        }
+        if state.busy() {
+            state.waiting.push_back(ticket);
+        } else if state.has_token {
+            Self::enter_cs(lock, state, ticket, fx);
+        } else {
+            Self::send_request(id, lock, state, ticket, fx);
+        }
+        Ok(())
+    }
+
+    fn release(
+        &mut self,
+        lock: LockId,
+        ticket: Ticket,
+        fx: &mut EffectSink<NaimiEnvelope>,
+    ) -> Result<(), ProtocolError> {
+        let id = self.id;
+        let state = self.lock_mut(lock)?;
+        if state.in_cs != Some(ticket) {
+            return Err(ProtocolError::NotHeld { ticket });
+        }
+        state.in_cs = None;
+        // Pass the token along the distributed queue.
+        if let Some(successor) = state.next.take() {
+            state.has_token = false;
+            fx.send(successor, NaimiEnvelope { lock, payload: NaimiPayload::Token });
+        }
+        // Serve further local requests.
+        if let Some(next_ticket) = state.waiting.pop_front() {
+            if state.has_token {
+                Self::enter_cs(lock, state, next_ticket, fx);
+            } else {
+                Self::send_request(id, lock, state, next_ticket, fx);
+            }
+        }
+        Ok(())
+    }
+
+    fn upgrade(
+        &mut self,
+        lock: LockId,
+        ticket: Ticket,
+        fx: &mut EffectSink<NaimiEnvelope>,
+    ) -> Result<(), ProtocolError> {
+        let state = self.lock_mut(lock)?;
+        if state.in_cs != Some(ticket) {
+            return Err(ProtocolError::NotHeld { ticket });
+        }
+        // Already exclusive: the upgrade is trivially granted.
+        fx.granted(lock, ticket, Mode::Write);
+        Ok(())
+    }
+
+    fn try_request(
+        &mut self,
+        lock: LockId,
+        _mode: Mode,
+        ticket: Ticket,
+        fx: &mut EffectSink<NaimiEnvelope>,
+    ) -> Result<bool, ProtocolError> {
+        let state = self.lock_mut(lock)?;
+        let dup = state.in_cs == Some(ticket)
+            || state.requesting == Some(ticket)
+            || state.waiting.contains(&ticket);
+        if dup {
+            return Err(ProtocolError::DuplicateTicket { ticket });
+        }
+        if state.has_token && !state.busy() {
+            Self::enter_cs(lock, state, ticket, fx);
+            Ok(true)
+        } else {
+            Ok(false)
+        }
+    }
+
+    fn downgrade(
+        &mut self,
+        lock: LockId,
+        ticket: Ticket,
+        _new_mode: Mode,
+        _fx: &mut EffectSink<NaimiEnvelope>,
+    ) -> Result<(), ProtocolError> {
+        // Exclusive-only: nothing to weaken; validate the ticket only.
+        let state = self.lock_mut(lock)?;
+        if state.in_cs != Some(ticket) {
+            return Err(ProtocolError::NotHeld { ticket });
+        }
+        Ok(())
+    }
+
+    fn cancel(
+        &mut self,
+        lock: LockId,
+        ticket: Ticket,
+        fx: &mut EffectSink<NaimiEnvelope>,
+    ) -> Result<CancelOutcome, ProtocolError> {
+        let _ = &fx;
+        let state = self.lock_mut(lock)?;
+        if state.in_cs == Some(ticket) {
+            return Err(ProtocolError::NotCancellable { ticket });
+        }
+        let before = state.waiting.len();
+        state.waiting.retain(|&t| t != ticket);
+        if state.waiting.len() < before {
+            return Ok(CancelOutcome::Cancelled);
+        }
+        if state.requesting == Some(ticket) {
+            state.request_cancelled = true;
+            return Ok(CancelOutcome::WillAbort);
+        }
+        Err(ProtocolError::NotHeld { ticket })
+    }
+
+    fn on_message(
+        &mut self,
+        _from: NodeId,
+        message: NaimiEnvelope,
+        fx: &mut EffectSink<NaimiEnvelope>,
+    ) {
+        let id = self.id;
+        let lock = message.lock;
+        let Some(state) = self.locks.get_mut(lock.index()) else {
+            debug_assert!(false, "message for unknown lock {lock}");
+            return;
+        };
+        match message.payload {
+            NaimiPayload::Request { origin } => {
+                match state.last {
+                    None => {
+                        // We are the root of the pointer graph.
+                        if state.has_token && !state.busy() {
+                            state.has_token = false;
+                            fx.send(
+                                origin,
+                                NaimiEnvelope { lock, payload: NaimiPayload::Token },
+                            );
+                        } else {
+                            // Token busy here (or on its way to us):
+                            // origin becomes our successor.
+                            debug_assert!(state.next.is_none(), "single successor slot");
+                            state.next = Some(origin);
+                        }
+                    }
+                    Some(probable) => {
+                        fx.send(
+                            probable,
+                            NaimiEnvelope {
+                                lock,
+                                payload: NaimiPayload::Request { origin },
+                            },
+                        );
+                    }
+                }
+                // Path reversal: the requester is the new probable owner.
+                state.last = Some(origin);
+            }
+            NaimiPayload::Token => {
+                debug_assert!(!state.has_token, "duplicate token");
+                state.has_token = true;
+                let ticket = state
+                    .requesting
+                    .take()
+                    .expect("token arrives only in response to a request");
+                if state.request_cancelled {
+                    // The caller gave up: skip the critical section and
+                    // hand the token to the successor (or keep it idle).
+                    state.request_cancelled = false;
+                    if let Some(successor) = state.next.take() {
+                        state.has_token = false;
+                        fx.send(successor, NaimiEnvelope { lock, payload: NaimiPayload::Token });
+                    }
+                    if let Some(next_ticket) = state.waiting.pop_front() {
+                        if state.has_token {
+                            Self::enter_cs(lock, state, next_ticket, fx);
+                        } else {
+                            Self::send_request(id, lock, state, next_ticket, fx);
+                        }
+                    }
+                } else {
+                    Self::enter_cs(lock, state, ticket, fx);
+                }
+            }
+        }
+    }
+
+    fn is_quiescent(&self) -> bool {
+        self.locks
+            .iter()
+            .all(|s| s.requesting.is_none() && s.waiting.is_empty())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hlock_core::Effect;
+
+    const L: LockId = LockId(0);
+
+    fn sends(fx: &mut EffectSink<NaimiEnvelope>) -> Vec<(NodeId, NaimiEnvelope)> {
+        fx.drain()
+            .filter_map(|e| match e {
+                Effect::Send { to, message } => Some((to, message)),
+                Effect::Granted { .. } => None,
+            })
+            .collect()
+    }
+
+    fn grants(fx: &mut EffectSink<NaimiEnvelope>) -> Vec<Ticket> {
+        fx.drain()
+            .filter_map(|e| match e {
+                Effect::Granted { ticket, .. } => Some(ticket),
+                Effect::Send { .. } => None,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn token_home_enters_without_messages() {
+        let mut a = NaimiSpace::new(NodeId(0), 1, NodeId(0));
+        let mut fx = EffectSink::new();
+        a.request(L, Mode::Write, Ticket(1), &mut fx).unwrap();
+        assert_eq!(grants(&mut fx), vec![Ticket(1)]);
+        assert_eq!(a.in_critical_section(L), Some(Ticket(1)));
+    }
+
+    #[test]
+    fn remote_request_gets_token() {
+        let mut a = NaimiSpace::new(NodeId(0), 1, NodeId(0));
+        let mut b = NaimiSpace::new(NodeId(1), 1, NodeId(0));
+        let mut fx = EffectSink::new();
+        b.request(L, Mode::Write, Ticket(1), &mut fx).unwrap();
+        let m = sends(&mut fx);
+        assert_eq!(m[0].0, NodeId(0));
+        a.on_message(NodeId(1), m[0].1.clone(), &mut fx);
+        let m = sends(&mut fx);
+        assert_eq!(m.len(), 1);
+        assert!(matches!(m[0].1.payload, NaimiPayload::Token));
+        assert!(!a.has_token(L));
+        b.on_message(NodeId(0), m[0].1.clone(), &mut fx);
+        assert_eq!(grants(&mut fx), vec![Ticket(1)]);
+        assert!(b.has_token(L));
+    }
+
+    /// The paper's Figure 1 scenario: requests chain through probable
+    /// owners with path reversal, releases follow `next` pointers.
+    #[test]
+    fn figure_1_path_reversal_and_next_chain() {
+        // T = node 0 (token, in CS); A = 1, C = 2, both request via B = 3.
+        let mut t = NaimiSpace::new(NodeId(0), 1, NodeId(0));
+        let mut a = NaimiSpace::new(NodeId(1), 1, NodeId(0));
+        let mut b = NaimiSpace::new(NodeId(3), 1, NodeId(0));
+        let mut c = NaimiSpace::new(NodeId(2), 1, NodeId(0));
+        let mut fx = EffectSink::new();
+        t.request(L, Mode::Write, Ticket(0), &mut fx).unwrap();
+        fx.drain().count();
+
+        // A requests; route it through B (B's probable owner is T).
+        a.request(L, Mode::Write, Ticket(1), &mut fx).unwrap();
+        let m = sends(&mut fx);
+        b.on_message(NodeId(1), m[0].1.clone(), &mut fx);
+        let fwd = sends(&mut fx);
+        assert_eq!(fwd[0].0, NodeId(0), "B forwards along probable owner to T");
+        t.on_message(NodeId(3), fwd[0].1.clone(), &mut fx);
+        assert!(sends(&mut fx).is_empty(), "T is in its CS: A becomes next");
+
+        // C requests via B; B now points to A (path reversal).
+        c.request(L, Mode::Write, Ticket(2), &mut fx).unwrap();
+        let m = sends(&mut fx);
+        b.on_message(NodeId(2), m[0].1.clone(), &mut fx);
+        let fwd = sends(&mut fx);
+        assert_eq!(fwd[0].0, NodeId(1), "B forwards to A after reversal");
+        a.on_message(NodeId(3), fwd[0].1.clone(), &mut fx);
+        assert!(sends(&mut fx).is_empty(), "A is waiting: C becomes A's next");
+
+        // T releases: token to A; A enters and releases: token to C.
+        t.release(L, Ticket(0), &mut fx).unwrap();
+        let m = sends(&mut fx);
+        assert_eq!(m[0].0, NodeId(1));
+        a.on_message(NodeId(0), m[0].1.clone(), &mut fx);
+        assert_eq!(grants(&mut fx), vec![Ticket(1)]);
+        a.release(L, Ticket(1), &mut fx).unwrap();
+        let m = sends(&mut fx);
+        assert_eq!(m[0].0, NodeId(2));
+        c.on_message(NodeId(1), m[0].1.clone(), &mut fx);
+        assert_eq!(grants(&mut fx), vec![Ticket(2)]);
+        assert!(c.has_token(L));
+    }
+
+    #[test]
+    fn local_requests_queue_fifo() {
+        let mut a = NaimiSpace::new(NodeId(0), 1, NodeId(0));
+        let mut fx = EffectSink::new();
+        a.request(L, Mode::Write, Ticket(1), &mut fx).unwrap();
+        a.request(L, Mode::Write, Ticket(2), &mut fx).unwrap();
+        a.request(L, Mode::Write, Ticket(3), &mut fx).unwrap();
+        assert_eq!(grants(&mut fx), vec![Ticket(1)]);
+        a.release(L, Ticket(1), &mut fx).unwrap();
+        assert_eq!(grants(&mut fx), vec![Ticket(2)]);
+        a.release(L, Ticket(2), &mut fx).unwrap();
+        assert_eq!(grants(&mut fx), vec![Ticket(3)]);
+        a.release(L, Ticket(3), &mut fx).unwrap();
+        assert!(a.is_quiescent());
+    }
+
+    #[test]
+    fn duplicate_and_unknown_tickets_rejected() {
+        let mut a = NaimiSpace::new(NodeId(0), 1, NodeId(0));
+        let mut fx = EffectSink::new();
+        a.request(L, Mode::Write, Ticket(1), &mut fx).unwrap();
+        assert_eq!(
+            a.request(L, Mode::Write, Ticket(1), &mut fx).unwrap_err(),
+            ProtocolError::DuplicateTicket { ticket: Ticket(1) }
+        );
+        assert_eq!(
+            a.release(L, Ticket(9), &mut fx).unwrap_err(),
+            ProtocolError::NotHeld { ticket: Ticket(9) }
+        );
+        assert_eq!(
+            a.request(LockId(4), Mode::Write, Ticket(1), &mut fx).unwrap_err(),
+            ProtocolError::UnknownLock { lock: LockId(4) }
+        );
+    }
+
+    #[test]
+    fn upgrade_is_trivially_granted() {
+        let mut a = NaimiSpace::new(NodeId(0), 1, NodeId(0));
+        let mut fx = EffectSink::new();
+        a.request(L, Mode::Upgrade, Ticket(1), &mut fx).unwrap();
+        fx.drain().count();
+        a.upgrade(L, Ticket(1), &mut fx).unwrap();
+        assert_eq!(grants(&mut fx), vec![Ticket(1)]);
+        assert_eq!(
+            a.upgrade(L, Ticket(2), &mut fx).unwrap_err(),
+            ProtocolError::NotHeld { ticket: Ticket(2) }
+        );
+    }
+
+    #[test]
+    fn message_kinds() {
+        assert_eq!(
+            NaimiEnvelope { lock: L, payload: NaimiPayload::Token }.kind(),
+            MessageKind::Token
+        );
+        assert_eq!(
+            NaimiPayload::Request { origin: NodeId(0) }.kind(),
+            MessageKind::Request
+        );
+    }
+
+    #[test]
+    fn release_after_passing_token_rerequests() {
+        // Node A holds the token in CS; B is queued as next; A also has a
+        // waiting local ticket. On release, A passes the token to B and
+        // immediately re-requests for its waiting ticket.
+        let mut a = NaimiSpace::new(NodeId(0), 1, NodeId(0));
+        let mut fx = EffectSink::new();
+        a.request(L, Mode::Write, Ticket(1), &mut fx).unwrap();
+        a.request(L, Mode::Write, Ticket(2), &mut fx).unwrap();
+        fx.drain().count();
+        a.on_message(
+            NodeId(1),
+            NaimiEnvelope { lock: L, payload: NaimiPayload::Request { origin: NodeId(1) } },
+            &mut fx,
+        );
+        assert!(sends(&mut fx).is_empty(), "B queued as next");
+        a.release(L, Ticket(1), &mut fx).unwrap();
+        let m = sends(&mut fx);
+        assert_eq!(m.len(), 2, "token to B plus a fresh request for ticket 2");
+        assert!(matches!(m[0].1.payload, NaimiPayload::Token));
+        assert_eq!(m[0].0, NodeId(1));
+        assert!(matches!(m[1].1.payload, NaimiPayload::Request { origin: NodeId(0) }));
+        assert_eq!(m[1].0, NodeId(1), "request follows the reversed pointer to B");
+    }
+}

@@ -1,0 +1,151 @@
+//! A CORBA Concurrency Control Service–shaped facade.
+//!
+//! The paper frames its protocol as an implementation of the OMG
+//! Concurrency Service \[6\]: clients obtain a **lock set** per resource
+//! and call `lock`, `attempt_lock` (try), `unlock` and `change_mode` on
+//! it. This module maps that interface onto a [`NodeHandle`]:
+//!
+//! | CCS operation | here |
+//! |---|---|
+//! | `LockSet::lock(mode)` | [`LockSet::lock`] (blocking, with timeout) |
+//! | `LockSet::attempt_lock(mode)` | [`LockSet::attempt_lock`] (message-free) |
+//! | `LockSet::unlock(mode)` | [`LockSet::unlock`] |
+//! | `LockSet::change_mode(held, new)` | [`LockSet::change_mode`] (downgrades + `U`→`W` upgrade) |
+//!
+//! ```no_run
+//! use hlock_core::{Mode, ProtocolConfig};
+//! use hlock_net::{ccs::LockSetFactory, Cluster};
+//! use std::time::Duration;
+//!
+//! let cluster = Cluster::spawn_hierarchical(2, 4, ProtocolConfig::default())?;
+//! let factory = LockSetFactory::new(cluster.node(1), Duration::from_secs(5));
+//! let set = factory.lock_set(2); // the lock set guarding resource 2
+//! let mut held = set.lock(Mode::Upgrade)?;
+//! // ... read the resource ...
+//! set.change_mode(&mut held, Mode::Write)?; // atomic upgrade, Rule 7
+//! // ... write the resource ...
+//! set.unlock(held)?;
+//! # Ok::<(), hlock_net::NetError>(())
+//! ```
+
+use crate::{NetError, NodeHandle};
+use hlock_core::{ConcurrencyProtocol, LockId, Mode, Ticket};
+use hlock_wire::WireCodec;
+use std::time::Duration;
+
+/// A held lock of a [`LockSet`] — the CCS notion of a lock a client owns.
+///
+/// Deliberately not `Copy`/`Clone`: it is consumed by [`LockSet::unlock`],
+/// so a held lock cannot be double-released by accident.
+#[derive(Debug, PartialEq, Eq)]
+pub struct HeldLock {
+    ticket: Ticket,
+    mode: Mode,
+}
+
+impl HeldLock {
+    /// The mode this lock is currently held in.
+    pub fn mode(&self) -> Mode {
+        self.mode
+    }
+
+    /// The underlying protocol ticket.
+    pub fn ticket(&self) -> Ticket {
+        self.ticket
+    }
+}
+
+/// Hands out [`LockSet`]s bound to one node, CCS-factory style.
+#[derive(Debug)]
+pub struct LockSetFactory<'a, P: ConcurrencyProtocol> {
+    handle: &'a NodeHandle<P>,
+    timeout: Duration,
+}
+
+impl<'a, P> LockSetFactory<'a, P>
+where
+    P: ConcurrencyProtocol + Send + 'static,
+    P::Message: WireCodec + Send + 'static,
+{
+    /// A factory whose lock sets block for at most `timeout` per `lock`.
+    pub fn new(handle: &'a NodeHandle<P>, timeout: Duration) -> Self {
+        LockSetFactory { handle, timeout }
+    }
+
+    /// The lock set guarding resource (lock id) `resource`.
+    pub fn lock_set(&self, resource: u32) -> LockSet<'a, P> {
+        LockSet { handle: self.handle, lock: LockId(resource), timeout: self.timeout }
+    }
+}
+
+/// The CCS lock set of one resource, bound to one node.
+#[derive(Debug)]
+pub struct LockSet<'a, P: ConcurrencyProtocol> {
+    handle: &'a NodeHandle<P>,
+    lock: LockId,
+    timeout: Duration,
+}
+
+impl<P> LockSet<'_, P>
+where
+    P: ConcurrencyProtocol + Send + 'static,
+    P::Message: WireCodec + Send + 'static,
+{
+    /// The resource's lock id.
+    pub fn lock_id(&self) -> LockId {
+        self.lock
+    }
+
+    /// Acquires the lock in `mode`, blocking until granted (CCS `lock`).
+    ///
+    /// # Errors
+    ///
+    /// [`NetError::Timeout`] after the factory's timeout (the request is
+    /// cancelled — it will not be granted behind the caller's back).
+    pub fn lock(&self, mode: Mode) -> Result<HeldLock, NetError> {
+        let ticket = self.handle.acquire(self.lock, mode, self.timeout)?;
+        Ok(HeldLock { ticket, mode })
+    }
+
+    /// Attempts to acquire without waiting or messaging (CCS
+    /// `attempt_lock`): succeeds only if this node can grant locally.
+    ///
+    /// # Errors
+    ///
+    /// [`NetError::Closed`] if the node has shut down.
+    pub fn attempt_lock(&self, mode: Mode) -> Result<Option<HeldLock>, NetError> {
+        Ok(self
+            .handle
+            .try_acquire(self.lock, mode)?
+            .map(|ticket| HeldLock { ticket, mode }))
+    }
+
+    /// Releases a held lock (CCS `unlock`). Consumes the handle.
+    ///
+    /// # Errors
+    ///
+    /// [`NetError::Protocol`] if the lock is not actually held.
+    pub fn unlock(&self, held: HeldLock) -> Result<(), NetError> {
+        self.handle.release(self.lock, held.ticket)
+    }
+
+    /// Changes a held lock's mode (CCS `change_mode`): downgrades are
+    /// immediate and local; `U` → `W` is the atomic Rule-7 upgrade (may
+    /// block until other holders drain). Other strengthenings are not
+    /// deadlock-safe and are rejected.
+    ///
+    /// # Errors
+    ///
+    /// [`NetError::Protocol`] with
+    /// [`hlock_core::ProtocolError::InvalidDowngrade`] for an illegal
+    /// change; [`NetError::Timeout`] if an upgrade cannot drain in time.
+    pub fn change_mode(&self, held: &mut HeldLock, new_mode: Mode) -> Result<(), NetError> {
+        if held.mode == Mode::Upgrade && new_mode == Mode::Write {
+            self.handle.upgrade(self.lock, held.ticket, self.timeout)?;
+        } else {
+            self.handle.downgrade(self.lock, held.ticket, new_mode)?;
+        }
+        held.mode = new_mode;
+        Ok(())
+    }
+}

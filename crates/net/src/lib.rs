@@ -1,0 +1,878 @@
+//! # hlock-net
+//!
+//! A real-socket transport for the sans-I/O protocols: every node is a
+//! thread-backed runtime speaking length-prefixed [`hlock_wire`] frames
+//! over TCP. This demonstrates the exact same protocol state machines
+//! that run in the simulator working over a real network stack (the
+//! paper's testbed used switched TCP/IP; a localhost mesh exercises the
+//! same code paths).
+//!
+//! The design is deliberately simple and dependency-light (no async
+//! runtime): one listener thread plus one reader thread per peer feed a
+//! per-node event loop that owns the protocol state machine; writes go
+//! directly over per-peer sockets guarded by mutexes.
+//!
+//! Use [`Cluster::spawn_hierarchical`] / [`Cluster::spawn_naimi`] to
+//! bring up an in-process mesh:
+//!
+//! ```no_run
+//! use hlock_core::{LockId, Mode, ProtocolConfig};
+//! use hlock_net::Cluster;
+//! use std::time::Duration;
+//!
+//! let cluster = Cluster::spawn_hierarchical(3, 1, ProtocolConfig::default())?;
+//! let t = cluster.node(1).acquire(LockId(0), Mode::Read, Duration::from_secs(5))?;
+//! cluster.node(1).release(LockId(0), t)?;
+//! cluster.shutdown();
+//! # Ok::<(), hlock_net::NetError>(())
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod ccs;
+
+use bytes::BytesMut;
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use hlock_core::{
+    Classify, ConcurrencyProtocol, Effect, EffectSink, LockId, LockSpace, MessageKind, Mode,
+    NodeId, Priority, ProtocolConfig, Ticket,
+};
+use hlock_naimi::NaimiSpace;
+use hlock_raymond::RaymondSpace;
+use hlock_suzuki::SuzukiSpace;
+use hlock_wire::{frame, WireCodec};
+use parking_lot::{Condvar, Mutex};
+use std::collections::HashMap;
+use std::fmt;
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Transport-level failures.
+#[derive(Debug)]
+pub enum NetError {
+    /// Socket-level failure during cluster setup or sending.
+    Io(std::io::Error),
+    /// A wait timed out before the grant arrived.
+    Timeout {
+        /// The ticket that was being waited on.
+        ticket: Ticket,
+    },
+    /// The protocol rejected an operation (caller mistake).
+    Protocol(hlock_core::ProtocolError),
+    /// The node's event loop has shut down.
+    Closed,
+}
+
+impl fmt::Display for NetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NetError::Io(e) => write!(f, "transport I/O error: {e}"),
+            NetError::Timeout { ticket } => write!(f, "timed out waiting for grant of {ticket}"),
+            NetError::Protocol(e) => write!(f, "protocol error: {e}"),
+            NetError::Closed => write!(f, "node is shut down"),
+        }
+    }
+}
+
+impl std::error::Error for NetError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            NetError::Io(e) => Some(e),
+            NetError::Protocol(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for NetError {
+    fn from(e: std::io::Error) -> Self {
+        NetError::Io(e)
+    }
+}
+
+enum LoopEvent<M> {
+    Incoming(NodeId, M),
+    Request { lock: LockId, mode: Mode, ticket: Ticket, priority: Priority },
+    Release { lock: LockId, ticket: Ticket, done: Sender<Result<(), NetError>> },
+    Upgrade { lock: LockId, ticket: Ticket, done: Sender<Result<(), NetError>> },
+    Cancel { lock: LockId, ticket: Ticket, done: Sender<Result<(), NetError>> },
+    IsQuiescent { done: Sender<bool> },
+    Downgrade { lock: LockId, ticket: Ticket, mode: Mode, done: Sender<Result<(), NetError>> },
+    TryRequest {
+        lock: LockId,
+        mode: Mode,
+        ticket: Ticket,
+        done: Sender<Result<bool, NetError>>,
+    },
+    Stop,
+}
+
+/// Grant mailbox shared between the event loop and API callers.
+#[derive(Default)]
+struct GrantTable {
+    granted: Mutex<HashMap<Ticket, (LockId, Mode)>>,
+    signal: Condvar,
+}
+
+impl GrantTable {
+    fn deliver(&self, ticket: Ticket, lock: LockId, mode: Mode) {
+        self.granted.lock().insert(ticket, (lock, mode));
+        self.signal.notify_all();
+    }
+
+    /// Drops an unclaimed grant (after a cancellation), avoiding a leak.
+    fn discard(&self, ticket: Ticket) {
+        self.granted.lock().remove(&ticket);
+    }
+
+    fn wait(&self, ticket: Ticket, timeout: Duration) -> Option<(LockId, Mode)> {
+        let deadline = Instant::now() + timeout;
+        let mut table = self.granted.lock();
+        loop {
+            if let Some(v) = table.remove(&ticket) {
+                return Some(v);
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return None;
+            }
+            let _ = self.signal.wait_for(&mut table, deadline - now);
+        }
+    }
+}
+
+/// Per-kind message counters (sent messages) plus total wire bytes.
+#[derive(Default)]
+struct Counters {
+    by_kind: [AtomicU64; 6],
+    bytes: AtomicU64,
+}
+
+impl Counters {
+    fn index(kind: MessageKind) -> usize {
+        MessageKind::ALL.iter().position(|k| *k == kind).expect("known kind")
+    }
+    fn bump(&self, kind: MessageKind) {
+        self.by_kind[Self::index(kind)].fetch_add(1, Ordering::Relaxed);
+    }
+    fn add_bytes(&self, n: u64) {
+        self.bytes.fetch_add(n, Ordering::Relaxed);
+    }
+    fn snapshot(&self) -> HashMap<MessageKind, u64> {
+        MessageKind::ALL
+            .iter()
+            .map(|k| (*k, self.by_kind[Self::index(*k)].load(Ordering::Relaxed)))
+            .collect()
+    }
+}
+
+/// One running node: protocol event loop + sockets.
+pub struct NodeHandle<P: ConcurrencyProtocol> {
+    id: NodeId,
+    events: Sender<LoopEvent<P::Message>>,
+    grants: Arc<GrantTable>,
+    counters: Arc<Counters>,
+    next_ticket: AtomicU64,
+    running: Arc<AtomicBool>,
+    threads: Mutex<Vec<JoinHandle<()>>>,
+}
+
+impl<P: ConcurrencyProtocol> fmt::Debug for NodeHandle<P> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("NodeHandle").field("id", &self.id).finish()
+    }
+}
+
+impl<P> NodeHandle<P>
+where
+    P: ConcurrencyProtocol + Send + 'static,
+    P::Message: WireCodec + Send + 'static,
+{
+    /// This node's id.
+    pub fn id(&self) -> NodeId {
+        self.id
+    }
+
+    /// Issues an asynchronous lock request; the grant can be awaited with
+    /// [`NodeHandle::wait`].
+    ///
+    /// # Errors
+    ///
+    /// [`NetError::Closed`] if the node has shut down.
+    pub fn request(&self, lock: LockId, mode: Mode) -> Result<Ticket, NetError> {
+        self.request_with_priority(lock, mode, Priority::NORMAL)
+    }
+
+    /// Like [`NodeHandle::request`] with an explicit priority.
+    ///
+    /// # Errors
+    ///
+    /// [`NetError::Closed`] if the node has shut down.
+    pub fn request_with_priority(
+        &self,
+        lock: LockId,
+        mode: Mode,
+        priority: Priority,
+    ) -> Result<Ticket, NetError> {
+        let ticket = Ticket(self.next_ticket.fetch_add(1, Ordering::Relaxed));
+        self.events
+            .send(LoopEvent::Request { lock, mode, ticket, priority })
+            .map_err(|_| NetError::Closed)?;
+        Ok(ticket)
+    }
+
+    /// Blocks until `ticket` is granted.
+    ///
+    /// # Errors
+    ///
+    /// [`NetError::Timeout`] if the grant does not arrive in time.
+    pub fn wait(&self, ticket: Ticket, timeout: Duration) -> Result<Mode, NetError> {
+        self.grants
+            .wait(ticket, timeout)
+            .map(|(_, m)| m)
+            .ok_or(NetError::Timeout { ticket })
+    }
+
+    /// Requests and blocks until granted. On timeout the request is
+    /// cancelled, so the grant cannot arrive later unobserved.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`NetError::Timeout`] / [`NetError::Closed`].
+    pub fn acquire(&self, lock: LockId, mode: Mode, timeout: Duration) -> Result<Ticket, NetError> {
+        let ticket = self.request(lock, mode)?;
+        match self.wait(ticket, timeout) {
+            Ok(_) => Ok(ticket),
+            Err(e) => {
+                let _ = self.cancel(lock, ticket);
+                Err(e)
+            }
+        }
+    }
+
+    /// Attempts a message-free acquisition (CCS-style `try_lock`):
+    /// succeeds only if this node can grant locally right now. Returns
+    /// the ticket on success, `None` if the lock is not locally
+    /// available.
+    ///
+    /// # Errors
+    ///
+    /// [`NetError::Closed`] if the node has shut down.
+    pub fn try_acquire(&self, lock: LockId, mode: Mode) -> Result<Option<Ticket>, NetError> {
+        let ticket = Ticket(self.next_ticket.fetch_add(1, Ordering::Relaxed));
+        let (tx, rx) = unbounded();
+        self.events
+            .send(LoopEvent::TryRequest { lock, mode, ticket, done: tx })
+            .map_err(|_| NetError::Closed)?;
+        let granted = rx.recv().map_err(|_| NetError::Closed)??;
+        if granted {
+            // Consume the grant notification eagerly.
+            self.grants.discard(ticket);
+            Ok(Some(ticket))
+        } else {
+            Ok(None)
+        }
+    }
+
+    /// Downgrades a held lock to a weaker mode (W→R, R→IR, …) without
+    /// releasing it.
+    ///
+    /// # Errors
+    ///
+    /// [`NetError::Protocol`] on an illegal downgrade or unknown ticket.
+    pub fn downgrade(&self, lock: LockId, ticket: Ticket, mode: Mode) -> Result<(), NetError> {
+        let (tx, rx) = unbounded();
+        self.events
+            .send(LoopEvent::Downgrade { lock, ticket, mode, done: tx })
+            .map_err(|_| NetError::Closed)?;
+        rx.recv().map_err(|_| NetError::Closed)?
+    }
+
+    /// Cancels an outstanding request (e.g. after a timeout). If the
+    /// grant raced ahead and already arrived, the lock is released.
+    ///
+    /// # Errors
+    ///
+    /// [`NetError::Closed`] if the node has shut down.
+    pub fn cancel(&self, lock: LockId, ticket: Ticket) -> Result<(), NetError> {
+        let (tx, rx) = unbounded();
+        self.events
+            .send(LoopEvent::Cancel { lock, ticket, done: tx })
+            .map_err(|_| NetError::Closed)?;
+        rx.recv().map_err(|_| NetError::Closed)?
+    }
+
+    /// Releases a granted lock.
+    ///
+    /// # Errors
+    ///
+    /// [`NetError::Protocol`] if `ticket` holds nothing.
+    pub fn release(&self, lock: LockId, ticket: Ticket) -> Result<(), NetError> {
+        let (tx, rx) = unbounded();
+        self.events
+            .send(LoopEvent::Release { lock, ticket, done: tx })
+            .map_err(|_| NetError::Closed)?;
+        rx.recv().map_err(|_| NetError::Closed)?
+    }
+
+    /// Upgrades a held `U` to `W`, blocking until the upgrade completes.
+    ///
+    /// # Errors
+    ///
+    /// [`NetError::Protocol`] on misuse, [`NetError::Timeout`] if other
+    /// holders do not drain in time.
+    pub fn upgrade(&self, lock: LockId, ticket: Ticket, timeout: Duration) -> Result<(), NetError> {
+        let (tx, rx) = unbounded();
+        self.events
+            .send(LoopEvent::Upgrade { lock, ticket, done: tx })
+            .map_err(|_| NetError::Closed)?;
+        rx.recv().map_err(|_| NetError::Closed)??;
+        self.wait(ticket, timeout)?;
+        Ok(())
+    }
+
+    /// Whether this node's protocol has no work in flight (no pending or
+    /// queued requests). Note: in-flight *messages* between nodes are not
+    /// visible here; poll all nodes repeatedly for a stable answer.
+    ///
+    /// # Errors
+    ///
+    /// [`NetError::Closed`] if the node has shut down.
+    pub fn is_quiescent(&self) -> Result<bool, NetError> {
+        let (tx, rx) = unbounded();
+        self.events.send(LoopEvent::IsQuiescent { done: tx }).map_err(|_| NetError::Closed)?;
+        rx.recv().map_err(|_| NetError::Closed)
+    }
+
+    /// Messages sent by this node so far, by kind.
+    pub fn message_stats(&self) -> HashMap<MessageKind, u64> {
+        self.counters.snapshot()
+    }
+
+    /// Total wire bytes (frames including length prefixes) sent by this
+    /// node so far.
+    pub fn bytes_sent(&self) -> u64 {
+        self.counters.bytes.load(Ordering::Relaxed)
+    }
+
+    fn stop(&self) {
+        if self.running.swap(false, Ordering::SeqCst) {
+            let _ = self.events.send(LoopEvent::Stop);
+        }
+        let mut threads = self.threads.lock();
+        for t in threads.drain(..) {
+            let _ = t.join();
+        }
+    }
+}
+
+/// Shared writer map: peer id → socket for outgoing frames.
+type Writers = Arc<Mutex<HashMap<NodeId, TcpStream>>>;
+
+/// An in-process TCP mesh of protocol nodes.
+pub struct Cluster<P: ConcurrencyProtocol> {
+    nodes: Vec<Arc<NodeHandle<P>>>,
+}
+
+impl Cluster<LockSpace> {
+    /// Spawns `n` nodes running the paper's hierarchical protocol with
+    /// `locks` locks (token home: node 0), fully meshed over localhost.
+    ///
+    /// # Errors
+    ///
+    /// Any socket error during setup.
+    pub fn spawn_hierarchical(
+        n: usize,
+        locks: usize,
+        config: ProtocolConfig,
+    ) -> Result<Cluster<LockSpace>, NetError> {
+        Cluster::spawn(n, move |i| LockSpace::new(NodeId(i as u32), locks, NodeId(0), config))
+    }
+}
+
+impl Cluster<NaimiSpace> {
+    /// Spawns `n` nodes running the Naimi–Trehel baseline with `locks`
+    /// locks (token home: node 0), fully meshed over localhost.
+    ///
+    /// # Errors
+    ///
+    /// Any socket error during setup.
+    pub fn spawn_naimi(n: usize, locks: usize) -> Result<Cluster<NaimiSpace>, NetError> {
+        Cluster::spawn(n, move |i| NaimiSpace::new(NodeId(i as u32), locks, NodeId(0)))
+    }
+}
+
+impl Cluster<RaymondSpace> {
+    /// Spawns `n` nodes running Raymond's static-tree baseline with
+    /// `locks` locks (privilege home: node 0), fully meshed over
+    /// localhost.
+    ///
+    /// # Errors
+    ///
+    /// Any socket error during setup.
+    pub fn spawn_raymond(n: usize, locks: usize) -> Result<Cluster<RaymondSpace>, NetError> {
+        Cluster::spawn(n, move |i| RaymondSpace::new(NodeId(i as u32), n, locks, NodeId(0)))
+    }
+}
+
+impl Cluster<SuzukiSpace> {
+    /// Spawns `n` nodes running the Suzuki–Kasami broadcast baseline with
+    /// `locks` locks (token home: node 0), fully meshed over localhost.
+    ///
+    /// # Errors
+    ///
+    /// Any socket error during setup.
+    pub fn spawn_suzuki(n: usize, locks: usize) -> Result<Cluster<SuzukiSpace>, NetError> {
+        Cluster::spawn(n, move |i| SuzukiSpace::new(NodeId(i as u32), n, locks, NodeId(0)))
+    }
+}
+
+impl<P> Cluster<P>
+where
+    P: ConcurrencyProtocol + Send + 'static,
+    P::Message: WireCodec + Send + 'static,
+{
+    /// Spawns `n` nodes built by `make`, fully meshed over localhost.
+    ///
+    /// # Errors
+    ///
+    /// Any socket error during setup.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero or `make` returns a protocol whose node id
+    /// does not match its index.
+    pub fn spawn(n: usize, make: impl Fn(usize) -> P) -> Result<Cluster<P>, NetError> {
+        assert!(n >= 1, "need at least one node");
+        // Bind all listeners first so every address is known.
+        let listeners: Vec<TcpListener> = (0..n)
+            .map(|_| TcpListener::bind(("127.0.0.1", 0)))
+            .collect::<Result<_, _>>()?;
+        let addrs: Vec<SocketAddr> =
+            listeners.iter().map(TcpListener::local_addr).collect::<Result<_, _>>()?;
+
+        let mut nodes = Vec::with_capacity(n);
+        for (i, listener) in listeners.into_iter().enumerate() {
+            let id = NodeId(i as u32);
+            let protocol = make(i);
+            assert_eq!(protocol.node_id(), id, "factory must honour node ids");
+            nodes.push(Self::spawn_node(id, protocol, listener, &addrs)?);
+        }
+        Ok(Cluster { nodes })
+    }
+
+    fn spawn_node(
+        id: NodeId,
+        protocol: P,
+        listener: TcpListener,
+        addrs: &[SocketAddr],
+    ) -> Result<Arc<NodeHandle<P>>, NetError> {
+        let (tx, rx) = unbounded::<LoopEvent<P::Message>>();
+        let grants = Arc::new(GrantTable::default());
+        let counters = Arc::new(Counters::default());
+        let running = Arc::new(AtomicBool::new(true));
+        let writers: Writers = Arc::new(Mutex::new(HashMap::new()));
+        let mut threads = Vec::new();
+
+        // Dial every peer; our dialed sockets are our write channels.
+        for (j, addr) in addrs.iter().enumerate() {
+            if j == id.index() {
+                continue;
+            }
+            let mut stream = TcpStream::connect(addr)?;
+            stream.set_nodelay(true)?;
+            // Handshake: announce who we are (a single varint frame body).
+            let mut hello = BytesMut::new();
+            hlock_wire::put_varint(&mut hello, u64::from(id.0));
+            let mut framed = BytesMut::new();
+            framed.extend_from_slice(&(hello.len() as u32).to_le_bytes());
+            framed.extend_from_slice(&hello);
+            stream.write_all(&framed)?;
+            writers.lock().insert(NodeId(j as u32), stream);
+        }
+
+        // Listener thread: accepts inbound links and spawns readers.
+        {
+            let tx = tx.clone();
+            let running = running.clone();
+            let expected_peers = addrs.len() - 1;
+            threads.push(std::thread::spawn(move || {
+                for (accepted, stream) in listener.incoming().flatten().enumerate() {
+                    if !running.load(Ordering::SeqCst) {
+                        break;
+                    }
+                    let tx = tx.clone();
+                    let running = running.clone();
+                    std::thread::spawn(move || reader_loop::<P>(stream, tx, running));
+                    if accepted + 1 >= expected_peers {
+                        break; // full mesh established
+                    }
+                }
+            }));
+        }
+
+        // Event loop thread: owns the protocol.
+        {
+            let grants = grants.clone();
+            let counters = counters.clone();
+            let writers = writers.clone();
+            threads.push(std::thread::spawn(move || {
+                event_loop(protocol, rx, grants, counters, writers);
+            }));
+        }
+
+        Ok(Arc::new(NodeHandle {
+            id,
+            events: tx,
+            grants,
+            counters,
+            next_ticket: AtomicU64::new(1),
+            running,
+            threads: Mutex::new(threads),
+        }))
+    }
+
+    /// Handle of node `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn node(&self, i: usize) -> &NodeHandle<P> {
+        &self.nodes[i]
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Whether the cluster is empty (never true for spawned clusters).
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Total messages sent across the cluster, by kind.
+    pub fn message_stats(&self) -> HashMap<MessageKind, u64> {
+        let mut total: HashMap<MessageKind, u64> = HashMap::new();
+        for n in &self.nodes {
+            for (k, v) in n.message_stats() {
+                *total.entry(k).or_insert(0) += v;
+            }
+        }
+        total
+    }
+
+    /// Total wire bytes sent across the cluster. Combined with
+    /// [`Cluster::message_stats`], gives the mean frame size — typically
+    /// under 15 bytes with the varint codec.
+    pub fn bytes_sent(&self) -> u64 {
+        self.nodes.iter().map(|n| n.bytes_sent()).sum()
+    }
+
+    /// Stops every node and joins their threads.
+    pub fn shutdown(self) {
+        for n in &self.nodes {
+            n.stop();
+        }
+    }
+}
+
+fn reader_loop<P>(
+    mut stream: TcpStream,
+    tx: Sender<LoopEvent<P::Message>>,
+    running: Arc<AtomicBool>,
+) where
+    P: ConcurrencyProtocol,
+    P::Message: WireCodec,
+{
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(200)));
+    let mut buf = BytesMut::new();
+    let mut peer: Option<NodeId> = None;
+    let mut chunk = [0u8; 16 * 1024];
+    loop {
+        if !running.load(Ordering::SeqCst) {
+            return;
+        }
+        match stream.read(&mut chunk) {
+            Ok(0) => return,
+            Ok(n) => buf.extend_from_slice(&chunk[..n]),
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                continue;
+            }
+            Err(_) => return,
+        }
+        loop {
+            if peer.is_none() {
+                // First frame is the handshake: a bare varint node id.
+                if buf.len() < 4 {
+                    break;
+                }
+                let len = u32::from_le_bytes([buf[0], buf[1], buf[2], buf[3]]) as usize;
+                if buf.len() < 4 + len {
+                    break;
+                }
+                let _ = buf.split_to(4);
+                let mut body = buf.split_to(len).freeze();
+                match hlock_wire::get_varint(&mut body) {
+                    Ok(v) => peer = Some(NodeId(v as u32)),
+                    Err(_) => return,
+                }
+                continue;
+            }
+            match frame::read::<P::Message>(&mut buf) {
+                Ok(Some((from, msg))) => {
+                    debug_assert_eq!(Some(from), peer);
+                    if tx.send(LoopEvent::Incoming(from, msg)).is_err() {
+                        return;
+                    }
+                }
+                Ok(None) => break,
+                Err(_) => return,
+            }
+        }
+    }
+}
+
+fn event_loop<P>(
+    mut protocol: P,
+    rx: Receiver<LoopEvent<P::Message>>,
+    grants: Arc<GrantTable>,
+    counters: Arc<Counters>,
+    writers: Writers,
+) where
+    P: ConcurrencyProtocol,
+    P::Message: WireCodec,
+{
+    let me = protocol.node_id();
+    let mut fx = EffectSink::new();
+    while let Ok(event) = rx.recv() {
+        match event {
+            LoopEvent::Incoming(from, msg) => protocol.on_message(from, msg, &mut fx),
+            LoopEvent::Request { lock, mode, ticket, priority } => {
+                let r = protocol.request_with_priority(lock, mode, ticket, priority, &mut fx);
+                // Duplicate tickets cannot happen (monotonic counter).
+                debug_assert!(r.is_ok(), "request rejected: {r:?}");
+            }
+            LoopEvent::Release { lock, ticket, done } => {
+                let r = protocol.release(lock, ticket, &mut fx).map_err(NetError::Protocol);
+                let _ = done.send(r);
+            }
+            LoopEvent::Upgrade { lock, ticket, done } => {
+                let r = protocol.upgrade(lock, ticket, &mut fx).map_err(NetError::Protocol);
+                let _ = done.send(r);
+            }
+            LoopEvent::Cancel { lock, ticket, done } => {
+                // A grant may have raced ahead of the cancel: release it
+                // and drop its unclaimed mailbox entry.
+                let r = match protocol.cancel(lock, ticket, &mut fx) {
+                    Ok(_) => Ok(()),
+                    Err(hlock_core::ProtocolError::NotCancellable { .. }) => {
+                        grants.discard(ticket);
+                        protocol.release(lock, ticket, &mut fx).map_err(NetError::Protocol)
+                    }
+                    Err(e) => Err(NetError::Protocol(e)),
+                };
+                let _ = done.send(r);
+            }
+            LoopEvent::Downgrade { lock, ticket, mode, done } => {
+                let r =
+                    protocol.downgrade(lock, ticket, mode, &mut fx).map_err(NetError::Protocol);
+                let _ = done.send(r);
+            }
+            LoopEvent::TryRequest { lock, mode, ticket, done } => {
+                let r = protocol
+                    .try_request(lock, mode, ticket, &mut fx)
+                    .map_err(NetError::Protocol);
+                let _ = done.send(r);
+            }
+            LoopEvent::IsQuiescent { done } => {
+                let _ = done.send(protocol.is_quiescent());
+            }
+            LoopEvent::Stop => return,
+        }
+        for effect in fx.drain() {
+            match effect {
+                Effect::Send { to, message } => {
+                    counters.bump(message.kind());
+                    let mut out = BytesMut::new();
+                    frame::write(&mut out, me, &message);
+                    counters.add_bytes(out.len() as u64);
+                    if let Some(stream) = writers.lock().get_mut(&to) {
+                        let _ = stream.write_all(&out);
+                    }
+                }
+                Effect::Granted { lock, ticket, mode } => grants.deliver(ticket, lock, mode),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hierarchical_cluster_read_write_cycle() {
+        let cluster = Cluster::spawn_hierarchical(3, 2, ProtocolConfig::default()).unwrap();
+        let timeout = Duration::from_secs(10);
+        // Two concurrent readers on lock 0.
+        let t1 = cluster.node(1).acquire(LockId(0), Mode::Read, timeout).unwrap();
+        let t2 = cluster.node(2).acquire(LockId(0), Mode::Read, timeout).unwrap();
+        cluster.node(1).release(LockId(0), t1).unwrap();
+        cluster.node(2).release(LockId(0), t2).unwrap();
+        // A writer on lock 1.
+        let t3 = cluster.node(2).acquire(LockId(1), Mode::Write, timeout).unwrap();
+        cluster.node(2).release(LockId(1), t3).unwrap();
+        let stats = cluster.message_stats();
+        assert!(stats.values().sum::<u64>() > 0, "messages flowed: {stats:?}");
+        cluster.shutdown();
+    }
+
+    #[test]
+    fn naimi_cluster_mutual_exclusion() {
+        let cluster = Cluster::spawn_naimi(3, 1).unwrap();
+        let timeout = Duration::from_secs(10);
+        for i in [1usize, 2, 0, 2, 1] {
+            let t = cluster.node(i).acquire(LockId(0), Mode::Write, timeout).unwrap();
+            cluster.node(i).release(LockId(0), t).unwrap();
+        }
+        cluster.shutdown();
+    }
+
+    #[test]
+    fn upgrade_over_the_wire() {
+        let cluster = Cluster::spawn_hierarchical(2, 1, ProtocolConfig::default()).unwrap();
+        let timeout = Duration::from_secs(10);
+        let t = cluster.node(1).acquire(LockId(0), Mode::Upgrade, timeout).unwrap();
+        cluster.node(1).upgrade(LockId(0), t, timeout).unwrap();
+        cluster.node(1).release(LockId(0), t).unwrap();
+        cluster.shutdown();
+    }
+
+    #[test]
+    fn release_of_unknown_ticket_is_protocol_error() {
+        let cluster = Cluster::spawn_hierarchical(2, 1, ProtocolConfig::default()).unwrap();
+        let err = cluster.node(0).release(LockId(0), Ticket(999)).unwrap_err();
+        assert!(matches!(err, NetError::Protocol(_)), "{err}");
+        cluster.shutdown();
+    }
+
+    #[test]
+    fn suzuki_cluster_mutual_exclusion() {
+        let cluster = Cluster::spawn_suzuki(4, 1).unwrap();
+        let timeout = Duration::from_secs(10);
+        for i in [2usize, 0, 3, 1] {
+            let t = cluster.node(i).acquire(LockId(0), Mode::Write, timeout).unwrap();
+            cluster.node(i).release(LockId(0), t).unwrap();
+        }
+        // Broadcast cost is visible on the wire: each remote acquisition
+        // sends n − 1 requests.
+        let stats = cluster.message_stats();
+        assert!(stats[&MessageKind::Request] >= 3 * 3, "{stats:?}");
+        cluster.shutdown();
+    }
+
+    #[test]
+    fn wire_bytes_are_counted_and_compact() {
+        let cluster = Cluster::spawn_hierarchical(3, 1, ProtocolConfig::default()).unwrap();
+        let timeout = Duration::from_secs(10);
+        for i in [1usize, 2, 1] {
+            let t = cluster.node(i).acquire(LockId(0), Mode::Read, timeout).unwrap();
+            cluster.node(i).release(LockId(0), t).unwrap();
+        }
+        let msgs: u64 = cluster.message_stats().values().sum();
+        let bytes = cluster.bytes_sent();
+        assert!(msgs > 0 && bytes > 0);
+        let mean = bytes as f64 / msgs as f64;
+        assert!(mean < 32.0, "mean frame size {mean:.1} bytes — codec stays compact");
+        cluster.shutdown();
+    }
+
+    #[test]
+    fn raymond_cluster_mutual_exclusion() {
+        let cluster = Cluster::spawn_raymond(4, 1).unwrap();
+        let timeout = Duration::from_secs(10);
+        for i in [3usize, 1, 2, 0, 2] {
+            let t = cluster.node(i).acquire(LockId(0), Mode::Write, timeout).unwrap();
+            cluster.node(i).release(LockId(0), t).unwrap();
+        }
+        cluster.shutdown();
+    }
+
+    #[test]
+    fn try_acquire_is_message_free_and_honest() {
+        let cluster = Cluster::spawn_hierarchical(2, 1, ProtocolConfig::default()).unwrap();
+        // Node 1 does not hold anything: local attempt must fail...
+        assert!(cluster.node(1).try_acquire(LockId(0), Mode::Read).unwrap().is_none());
+        // ...and must not have sent a single message.
+        assert_eq!(cluster.node(1).message_stats().values().sum::<u64>(), 0);
+        // The token home can always grant itself a compatible mode.
+        let t = cluster.node(0).try_acquire(LockId(0), Mode::Write).unwrap().unwrap();
+        cluster.node(0).release(LockId(0), t).unwrap();
+        cluster.shutdown();
+    }
+
+    #[test]
+    fn ccs_lock_set_full_cycle() {
+        use crate::ccs::LockSetFactory;
+        let cluster = Cluster::spawn_hierarchical(3, 2, ProtocolConfig::default()).unwrap();
+        let factory = LockSetFactory::new(cluster.node(1), Duration::from_secs(10));
+        let set = factory.lock_set(1);
+        assert_eq!(set.lock_id(), LockId(1));
+        // lock → change_mode (upgrade) → unlock.
+        let mut held = set.lock(Mode::Upgrade).unwrap();
+        assert_eq!(held.mode(), Mode::Upgrade);
+        set.change_mode(&mut held, Mode::Write).unwrap();
+        assert_eq!(held.mode(), Mode::Write);
+        set.change_mode(&mut held, Mode::Read).unwrap(); // downgrade
+        set.unlock(held).unwrap();
+        // attempt_lock after a successful blocking lock: now the node
+        // owns R, so a local IR attempt succeeds without messages.
+        let held_r = set.lock(Mode::Read).unwrap();
+        let held_ir = set.attempt_lock(Mode::IntentRead).unwrap().expect("local grant");
+        set.unlock(held_ir).unwrap();
+        set.unlock(held_r).unwrap();
+        cluster.shutdown();
+    }
+
+    #[test]
+    fn concurrent_writers_from_threads() {
+        let cluster = Arc::new(Cluster::spawn_hierarchical(4, 1, ProtocolConfig::default()).unwrap());
+        let counter = Arc::new(AtomicU64::new(0));
+        let mut joins = Vec::new();
+        for i in 0..4usize {
+            let cluster = cluster.clone();
+            let counter = counter.clone();
+            joins.push(std::thread::spawn(move || {
+                for _ in 0..5 {
+                    let t = cluster
+                        .node(i)
+                        .acquire(LockId(0), Mode::Write, Duration::from_secs(30))
+                        .unwrap();
+                    // Critical section: non-atomic read-modify-write made
+                    // safe only by the distributed lock.
+                    let v = counter.load(Ordering::Relaxed);
+                    std::thread::sleep(Duration::from_millis(1));
+                    counter.store(v + 1, Ordering::Relaxed);
+                    cluster.node(i).release(LockId(0), t).unwrap();
+                }
+            }));
+        }
+        for j in joins {
+            j.join().unwrap();
+        }
+        assert_eq!(counter.load(Ordering::Relaxed), 20, "no lost updates");
+        match Arc::try_unwrap(cluster) {
+            Ok(c) => c.shutdown(),
+            Err(_) => panic!("all threads joined"),
+        }
+    }
+}

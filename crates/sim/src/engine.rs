@@ -1,0 +1,528 @@
+//! The discrete-event simulation engine.
+//!
+//! Substitutes for the paper's 120-node Linux cluster: virtual time, a
+//! randomized-latency network (per-link FIFO by default, like the TCP
+//! links of the original testbed), seeded and fully deterministic.
+//!
+//! The engine is generic over the protocol (`hlock-core`'s [`LockSpace`]
+//! or `hlock-naimi`'s `NaimiSpace`) and over a [`Driver`] that models the
+//! application: the driver issues requests, holds critical sections for
+//! sampled durations via timers, and releases.
+//!
+//! [`LockSpace`]: hlock_core::LockSpace
+
+use crate::latency::LatencyModel;
+use crate::metrics::Metrics;
+use crate::time::{Duration, SimTime};
+use crate::trace::{NullTracer, TraceEvent, TraceRecord, Tracer};
+use hlock_core::{
+    Classify, ConcurrencyProtocol, Effect, EffectSink, Inspect, LockId, Mode, NodeId, Priority,
+    Ticket,
+};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap};
+
+/// Simulation parameters.
+#[derive(Debug, Clone)]
+pub struct SimConfig {
+    /// RNG seed: identical seeds reproduce identical runs bit-for-bit.
+    pub seed: u64,
+    /// Network latency model (the paper: exponential, mean 150 ms).
+    pub latency: LatencyModel,
+    /// Deliver messages per-link FIFO (models the paper's TCP links).
+    pub fifo_links: bool,
+    /// Number of locks in the system (for invariant checks).
+    pub lock_count: usize,
+    /// Check global safety invariants every N delivered events
+    /// (0 disables checking; checking is `O(nodes × locks)` per check).
+    pub check_every: u64,
+    /// Hard stop: abort the run if virtual time exceeds this bound.
+    pub max_virtual_time: SimTime,
+    /// Fault injection: probability that a sent message is silently
+    /// dropped. The protocol assumes reliable links (like the paper's
+    /// TCP testbed); dropping messages must never violate *safety*, but
+    /// liveness is forfeited — useful for assumption-validation tests.
+    pub drop_probability: f64,
+    /// Fault injection: probability that a sent message is delivered
+    /// twice (with independent latencies).
+    pub duplicate_probability: f64,
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        SimConfig {
+            seed: 0,
+            latency: LatencyModel::paper(),
+            fifo_links: true,
+            lock_count: 1,
+            check_every: 0,
+            max_virtual_time: SimTime(u64::MAX),
+            drop_probability: 0.0,
+            duplicate_probability: 0.0,
+        }
+    }
+}
+
+/// Commands a [`Driver`] can issue from its callbacks.
+///
+/// Accumulated in [`SimApi`] and executed by the engine after the
+/// callback returns.
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum Command {
+    Request { lock: LockId, mode: Mode, ticket: Ticket, priority: Priority },
+    Release { lock: LockId, ticket: Ticket },
+    Upgrade { lock: LockId, ticket: Ticket },
+    Downgrade { lock: LockId, ticket: Ticket, mode: Mode },
+    Timer { delay: Duration, timer: u64 },
+}
+
+/// The driver's handle to the simulation during a callback.
+#[derive(Debug)]
+pub struct SimApi {
+    now: SimTime,
+    commands: Vec<Command>,
+}
+
+impl SimApi {
+    /// Current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Issues a lock request (the grant arrives via `Driver::on_granted`).
+    pub fn request(&mut self, lock: LockId, mode: Mode, ticket: Ticket) {
+        self.request_with_priority(lock, mode, ticket, Priority::NORMAL);
+    }
+
+    /// Issues a lock request with an explicit priority.
+    pub fn request_with_priority(
+        &mut self,
+        lock: LockId,
+        mode: Mode,
+        ticket: Ticket,
+        priority: Priority,
+    ) {
+        self.commands.push(Command::Request { lock, mode, ticket, priority });
+    }
+
+    /// Releases a granted lock.
+    pub fn release(&mut self, lock: LockId, ticket: Ticket) {
+        self.commands.push(Command::Release { lock, ticket });
+    }
+
+    /// Upgrades a held `U` lock to `W`.
+    pub fn upgrade(&mut self, lock: LockId, ticket: Ticket) {
+        self.commands.push(Command::Upgrade { lock, ticket });
+    }
+
+    /// Downgrades a held lock to a weaker mode.
+    pub fn downgrade(&mut self, lock: LockId, ticket: Ticket, mode: Mode) {
+        self.commands.push(Command::Downgrade { lock, ticket, mode });
+    }
+
+    /// Schedules `Driver::on_timer(node, timer)` after `delay`.
+    pub fn set_timer(&mut self, delay: Duration, timer: u64) {
+        self.commands.push(Command::Timer { delay, timer });
+    }
+}
+
+/// The application model running on top of the protocol.
+///
+/// One driver instance models *all* nodes (callbacks carry the node id),
+/// which keeps per-node state in one place and the engine simple.
+pub trait Driver {
+    /// Called once per node at time zero.
+    fn start(&mut self, node: NodeId, api: &mut SimApi);
+
+    /// A request previously issued with `ticket` was granted `mode`.
+    fn on_granted(&mut self, node: NodeId, lock: LockId, ticket: Ticket, mode: Mode, api: &mut SimApi);
+
+    /// A timer set via [`SimApi::set_timer`] fired.
+    fn on_timer(&mut self, node: NodeId, timer: u64, api: &mut SimApi);
+}
+
+#[derive(Debug)]
+enum EventKind<M> {
+    Deliver { from: NodeId, to: NodeId, message: M },
+    Timer { node: NodeId, timer: u64 },
+}
+
+struct Event<M> {
+    time: SimTime,
+    seq: u64,
+    kind: EventKind<M>,
+}
+
+impl<M> PartialEq for Event<M> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl<M> Eq for Event<M> {}
+impl<M> PartialOrd for Event<M> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<M> Ord for Event<M> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.time, self.seq).cmp(&(other.time, other.seq))
+    }
+}
+
+/// Result of a completed simulation run.
+#[derive(Debug)]
+pub struct SimReport {
+    /// Collected measurements.
+    pub metrics: Metrics,
+    /// Virtual time when the event queue drained.
+    pub end_time: SimTime,
+    /// Whether every node reported protocol quiescence at the end.
+    pub quiescent: bool,
+    /// Number of events processed.
+    pub events: u64,
+}
+
+/// A violated safety invariant; carries a human-readable explanation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct InvariantViolation(pub String);
+
+impl std::fmt::Display for InvariantViolation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "invariant violated: {}", self.0)
+    }
+}
+
+impl std::error::Error for InvariantViolation {}
+
+/// The discrete-event simulator.
+pub struct Sim<P: ConcurrencyProtocol, D> {
+    config: SimConfig,
+    nodes: Vec<P>,
+    driver: D,
+    now: SimTime,
+    seq: u64,
+    events: BinaryHeap<Reverse<Event<P::Message>>>,
+    rng: StdRng,
+    link_clock: HashMap<(NodeId, NodeId), SimTime>,
+    outstanding: HashMap<(NodeId, LockId, Ticket), (SimTime, Mode)>,
+    metrics: Metrics,
+    fx: EffectSink<P::Message>,
+    delivered: u64,
+    tracer: Box<dyn Tracer>,
+}
+
+impl<P, D> Sim<P, D>
+where
+    P: ConcurrencyProtocol + Inspect,
+    D: Driver,
+{
+    /// Creates a simulator over `nodes` (indexed by [`NodeId`]) and an
+    /// application `driver`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `nodes` is empty or node ids are not dense `0..n`.
+    pub fn new(nodes: Vec<P>, driver: D, config: SimConfig) -> Self {
+        assert!(!nodes.is_empty(), "need at least one node");
+        for (i, n) in nodes.iter().enumerate() {
+            assert_eq!(n.node_id().index(), i, "node ids must be dense 0..n");
+        }
+        let rng = StdRng::seed_from_u64(config.seed);
+        Sim {
+            config,
+            nodes,
+            driver,
+            now: SimTime::ZERO,
+            seq: 0,
+            events: BinaryHeap::new(),
+            rng,
+            link_clock: HashMap::new(),
+            outstanding: HashMap::new(),
+            metrics: Metrics::new(),
+            fx: EffectSink::new(),
+            delivered: 0,
+            tracer: Box::new(NullTracer),
+        }
+    }
+
+    /// Attaches a [`Tracer`] receiving a structured record per event.
+    #[must_use]
+    pub fn with_tracer(mut self, tracer: impl Tracer + 'static) -> Self {
+        self.tracer = Box::new(tracer);
+        self
+    }
+
+    fn trace(&mut self, event: TraceEvent) {
+        self.tracer.record(TraceRecord { at: self.now, event });
+    }
+
+    /// Runs to completion (event queue drained) and reports.
+    ///
+    /// # Errors
+    ///
+    /// Returns an [`InvariantViolation`] if safety checking is enabled and
+    /// a check fails, or if virtual time exceeds the configured bound
+    /// (which indicates livelock).
+    pub fn run(self) -> Result<SimReport, InvariantViolation> {
+        self.run_with_nodes().map(|(report, _)| report)
+    }
+
+    /// Like [`Sim::run`] but also hands back the final protocol states,
+    /// for post-mortem inspection in tests and debugging.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Sim::run`].
+    pub fn run_with_nodes(mut self) -> Result<(SimReport, Vec<P>), InvariantViolation> {
+        // Time zero: give every node's application a chance to start.
+        for i in 0..self.nodes.len() {
+            let node = NodeId(i as u32);
+            let mut api = SimApi { now: self.now, commands: Vec::new() };
+            self.driver.start(node, &mut api);
+            self.execute(node, api.commands)?;
+        }
+        while let Some(Reverse(ev)) = self.events.pop() {
+            debug_assert!(ev.time >= self.now, "time must not go backwards");
+            self.now = ev.time;
+            if self.now > self.config.max_virtual_time {
+                return Err(InvariantViolation(format!(
+                    "virtual time bound exceeded at {} ({} events): likely livelock",
+                    self.now, self.delivered
+                )));
+            }
+            match ev.kind {
+                EventKind::Deliver { from, to, message } => {
+                    self.trace(TraceEvent::Deliver {
+                        from,
+                        to,
+                        kind: message.kind(),
+                        message: format!("{message:?}"),
+                    });
+                    self.nodes[to.index()].on_message(from, message, &mut self.fx);
+                    self.process_effects(to)?;
+                    self.delivered += 1;
+                    if self.config.check_every > 0
+                        && self.delivered.is_multiple_of(self.config.check_every)
+                    {
+                        self.check_invariants()?;
+                    }
+                }
+                EventKind::Timer { node, timer } => {
+                    self.trace(TraceEvent::Timer { node, timer });
+                    let mut api = SimApi { now: self.now, commands: Vec::new() };
+                    self.driver.on_timer(node, timer, &mut api);
+                    self.execute(node, api.commands)?;
+                }
+            }
+        }
+        if self.config.check_every > 0 {
+            self.check_invariants()?;
+            self.audit_quiescent()?;
+        }
+        let quiescent = self.nodes.iter().all(|n| n.is_quiescent());
+        Ok((
+            SimReport {
+                metrics: self.metrics,
+                end_time: self.now,
+                quiescent,
+                events: self.delivered,
+            },
+            self.nodes,
+        ))
+    }
+
+    fn execute(&mut self, node: NodeId, commands: Vec<Command>) -> Result<(), InvariantViolation> {
+        self.execute_inner(node, commands)?;
+        self.process_effects(node)
+    }
+
+    /// Drains the effect sink after any protocol step at `node`:
+    /// schedules sends and dispatches grants to the driver (which may
+    /// enqueue further commands, processed in the same instant).
+    fn process_effects(&mut self, node: NodeId) -> Result<(), InvariantViolation> {
+        loop {
+            let effects: Vec<Effect<P::Message>> = self.fx.drain().collect();
+            if effects.is_empty() {
+                return Ok(());
+            }
+            let mut commands: Vec<(NodeId, Vec<Command>)> = Vec::new();
+            for effect in effects {
+                match effect {
+                    Effect::Send { to, message } => {
+                        self.metrics.count_message_from(node, message.kind());
+                        if self.config.drop_probability > 0.0
+                            && self.rng.gen_bool(self.config.drop_probability)
+                        {
+                            self.trace(TraceEvent::Drop { from: node, to, kind: message.kind() });
+                            continue;
+                        }
+                        let copies = if self.config.duplicate_probability > 0.0
+                            && self.rng.gen_bool(self.config.duplicate_probability)
+                        {
+                            2
+                        } else {
+                            1
+                        };
+                        for _ in 0..copies {
+                            let latency = self.config.latency.sample(&mut self.rng);
+                            let mut at = self.now + latency;
+                            if self.config.fifo_links {
+                                let clock =
+                                    self.link_clock.entry((node, to)).or_insert(SimTime::ZERO);
+                                if at <= *clock {
+                                    at = SimTime(clock.0 + 1);
+                                }
+                                *clock = at;
+                            }
+                            self.push_event(
+                                at,
+                                EventKind::Deliver { from: node, to, message: message.clone() },
+                            );
+                        }
+                    }
+                    Effect::Granted { lock, ticket, mode } => {
+                        self.trace(TraceEvent::Grant { node, lock, mode, ticket });
+                        if let Some((start, req_mode)) =
+                            self.outstanding.remove(&(node, lock, ticket))
+                        {
+                            debug_assert!(
+                                req_mode == mode || mode == Mode::Write,
+                                "grant mode matches request (or upgraded to W)"
+                            );
+                            self.metrics.record_grant(req_mode, self.now - start);
+                        }
+                        let mut api = SimApi { now: self.now, commands: Vec::new() };
+                        self.driver.on_granted(node, lock, ticket, mode, &mut api);
+                        commands.push((node, api.commands));
+                    }
+                }
+            }
+            for (n, cmds) in commands {
+                // Execute driver reactions; their effects are picked up by
+                // the next loop iteration.
+                self.execute_inner(n, cmds)?;
+            }
+        }
+    }
+
+    /// Like `execute` but without draining effects (the caller loops).
+    fn execute_inner(
+        &mut self,
+        node: NodeId,
+        commands: Vec<Command>,
+    ) -> Result<(), InvariantViolation> {
+        for cmd in commands {
+            match cmd {
+                Command::Request { lock, mode, ticket, priority } => {
+                    self.trace(TraceEvent::Request { node, lock, mode, ticket });
+                    self.metrics.count_request();
+                    self.outstanding.insert((node, lock, ticket), (self.now, mode));
+                    self.nodes[node.index()]
+                        .request_with_priority(lock, mode, ticket, priority, &mut self.fx)
+                        .map_err(|e| {
+                            InvariantViolation(format!("driver misuse at {node}: {e}"))
+                        })?;
+                }
+                Command::Release { lock, ticket } => {
+                    self.trace(TraceEvent::Release { node, lock, ticket });
+                    self.nodes[node.index()]
+                        .release(lock, ticket, &mut self.fx)
+                        .map_err(|e| {
+                            InvariantViolation(format!("driver misuse at {node}: {e}"))
+                        })?;
+                }
+                Command::Upgrade { lock, ticket } => {
+                    self.trace(TraceEvent::Upgrade { node, lock, ticket });
+                    // An upgrade is itself a lock request (for W).
+                    self.metrics.count_request();
+                    self.outstanding
+                        .insert((node, lock, ticket), (self.now, Mode::Write));
+                    self.nodes[node.index()]
+                        .upgrade(lock, ticket, &mut self.fx)
+                        .map_err(|e| {
+                            InvariantViolation(format!("driver misuse at {node}: {e}"))
+                        })?;
+                }
+                Command::Downgrade { lock, ticket, mode } => {
+                    self.nodes[node.index()]
+                        .downgrade(lock, ticket, mode, &mut self.fx)
+                        .map_err(|e| {
+                            InvariantViolation(format!("driver misuse at {node}: {e}"))
+                        })?;
+                }
+                Command::Timer { delay, timer } => {
+                    let time = self.now + delay;
+                    self.push_event(time, EventKind::Timer { node, timer });
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn push_event(&mut self, time: SimTime, kind: EventKind<P::Message>) {
+        self.seq += 1;
+        self.events.push(Reverse(Event { time, seq: self.seq, kind }));
+    }
+
+    /// Global audit at quiescence: copyset/parent agreement, single
+    /// accounting, acyclicity, dominance and drained frozen state (only
+    /// for protocols exposing their lock nodes; see `hlock_core::audit`).
+    fn audit_quiescent(&self) -> Result<(), InvariantViolation> {
+        if !self.nodes.iter().all(|n| n.is_quiescent()) {
+            return Ok(()); // a faulted run may legitimately be wedged
+        }
+        for l in 0..self.config.lock_count {
+            let lock = LockId(l as u32);
+            let states: Vec<&hlock_core::LockNode> =
+                self.nodes.iter().filter_map(|n| n.lock_node(lock)).collect();
+            if states.len() != self.nodes.len() {
+                return Ok(()); // not the hierarchical protocol
+            }
+            let findings = hlock_core::audit_lock(states);
+            if let Some(first) = findings.first() {
+                return Err(InvariantViolation(format!(
+                    "quiescent-state audit failed ({} findings): {first}",
+                    findings.len()
+                )));
+            }
+        }
+        Ok(())
+    }
+
+    /// Global safety: for every lock, all concurrently held modes must be
+    /// pairwise compatible and at most one node may hold the token.
+    fn check_invariants(&self) -> Result<(), InvariantViolation> {
+        for l in 0..self.config.lock_count {
+            let lock = LockId(l as u32);
+            let mut held: Vec<(NodeId, Mode)> = Vec::new();
+            let mut tokens = 0usize;
+            for n in &self.nodes {
+                for m in n.held_modes(lock) {
+                    held.push((n.node_id(), m));
+                }
+                if n.holds_token(lock) {
+                    tokens += 1;
+                }
+            }
+            if tokens > 1 {
+                return Err(InvariantViolation(format!("{tokens} tokens exist for {lock}")));
+            }
+            for i in 0..held.len() {
+                for j in i + 1..held.len() {
+                    let (na, ma) = held[i];
+                    let (nb, mb) = held[j];
+                    if na != nb && !ma.compatible(mb) {
+                        return Err(InvariantViolation(format!(
+                            "incompatible holders on {lock}: {na} holds {ma}, {nb} holds {mb} at {}",
+                            self.now
+                        )));
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+}

@@ -1,0 +1,113 @@
+//! Network latency models.
+//!
+//! The paper randomizes the latency experienced by messages with a mean
+//! of 150 ms; [`LatencyModel::Exponential`] with that mean is the default
+//! used by the benchmark harness.
+
+use crate::time::Duration;
+use rand::Rng;
+
+/// How long a message takes from send to delivery.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum LatencyModel {
+    /// Every message takes exactly this long.
+    Fixed(Duration),
+    /// Exponentially distributed with the given mean (memoryless, the
+    /// classic simulation choice for "randomized with mean X").
+    Exponential {
+        /// Mean latency.
+        mean: Duration,
+    },
+    /// Uniformly distributed in `[lo, hi]`.
+    Uniform {
+        /// Minimum latency.
+        lo: Duration,
+        /// Maximum latency.
+        hi: Duration,
+    },
+}
+
+impl LatencyModel {
+    /// The paper's network model: exponential with a 150 ms mean.
+    pub fn paper() -> LatencyModel {
+        LatencyModel::Exponential { mean: Duration::from_millis(150) }
+    }
+
+    /// Samples one latency.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> Duration {
+        match *self {
+            LatencyModel::Fixed(d) => d,
+            LatencyModel::Exponential { mean } => {
+                let u: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+                Duration::from_millis_f64(-mean.as_millis_f64() * u.ln())
+            }
+            LatencyModel::Uniform { lo, hi } => {
+                Duration(rng.gen_range(lo.as_micros()..=hi.as_micros()))
+            }
+        }
+    }
+
+    /// The distribution mean, used as the "base latency" unit of the
+    /// paper's Figure 6.
+    pub fn mean(&self) -> Duration {
+        match *self {
+            LatencyModel::Fixed(d) => d,
+            LatencyModel::Exponential { mean } => mean,
+            LatencyModel::Uniform { lo, hi } => Duration((lo.as_micros() + hi.as_micros()) / 2),
+        }
+    }
+}
+
+/// Samples an exponentially distributed duration with the given mean.
+/// Utility shared with the workload generator (critical-section lengths,
+/// idle times).
+pub fn sample_exponential<R: Rng + ?Sized>(rng: &mut R, mean: Duration) -> Duration {
+    let u: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+    Duration::from_millis_f64(-mean.as_millis_f64() * u.ln())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{rngs::SmallRng, SeedableRng};
+
+    #[test]
+    fn fixed_is_deterministic() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        let m = LatencyModel::Fixed(Duration::from_millis(150));
+        assert_eq!(m.sample(&mut rng), Duration::from_millis(150));
+        assert_eq!(m.mean(), Duration::from_millis(150));
+    }
+
+    #[test]
+    fn exponential_mean_is_close() {
+        let mut rng = SmallRng::seed_from_u64(42);
+        let m = LatencyModel::paper();
+        let n = 20_000;
+        let total: u64 = (0..n).map(|_| m.sample(&mut rng).as_micros()).sum();
+        let mean_ms = total as f64 / n as f64 / 1_000.0;
+        assert!((mean_ms - 150.0).abs() < 5.0, "measured mean {mean_ms}");
+    }
+
+    #[test]
+    fn uniform_stays_in_bounds() {
+        let mut rng = SmallRng::seed_from_u64(7);
+        let lo = Duration::from_millis(10);
+        let hi = Duration::from_millis(20);
+        let m = LatencyModel::Uniform { lo, hi };
+        for _ in 0..1_000 {
+            let s = m.sample(&mut rng);
+            assert!(s >= lo && s <= hi);
+        }
+        assert_eq!(m.mean(), Duration::from_millis(15));
+    }
+
+    #[test]
+    fn exponential_helper_positive() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        for _ in 0..100 {
+            let d = sample_exponential(&mut rng, Duration::from_millis(15));
+            assert!(d.as_micros() < 10_000_000, "no absurd outliers: {d}");
+        }
+    }
+}

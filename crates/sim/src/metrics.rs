@@ -1,0 +1,335 @@
+//! Measurement collection: everything needed to regenerate the paper's
+//! Figures 5–7.
+
+use crate::time::Duration;
+use hlock_core::{MessageKind, Mode, NodeId, ALL_MODES};
+use std::collections::HashMap;
+
+/// Aggregated measurements of one simulation run.
+#[derive(Debug, Clone, Default)]
+pub struct Metrics {
+    /// Messages sent, by kind (Figure 7).
+    message_counts: HashMap<MessageKind, u64>,
+    /// Messages sent, by sender (hotspot analysis).
+    sent_by_node: HashMap<NodeId, u64>,
+    /// Total lock requests issued.
+    requests: u64,
+    /// Total grants observed.
+    grants: u64,
+    /// Request-to-grant latency samples, per requested mode.
+    latency: HashMap<ModeKey, LatencyAgg>,
+}
+
+/// Latencies are keyed by mode; exclusive baselines use `Write` for all.
+type ModeKey = Mode;
+
+#[derive(Debug, Clone, Default)]
+struct LatencyAgg {
+    sum_micros: u128,
+    count: u64,
+    max_micros: u64,
+    /// All samples, for percentile queries (runs are small enough).
+    samples: Vec<u64>,
+}
+
+impl Metrics {
+    /// Fresh, empty metrics.
+    pub fn new() -> Self {
+        Metrics::default()
+    }
+
+    /// Records one sent message.
+    pub fn count_message(&mut self, kind: MessageKind) {
+        *self.message_counts.entry(kind).or_insert(0) += 1;
+    }
+
+    /// Records one sent message with its sender (for load analysis).
+    pub fn count_message_from(&mut self, from: NodeId, kind: MessageKind) {
+        self.count_message(kind);
+        *self.sent_by_node.entry(from).or_insert(0) += 1;
+    }
+
+    /// Messages sent by one node.
+    pub fn messages_sent_by(&self, node: NodeId) -> u64 {
+        self.sent_by_node.get(&node).copied().unwrap_or(0)
+    }
+
+    /// The busiest sender and its message count, if any messages flowed.
+    pub fn hottest_node(&self) -> Option<(NodeId, u64)> {
+        self.sent_by_node
+            .iter()
+            .max_by_key(|&(n, c)| (*c, std::cmp::Reverse(n.0)))
+            .map(|(n, c)| (*n, *c))
+    }
+
+    /// Load imbalance: busiest sender's share divided by the mean share
+    /// (1.0 = perfectly balanced). Returns 0 with no traffic.
+    pub fn load_imbalance(&self) -> f64 {
+        let total: u64 = self.sent_by_node.values().sum();
+        let nodes = self.sent_by_node.len();
+        if total == 0 || nodes == 0 {
+            return 0.0;
+        }
+        let max = self.sent_by_node.values().max().copied().unwrap_or(0);
+        max as f64 / (total as f64 / nodes as f64)
+    }
+
+    /// Records that a request was issued.
+    pub fn count_request(&mut self) {
+        self.requests += 1;
+    }
+
+    /// Records a grant and its request-to-grant latency.
+    pub fn record_grant(&mut self, mode: Mode, latency: Duration) {
+        self.grants += 1;
+        let agg = self.latency.entry(mode).or_default();
+        agg.sum_micros += u128::from(latency.as_micros());
+        agg.count += 1;
+        agg.max_micros = agg.max_micros.max(latency.as_micros());
+        agg.samples.push(latency.as_micros());
+    }
+
+    /// Total messages of one kind.
+    pub fn messages_of_kind(&self, kind: MessageKind) -> u64 {
+        self.message_counts.get(&kind).copied().unwrap_or(0)
+    }
+
+    /// Total messages of all kinds.
+    pub fn total_messages(&self) -> u64 {
+        self.message_counts.values().sum()
+    }
+
+    /// Total requests issued.
+    pub fn total_requests(&self) -> u64 {
+        self.requests
+    }
+
+    /// Total grants observed.
+    pub fn total_grants(&self) -> u64 {
+        self.grants
+    }
+
+    /// Figure 5 metric: average messages per lock request.
+    pub fn messages_per_request(&self) -> f64 {
+        if self.requests == 0 {
+            return 0.0;
+        }
+        self.total_messages() as f64 / self.requests as f64
+    }
+
+    /// Per-kind average messages per request (Figure 7 series).
+    pub fn messages_per_request_of_kind(&self, kind: MessageKind) -> f64 {
+        if self.requests == 0 {
+            return 0.0;
+        }
+        self.messages_of_kind(kind) as f64 / self.requests as f64
+    }
+
+    /// Average request-to-grant latency over all modes (Figure 6 metric).
+    pub fn mean_latency(&self) -> Duration {
+        let (sum, count) = self
+            .latency
+            .values()
+            .fold((0u128, 0u64), |(s, c), a| (s + a.sum_micros, c + a.count));
+        if count == 0 {
+            Duration::ZERO
+        } else {
+            Duration((sum / u128::from(count)) as u64)
+        }
+    }
+
+    /// Average latency for one requested mode, if any samples exist.
+    pub fn mean_latency_for(&self, mode: Mode) -> Option<Duration> {
+        self.latency.get(&mode).and_then(|a| {
+            (a.count > 0).then(|| Duration((a.sum_micros / u128::from(a.count)) as u64))
+        })
+    }
+
+    /// Worst observed latency across all modes.
+    pub fn max_latency(&self) -> Duration {
+        Duration(self.latency.values().map(|a| a.max_micros).max().unwrap_or(0))
+    }
+
+    /// Latency percentile over all modes (`p` in `0.0..=1.0`, e.g. `0.99`).
+    /// Returns zero with no samples.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is outside `[0, 1]`.
+    pub fn latency_percentile(&self, p: f64) -> Duration {
+        assert!((0.0..=1.0).contains(&p), "percentile must be in [0, 1]");
+        let mut all: Vec<u64> =
+            self.latency.values().flat_map(|a| a.samples.iter().copied()).collect();
+        if all.is_empty() {
+            return Duration::ZERO;
+        }
+        all.sort_unstable();
+        let idx = ((all.len() - 1) as f64 * p).round() as usize;
+        Duration(all[idx])
+    }
+
+    /// Figure 6 metric: mean latency as a multiple of `base`.
+    pub fn latency_factor(&self, base: Duration) -> f64 {
+        if base == Duration::ZERO {
+            return 0.0;
+        }
+        self.mean_latency().as_millis_f64() / base.as_millis_f64()
+    }
+
+    /// One-line human-readable summary.
+    pub fn summary(&self, base_latency: Duration) -> String {
+        let mut parts = vec![
+            format!("requests={}", self.requests),
+            format!("grants={}", self.grants),
+            format!("msgs/req={:.2}", self.messages_per_request()),
+            format!("latency_factor={:.1}", self.latency_factor(base_latency)),
+        ];
+        for kind in MessageKind::ALL {
+            let n = self.messages_of_kind(kind);
+            if n > 0 {
+                parts.push(format!("{}={}", kind.label(), n));
+            }
+        }
+        parts.join(" ")
+    }
+
+    /// Per-mode latency table rows `(mode, mean, samples)`.
+    pub fn latency_by_mode(&self) -> Vec<(Mode, Duration, u64)> {
+        ALL_MODES
+            .into_iter()
+            .filter_map(|m| {
+                self.latency.get(&m).and_then(|a| {
+                    (a.count > 0).then(|| {
+                        (m, Duration((a.sum_micros / u128::from(a.count)) as u64), a.count)
+                    })
+                })
+            })
+            .collect()
+    }
+
+    /// Merges another run's metrics into this one (for averaging across
+    /// seeds).
+    pub fn merge(&mut self, other: &Metrics) {
+        for (k, v) in &other.message_counts {
+            *self.message_counts.entry(*k).or_insert(0) += v;
+        }
+        for (n, v) in &other.sent_by_node {
+            *self.sent_by_node.entry(*n).or_insert(0) += v;
+        }
+        self.requests += other.requests;
+        self.grants += other.grants;
+        for (m, a) in &other.latency {
+            let agg = self.latency.entry(*m).or_default();
+            agg.sum_micros += a.sum_micros;
+            agg.count += a.count;
+            agg.max_micros = agg.max_micros.max(a.max_micros);
+            agg.samples.extend_from_slice(&a.samples);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn per_node_load_accounting() {
+        let mut m = Metrics::new();
+        m.count_message_from(NodeId(0), MessageKind::Request);
+        m.count_message_from(NodeId(0), MessageKind::Grant);
+        m.count_message_from(NodeId(0), MessageKind::Grant);
+        m.count_message_from(NodeId(1), MessageKind::Request);
+        assert_eq!(m.messages_sent_by(NodeId(0)), 3);
+        assert_eq!(m.messages_sent_by(NodeId(2)), 0);
+        assert_eq!(m.hottest_node(), Some((NodeId(0), 3)));
+        // mean = 2, max = 3 → imbalance 1.5
+        assert!((m.load_imbalance() - 1.5).abs() < 1e-9);
+        assert_eq!(m.total_messages(), 4);
+        let empty = Metrics::new();
+        assert_eq!(empty.hottest_node(), None);
+        assert_eq!(empty.load_imbalance(), 0.0);
+    }
+
+    #[test]
+    fn message_accounting() {
+        let mut m = Metrics::new();
+        m.count_message(MessageKind::Request);
+        m.count_message(MessageKind::Request);
+        m.count_message(MessageKind::Token);
+        m.count_request();
+        assert_eq!(m.messages_of_kind(MessageKind::Request), 2);
+        assert_eq!(m.total_messages(), 3);
+        assert!((m.messages_per_request() - 3.0).abs() < 1e-9);
+        assert!((m.messages_per_request_of_kind(MessageKind::Token) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn latency_accounting() {
+        let mut m = Metrics::new();
+        m.record_grant(Mode::Read, Duration::from_millis(100));
+        m.record_grant(Mode::Read, Duration::from_millis(300));
+        m.record_grant(Mode::Write, Duration::from_millis(500));
+        assert_eq!(m.mean_latency(), Duration::from_millis(300));
+        assert_eq!(m.mean_latency_for(Mode::Read), Some(Duration::from_millis(200)));
+        assert_eq!(m.mean_latency_for(Mode::Upgrade), None);
+        assert_eq!(m.max_latency(), Duration::from_millis(500));
+        assert!((m.latency_factor(Duration::from_millis(150)) - 2.0).abs() < 1e-9);
+        assert_eq!(m.total_grants(), 3);
+    }
+
+    #[test]
+    fn percentiles() {
+        let mut m = Metrics::new();
+        for ms in 1..=100u64 {
+            m.record_grant(Mode::Read, Duration::from_millis(ms));
+        }
+        assert_eq!(m.latency_percentile(0.0), Duration::from_millis(1));
+        assert_eq!(m.latency_percentile(1.0), Duration::from_millis(100));
+        let p50 = m.latency_percentile(0.5).as_millis_f64();
+        assert!((p50 - 50.0).abs() <= 1.0, "{p50}");
+        let p99 = m.latency_percentile(0.99).as_millis_f64();
+        assert!((p99 - 99.0).abs() <= 1.0, "{p99}");
+        assert_eq!(Metrics::new().latency_percentile(0.5), Duration::ZERO);
+    }
+
+    #[test]
+    #[should_panic(expected = "percentile")]
+    fn percentile_out_of_range_panics() {
+        let _ = Metrics::new().latency_percentile(1.5);
+    }
+
+    #[test]
+    fn empty_metrics_are_zero() {
+        let m = Metrics::new();
+        assert_eq!(m.messages_per_request(), 0.0);
+        assert_eq!(m.mean_latency(), Duration::ZERO);
+        assert_eq!(m.latency_factor(Duration::ZERO), 0.0);
+        assert!(m.latency_by_mode().is_empty());
+    }
+
+    #[test]
+    fn merge_combines_runs() {
+        let mut a = Metrics::new();
+        a.count_request();
+        a.count_message(MessageKind::Grant);
+        a.record_grant(Mode::Read, Duration::from_millis(100));
+        let mut b = Metrics::new();
+        b.count_request();
+        b.count_message(MessageKind::Grant);
+        b.record_grant(Mode::Read, Duration::from_millis(300));
+        a.merge(&b);
+        assert_eq!(a.total_requests(), 2);
+        assert_eq!(a.messages_of_kind(MessageKind::Grant), 2);
+        assert_eq!(a.mean_latency_for(Mode::Read), Some(Duration::from_millis(200)));
+    }
+
+    #[test]
+    fn summary_mentions_counts() {
+        let mut m = Metrics::new();
+        m.count_request();
+        m.count_message(MessageKind::Freeze);
+        let s = m.summary(Duration::from_millis(150));
+        assert!(s.contains("requests=1"));
+        assert!(s.contains("freeze=1"));
+    }
+}

@@ -1,0 +1,258 @@
+//! Structured run tracing.
+//!
+//! A [`Tracer`] receives one [`TraceRecord`] per interesting simulator
+//! event — deliveries, API calls, grants, timer fires, drops. Records are
+//! plain data (messages pre-rendered to strings) so tracers need no
+//! knowledge of the protocol's message type.
+
+use crate::time::SimTime;
+use hlock_core::{LockId, MessageKind, Mode, NodeId, Ticket};
+use std::fmt;
+
+/// What happened.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TraceEvent {
+    /// A message was delivered to `to`.
+    Deliver {
+        /// Sender.
+        from: NodeId,
+        /// Receiver.
+        to: NodeId,
+        /// Message classification.
+        kind: MessageKind,
+        /// Rendered message contents.
+        message: String,
+    },
+    /// A message was dropped by fault injection.
+    Drop {
+        /// Sender.
+        from: NodeId,
+        /// Intended receiver.
+        to: NodeId,
+        /// Message classification.
+        kind: MessageKind,
+    },
+    /// The application issued a lock request.
+    Request {
+        /// Requesting node.
+        node: NodeId,
+        /// Lock requested.
+        lock: LockId,
+        /// Mode requested.
+        mode: Mode,
+        /// Correlation ticket.
+        ticket: Ticket,
+    },
+    /// A request was granted.
+    Grant {
+        /// Node receiving the grant.
+        node: NodeId,
+        /// Lock granted.
+        lock: LockId,
+        /// Granted mode.
+        mode: Mode,
+        /// Correlation ticket.
+        ticket: Ticket,
+    },
+    /// The application released a lock.
+    Release {
+        /// Releasing node.
+        node: NodeId,
+        /// Lock released.
+        lock: LockId,
+        /// Correlation ticket.
+        ticket: Ticket,
+    },
+    /// The application requested an upgrade.
+    Upgrade {
+        /// Upgrading node.
+        node: NodeId,
+        /// Lock upgraded.
+        lock: LockId,
+        /// Correlation ticket.
+        ticket: Ticket,
+    },
+    /// A driver timer fired.
+    Timer {
+        /// The timer's node.
+        node: NodeId,
+        /// Driver-chosen timer id.
+        timer: u64,
+    },
+}
+
+/// A timestamped [`TraceEvent`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceRecord {
+    /// Virtual time of the event.
+    pub at: SimTime,
+    /// The event.
+    pub event: TraceEvent,
+}
+
+impl fmt::Display for TraceRecord {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} ", self.at)?;
+        match &self.event {
+            TraceEvent::Deliver { from, to, kind, message } => {
+                write!(f, "deliver {kind} {from}->{to}: {message}")
+            }
+            TraceEvent::Drop { from, to, kind } => write!(f, "DROP {kind} {from}->{to}"),
+            TraceEvent::Request { node, lock, mode, ticket } => {
+                write!(f, "{node} request {lock} {mode} ({ticket})")
+            }
+            TraceEvent::Grant { node, lock, mode, ticket } => {
+                write!(f, "{node} granted {lock} {mode} ({ticket})")
+            }
+            TraceEvent::Release { node, lock, ticket } => {
+                write!(f, "{node} release {lock} ({ticket})")
+            }
+            TraceEvent::Upgrade { node, lock, ticket } => {
+                write!(f, "{node} upgrade {lock} ({ticket})")
+            }
+            TraceEvent::Timer { node, timer } => write!(f, "{node} timer {timer}"),
+        }
+    }
+}
+
+/// Receives trace records during a run.
+pub trait Tracer {
+    /// Called once per simulator event, in virtual-time order.
+    fn record(&mut self, record: TraceRecord);
+}
+
+/// Discards everything (the default).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NullTracer;
+
+impl Tracer for NullTracer {
+    fn record(&mut self, _record: TraceRecord) {}
+}
+
+/// Keeps the last `capacity` records in memory — handy for post-mortem
+/// debugging of a failed run.
+#[derive(Debug, Clone)]
+pub struct RingTracer {
+    capacity: usize,
+    records: std::collections::VecDeque<TraceRecord>,
+    total: u64,
+}
+
+impl RingTracer {
+    /// A ring holding at most `capacity` records.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "capacity must be positive");
+        RingTracer { capacity, records: std::collections::VecDeque::new(), total: 0 }
+    }
+
+    /// The retained records, oldest first.
+    pub fn records(&self) -> impl Iterator<Item = &TraceRecord> {
+        self.records.iter()
+    }
+
+    /// Total records ever seen (≥ retained count).
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Renders the retained records, one per line.
+    pub fn dump(&self) -> String {
+        let mut out = String::new();
+        for r in &self.records {
+            out.push_str(&r.to_string());
+            out.push('\n');
+        }
+        out
+    }
+}
+
+impl Tracer for RingTracer {
+    fn record(&mut self, record: TraceRecord) {
+        self.total += 1;
+        if self.records.len() == self.capacity {
+            self.records.pop_front();
+        }
+        self.records.push_back(record);
+    }
+}
+
+/// Writes every record to stderr as it happens.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct StderrTracer;
+
+impl Tracer for StderrTracer {
+    fn record(&mut self, record: TraceRecord) {
+        eprintln!("{record}");
+    }
+}
+
+/// Forwards to a closure.
+impl<F: FnMut(TraceRecord)> Tracer for F {
+    fn record(&mut self, record: TraceRecord) {
+        self(record);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(t: u64) -> TraceRecord {
+        TraceRecord { at: SimTime(t), event: TraceEvent::Timer { node: NodeId(0), timer: t } }
+    }
+
+    #[test]
+    fn ring_keeps_most_recent() {
+        let mut ring = RingTracer::new(3);
+        for t in 0..5 {
+            ring.record(rec(t));
+        }
+        assert_eq!(ring.total(), 5);
+        let kept: Vec<u64> = ring.records().map(|r| r.at.0).collect();
+        assert_eq!(kept, vec![2, 3, 4]);
+        assert_eq!(ring.dump().lines().count(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_capacity_ring_panics() {
+        let _ = RingTracer::new(0);
+    }
+
+    #[test]
+    fn closures_are_tracers() {
+        let mut seen = 0u32;
+        {
+            let mut f = |_r: TraceRecord| seen += 1;
+            f.record(rec(1));
+            f.record(rec(2));
+        }
+        assert_eq!(seen, 2);
+    }
+
+    #[test]
+    fn records_render_human_readably() {
+        let r = TraceRecord {
+            at: SimTime::from_millis(5),
+            event: TraceEvent::Grant {
+                node: NodeId(3),
+                lock: LockId(0),
+                mode: Mode::Read,
+                ticket: Ticket(9),
+            },
+        };
+        let s = r.to_string();
+        assert!(s.contains("n3"));
+        assert!(s.contains("granted"));
+        assert!(s.contains('R'));
+        let d = TraceRecord {
+            at: SimTime::ZERO,
+            event: TraceEvent::Drop { from: NodeId(0), to: NodeId(1), kind: MessageKind::Token },
+        };
+        assert!(d.to_string().contains("DROP"));
+    }
+}

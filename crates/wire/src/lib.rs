@@ -1,0 +1,675 @@
+//! # hlock-wire
+//!
+//! A compact, hand-rolled binary wire format for the protocol messages of
+//! `hlock-core` and `hlock-naimi`, used by the real TCP transport
+//! (`hlock-net`). No serde formats are needed on the wire: messages are a
+//! handful of small integers, so LEB128 varints plus one tag byte per
+//! variant give frames of typically 4–10 bytes.
+//!
+//! ```
+//! use bytes::BytesMut;
+//! use hlock_core::{Envelope, LockId, Mode, NodeId, Payload, Priority, Stamp};
+//! use hlock_wire::WireCodec;
+//!
+//! let msg = Envelope {
+//!     lock: LockId(3),
+//!     payload: Payload::Request {
+//!         origin: NodeId(7),
+//!         mode: Mode::Read,
+//!         stamp: Stamp(42),
+//!         priority: Priority::NORMAL,
+//!     },
+//! };
+//! let mut buf = BytesMut::new();
+//! msg.encode(&mut buf);
+//! let mut bytes = buf.freeze();
+//! let decoded = Envelope::decode(&mut bytes)?;
+//! assert_eq!(decoded, msg);
+//! # Ok::<(), hlock_wire::WireError>(())
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use hlock_core::{
+    Envelope, LockId, Mode, ModeSet, NodeId, Payload, Priority, QueueEntry, Stamp, Ticket, Waiter,
+};
+use hlock_naimi::{NaimiEnvelope, NaimiPayload};
+use hlock_raymond::{RaymondEnvelope, RaymondPayload};
+use hlock_suzuki::{SuzukiEnvelope, SuzukiPayload};
+use std::fmt;
+
+/// Decoding failure.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WireError {
+    /// The buffer ended in the middle of a value.
+    UnexpectedEof,
+    /// An unknown message or waiter tag byte.
+    InvalidTag(u8),
+    /// A byte that is not a valid [`Mode`].
+    InvalidMode(u8),
+    /// A byte with bits outside the five mode-set bits.
+    InvalidModeSet(u8),
+    /// A varint longer than 10 bytes.
+    VarintOverflow,
+}
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WireError::UnexpectedEof => write!(f, "unexpected end of input"),
+            WireError::InvalidTag(t) => write!(f, "invalid tag byte {t:#x}"),
+            WireError::InvalidMode(m) => write!(f, "invalid mode byte {m:#x}"),
+            WireError::InvalidModeSet(m) => write!(f, "invalid mode-set byte {m:#x}"),
+            WireError::VarintOverflow => write!(f, "varint longer than 10 bytes"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+/// Symmetric binary encode/decode.
+pub trait WireCodec: Sized {
+    /// Appends the encoding of `self` to `buf`.
+    fn encode(&self, buf: &mut BytesMut);
+
+    /// Decodes one value from the front of `buf`.
+    ///
+    /// # Errors
+    ///
+    /// Any [`WireError`]; the buffer position is unspecified afterwards.
+    fn decode(buf: &mut Bytes) -> Result<Self, WireError>;
+}
+
+/// Writes `v` as a LEB128 varint.
+pub fn put_varint(buf: &mut BytesMut, mut v: u64) {
+    loop {
+        let byte = (v & 0x7f) as u8;
+        v >>= 7;
+        if v == 0 {
+            buf.put_u8(byte);
+            return;
+        }
+        buf.put_u8(byte | 0x80);
+    }
+}
+
+/// Reads a LEB128 varint.
+///
+/// # Errors
+///
+/// [`WireError::UnexpectedEof`] on truncation, [`WireError::VarintOverflow`]
+/// past 10 bytes.
+pub fn get_varint(buf: &mut Bytes) -> Result<u64, WireError> {
+    let mut v: u64 = 0;
+    let mut shift = 0u32;
+    loop {
+        if !buf.has_remaining() {
+            return Err(WireError::UnexpectedEof);
+        }
+        let byte = buf.get_u8();
+        if shift >= 64 {
+            return Err(WireError::VarintOverflow);
+        }
+        v |= u64::from(byte & 0x7f) << shift;
+        if byte & 0x80 == 0 {
+            return Ok(v);
+        }
+        shift += 7;
+    }
+}
+
+fn put_mode(buf: &mut BytesMut, m: Mode) {
+    buf.put_u8(m.wire_tag());
+}
+
+fn get_mode(buf: &mut Bytes) -> Result<Mode, WireError> {
+    if !buf.has_remaining() {
+        return Err(WireError::UnexpectedEof);
+    }
+    let b = buf.get_u8();
+    Mode::from_wire_tag(b).ok_or(WireError::InvalidMode(b))
+}
+
+/// Optional modes are encoded as `0xFF` (none) or the mode tag.
+fn put_opt_mode(buf: &mut BytesMut, m: Option<Mode>) {
+    buf.put_u8(m.map_or(0xFF, Mode::wire_tag));
+}
+
+fn get_opt_mode(buf: &mut Bytes) -> Result<Option<Mode>, WireError> {
+    if !buf.has_remaining() {
+        return Err(WireError::UnexpectedEof);
+    }
+    let b = buf.get_u8();
+    if b == 0xFF {
+        Ok(None)
+    } else {
+        Mode::from_wire_tag(b).map(Some).ok_or(WireError::InvalidMode(b))
+    }
+}
+
+fn put_mode_set(buf: &mut BytesMut, s: ModeSet) {
+    buf.put_u8(s.bits());
+}
+
+fn get_mode_set(buf: &mut Bytes) -> Result<ModeSet, WireError> {
+    if !buf.has_remaining() {
+        return Err(WireError::UnexpectedEof);
+    }
+    let b = buf.get_u8();
+    ModeSet::from_bits(b).ok_or(WireError::InvalidModeSet(b))
+}
+
+const WAITER_REMOTE: u8 = 0;
+const WAITER_LOCAL: u8 = 1;
+const WAITER_UPGRADE: u8 = 2;
+
+impl WireCodec for QueueEntry {
+    fn encode(&self, buf: &mut BytesMut) {
+        match self.waiter {
+            Waiter::Remote(n) => {
+                buf.put_u8(WAITER_REMOTE);
+                put_varint(buf, u64::from(n.0));
+            }
+            Waiter::Local(t) => {
+                buf.put_u8(WAITER_LOCAL);
+                put_varint(buf, t.0);
+            }
+            Waiter::LocalUpgrade(t) => {
+                buf.put_u8(WAITER_UPGRADE);
+                put_varint(buf, t.0);
+            }
+        }
+        put_mode(buf, self.mode);
+        put_varint(buf, self.stamp.0);
+        buf.put_u8(self.priority.0);
+    }
+
+    fn decode(buf: &mut Bytes) -> Result<Self, WireError> {
+        if !buf.has_remaining() {
+            return Err(WireError::UnexpectedEof);
+        }
+        let tag = buf.get_u8();
+        let id = get_varint(buf)?;
+        let waiter = match tag {
+            WAITER_REMOTE => Waiter::Remote(NodeId(id as u32)),
+            WAITER_LOCAL => Waiter::Local(Ticket(id)),
+            WAITER_UPGRADE => Waiter::LocalUpgrade(Ticket(id)),
+            other => return Err(WireError::InvalidTag(other)),
+        };
+        let mode = get_mode(buf)?;
+        let stamp = Stamp(get_varint(buf)?);
+        if !buf.has_remaining() {
+            return Err(WireError::UnexpectedEof);
+        }
+        let priority = Priority(buf.get_u8());
+        Ok(QueueEntry::with_priority(waiter, mode, stamp, priority))
+    }
+}
+
+const TAG_REQUEST: u8 = 0;
+const TAG_GRANT: u8 = 1;
+const TAG_TOKEN: u8 = 2;
+const TAG_RELEASE: u8 = 3;
+const TAG_FREEZE: u8 = 4;
+const TAG_UPDATE: u8 = 5;
+
+impl WireCodec for Envelope {
+    fn encode(&self, buf: &mut BytesMut) {
+        put_varint(buf, u64::from(self.lock.0));
+        match &self.payload {
+            Payload::Request { origin, mode, stamp, priority } => {
+                buf.put_u8(TAG_REQUEST);
+                put_varint(buf, u64::from(origin.0));
+                put_mode(buf, *mode);
+                put_varint(buf, stamp.0);
+                buf.put_u8(priority.0);
+            }
+            Payload::Grant { mode, frozen } => {
+                buf.put_u8(TAG_GRANT);
+                put_mode(buf, *mode);
+                put_mode_set(buf, *frozen);
+            }
+            Payload::Token { mode, queue, sender_owned } => {
+                buf.put_u8(TAG_TOKEN);
+                put_mode(buf, *mode);
+                put_opt_mode(buf, *sender_owned);
+                put_varint(buf, queue.len() as u64);
+                for e in queue {
+                    e.encode(buf);
+                }
+            }
+            Payload::Release { new_owned } => {
+                buf.put_u8(TAG_RELEASE);
+                put_opt_mode(buf, *new_owned);
+            }
+            Payload::Freeze { modes } => {
+                buf.put_u8(TAG_FREEZE);
+                put_mode_set(buf, *modes);
+            }
+            Payload::Update { frozen } => {
+                buf.put_u8(TAG_UPDATE);
+                put_mode_set(buf, *frozen);
+            }
+        }
+    }
+
+    fn decode(buf: &mut Bytes) -> Result<Self, WireError> {
+        let lock = LockId(get_varint(buf)? as u32);
+        if !buf.has_remaining() {
+            return Err(WireError::UnexpectedEof);
+        }
+        let tag = buf.get_u8();
+        let payload = match tag {
+            TAG_REQUEST => {
+                let origin = NodeId(get_varint(buf)? as u32);
+                let mode = get_mode(buf)?;
+                let stamp = Stamp(get_varint(buf)?);
+                if !buf.has_remaining() {
+                    return Err(WireError::UnexpectedEof);
+                }
+                let priority = Priority(buf.get_u8());
+                Payload::Request { origin, mode, stamp, priority }
+            }
+            TAG_GRANT => {
+                let mode = get_mode(buf)?;
+                let frozen = get_mode_set(buf)?;
+                Payload::Grant { mode, frozen }
+            }
+            TAG_TOKEN => {
+                let mode = get_mode(buf)?;
+                let sender_owned = get_opt_mode(buf)?;
+                let len = get_varint(buf)? as usize;
+                let mut queue = Vec::with_capacity(len.min(1024));
+                for _ in 0..len {
+                    queue.push(QueueEntry::decode(buf)?);
+                }
+                Payload::Token { mode, queue, sender_owned }
+            }
+            TAG_RELEASE => Payload::Release { new_owned: get_opt_mode(buf)? },
+            TAG_FREEZE => Payload::Freeze { modes: get_mode_set(buf)? },
+            TAG_UPDATE => Payload::Update { frozen: get_mode_set(buf)? },
+            other => return Err(WireError::InvalidTag(other)),
+        };
+        Ok(Envelope { lock, payload })
+    }
+}
+
+impl WireCodec for NaimiEnvelope {
+    fn encode(&self, buf: &mut BytesMut) {
+        put_varint(buf, u64::from(self.lock.0));
+        match &self.payload {
+            NaimiPayload::Request { origin } => {
+                buf.put_u8(TAG_REQUEST);
+                put_varint(buf, u64::from(origin.0));
+            }
+            NaimiPayload::Token => buf.put_u8(TAG_TOKEN),
+        }
+    }
+
+    fn decode(buf: &mut Bytes) -> Result<Self, WireError> {
+        let lock = LockId(get_varint(buf)? as u32);
+        if !buf.has_remaining() {
+            return Err(WireError::UnexpectedEof);
+        }
+        let tag = buf.get_u8();
+        let payload = match tag {
+            TAG_REQUEST => NaimiPayload::Request { origin: NodeId(get_varint(buf)? as u32) },
+            TAG_TOKEN => NaimiPayload::Token,
+            other => return Err(WireError::InvalidTag(other)),
+        };
+        Ok(NaimiEnvelope { lock, payload })
+    }
+}
+
+impl WireCodec for RaymondEnvelope {
+    fn encode(&self, buf: &mut BytesMut) {
+        put_varint(buf, u64::from(self.lock.0));
+        match self.payload {
+            RaymondPayload::Request => buf.put_u8(TAG_REQUEST),
+            RaymondPayload::Privilege => buf.put_u8(TAG_TOKEN),
+        }
+    }
+
+    fn decode(buf: &mut Bytes) -> Result<Self, WireError> {
+        let lock = LockId(get_varint(buf)? as u32);
+        if !buf.has_remaining() {
+            return Err(WireError::UnexpectedEof);
+        }
+        let payload = match buf.get_u8() {
+            TAG_REQUEST => RaymondPayload::Request,
+            TAG_TOKEN => RaymondPayload::Privilege,
+            other => return Err(WireError::InvalidTag(other)),
+        };
+        Ok(RaymondEnvelope { lock, payload })
+    }
+}
+
+impl WireCodec for SuzukiEnvelope {
+    fn encode(&self, buf: &mut BytesMut) {
+        put_varint(buf, u64::from(self.lock.0));
+        match &self.payload {
+            SuzukiPayload::Request { origin, seq } => {
+                buf.put_u8(TAG_REQUEST);
+                put_varint(buf, u64::from(origin.0));
+                put_varint(buf, *seq);
+            }
+            SuzukiPayload::Token { last_served, queue } => {
+                buf.put_u8(TAG_TOKEN);
+                put_varint(buf, last_served.len() as u64);
+                for v in last_served {
+                    put_varint(buf, *v);
+                }
+                put_varint(buf, queue.len() as u64);
+                for n in queue {
+                    put_varint(buf, u64::from(n.0));
+                }
+            }
+        }
+    }
+
+    fn decode(buf: &mut Bytes) -> Result<Self, WireError> {
+        let lock = LockId(get_varint(buf)? as u32);
+        if !buf.has_remaining() {
+            return Err(WireError::UnexpectedEof);
+        }
+        let payload = match buf.get_u8() {
+            TAG_REQUEST => SuzukiPayload::Request {
+                origin: NodeId(get_varint(buf)? as u32),
+                seq: get_varint(buf)?,
+            },
+            TAG_TOKEN => {
+                let n = get_varint(buf)? as usize;
+                let mut last_served = Vec::with_capacity(n.min(4096));
+                for _ in 0..n {
+                    last_served.push(get_varint(buf)?);
+                }
+                let q = get_varint(buf)? as usize;
+                let mut queue = Vec::with_capacity(q.min(4096));
+                for _ in 0..q {
+                    queue.push(NodeId(get_varint(buf)? as u32));
+                }
+                SuzukiPayload::Token { last_served, queue }
+            }
+            other => return Err(WireError::InvalidTag(other)),
+        };
+        Ok(SuzukiEnvelope { lock, payload })
+    }
+}
+
+/// Length-prefixed framing: `u32` little-endian body length, then the
+/// sender's node id as a varint, then the encoded message body.
+pub mod frame {
+    use super::*;
+
+    /// Appends one frame containing `message` from `sender` to `buf`.
+    pub fn write<M: WireCodec>(buf: &mut BytesMut, sender: NodeId, message: &M) {
+        let mut body = BytesMut::new();
+        put_varint(&mut body, u64::from(sender.0));
+        message.encode(&mut body);
+        buf.put_u32_le(body.len() as u32);
+        buf.extend_from_slice(&body);
+    }
+
+    /// Tries to split one complete frame off the front of `buf`.
+    /// Returns `Ok(None)` if more bytes are needed.
+    ///
+    /// # Errors
+    ///
+    /// Any [`WireError`] from decoding a complete but malformed frame.
+    pub fn read<M: WireCodec>(buf: &mut BytesMut) -> Result<Option<(NodeId, M)>, WireError> {
+        if buf.len() < 4 {
+            return Ok(None);
+        }
+        let len = u32::from_le_bytes([buf[0], buf[1], buf[2], buf[3]]) as usize;
+        if buf.len() < 4 + len {
+            return Ok(None);
+        }
+        let _ = buf.split_to(4);
+        let mut body = buf.split_to(len).freeze();
+        let sender = NodeId(get_varint(&mut body)? as u32);
+        let message = M::decode(&mut body)?;
+        Ok(Some((sender, message)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn roundtrip<M: WireCodec + PartialEq + fmt::Debug>(m: &M) {
+        let mut buf = BytesMut::new();
+        m.encode(&mut buf);
+        let mut bytes = buf.freeze();
+        let decoded = M::decode(&mut bytes).expect("decodes");
+        assert_eq!(&decoded, m);
+        assert!(!bytes.has_remaining(), "no trailing bytes");
+    }
+
+    #[test]
+    fn varint_edge_cases() {
+        for v in [0u64, 1, 127, 128, 300, u32::MAX as u64, u64::MAX] {
+            let mut buf = BytesMut::new();
+            put_varint(&mut buf, v);
+            let mut b = buf.freeze();
+            assert_eq!(get_varint(&mut b).unwrap(), v);
+        }
+    }
+
+    #[test]
+    fn varint_truncation_errors() {
+        let mut b = Bytes::from_static(&[0x80]);
+        assert_eq!(get_varint(&mut b), Err(WireError::UnexpectedEof));
+        let mut b = Bytes::from_static(&[]);
+        assert_eq!(get_varint(&mut b), Err(WireError::UnexpectedEof));
+    }
+
+    #[test]
+    fn varint_overflow_errors() {
+        let mut buf = BytesMut::new();
+        for _ in 0..10 {
+            buf.put_u8(0xFF);
+        }
+        buf.put_u8(0x01);
+        let mut b = buf.freeze();
+        assert_eq!(get_varint(&mut b), Err(WireError::VarintOverflow));
+    }
+
+    #[test]
+    fn all_payload_variants_roundtrip() {
+        let samples = vec![
+            Payload::Request { origin: NodeId(3), mode: Mode::Read, stamp: Stamp(99), priority: Priority::NORMAL },
+            Payload::Grant { mode: Mode::IntentWrite, frozen: ModeSet::ALL },
+            Payload::Token {
+                mode: Mode::Write,
+                queue: vec![
+                    QueueEntry::new(Waiter::Remote(NodeId(9)), Mode::Read, Stamp(4)),
+                    QueueEntry::new(Waiter::Local(Ticket(77)), Mode::Upgrade, Stamp(5)),
+                    QueueEntry::new(Waiter::LocalUpgrade(Ticket(1)), Mode::Write, Stamp(6)),
+                ],
+                sender_owned: Some(Mode::IntentRead),
+            },
+            Payload::Token { mode: Mode::Upgrade, queue: vec![], sender_owned: None },
+            Payload::Release { new_owned: None },
+            Payload::Release { new_owned: Some(Mode::IntentRead) },
+            Payload::Freeze { modes: ModeSet::from_modes([Mode::IntentWrite]) },
+            Payload::Update { frozen: ModeSet::EMPTY },
+        ];
+        for p in samples {
+            roundtrip(&Envelope { lock: LockId(12), payload: p });
+        }
+    }
+
+    #[test]
+    fn naimi_variants_roundtrip() {
+        roundtrip(&NaimiEnvelope {
+            lock: LockId(0),
+            payload: NaimiPayload::Request { origin: NodeId(250) },
+        });
+        roundtrip(&NaimiEnvelope { lock: LockId(65_000), payload: NaimiPayload::Token });
+    }
+
+    #[test]
+    fn raymond_variants_roundtrip() {
+        roundtrip(&RaymondEnvelope { lock: LockId(9), payload: RaymondPayload::Request });
+        roundtrip(&RaymondEnvelope { lock: LockId(0), payload: RaymondPayload::Privilege });
+    }
+
+    #[test]
+    fn suzuki_variants_roundtrip() {
+        roundtrip(&SuzukiEnvelope {
+            lock: LockId(2),
+            payload: SuzukiPayload::Request { origin: NodeId(9), seq: 1234 },
+        });
+        roundtrip(&SuzukiEnvelope {
+            lock: LockId(0),
+            payload: SuzukiPayload::Token {
+                last_served: vec![0, 3, 999, u64::MAX],
+                queue: vec![NodeId(1), NodeId(3)],
+            },
+        });
+    }
+
+    #[test]
+    fn invalid_bytes_error_not_panic() {
+        let mut b = Bytes::from_static(&[0x00, 0x09]); // lock 0, tag 9
+        assert_eq!(Envelope::decode(&mut b), Err(WireError::InvalidTag(9)));
+        let mut b = Bytes::from_static(&[0x00, TAG_GRANT, 0x07]); // mode 7
+        assert_eq!(Envelope::decode(&mut b), Err(WireError::InvalidMode(7)));
+        let mut b = Bytes::from_static(&[0x00, TAG_FREEZE, 0xFF]); // bad set
+        assert_eq!(Envelope::decode(&mut b), Err(WireError::InvalidModeSet(0xFF)));
+        let mut b = Bytes::from_static(&[0x00]);
+        assert_eq!(Envelope::decode(&mut b), Err(WireError::UnexpectedEof));
+    }
+
+    #[test]
+    fn frame_roundtrip_and_partial_reads() {
+        let msg = Envelope {
+            lock: LockId(2),
+            payload: Payload::Request { origin: NodeId(1), mode: Mode::Write, stamp: Stamp(8), priority: Priority::NORMAL },
+        };
+        let mut wire = BytesMut::new();
+        frame::write(&mut wire, NodeId(1), &msg);
+        frame::write(&mut wire, NodeId(1), &msg);
+        // Feed byte by byte; frames appear exactly when complete.
+        let full = wire.clone();
+        let mut partial = BytesMut::new();
+        let mut decoded = 0;
+        for (i, byte) in full.iter().enumerate() {
+            partial.put_u8(*byte);
+            while let Some((from, m)) = frame::read::<Envelope>(&mut partial).unwrap() {
+                assert_eq!(from, NodeId(1));
+                assert_eq!(m, msg);
+                decoded += 1;
+                let _ = i;
+            }
+        }
+        assert_eq!(decoded, 2);
+        assert!(partial.is_empty());
+    }
+
+    fn arb_mode() -> impl Strategy<Value = Mode> {
+        prop_oneof![
+            Just(Mode::IntentRead),
+            Just(Mode::Read),
+            Just(Mode::Upgrade),
+            Just(Mode::IntentWrite),
+            Just(Mode::Write),
+        ]
+    }
+
+    fn arb_waiter() -> impl Strategy<Value = Waiter> {
+        prop_oneof![
+            any::<u32>().prop_map(|n| Waiter::Remote(NodeId(n))),
+            any::<u64>().prop_map(|t| Waiter::Local(Ticket(t))),
+            any::<u64>().prop_map(|t| Waiter::LocalUpgrade(Ticket(t))),
+        ]
+    }
+
+    fn arb_entry() -> impl Strategy<Value = QueueEntry> {
+        (arb_waiter(), arb_mode(), any::<u64>())
+            .prop_map(|(w, m, s)| QueueEntry::new(w, m, Stamp(s)))
+    }
+
+    fn arb_mode_set() -> impl Strategy<Value = ModeSet> {
+        (0u8..=0b1_1111).prop_map(|b| ModeSet::from_bits(b).unwrap())
+    }
+
+    fn arb_payload() -> impl Strategy<Value = Payload> {
+        prop_oneof![
+            (any::<u32>(), arb_mode(), any::<u64>(), any::<u8>()).prop_map(
+                |(o, m, s, p)| Payload::Request {
+                    origin: NodeId(o),
+                    mode: m,
+                    stamp: Stamp(s),
+                    priority: Priority(p),
+                }
+            ),
+            (arb_mode(), arb_mode_set())
+                .prop_map(|(m, f)| Payload::Grant { mode: m, frozen: f }),
+            (
+                arb_mode(),
+                proptest::collection::vec(arb_entry(), 0..8),
+                proptest::option::of(arb_mode())
+            )
+                .prop_map(|(m, q, o)| Payload::Token {
+                    mode: m,
+                    queue: q,
+                    sender_owned: o
+                }),
+            proptest::option::of(arb_mode()).prop_map(|o| Payload::Release { new_owned: o }),
+            arb_mode_set().prop_map(|s| Payload::Freeze { modes: s }),
+            arb_mode_set().prop_map(|s| Payload::Update { frozen: s }),
+        ]
+    }
+
+    proptest! {
+        #[test]
+        fn prop_envelope_roundtrip(lock in any::<u32>(), payload in arb_payload()) {
+            roundtrip(&Envelope { lock: LockId(lock), payload });
+        }
+
+        #[test]
+        fn prop_varint_roundtrip(v in any::<u64>()) {
+            let mut buf = BytesMut::new();
+            put_varint(&mut buf, v);
+            prop_assert!(buf.len() <= 10);
+            let mut b = buf.freeze();
+            prop_assert_eq!(get_varint(&mut b).unwrap(), v);
+        }
+
+        #[test]
+        fn prop_decode_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..64)) {
+            let mut b = Bytes::from(bytes);
+            let _ = Envelope::decode(&mut b); // Err is fine; panic is not.
+        }
+
+        #[test]
+        fn prop_naimi_roundtrip(lock in any::<u32>(), origin in proptest::option::of(any::<u32>())) {
+            let payload = match origin {
+                Some(o) => NaimiPayload::Request { origin: NodeId(o) },
+                None => NaimiPayload::Token,
+            };
+            roundtrip(&NaimiEnvelope { lock: LockId(lock), payload });
+        }
+
+        #[test]
+        fn prop_raymond_roundtrip(lock in any::<u32>(), req in any::<bool>()) {
+            let payload = if req { RaymondPayload::Request } else { RaymondPayload::Privilege };
+            roundtrip(&RaymondEnvelope { lock: LockId(lock), payload });
+        }
+
+        #[test]
+        fn prop_frame_roundtrip(sender in any::<u32>(), payload in arb_payload()) {
+            let msg = Envelope { lock: LockId(1), payload };
+            let mut wire = BytesMut::new();
+            frame::write(&mut wire, NodeId(sender), &msg);
+            let (from, decoded) = frame::read::<Envelope>(&mut wire).unwrap().unwrap();
+            prop_assert_eq!(from, NodeId(sender));
+            prop_assert_eq!(decoded, msg);
+            prop_assert!(wire.is_empty());
+        }
+    }
+}

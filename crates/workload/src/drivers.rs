@@ -1,0 +1,308 @@
+//! Simulation drivers executing the airline workload on each protocol.
+//!
+//! Three variants, matching §4 of the paper:
+//!
+//! * [`HierarchicalDriver`] — our protocol: entry accesses take the table
+//!   lock in intention mode plus the entry lock; whole-table accesses take
+//!   the single table lock; upgrades use `U` → `W`.
+//! * [`NaimiSameWorkDriver`] — the baseline doing the *same work*: entry
+//!   accesses take the entry's (exclusive) lock; whole-table accesses must
+//!   acquire **all** entry locks one by one in ascending order (the
+//!   deadlock-avoidance ordering the paper describes).
+//! * [`NaimiPureDriver`] — the baseline in its original form: a single
+//!   global lock for everything (no multi-granularity functionality).
+
+use crate::mix::WorkloadConfig;
+use crate::ops::{plan_for_node, OpKind, OpPlan};
+use hlock_core::{LockId, Mode, NodeId, Ticket};
+use hlock_sim::{Driver, SimApi};
+
+const T_START: u64 = 0;
+const T_CS_DONE: u64 = 1;
+const T_UPGRADE: u64 = 2;
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Phase {
+    Idle,
+    AcquiringTable,
+    AcquiringEntry,
+    AcquiringAll(usize),
+    Holding,
+    UpgradeReading,
+    UpgradeWaiting,
+}
+
+#[derive(Debug)]
+struct NodeRun {
+    plan: Vec<OpPlan>,
+    next_op: usize,
+    phase: Phase,
+    /// Locks acquired for the current op, in acquisition order.
+    held: Vec<(LockId, Ticket)>,
+    next_ticket: u64,
+}
+
+impl NodeRun {
+    fn new(plan: Vec<OpPlan>) -> Self {
+        NodeRun { plan, next_op: 0, phase: Phase::Idle, held: Vec::new(), next_ticket: 1 }
+    }
+
+    fn current(&self) -> OpPlan {
+        self.plan[self.next_op]
+    }
+
+    fn fresh_ticket(&mut self) -> Ticket {
+        let t = Ticket(self.next_ticket);
+        self.next_ticket += 1;
+        t
+    }
+
+    /// Releases all held locks leaf-first and schedules the next op.
+    fn finish_op(&mut self, api: &mut SimApi) {
+        for &(lock, ticket) in self.held.iter().rev() {
+            api.release(lock, ticket);
+        }
+        self.held.clear();
+        self.phase = Phase::Idle;
+        self.next_op += 1;
+        if self.next_op < self.plan.len() {
+            api.set_timer(self.plan[self.next_op].idle, T_START);
+        }
+    }
+}
+
+fn per_node_runs(config: &WorkloadConfig, nodes: usize) -> Vec<NodeRun> {
+    (0..nodes as u32).map(|n| NodeRun::new(plan_for_node(config, n))).collect()
+}
+
+// ---------------------------------------------------------------------
+// Hierarchical (our protocol)
+// ---------------------------------------------------------------------
+
+/// Drives the hierarchical protocol: lock 0 is the table, lock `1 + e`
+/// guards entry `e`.
+#[derive(Debug)]
+pub struct HierarchicalDriver {
+    runs: Vec<NodeRun>,
+}
+
+impl HierarchicalDriver {
+    /// Builds the driver for `nodes` nodes.
+    pub fn new(config: &WorkloadConfig, nodes: usize) -> Self {
+        HierarchicalDriver { runs: per_node_runs(config, nodes) }
+    }
+
+    const TABLE: LockId = LockId(0);
+
+    fn entry_lock(entry: usize) -> LockId {
+        LockId(entry as u32 + 1)
+    }
+}
+
+impl Driver for HierarchicalDriver {
+    fn start(&mut self, node: NodeId, api: &mut SimApi) {
+        let run = &mut self.runs[node.index()];
+        if !run.plan.is_empty() {
+            api.set_timer(run.plan[0].idle, T_START);
+        }
+    }
+
+    fn on_granted(&mut self, node: NodeId, lock: LockId, _t: Ticket, _m: Mode, api: &mut SimApi) {
+        let run = &mut self.runs[node.index()];
+        let op = run.current();
+        match (run.phase, op.kind) {
+            (Phase::AcquiringTable, OpKind::EntryRead(e)) => {
+                debug_assert_eq!(lock, Self::TABLE);
+                let t = run.fresh_ticket();
+                run.held.push((Self::entry_lock(e), t));
+                run.phase = Phase::AcquiringEntry;
+                api.request(Self::entry_lock(e), Mode::Read, t);
+            }
+            (Phase::AcquiringTable, OpKind::EntryWrite(e)) => {
+                let t = run.fresh_ticket();
+                run.held.push((Self::entry_lock(e), t));
+                run.phase = Phase::AcquiringEntry;
+                api.request(Self::entry_lock(e), Mode::Write, t);
+            }
+            (Phase::AcquiringEntry, _) => {
+                run.phase = Phase::Holding;
+                api.set_timer(op.cs, T_CS_DONE);
+            }
+            (Phase::AcquiringTable, OpKind::TableRead | OpKind::TableWrite) => {
+                run.phase = Phase::Holding;
+                api.set_timer(op.cs, T_CS_DONE);
+            }
+            (Phase::AcquiringTable, OpKind::TableUpgrade) => {
+                run.phase = Phase::UpgradeReading;
+                api.set_timer(op.cs, T_UPGRADE);
+            }
+            (Phase::UpgradeWaiting, OpKind::TableUpgrade) => {
+                run.phase = Phase::Holding;
+                api.set_timer(op.cs2, T_CS_DONE);
+            }
+            (phase, kind) => {
+                debug_assert!(false, "unexpected grant in phase {phase:?} for {kind:?}");
+            }
+        }
+    }
+
+    fn on_timer(&mut self, node: NodeId, timer: u64, api: &mut SimApi) {
+        let run = &mut self.runs[node.index()];
+        match timer {
+            T_START => {
+                let op = run.current();
+                let t = run.fresh_ticket();
+                run.held.push((Self::TABLE, t));
+                run.phase = Phase::AcquiringTable;
+                let table_mode = match op.kind {
+                    OpKind::EntryRead(_) => Mode::IntentRead,
+                    OpKind::EntryWrite(_) => Mode::IntentWrite,
+                    OpKind::TableRead => Mode::Read,
+                    OpKind::TableWrite => Mode::Write,
+                    OpKind::TableUpgrade => Mode::Upgrade,
+                };
+                api.request(Self::TABLE, table_mode, t);
+            }
+            T_CS_DONE => run.finish_op(api),
+            T_UPGRADE => {
+                let (lock, ticket) = run.held[0];
+                debug_assert_eq!(lock, Self::TABLE);
+                run.phase = Phase::UpgradeWaiting;
+                api.upgrade(lock, ticket);
+            }
+            other => debug_assert!(false, "unknown timer {other}"),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Naimi, same work
+// ---------------------------------------------------------------------
+
+/// Drives the Naimi–Trehel baseline doing the same work: lock `e` guards
+/// entry `e`; whole-table operations acquire all entry locks in ascending
+/// order (the deadlock-free ordering the paper charges the baseline for).
+#[derive(Debug)]
+pub struct NaimiSameWorkDriver {
+    runs: Vec<NodeRun>,
+    entries: usize,
+}
+
+impl NaimiSameWorkDriver {
+    /// Builds the driver for `nodes` nodes.
+    pub fn new(config: &WorkloadConfig, nodes: usize) -> Self {
+        NaimiSameWorkDriver { runs: per_node_runs(config, nodes), entries: config.entries }
+    }
+}
+
+impl Driver for NaimiSameWorkDriver {
+    fn start(&mut self, node: NodeId, api: &mut SimApi) {
+        let run = &mut self.runs[node.index()];
+        if !run.plan.is_empty() {
+            api.set_timer(run.plan[0].idle, T_START);
+        }
+    }
+
+    fn on_granted(&mut self, node: NodeId, _lock: LockId, _t: Ticket, _m: Mode, api: &mut SimApi) {
+        let entries = self.entries;
+        let run = &mut self.runs[node.index()];
+        let op = run.current();
+        match run.phase {
+            Phase::AcquiringEntry => {
+                run.phase = Phase::Holding;
+                api.set_timer(op.cs, T_CS_DONE);
+            }
+            Phase::AcquiringAll(next) => {
+                if next < entries {
+                    let t = run.fresh_ticket();
+                    run.held.push((LockId(next as u32), t));
+                    run.phase = Phase::AcquiringAll(next + 1);
+                    api.request(LockId(next as u32), Mode::Write, t);
+                } else {
+                    run.phase = Phase::Holding;
+                    // An upgrade's read+write phases are one exclusive hold.
+                    let hold = if op.kind == OpKind::TableUpgrade { op.cs + op.cs2 } else { op.cs };
+                    api.set_timer(hold, T_CS_DONE);
+                }
+            }
+            phase => debug_assert!(false, "unexpected grant in phase {phase:?}"),
+        }
+    }
+
+    fn on_timer(&mut self, node: NodeId, timer: u64, api: &mut SimApi) {
+        let run = &mut self.runs[node.index()];
+        match timer {
+            T_START => {
+                let op = run.current();
+                match op.kind {
+                    OpKind::EntryRead(e) | OpKind::EntryWrite(e) => {
+                        let t = run.fresh_ticket();
+                        run.held.push((LockId(e as u32), t));
+                        run.phase = Phase::AcquiringEntry;
+                        api.request(LockId(e as u32), Mode::Write, t);
+                    }
+                    OpKind::TableRead | OpKind::TableWrite | OpKind::TableUpgrade => {
+                        // Acquire every entry lock, in order, one by one.
+                        let t = run.fresh_ticket();
+                        run.held.push((LockId(0), t));
+                        run.phase = Phase::AcquiringAll(1);
+                        api.request(LockId(0), Mode::Write, t);
+                    }
+                }
+            }
+            T_CS_DONE => run.finish_op(api),
+            other => debug_assert!(false, "unknown timer {other}"),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Naimi, pure
+// ---------------------------------------------------------------------
+
+/// Drives the Naimi–Trehel baseline in its original single-lock form:
+/// every operation acquires the one global lock. This is the paper's
+/// "Naimi pure" series, the baseline's best case (but it provides none of
+/// the multi-granularity functionality).
+#[derive(Debug)]
+pub struct NaimiPureDriver {
+    runs: Vec<NodeRun>,
+}
+
+impl NaimiPureDriver {
+    /// Builds the driver for `nodes` nodes.
+    pub fn new(config: &WorkloadConfig, nodes: usize) -> Self {
+        NaimiPureDriver { runs: per_node_runs(config, nodes) }
+    }
+}
+
+impl Driver for NaimiPureDriver {
+    fn start(&mut self, node: NodeId, api: &mut SimApi) {
+        let run = &mut self.runs[node.index()];
+        if !run.plan.is_empty() {
+            api.set_timer(run.plan[0].idle, T_START);
+        }
+    }
+
+    fn on_granted(&mut self, node: NodeId, _lock: LockId, _t: Ticket, _m: Mode, api: &mut SimApi) {
+        let run = &mut self.runs[node.index()];
+        let op = run.current();
+        run.phase = Phase::Holding;
+        let hold = if op.kind == OpKind::TableUpgrade { op.cs + op.cs2 } else { op.cs };
+        api.set_timer(hold, T_CS_DONE);
+    }
+
+    fn on_timer(&mut self, node: NodeId, timer: u64, api: &mut SimApi) {
+        let run = &mut self.runs[node.index()];
+        match timer {
+            T_START => {
+                let t = run.fresh_ticket();
+                run.held.push((LockId(0), t));
+                run.phase = Phase::AcquiringEntry;
+                api.request(LockId(0), Mode::Write, t);
+            }
+            T_CS_DONE => run.finish_op(api),
+            other => debug_assert!(false, "unknown timer {other}"),
+        }
+    }
+}

@@ -1,0 +1,205 @@
+//! One-call experiment runners: build nodes + driver + simulator and run.
+
+use crate::drivers::{HierarchicalDriver, NaimiPureDriver, NaimiSameWorkDriver};
+use crate::mix::WorkloadConfig;
+use hlock_core::{LockSpace, NodeId, ProtocolConfig};
+use hlock_naimi::NaimiSpace;
+use hlock_raymond::RaymondSpace;
+use hlock_suzuki::SuzukiSpace;
+use hlock_sim::{InvariantViolation, LatencyModel, Sim, SimConfig, SimReport};
+
+/// Which system runs the workload.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ProtocolKind {
+    /// The paper's hierarchical protocol with the given configuration.
+    Hierarchical(ProtocolConfig),
+    /// Naimi–Trehel performing the same work (one lock per entry, table
+    /// ops acquire all of them in order).
+    NaimiSameWork,
+    /// Naimi–Trehel with a single global lock ("pure").
+    NaimiPure,
+    /// Raymond's static-tree algorithm with a single global lock
+    /// (extension: the other O(log n) baseline the paper's related work
+    /// discusses — non-adaptive structure, no path compression).
+    RaymondPure,
+    /// Suzuki–Kasami broadcast algorithm with a single global lock
+    /// (extension: the O(n) broadcast baseline the paper's §2 dismisses).
+    SuzukiPure,
+}
+
+impl ProtocolKind {
+    /// Display label matching the paper's figure legends.
+    pub fn label(&self) -> &'static str {
+        match self {
+            ProtocolKind::Hierarchical(_) => "Our Protocol",
+            ProtocolKind::NaimiSameWork => "Naimi - Same work",
+            ProtocolKind::NaimiPure => "Naimi - Pure",
+            ProtocolKind::RaymondPure => "Raymond - Pure",
+            ProtocolKind::SuzukiPure => "Suzuki-Kasami - Pure",
+        }
+    }
+}
+
+/// Runs the airline workload for `nodes` nodes under `kind`.
+///
+/// `check_every` enables global safety checking every N delivered
+/// messages (0 = off; turn it on in tests, off in large sweeps).
+///
+/// # Errors
+///
+/// Propagates [`InvariantViolation`] from the simulator — which would
+/// indicate a protocol bug, so callers usually `expect` it.
+pub fn run_experiment(
+    kind: ProtocolKind,
+    nodes: usize,
+    workload: &WorkloadConfig,
+    latency: LatencyModel,
+    check_every: u64,
+) -> Result<SimReport, InvariantViolation> {
+    let seed = workload
+        .seed
+        .wrapping_mul(0xD134_2543_DE82_EF95)
+        .wrapping_add(nodes as u64);
+    match kind {
+        ProtocolKind::Hierarchical(cfg) => {
+            let lock_count = workload.hierarchical_lock_count();
+            let homes: Vec<NodeId> = (0..lock_count)
+                .map(|l| {
+                    if workload.spread_token_homes && l > 0 && nodes > 1 {
+                        NodeId((1 + (l - 1) % (nodes - 1)) as u32)
+                    } else {
+                        NodeId(0)
+                    }
+                })
+                .collect();
+            let spaces = (0..nodes)
+                .map(|i| LockSpace::with_homes(NodeId(i as u32), &homes, cfg))
+                .collect();
+            let sim_cfg = SimConfig { seed, latency, lock_count, check_every, ..SimConfig::default() };
+            Sim::new(spaces, HierarchicalDriver::new(workload, nodes), sim_cfg).run()
+        }
+        ProtocolKind::NaimiSameWork => {
+            let lock_count = workload.naimi_lock_count();
+            let spaces = (0..nodes)
+                .map(|i| NaimiSpace::new(NodeId(i as u32), lock_count, NodeId(0)))
+                .collect();
+            let sim_cfg = SimConfig { seed, latency, lock_count, check_every, ..SimConfig::default() };
+            Sim::new(spaces, NaimiSameWorkDriver::new(workload, nodes), sim_cfg).run()
+        }
+        ProtocolKind::NaimiPure => {
+            let spaces = (0..nodes)
+                .map(|i| NaimiSpace::new(NodeId(i as u32), 1, NodeId(0)))
+                .collect();
+            let sim_cfg =
+                SimConfig { seed, latency, lock_count: 1, check_every, ..SimConfig::default() };
+            Sim::new(spaces, NaimiPureDriver::new(workload, nodes), sim_cfg).run()
+        }
+        ProtocolKind::RaymondPure => {
+            let spaces = (0..nodes)
+                .map(|i| RaymondSpace::new(NodeId(i as u32), nodes, 1, NodeId(0)))
+                .collect();
+            let sim_cfg =
+                SimConfig { seed, latency, lock_count: 1, check_every, ..SimConfig::default() };
+            Sim::new(spaces, NaimiPureDriver::new(workload, nodes), sim_cfg).run()
+        }
+        ProtocolKind::SuzukiPure => {
+            let spaces = (0..nodes)
+                .map(|i| SuzukiSpace::new(NodeId(i as u32), nodes, 1, NodeId(0)))
+                .collect();
+            let sim_cfg =
+                SimConfig { seed, latency, lock_count: 1, check_every, ..SimConfig::default() };
+            Sim::new(spaces, NaimiPureDriver::new(workload, nodes), sim_cfg).run()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hlock_sim::Duration;
+
+    fn small_workload() -> WorkloadConfig {
+        WorkloadConfig { entries: 4, ops_per_node: 6, seed: 11, ..WorkloadConfig::default() }
+    }
+
+    #[test]
+    fn hierarchical_runs_to_quiescence_with_checks() {
+        let r = run_experiment(
+            ProtocolKind::Hierarchical(ProtocolConfig::default()),
+            6,
+            &small_workload(),
+            LatencyModel::paper(),
+            1,
+        )
+        .expect("safe");
+        assert!(r.quiescent);
+        assert!(r.metrics.total_grants() >= 6 * 6, "every op granted at least once");
+    }
+
+    #[test]
+    fn naimi_same_work_runs_to_quiescence() {
+        let r = run_experiment(
+            ProtocolKind::NaimiSameWork,
+            5,
+            &small_workload(),
+            LatencyModel::paper(),
+            1,
+        )
+        .expect("safe");
+        assert!(r.quiescent);
+    }
+
+    #[test]
+    fn naimi_pure_runs_to_quiescence() {
+        let r =
+            run_experiment(ProtocolKind::NaimiPure, 5, &small_workload(), LatencyModel::paper(), 1)
+                .expect("safe");
+        assert!(r.quiescent);
+        // Pure: exactly one request per op.
+        assert_eq!(r.metrics.total_requests(), 5 * 6);
+    }
+
+    #[test]
+    fn hierarchical_beats_same_work_on_messages() {
+        let wl = WorkloadConfig { entries: 8, ops_per_node: 10, seed: 5, ..Default::default() };
+        let ours = run_experiment(
+            ProtocolKind::Hierarchical(ProtocolConfig::default()),
+            8,
+            &wl,
+            LatencyModel::paper(),
+            0,
+        )
+        .unwrap();
+        let same = run_experiment(ProtocolKind::NaimiSameWork, 8, &wl, LatencyModel::paper(), 0)
+            .unwrap();
+        assert!(
+            ours.metrics.messages_per_request() < same.metrics.messages_per_request() + 2.0,
+            "ours {:.2} vs same-work {:.2}",
+            ours.metrics.messages_per_request(),
+            same.metrics.messages_per_request()
+        );
+    }
+
+    #[test]
+    fn upgrade_ops_complete_under_contention() {
+        // Force many upgrades to exercise Rule 7 under load.
+        let wl = WorkloadConfig {
+            entries: 4,
+            ops_per_node: 8,
+            seed: 3,
+            mix: crate::ModeMix { weights: [40, 10, 30, 15, 5] },
+            cs_mean: Duration::from_millis(5),
+            idle_mean: Duration::from_millis(50),
+            spread_token_homes: false,
+        };
+        let r = run_experiment(
+            ProtocolKind::Hierarchical(ProtocolConfig::default()),
+            5,
+            &wl,
+            LatencyModel::paper(),
+            1,
+        )
+        .expect("safe under upgrade-heavy load");
+        assert!(r.quiescent);
+    }
+}

@@ -1,0 +1,90 @@
+//! Quickstart: drive the sans-I/O protocol by hand.
+//!
+//! Three nodes share one lock. We play the network ourselves: every
+//! `Effect::Send` the protocol emits is delivered by calling
+//! `on_message` on the destination. Watch the paper's machinery appear:
+//! a token transfer, a concurrent copy grant, release suppression, and a
+//! zero-message local acquisition.
+//!
+//! ```text
+//! cargo run --example quickstart
+//! ```
+
+use hlock::core::{
+    ConcurrencyProtocol, Effect, EffectSink, Envelope, LockId, LockSpace, Mode, NodeId,
+    ProtocolConfig, Ticket,
+};
+use std::collections::VecDeque;
+
+fn main() {
+    // Literal Rule 3.2 transfers, to showcase the token moving.
+    let cfg = ProtocolConfig::default().with_eager_transfers();
+    const LOCK: LockId = LockId(0);
+    // Node 0 is the initial token holder for every lock.
+    let mut nodes: Vec<LockSpace> =
+        (0..3).map(|i| LockSpace::new(NodeId(i), 1, NodeId(0), cfg)).collect();
+    let mut fx = EffectSink::new();
+    let mut wire: VecDeque<(NodeId, NodeId, Envelope)> = VecDeque::new();
+
+    // A tiny helper delivering all in-flight messages FIFO.
+    macro_rules! pump {
+        () => {
+            while let Some((from, to, msg)) = wire.pop_front() {
+                println!("   wire: {from} -> {to}: {msg}");
+                nodes[to.index()].on_message(from, msg, &mut fx);
+                drain(&mut fx, &mut wire, NodeId(to.0));
+            }
+        };
+    }
+
+    println!("1) node 1 requests a READ lock — the request travels to the token (node 0),");
+    println!("   which owns nothing, so the token itself moves (Rule 3.2, transfer):");
+    nodes[1].request(LOCK, Mode::Read, Ticket(1), &mut fx).expect("fresh ticket");
+    drain(&mut fx, &mut wire, NodeId(1));
+    pump!();
+
+    println!("\n2) node 2 requests INTENT-READ — IR is compatible with R and weaker,");
+    println!("   so the new token node (1) grants a *copy* and keeps the token:");
+    nodes[2].request(LOCK, Mode::IntentRead, Ticket(2), &mut fx).expect("fresh ticket");
+    drain(&mut fx, &mut wire, NodeId(2));
+    pump!();
+
+    println!("\n3) node 2 requests IR again while already owning IR:");
+    println!("   Rule 2 — the critical section is entered with ZERO messages:");
+    nodes[2].request(LOCK, Mode::IntentRead, Ticket(3), &mut fx).expect("fresh ticket");
+    drain(&mut fx, &mut wire, NodeId(2));
+    assert!(wire.is_empty(), "no messages were needed");
+
+    println!("\n4) node 2 releases one of its IR holds — still owns IR, so Rule 5.2");
+    println!("   suppresses the release message entirely:");
+    nodes[2].release(LOCK, Ticket(3), &mut fx).expect("held");
+    drain(&mut fx, &mut wire, NodeId(2));
+    assert!(wire.is_empty(), "release was suppressed");
+
+    println!("\n5) final releases propagate exactly one release message each:");
+    nodes[2].release(LOCK, Ticket(2), &mut fx).expect("held");
+    drain(&mut fx, &mut wire, NodeId(2));
+    pump!();
+    nodes[1].release(LOCK, Ticket(1), &mut fx).expect("held");
+    drain(&mut fx, &mut wire, NodeId(1));
+    pump!();
+
+    assert!(nodes.iter().all(|n| n.is_quiescent()));
+    println!("\nall quiescent; the token now rests at node 1.");
+}
+
+/// Moves `Send` effects onto the wire and prints grants.
+fn drain(
+    fx: &mut EffectSink<Envelope>,
+    wire: &mut VecDeque<(NodeId, NodeId, Envelope)>,
+    from: NodeId,
+) {
+    for e in fx.drain() {
+        match e {
+            Effect::Send { to, message } => wire.push_back((from, to, message)),
+            Effect::Granted { lock, ticket, mode } => {
+                println!("   GRANTED {lock} in mode {mode} to {from} ({ticket})");
+            }
+        }
+    }
+}

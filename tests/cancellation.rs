@@ -1,0 +1,156 @@
+//! Request-cancellation semantics across the stack: locally queued
+//! requests vanish; in-flight requests are absorbed-and-relinquished on
+//! grant arrival; cancelled tickets never surface a `Granted` effect to
+//! the caller; the system stays live for everyone else.
+
+use hlock::core::{
+    CancelOutcome, ConcurrencyProtocol, Effect, EffectSink, LockId, LockSpace, Mode, NodeId,
+    ProtocolConfig, ProtocolError, Ticket,
+};
+use hlock::naimi::NaimiSpace;
+use hlock::net::Cluster;
+use std::time::Duration;
+
+const L: LockId = LockId(0);
+
+fn sends<M: Clone>(fx: &mut EffectSink<M>) -> Vec<(NodeId, M)> {
+    fx.drain()
+        .filter_map(|e| match e {
+            Effect::Send { to, message } => Some((to, message)),
+            Effect::Granted { .. } => None,
+        })
+        .collect()
+}
+
+fn grants<M>(fx: &mut EffectSink<M>) -> Vec<Ticket> {
+    fx.drain()
+        .filter_map(|e| match e {
+            Effect::Granted { ticket, .. } => Some(ticket),
+            Effect::Send { .. } => None,
+        })
+        .collect()
+}
+
+#[test]
+fn cancel_locally_queued_request() {
+    let cfg = ProtocolConfig::default();
+    let mut a = LockSpace::new(NodeId(0), 1, NodeId(0), cfg);
+    let mut fx = EffectSink::new();
+    // Token node holds W; a second local W is queued behind it.
+    a.request(L, Mode::Write, Ticket(1), &mut fx).unwrap();
+    a.request(L, Mode::Write, Ticket(2), &mut fx).unwrap();
+    fx.drain().count();
+    assert!(!a.is_quiescent());
+    assert_eq!(a.cancel(L, Ticket(2), &mut fx).unwrap(), CancelOutcome::Cancelled);
+    assert!(a.is_quiescent());
+    // Releasing the holder must not resurrect the cancelled request.
+    a.release(L, Ticket(1), &mut fx).unwrap();
+    assert!(grants(&mut fx).is_empty());
+}
+
+#[test]
+fn cancel_in_flight_request_absorbs_grant() {
+    let cfg = ProtocolConfig::default();
+    let mut home = LockSpace::new(NodeId(0), 1, NodeId(0), cfg);
+    let mut b = LockSpace::new(NodeId(1), 1, NodeId(0), cfg);
+    let mut fx = EffectSink::new();
+    // b requests R; the request is in flight; b cancels.
+    b.request(L, Mode::Read, Ticket(1), &mut fx).unwrap();
+    let req = sends(&mut fx);
+    assert_eq!(b.cancel(L, Ticket(1), &mut fx).unwrap(), CancelOutcome::WillAbort);
+    // The request reaches the token, which grants (lazy policy: a copy).
+    home.on_message(NodeId(1), req[0].1.clone(), &mut fx);
+    let grant = sends(&mut fx);
+    b.on_message(NodeId(0), grant[0].1.clone(), &mut fx);
+    // No Granted effect for the caller; the grant is relinquished with a
+    // release back to the granter.
+    let out: Vec<_> = fx.drain().collect();
+    assert!(
+        !out.iter().any(|e| matches!(e, Effect::Granted { .. })),
+        "cancelled ticket must not surface a grant: {out:?}"
+    );
+    let releases: Vec<_> = out
+        .iter()
+        .filter_map(|e| match e {
+            Effect::Send { to, message } => Some((*to, message.clone())),
+            _ => None,
+        })
+        .collect();
+    assert_eq!(releases.len(), 1);
+    home.on_message(NodeId(1), releases[0].1.clone(), &mut fx);
+    assert!(home.lock_state(L).children().is_empty(), "copyset fully cleaned");
+    assert!(b.is_quiescent() && home.is_quiescent());
+}
+
+#[test]
+fn cancel_errors() {
+    let cfg = ProtocolConfig::default();
+    let mut a = LockSpace::new(NodeId(0), 1, NodeId(0), cfg);
+    let mut fx = EffectSink::new();
+    a.request(L, Mode::Read, Ticket(1), &mut fx).unwrap();
+    fx.drain().count();
+    assert_eq!(
+        a.cancel(L, Ticket(1), &mut fx).unwrap_err(),
+        ProtocolError::NotCancellable { ticket: Ticket(1) }
+    );
+    assert_eq!(
+        a.cancel(L, Ticket(9), &mut fx).unwrap_err(),
+        ProtocolError::NotHeld { ticket: Ticket(9) }
+    );
+}
+
+#[test]
+fn cancelled_head_unblocks_queue() {
+    // Token holds IW; a remote R is queued (freezing IW); a local W sits
+    // behind it. Cancelling the local W must recompute frozen modes.
+    let cfg = ProtocolConfig::default();
+    let mut a = LockSpace::new(NodeId(0), 1, NodeId(0), cfg);
+    let mut fx = EffectSink::new();
+    a.request(L, Mode::IntentWrite, Ticket(1), &mut fx).unwrap();
+    a.request(L, Mode::Write, Ticket(2), &mut fx).unwrap();
+    fx.drain().count();
+    // W queued => everything frozen.
+    assert!(a.lock_state(L).frozen().contains(Mode::IntentRead));
+    a.cancel(L, Ticket(2), &mut fx).unwrap();
+    assert!(!a.lock_state(L).frozen().contains(Mode::IntentRead), "unfrozen after cancel");
+}
+
+#[test]
+fn naimi_cancel_waiting_and_requesting() {
+    let mut home = NaimiSpace::new(NodeId(0), 1, NodeId(0));
+    let mut b = NaimiSpace::new(NodeId(1), 1, NodeId(0));
+    let mut fx = EffectSink::new();
+    // Waiting local ticket cancels cleanly.
+    b.request(L, Mode::Write, Ticket(1), &mut fx).unwrap();
+    b.request(L, Mode::Write, Ticket(2), &mut fx).unwrap();
+    assert_eq!(b.cancel(L, Ticket(2), &mut fx).unwrap(), CancelOutcome::Cancelled);
+    // In-flight request: token arrives, is not entered, and stays idle here.
+    let req = sends(&mut fx);
+    assert_eq!(b.cancel(L, Ticket(1), &mut fx).unwrap(), CancelOutcome::WillAbort);
+    home.on_message(NodeId(1), req[0].1.clone(), &mut fx);
+    let tok = sends(&mut fx);
+    b.on_message(NodeId(0), tok[0].1.clone(), &mut fx);
+    assert!(grants(&mut fx).is_empty(), "no grant for a cancelled ticket");
+    assert!(b.has_token(L), "token parked at the canceller");
+    assert!(b.is_quiescent());
+    // The parked token still serves future work.
+    b.request(L, Mode::Write, Ticket(3), &mut fx).unwrap();
+    assert_eq!(grants(&mut fx), vec![Ticket(3)]);
+}
+
+#[test]
+fn acquire_timeout_cancels_over_tcp() {
+    let cluster = Cluster::spawn_hierarchical(3, 1, ProtocolConfig::default()).unwrap();
+    let timeout = Duration::from_secs(10);
+    // Node 1 holds W.
+    let w = cluster.node(1).acquire(L, Mode::Write, timeout).unwrap();
+    // Node 2's R times out quickly and auto-cancels.
+    let err = cluster.node(2).acquire(L, Mode::Read, Duration::from_millis(200)).unwrap_err();
+    assert!(matches!(err, hlock::net::NetError::Timeout { .. }));
+    // Node 1 releases; the system must stay fully functional and node
+    // 2's cancelled request must not hold a phantom lock.
+    cluster.node(1).release(L, w).unwrap();
+    let t = cluster.node(0).acquire(L, Mode::Write, timeout).unwrap();
+    cluster.node(0).release(L, t).unwrap();
+    cluster.shutdown();
+}

@@ -1,0 +1,126 @@
+//! Mode-downgrade semantics (the safe direction of CCS `change_mode`):
+//! legality lattice, queue unblocking, and release propagation.
+
+use hlock::core::{
+    can_downgrade, ConcurrencyProtocol, Effect, EffectSink, LockId, LockSpace, Mode, NodeId,
+    Payload, Priority, ProtocolConfig, ProtocolError, Ticket, ALL_MODES,
+};
+
+const L: LockId = LockId(0);
+
+#[test]
+fn downgrade_lattice_is_exactly_compat_widening() {
+    use Mode::*;
+    let legal: &[(Mode, Mode)] = &[
+        (Write, Upgrade),
+        (Write, IntentWrite),
+        (Write, Read),
+        (Write, IntentRead),
+        (Upgrade, Read),
+        (Upgrade, IntentRead),
+        (Read, IntentRead),
+        (IntentWrite, IntentRead),
+    ];
+    for a in ALL_MODES {
+        for b in ALL_MODES {
+            let expect = a == b || legal.contains(&(a, b));
+            assert_eq!(can_downgrade(a, b), expect, "{a} -> {b}");
+        }
+    }
+}
+
+#[test]
+fn writer_downgrade_unblocks_waiting_readers() {
+    let cfg = ProtocolConfig::default();
+    let mut a = LockSpace::new(NodeId(0), 1, NodeId(0), cfg);
+    let mut fx = EffectSink::new();
+    a.request(L, Mode::Write, Ticket(1), &mut fx).unwrap();
+    fx.drain().count();
+    // A remote reader queues behind the writer.
+    a.on_message(
+        NodeId(1),
+        hlock::core::Envelope {
+            lock: L,
+            payload: Payload::Request {
+                origin: NodeId(1),
+                mode: Mode::Read,
+                stamp: hlock::core::Stamp(1),
+                priority: Priority::NORMAL,
+            },
+        },
+        &mut fx,
+    );
+    assert!(fx.drain().all(|e| !matches!(e, Effect::Send { .. })), "reader waits");
+    // W → R downgrade serves the reader immediately, without a release.
+    a.downgrade(L, Ticket(1), Mode::Read, &mut fx).unwrap();
+    let grants_to_reader = fx
+        .drain()
+        .filter(|e| matches!(e, Effect::Send { to, message }
+            if *to == NodeId(1) && matches!(message.payload, Payload::Grant { mode: Mode::Read, .. })))
+        .count();
+    assert_eq!(grants_to_reader, 1);
+    // The local ticket still holds (now R) and must release normally.
+    a.release(L, Ticket(1), &mut fx).unwrap();
+}
+
+#[test]
+fn downgrade_sends_weakening_release_to_parent() {
+    let cfg = ProtocolConfig::default();
+    let mut home = LockSpace::new(NodeId(0), 1, NodeId(0), cfg);
+    let mut b = LockSpace::new(NodeId(1), 1, NodeId(0), cfg);
+    let mut fx = EffectSink::new();
+    // b acquires R from the token home.
+    b.request(L, Mode::Read, Ticket(1), &mut fx).unwrap();
+    let req: Vec<_> = fx.drain().collect();
+    let Effect::Send { message, .. } = &req[0] else { panic!() };
+    home.on_message(NodeId(1), message.clone(), &mut fx);
+    let grant: Vec<_> = fx.drain().collect();
+    let Effect::Send { message, .. } = &grant[0] else { panic!() };
+    b.on_message(NodeId(0), message.clone(), &mut fx);
+    fx.drain().count();
+    assert_eq!(home.lock_state(L).children().get(&NodeId(1)), Some(&Mode::Read));
+    // R → IR: the parent must learn the weakened owned mode (Rule 5).
+    b.downgrade(L, Ticket(1), Mode::IntentRead, &mut fx).unwrap();
+    let out: Vec<_> = fx.drain().collect();
+    let Some(Effect::Send { to, message }) = out.first() else {
+        panic!("expected a release, got {out:?}")
+    };
+    assert_eq!(*to, NodeId(0));
+    assert!(matches!(message.payload, Payload::Release { new_owned: Some(Mode::IntentRead) }));
+    home.on_message(NodeId(1), message.clone(), &mut fx);
+    assert_eq!(home.lock_state(L).children().get(&NodeId(1)), Some(&Mode::IntentRead));
+}
+
+#[test]
+fn invalid_downgrades_rejected() {
+    let cfg = ProtocolConfig::default();
+    let mut a = LockSpace::new(NodeId(0), 1, NodeId(0), cfg);
+    let mut fx = EffectSink::new();
+    a.request(L, Mode::Read, Ticket(1), &mut fx).unwrap();
+    fx.drain().count();
+    assert_eq!(
+        a.downgrade(L, Ticket(1), Mode::Write, &mut fx).unwrap_err(),
+        ProtocolError::InvalidDowngrade { ticket: Ticket(1), from: Mode::Read, to: Mode::Write }
+    );
+    assert_eq!(
+        a.downgrade(L, Ticket(7), Mode::IntentRead, &mut fx).unwrap_err(),
+        ProtocolError::NotHeld { ticket: Ticket(7) }
+    );
+    // Same-mode downgrade is a no-op.
+    a.downgrade(L, Ticket(1), Mode::Read, &mut fx).unwrap();
+    assert!(fx.is_empty());
+}
+
+#[test]
+fn upgrade_to_iw_is_rejected_because_readers_would_break() {
+    // U → IW looks like equal strength but widens conflicts (R vs IW):
+    let cfg = ProtocolConfig::default();
+    let mut a = LockSpace::new(NodeId(0), 1, NodeId(0), cfg);
+    let mut fx = EffectSink::new();
+    a.request(L, Mode::Upgrade, Ticket(1), &mut fx).unwrap();
+    fx.drain().count();
+    assert!(matches!(
+        a.downgrade(L, Ticket(1), Mode::IntentWrite, &mut fx),
+        Err(ProtocolError::InvalidDowngrade { .. })
+    ));
+}

@@ -1,0 +1,108 @@
+//! Assumption-validation tests: the protocol is specified for reliable,
+//! per-link-FIFO transport (the paper's TCP testbed). These tests verify
+//! what happens when that assumption is broken: **safety must survive
+//! anything**; liveness is only promised on reliable links.
+
+use hlock::core::{LockSpace, NodeId, ProtocolConfig};
+use hlock::sim::{RingTracer, Sim, SimConfig, TraceEvent, Tracer};
+use hlock::workload::{HierarchicalDriver, WorkloadConfig};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+fn build_sim(
+    nodes: usize,
+    wl: &WorkloadConfig,
+    mutate: impl FnOnce(&mut SimConfig),
+) -> Sim<LockSpace, HierarchicalDriver> {
+    let lock_count = wl.hierarchical_lock_count();
+    let spaces: Vec<LockSpace> = (0..nodes)
+        .map(|i| {
+            LockSpace::new(NodeId(i as u32), lock_count, NodeId(0), ProtocolConfig::default())
+        })
+        .collect();
+    let mut cfg = SimConfig { seed: 99, lock_count, check_every: 1, ..SimConfig::default() };
+    mutate(&mut cfg);
+    Sim::new(spaces, HierarchicalDriver::new(wl, nodes), cfg)
+}
+
+#[test]
+fn message_loss_never_violates_safety() {
+    let wl = WorkloadConfig { entries: 4, ops_per_node: 6, seed: 13, ..Default::default() };
+    for drop_p in [0.05, 0.2, 0.5] {
+        let report = build_sim(5, &wl, |c| c.drop_probability = drop_p)
+            .run()
+            .unwrap_or_else(|e| panic!("drop_p={drop_p}: safety violated: {e}"));
+        // Liveness may be lost (grants ≤ requests), but never safety.
+        assert!(report.metrics.total_grants() <= report.metrics.total_requests());
+    }
+}
+
+#[test]
+fn duplicate_delivery_never_violates_safety() {
+    let wl = WorkloadConfig { entries: 4, ops_per_node: 6, seed: 17, ..Default::default() };
+    for dup_p in [0.1, 0.5] {
+        // Note: duplicates break the per-link FIFO abstraction the paper
+        // assumes; we only demand that mutual exclusion still holds.
+        let report = build_sim(4, &wl, |c| c.duplicate_probability = dup_p)
+            .run()
+            .unwrap_or_else(|e| panic!("dup_p={dup_p}: safety violated: {e}"));
+        let _ = report.quiescent; // liveness not guaranteed
+    }
+}
+
+#[test]
+fn drops_are_traced() {
+    let wl = WorkloadConfig { entries: 2, ops_per_node: 4, seed: 1, ..Default::default() };
+    let drops = Arc::new(AtomicU64::new(0));
+    let counter = drops.clone();
+    let tracer = move |r: hlock::sim::TraceRecord| {
+        if matches!(r.event, TraceEvent::Drop { .. }) {
+            counter.fetch_add(1, Ordering::Relaxed);
+        }
+    };
+    let _ = build_sim(4, &wl, |c| c.drop_probability = 0.3)
+        .with_tracer(tracer)
+        .run()
+        .expect("safe");
+    assert!(drops.load(Ordering::Relaxed) > 0, "with p=0.3 something must drop");
+}
+
+#[test]
+fn ring_tracer_captures_run_history() {
+    let wl = WorkloadConfig { entries: 2, ops_per_node: 3, seed: 4, ..Default::default() };
+    // RingTracer is moved into the sim; capture via a forwarding closure.
+    let mut ring = RingTracer::new(64);
+    let records = Arc::new(parking_lot_like::Mutex::new(Vec::new()));
+    let sink = records.clone();
+    let report = build_sim(3, &wl, |_| {})
+        .with_tracer(move |r: hlock::sim::TraceRecord| {
+            ring.record(r.clone());
+            sink.lock().push(r);
+        })
+        .run()
+        .expect("safe");
+    assert!(report.quiescent);
+    let records = records.lock();
+    assert!(!records.is_empty());
+    // Records are in virtual-time order.
+    for w in records.windows(2) {
+        assert!(w[0].at <= w[1].at);
+    }
+    // The trace contains both requests and grants.
+    assert!(records.iter().any(|r| matches!(r.event, TraceEvent::Request { .. })));
+    assert!(records.iter().any(|r| matches!(r.event, TraceEvent::Grant { .. })));
+    assert!(records.iter().any(|r| matches!(r.event, TraceEvent::Deliver { .. })));
+}
+
+/// A tiny stand-in for parking_lot to avoid a dev-dependency here.
+mod parking_lot_like {
+    pub struct Mutex<T>(std::sync::Mutex<T>);
+    impl<T> Mutex<T> {
+        pub fn new(v: T) -> Self {
+            Mutex(std::sync::Mutex::new(v))
+        }
+        pub fn lock(&self) -> std::sync::MutexGuard<'_, T> {
+            self.0.lock().expect("not poisoned")
+        }
+    }
+}

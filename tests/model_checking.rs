@@ -1,0 +1,371 @@
+//! Exhaustive-interleaving checks of the protocol on small scenarios,
+//! including every ablation configuration and the baseline.
+
+use hlock::check::{Action, Checker, Scenario};
+use hlock::core::{LockId, Mode, NodeId, ProtocolConfig, Ticket};
+
+const L: LockId = LockId(0);
+
+fn acquire_release(node: u32, mode: Mode, ticket: u64) -> (NodeId, Vec<Action>) {
+    (
+        NodeId(node),
+        vec![Action::request(L, mode, Ticket(ticket)), Action::release(L, Ticket(ticket))],
+    )
+}
+
+fn build(nodes: usize, locks: usize, scripts: Vec<(NodeId, Vec<Action>)>) -> Scenario {
+    let mut s = Scenario::new(nodes, locks);
+    for (n, script) in scripts {
+        s = s.script(n, script);
+    }
+    s
+}
+
+#[test]
+fn three_nodes_mixed_modes_exhaustive() {
+    let scenario = build(
+        3,
+        1,
+        vec![
+            acquire_release(0, Mode::IntentWrite, 1),
+            acquire_release(1, Mode::Read, 2),
+            acquire_release(2, Mode::IntentRead, 3),
+        ],
+    );
+    let stats =
+        Checker::hierarchical(ProtocolConfig::default()).run(&scenario).expect("safe");
+    assert!(stats.states > 100, "nontrivial exploration: {stats:?}");
+}
+
+#[test]
+fn writer_against_two_readers_exhaustive() {
+    let scenario = build(
+        3,
+        1,
+        vec![
+            acquire_release(0, Mode::Write, 1),
+            acquire_release(1, Mode::Read, 2),
+            acquire_release(2, Mode::Read, 3),
+        ],
+    );
+    Checker::hierarchical(ProtocolConfig::default()).run(&scenario).expect("safe");
+}
+
+#[test]
+fn two_upgraders_never_deadlock() {
+    // The whole point of U: two read-then-write transactions cannot
+    // deadlock because U excludes U.
+    let scenario = build(
+        3,
+        1,
+        vec![
+            (
+                NodeId(1),
+                vec![
+                    Action::request(L, Mode::Upgrade, Ticket(1)),
+                    Action::upgrade(L, Ticket(1)),
+                    Action::release(L, Ticket(1)),
+                ],
+            ),
+            (
+                NodeId(2),
+                vec![
+                    Action::request(L, Mode::Upgrade, Ticket(2)),
+                    Action::upgrade(L, Ticket(2)),
+                    Action::release(L, Ticket(2)),
+                ],
+            ),
+        ],
+    );
+    Checker::hierarchical(ProtocolConfig::default())
+        .run(&scenario)
+        .expect("no interleaving deadlocks");
+}
+
+#[test]
+fn upgrader_vs_reader_exhaustive() {
+    let scenario = build(
+        2,
+        1,
+        vec![
+            (
+                NodeId(0),
+                vec![
+                    Action::request(L, Mode::Upgrade, Ticket(1)),
+                    Action::upgrade(L, Ticket(1)),
+                    Action::release(L, Ticket(1)),
+                ],
+            ),
+            acquire_release(1, Mode::Read, 2),
+        ],
+    );
+    Checker::hierarchical(ProtocolConfig::default()).run(&scenario).expect("safe");
+}
+
+#[test]
+fn all_ablations_stay_safe_and_live_in_model_checker() {
+    let scenario = build(
+        3,
+        1,
+        vec![
+            acquire_release(1, Mode::IntentWrite, 1),
+            acquire_release(2, Mode::Read, 2),
+        ],
+    );
+    for cfg in [
+        ProtocolConfig::paper(),
+        ProtocolConfig::paper().without_absorption(),
+        ProtocolConfig::paper().without_release_suppression(),
+        ProtocolConfig::paper().without_freezing(),
+        ProtocolConfig::paper().without_path_compression(),
+    ] {
+        Checker::hierarchical(cfg)
+            .run(&scenario)
+            .unwrap_or_else(|e| panic!("{cfg:?}: {e}"));
+    }
+}
+
+#[test]
+fn naimi_three_writers_exhaustive() {
+    let scenario = build(
+        3,
+        1,
+        vec![
+            acquire_release(0, Mode::Write, 1),
+            acquire_release(1, Mode::Write, 2),
+            acquire_release(2, Mode::Write, 3),
+        ],
+    );
+    let stats = Checker::naimi().run(&scenario).expect("safe");
+    assert!(stats.terminals > 0);
+}
+
+#[test]
+fn two_locks_hierarchical_pattern_exhaustive() {
+    // Table (lock 0) + entry (lock 1): writer takes IW then W; reader
+    // takes IR then R — the canonical multi-granularity interleaving.
+    let scenario = Scenario::new(2, 2)
+        .script(
+            NodeId(0),
+            vec![
+                Action::request(LockId(0), Mode::IntentWrite, Ticket(1)),
+                Action::request(LockId(1), Mode::Write, Ticket(2)),
+                Action::release(LockId(1), Ticket(2)),
+                Action::release(LockId(0), Ticket(1)),
+            ],
+        )
+        .script(
+            NodeId(1),
+            vec![
+                Action::request(LockId(0), Mode::IntentRead, Ticket(3)),
+                Action::request(LockId(1), Mode::Read, Ticket(4)),
+                Action::release(LockId(1), Ticket(4)),
+                Action::release(LockId(0), Ticket(3)),
+            ],
+        );
+    Checker::hierarchical(ProtocolConfig::default()).run(&scenario).expect("safe");
+}
+
+#[test]
+fn repeated_acquisition_cycles_exhaustive() {
+    // Re-acquisition exercises release bookkeeping and path state.
+    let scenario = build(
+        2,
+        1,
+        vec![(
+            NodeId(1),
+            vec![
+                Action::request(L, Mode::Read, Ticket(1)),
+                Action::release(L, Ticket(1)),
+                Action::request(L, Mode::Write, Ticket(2)),
+                Action::release(L, Ticket(2)),
+                Action::request(L, Mode::IntentRead, Ticket(3)),
+                Action::release(L, Ticket(3)),
+            ],
+        )],
+    );
+    Checker::hierarchical(ProtocolConfig::default()).run(&scenario).expect("safe");
+}
+
+#[test]
+fn cancel_races_grant_in_every_interleaving() {
+    // Node 1 requests W and cancels; node 2 requests W normally. The
+    // cancel can land before, during or after the token travels — in all
+    // interleavings node 2 must still be served and the system must end
+    // with exactly one token and full quiescence.
+    let scenario = build(
+        3,
+        1,
+        vec![
+            (
+                NodeId(1),
+                vec![
+                    Action::request(L, Mode::Write, Ticket(1)),
+                    Action::cancel(L, Ticket(1)),
+                ],
+            ),
+            acquire_release(2, Mode::Write, 2),
+        ],
+    );
+    Checker::hierarchical(ProtocolConfig::default())
+        .run(&scenario)
+        .expect("cancel is safe and non-blocking in all interleavings");
+}
+
+#[test]
+fn cancel_of_read_request_against_writer() {
+    let scenario = build(
+        3,
+        1,
+        vec![
+            (
+                NodeId(1),
+                vec![
+                    Action::request(L, Mode::Read, Ticket(1)),
+                    Action::cancel(L, Ticket(1)),
+                ],
+            ),
+            acquire_release(0, Mode::IntentWrite, 2),
+            acquire_release(2, Mode::Read, 3),
+        ],
+    );
+    Checker::hierarchical(ProtocolConfig::default()).run(&scenario).expect("safe");
+}
+
+#[test]
+fn downgrade_interleaves_safely_with_readers() {
+    // A writer downgrades W→R mid-hold while readers come and go.
+    let scenario = build(
+        3,
+        1,
+        vec![
+            (
+                NodeId(1),
+                vec![
+                    Action::request(L, Mode::Write, Ticket(1)),
+                    Action::downgrade(L, Ticket(1), Mode::Read),
+                    Action::release(L, Ticket(1)),
+                ],
+            ),
+            acquire_release(2, Mode::Read, 2),
+        ],
+    );
+    Checker::hierarchical(ProtocolConfig::default()).run(&scenario).expect("safe");
+}
+
+#[test]
+fn naimi_cancel_all_interleavings() {
+    let scenario = build(
+        3,
+        1,
+        vec![
+            (
+                NodeId(1),
+                vec![
+                    Action::request(L, Mode::Write, Ticket(1)),
+                    Action::cancel(L, Ticket(1)),
+                ],
+            ),
+            acquire_release(2, Mode::Write, 2),
+        ],
+    );
+    Checker::naimi().run(&scenario).expect("cancel safe for the baseline too");
+}
+
+#[test]
+fn raymond_three_writers_exhaustive() {
+    let scenario = build(
+        3,
+        1,
+        vec![
+            acquire_release(0, Mode::Write, 1),
+            acquire_release(1, Mode::Write, 2),
+            acquire_release(2, Mode::Write, 3),
+        ],
+    );
+    let stats = Checker::raymond().run(&scenario).expect("safe");
+    assert!(stats.terminals > 0);
+}
+
+#[test]
+fn raymond_cancel_all_interleavings() {
+    let scenario = build(
+        3,
+        1,
+        vec![
+            (
+                NodeId(1),
+                vec![
+                    Action::request(L, Mode::Write, Ticket(1)),
+                    Action::cancel(L, Ticket(1)),
+                ],
+            ),
+            acquire_release(2, Mode::Write, 2),
+        ],
+    );
+    Checker::raymond().run(&scenario).expect("raymond cancel safe");
+}
+
+#[test]
+fn priorities_safe_in_every_interleaving() {
+    use hlock::core::Priority;
+    // Urgent writer vs normal writer vs reader: all interleavings must be
+    // safe and serve everyone (priorities reorder service, never lose it).
+    let scenario = Scenario::new(3, 1)
+        .script(
+            NodeId(1),
+            vec![
+                Action::Request { lock: L, mode: Mode::Write, ticket: Ticket(1) },
+                Action::release(L, Ticket(1)),
+            ],
+        )
+        .script(
+            NodeId(2),
+            vec![
+                Action::RequestWithPriority {
+                    lock: L,
+                    mode: Mode::Write,
+                    ticket: Ticket(2),
+                    priority: Priority::URGENT,
+                },
+                Action::release(L, Ticket(2)),
+            ],
+        );
+    Checker::hierarchical(ProtocolConfig::default())
+        .run(&scenario)
+        .expect("priorities never break safety or liveness");
+}
+
+#[test]
+fn suzuki_three_writers_exhaustive() {
+    let scenario = build(
+        3,
+        1,
+        vec![
+            acquire_release(0, Mode::Write, 1),
+            acquire_release(1, Mode::Write, 2),
+            acquire_release(2, Mode::Write, 3),
+        ],
+    );
+    let stats = Checker::suzuki().run(&scenario).expect("safe");
+    assert!(stats.terminals > 0);
+}
+
+#[test]
+fn suzuki_cancel_all_interleavings() {
+    let scenario = build(
+        3,
+        1,
+        vec![
+            (
+                NodeId(1),
+                vec![
+                    Action::request(L, Mode::Write, Ticket(1)),
+                    Action::cancel(L, Ticket(1)),
+                ],
+            ),
+            acquire_release(2, Mode::Write, 2),
+        ],
+    );
+    Checker::suzuki().run(&scenario).expect("suzuki cancel safe");
+}

@@ -1,0 +1,175 @@
+//! Priority arbitration (extension per the paper's §1 "strict priority
+//! ordering", following its refs [11, 12]): queued requests are served
+//! highest-priority first, FIFO within a priority; priorities survive
+//! queue travel on token transfers; the default priority reproduces pure
+//! FIFO behavior.
+
+use hlock::core::{
+    ConcurrencyProtocol, Effect, EffectSink, Envelope, LockId, LockSpace, Mode, NodeId, Payload,
+    Priority, ProtocolConfig, Stamp, Ticket,
+};
+
+const L: LockId = LockId(0);
+
+fn deliver_all(nodes: &mut [LockSpace], fx: &mut EffectSink<Envelope>, from: NodeId) {
+    let mut inflight: Vec<(NodeId, NodeId, Envelope)> = fx
+        .drain()
+        .filter_map(|e| match e {
+            Effect::Send { to, message } => Some((from, to, message)),
+            _ => None,
+        })
+        .collect();
+    // FIFO delivery order.
+    while !inflight.is_empty() {
+        let (src, dst, msg) = inflight.remove(0);
+        nodes[dst.index()].on_message(src, msg, fx);
+        inflight.extend(fx.drain().filter_map(|e| match e {
+            Effect::Send { to, message } => Some((dst, to, message)),
+            _ => None,
+        }));
+    }
+}
+
+#[test]
+fn higher_priority_served_first_at_token() {
+    let cfg = ProtocolConfig::default();
+    let mut nodes: Vec<LockSpace> =
+        (0..3).map(|i| LockSpace::new(NodeId(i), 1, NodeId(0), cfg)).collect();
+    let mut fx = EffectSink::new();
+    // Token (node 0) holds W so incoming writers queue.
+    nodes[0].request(L, Mode::Write, Ticket(1), &mut fx).unwrap();
+    fx.drain().count();
+    // Node 1 requests W at NORMAL, then node 2 requests W at higher priority.
+    nodes[1].request(L, Mode::Write, Ticket(2), &mut fx).unwrap();
+    deliver_all(&mut nodes, &mut fx, NodeId(1));
+    nodes[2]
+        .request_with_priority(L, Mode::Write, Ticket(3), Priority(5), &mut fx)
+        .unwrap();
+    deliver_all(&mut nodes, &mut fx, NodeId(2));
+    // Release: the token must go to node 2 (priority 5) first.
+    nodes[0].release(L, Ticket(1), &mut fx).unwrap();
+    let to: Vec<NodeId> = fx
+        .as_slice()
+        .iter()
+        .filter_map(|e| match e {
+            Effect::Send { to, message } if matches!(message.payload, Payload::Token { .. }) => {
+                Some(*to)
+            }
+            _ => None,
+        })
+        .collect();
+    assert_eq!(to, vec![NodeId(2)], "higher priority wins despite arriving later");
+    deliver_all(&mut nodes, &mut fx, NodeId(0));
+    // Node 2 releases; node 1 is served next (its entry travelled with
+    // the token queue, priority preserved).
+    nodes[2].release(L, Ticket(3), &mut fx).unwrap();
+    deliver_all(&mut nodes, &mut fx, NodeId(2));
+    let granted: Vec<Ticket> = fx
+        .drain()
+        .filter_map(|e| match e {
+            Effect::Granted { ticket, .. } => Some(ticket),
+            _ => None,
+        })
+        .collect();
+    let _ = granted; // node 1's grant surfaced at node 1 during deliver_all
+    assert!(nodes.iter().all(|n| n.is_quiescent() || !n.lock_state(L).held().is_empty()));
+    // Node 1 must now hold W.
+    assert_eq!(nodes[1].lock_state(L).held().len(), 1);
+}
+
+#[test]
+fn same_priority_is_fifo_by_stamp() {
+    let cfg = ProtocolConfig::default();
+    let mut a = LockSpace::new(NodeId(0), 1, NodeId(0), cfg);
+    let mut fx = EffectSink::new();
+    a.request(L, Mode::Write, Ticket(1), &mut fx).unwrap();
+    fx.drain().count();
+    for (n, stamp) in [(1u32, 10u64), (2, 20)] {
+        a.on_message(
+            NodeId(9),
+            Envelope {
+                lock: L,
+                payload: Payload::Request {
+                    origin: NodeId(n),
+                    mode: Mode::Write,
+                    stamp: Stamp(stamp),
+                    priority: Priority(3),
+                },
+            },
+            &mut fx,
+        );
+    }
+    a.release(L, Ticket(1), &mut fx).unwrap();
+    let first_token_to = fx.drain().find_map(|e| match e {
+        Effect::Send { to, message } if matches!(message.payload, Payload::Token { .. }) => {
+            Some(to)
+        }
+        _ => None,
+    });
+    assert_eq!(first_token_to, Some(NodeId(1)), "FIFO within equal priority");
+}
+
+#[test]
+fn priority_zero_is_plain_fifo() {
+    // Sanity: with all-NORMAL priorities, behavior equals the default
+    // request() path (same grants, same order).
+    let cfg = ProtocolConfig::default();
+    let mut a = LockSpace::new(NodeId(0), 1, NodeId(0), cfg);
+    let mut b = LockSpace::new(NodeId(0), 1, NodeId(0), cfg);
+    let mut fxa = EffectSink::new();
+    let mut fxb = EffectSink::new();
+    a.request(L, Mode::Read, Ticket(1), &mut fxa).unwrap();
+    b.request_with_priority(L, Mode::Read, Ticket(1), Priority::NORMAL, &mut fxb).unwrap();
+    assert_eq!(fxa.as_slice(), fxb.as_slice());
+    assert_eq!(a.lock_state(L), b.lock_state(L));
+}
+
+#[test]
+fn urgent_writer_jumps_reader_backlog() {
+    // Token owns IW via a child; queue: many NORMAL R requests, then one
+    // URGENT W. On drain, the W is served before every queued R.
+    let cfg = ProtocolConfig::default();
+    let mut a = LockSpace::new(NodeId(0), 1, NodeId(0), cfg);
+    let mut fx = EffectSink::new();
+    a.request(L, Mode::IntentWrite, Ticket(1), &mut fx).unwrap();
+    fx.drain().count();
+    for n in 1..=3u32 {
+        a.on_message(
+            NodeId(n),
+            Envelope {
+                lock: L,
+                payload: Payload::Request {
+                    origin: NodeId(n),
+                    mode: Mode::Read,
+                    stamp: Stamp(u64::from(n)),
+                    priority: Priority::NORMAL,
+                },
+            },
+            &mut fx,
+        );
+    }
+    a.on_message(
+        NodeId(7),
+        Envelope {
+            lock: L,
+            payload: Payload::Request {
+                origin: NodeId(7),
+                mode: Mode::Write,
+                stamp: Stamp(99),
+                priority: Priority::URGENT,
+            },
+        },
+        &mut fx,
+    );
+    fx.drain().count();
+    a.release(L, Ticket(1), &mut fx).unwrap();
+    let first_service_to = fx.drain().find_map(|e| match e {
+        Effect::Send { to, message }
+            if matches!(message.payload, Payload::Token { .. } | Payload::Grant { .. }) =>
+        {
+            Some(to)
+        }
+        _ => None,
+    });
+    assert_eq!(first_service_to, Some(NodeId(7)), "urgent W jumps the reader backlog");
+}

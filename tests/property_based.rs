@@ -1,0 +1,150 @@
+//! Property-based tests over the whole stack: random workloads through
+//! the simulator must always be safe and quiescent; random scripts
+//! through the model checker must never violate a property; the mode
+//! algebra obeys the paper's definitions for all inputs.
+
+use hlock::check::{Action, Checker, Scenario};
+use hlock::core::{
+    compatible_owned, frozen_modes, grantable, owned_strength, queue_or_forward, LockId, Mode,
+    NodeId, ProtocolConfig, QueueDecision, Ticket, ALL_MODES,
+};
+use hlock::sim::LatencyModel;
+use hlock::workload::{run_experiment, ModeMix, ProtocolKind, WorkloadConfig};
+use proptest::prelude::*;
+
+fn arb_mode() -> impl Strategy<Value = Mode> {
+    prop_oneof![
+        Just(Mode::IntentRead),
+        Just(Mode::Read),
+        Just(Mode::Upgrade),
+        Just(Mode::IntentWrite),
+        Just(Mode::Write),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Rule 3.1 soundness: whatever a non-token node may grant is
+    /// compatible with (and no stronger than) its owned mode.
+    #[test]
+    fn grantable_is_sound(owned in arb_mode(), req in arb_mode()) {
+        if grantable(Some(owned), req) {
+            prop_assert!(owned.compatible(req));
+            prop_assert!(owned.strength() >= req.strength());
+        }
+    }
+
+    /// Table 2(a) totality: every (pending, incoming) pair has a decision,
+    /// and queuing implies guaranteed later service.
+    #[test]
+    fn queue_decision_guarantees_service(pending in arb_mode(), incoming in arb_mode()) {
+        if queue_or_forward(Some(pending), incoming) == QueueDecision::Queue {
+            let guaranteed = grantable(Some(pending), incoming)
+                || matches!(pending, Mode::Upgrade | Mode::Write);
+            prop_assert!(guaranteed);
+        }
+    }
+
+    /// Rule 6: the frozen set of a waiting mode is exactly its conflict set.
+    #[test]
+    fn frozen_set_is_conflict_set(waiting in arb_mode()) {
+        let frozen = frozen_modes(waiting);
+        for m in ALL_MODES {
+            prop_assert_eq!(frozen.contains(m), !m.compatible(waiting));
+        }
+    }
+
+    /// ∅ behaves as the bottom element of the mode order.
+    #[test]
+    fn empty_owned_mode_is_bottom(m in arb_mode()) {
+        prop_assert!(compatible_owned(None, m));
+        prop_assert!(owned_strength(None) < m.strength());
+        prop_assert!(!grantable(None, m));
+    }
+}
+
+proptest! {
+    // Whole-system runs are slower; fewer cases.
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Any small random workload on the hierarchical protocol is safe
+    /// (checked every event) and fully served.
+    #[test]
+    fn random_workloads_safe_and_quiescent(
+        seed in 0u64..10_000,
+        nodes in 2usize..7,
+        entries in 1usize..5,
+        ops in 1u32..7,
+        ir in 1u32..50, r in 0u32..20, u in 0u32..10, iw in 0u32..10, w in 0u32..5,
+    ) {
+        let config = WorkloadConfig {
+            entries,
+            ops_per_node: ops,
+            mix: ModeMix { weights: [ir, r, u, iw, w] },
+            seed,
+            ..Default::default()
+        };
+        let report = run_experiment(
+            ProtocolKind::Hierarchical(ProtocolConfig::default()),
+            nodes,
+            &config,
+            LatencyModel::paper(),
+            1,
+        ).map_err(|e| TestCaseError::fail(e.to_string()))?;
+        prop_assert!(report.quiescent);
+        prop_assert_eq!(report.metrics.total_grants(), report.metrics.total_requests());
+    }
+
+    /// The same property for the Naimi baseline.
+    #[test]
+    fn random_workloads_safe_for_naimi(
+        seed in 0u64..10_000,
+        nodes in 2usize..7,
+        entries in 1usize..4,
+        ops in 1u32..6,
+    ) {
+        let config = WorkloadConfig {
+            entries,
+            ops_per_node: ops,
+            seed,
+            ..Default::default()
+        };
+        let report = run_experiment(
+            ProtocolKind::NaimiSameWork,
+            nodes,
+            &config,
+            LatencyModel::paper(),
+            1,
+        ).map_err(|e| TestCaseError::fail(e.to_string()))?;
+        prop_assert!(report.quiescent);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Random two-node scripts explored exhaustively: every interleaving
+    /// of every generated script is safe and deadlock-free.
+    #[test]
+    fn random_scripts_model_checked(
+        m1 in arb_mode(),
+        m2 in arb_mode(),
+        m3 in arb_mode(),
+    ) {
+        let scenario = Scenario::new(3, 1)
+            .script(NodeId(1), vec![
+                Action::request(LockId(0), m1, Ticket(1)),
+                Action::release(LockId(0), Ticket(1)),
+                Action::request(LockId(0), m2, Ticket(2)),
+                Action::release(LockId(0), Ticket(2)),
+            ])
+            .script(NodeId(2), vec![
+                Action::request(LockId(0), m3, Ticket(3)),
+                Action::release(LockId(0), Ticket(3)),
+            ]);
+        Checker::hierarchical(ProtocolConfig::default())
+            .run(&scenario)
+            .map_err(|e| TestCaseError::fail(e.to_string()))?;
+    }
+}

@@ -1,0 +1,94 @@
+//! End-to-end tests over the real TCP transport: the same sans-I/O
+//! protocol running over localhost sockets, exercised from multiple
+//! threads, plus the reservation application on top.
+
+use hlock::app::{AppError, ReservationSystem};
+use hlock::core::{LockId, Mode, ProtocolConfig};
+use hlock::net::Cluster;
+use std::sync::Arc;
+use std::time::Duration;
+
+const TIMEOUT: Duration = Duration::from_secs(30);
+
+#[test]
+fn readers_share_writer_excludes_over_tcp() {
+    let cluster = Cluster::spawn_hierarchical(4, 1, ProtocolConfig::default()).unwrap();
+    // Three readers hold simultaneously.
+    let tickets: Vec<_> = (1..4)
+        .map(|i| cluster.node(i).acquire(LockId(0), Mode::Read, TIMEOUT).unwrap())
+        .collect();
+    // A writer cannot get in while they hold (expect timeout).
+    let w = cluster.node(0).request(LockId(0), Mode::Write).unwrap();
+    assert!(cluster.node(0).wait(w, Duration::from_millis(300)).is_err());
+    // Readers release; the writer gets through.
+    for (i, t) in tickets.into_iter().enumerate() {
+        cluster.node(i + 1).release(LockId(0), t).unwrap();
+    }
+    cluster.node(0).wait(w, TIMEOUT).unwrap();
+    cluster.node(0).release(LockId(0), w).unwrap();
+    cluster.shutdown();
+}
+
+#[test]
+fn intent_modes_allow_disjoint_entry_writes_over_tcp() {
+    // Two nodes write different entries concurrently under IW+W.
+    let cluster = Cluster::spawn_hierarchical(3, 3, ProtocolConfig::default()).unwrap();
+    let t1a = cluster.node(1).acquire(LockId(0), Mode::IntentWrite, TIMEOUT).unwrap();
+    let t2a = cluster.node(2).acquire(LockId(0), Mode::IntentWrite, TIMEOUT).unwrap();
+    let t1b = cluster.node(1).acquire(LockId(1), Mode::Write, TIMEOUT).unwrap();
+    let t2b = cluster.node(2).acquire(LockId(2), Mode::Write, TIMEOUT).unwrap();
+    // Both held at once: that is the whole point of hierarchical locking.
+    cluster.node(1).release(LockId(1), t1b).unwrap();
+    cluster.node(2).release(LockId(2), t2b).unwrap();
+    cluster.node(1).release(LockId(0), t1a).unwrap();
+    cluster.node(2).release(LockId(0), t2a).unwrap();
+    cluster.shutdown();
+}
+
+#[test]
+fn naimi_cluster_serializes_writers() {
+    let cluster = Cluster::spawn_naimi(4, 1).unwrap();
+    for round in 0..3 {
+        for i in 0..4 {
+            let t = cluster.node(i).acquire(LockId(0), Mode::Write, TIMEOUT).unwrap();
+            cluster.node(i).release(LockId(0), t).unwrap();
+            let _ = round;
+        }
+    }
+    cluster.shutdown();
+}
+
+#[test]
+fn reservation_app_end_to_end() {
+    let sys = Arc::new(ReservationSystem::launch(3, 4, 200.0, 3).unwrap());
+    // Fare queries from every node.
+    for n in 0..3 {
+        assert_eq!(sys.agent(n).query_fare(1).unwrap(), 200.0);
+    }
+    // Book all seats of entry 2 from different nodes.
+    assert_eq!(sys.agent(0).book_seat(2).unwrap().seats_left, 2);
+    assert_eq!(sys.agent(1).book_seat(2).unwrap().seats_left, 1);
+    assert_eq!(sys.agent(2).book_seat(2).unwrap().seats_left, 0);
+    assert!(matches!(sys.agent(0).book_seat(2), Err(AppError::SoldOut { entry: 2 })));
+    // Bulk reprice and verify atomically-updated snapshot.
+    sys.agent(1).bulk_reprice(0.5).unwrap();
+    let snap = sys.agent(2).snapshot().unwrap();
+    assert!(snap.iter().all(|e| (e.fare - 100.0).abs() < 1e-9));
+    assert!(snap.iter().all(|e| e.generation == 1));
+    match Arc::try_unwrap(sys) {
+        Ok(s) => s.shutdown(),
+        Err(_) => panic!("no other refs"),
+    }
+}
+
+#[test]
+fn message_stats_reported_per_kind() {
+    let cluster = Cluster::spawn_hierarchical(3, 1, ProtocolConfig::default()).unwrap();
+    let t = cluster.node(2).acquire(LockId(0), Mode::Write, TIMEOUT).unwrap();
+    cluster.node(2).release(LockId(0), t).unwrap();
+    let stats = cluster.message_stats();
+    use hlock::core::MessageKind;
+    assert!(stats[&MessageKind::Request] >= 1);
+    assert!(stats[&MessageKind::Token] >= 1);
+    cluster.shutdown();
+}
