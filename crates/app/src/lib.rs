@@ -28,9 +28,9 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+use hlock_core::LockSpace;
 use hlock_core::{LockId, Mode, ProtocolConfig, Ticket};
 use hlock_net::{Cluster, NetError, NodeHandle};
-use hlock_core::LockSpace;
 use parking_lot::RwLock;
 use std::sync::Arc;
 use std::time::Duration;
@@ -123,7 +123,10 @@ impl ReservationSystem {
     ) -> Result<ReservationSystem, AppError> {
         let cluster = Cluster::spawn_hierarchical(nodes, entries + 1, ProtocolConfig::default())?;
         let store = Arc::new(RwLock::new(Store {
-            entries: vec![Entry { fare: initial_fare, seats: initial_seats, generation: 0 }; entries],
+            entries: vec![
+                Entry { fare: initial_fare, seats: initial_seats, generation: 0 };
+                entries
+            ],
         }));
         Ok(ReservationSystem { cluster, store, entries, timeout: Duration::from_secs(30) })
     }
@@ -370,10 +373,7 @@ mod tests {
     #[test]
     fn unknown_entry_is_rejected() {
         let sys = ReservationSystem::launch(2, 2, 100.0, 5).unwrap();
-        assert!(matches!(
-            sys.agent(0).query_fare(9),
-            Err(AppError::UnknownEntry { entry: 9 })
-        ));
+        assert!(matches!(sys.agent(0).query_fare(9), Err(AppError::UnknownEntry { entry: 9 })));
         sys.shutdown();
     }
 

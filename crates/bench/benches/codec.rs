@@ -2,7 +2,9 @@
 
 use bytes::BytesMut;
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
-use hlock_core::{Envelope, LockId, Mode, ModeSet, NodeId, Payload, Priority, QueueEntry, Stamp, Waiter};
+use hlock_core::{
+    Envelope, LockId, Mode, ModeSet, NodeId, Payload, Priority, QueueEntry, Stamp, Waiter,
+};
 use hlock_wire::WireCodec;
 
 fn sample_request() -> Envelope {

@@ -52,7 +52,7 @@ fn pump(a: &mut LockNode, b: &mut LockNode, fx: &mut EffectSink<Payload>) {
             .drain()
             .filter_map(|e| match e {
                 Effect::Send { to, message } => Some((to, message)),
-                Effect::Granted { .. } => None,
+                _ => None,
             })
             .collect();
         if msgs.is_empty() {

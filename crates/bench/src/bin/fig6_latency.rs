@@ -30,10 +30,8 @@ fn main() {
         kinds.iter().map(|k| k.label().to_string()).collect(),
     );
     for &nodes in &harness.sweep {
-        let row: Vec<f64> = kinds
-            .iter()
-            .map(|&k| harness.measure(k, nodes).latency_factor(base))
-            .collect();
+        let row: Vec<f64> =
+            kinds.iter().map(|&k| harness.measure(k, nodes).latency_factor(base)).collect();
         println!(
             "nodes={nodes:>3}  same-work={:.1}x  pure={:.1}x  ours={:.1}x",
             row[0], row[1], row[2]

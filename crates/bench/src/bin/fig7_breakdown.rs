@@ -35,9 +35,7 @@ fn main() {
         let m = harness.measure(ProtocolKind::Hierarchical(ProtocolConfig::paper()), nodes);
         let row: Vec<f64> = series
             .iter()
-            .map(|(_, kinds)| {
-                kinds.iter().map(|&k| m.messages_per_request_of_kind(k)).sum()
-            })
+            .map(|(_, kinds)| kinds.iter().map(|&k| m.messages_per_request_of_kind(k)).sum())
             .collect();
         println!(
             "nodes={nodes:>3}  req={:.2} grant={:.2} token={:.2} release={:.2} freeze={:.2}  (total {:.2})",

@@ -1,0 +1,93 @@
+//! **Lossy links** — robustness sweep for the reliable session layer:
+//! the airline workload on the hierarchical protocol, wrapped in
+//! per-link sessions, across a grid of message drop rates × base
+//! retransmission timeouts.
+//!
+//! Every run must complete all grants (the simulator's watchdog fails
+//! the run if it wedges) — the sweep quantifies *what that costs*:
+//! retransmissions, standalone acks, latency inflation and the extra
+//! wire bytes of session framing.
+//!
+//! One JSON object per line on stdout, so downstream tooling can
+//! `jq`/pandas the sweep directly:
+//!
+//! ```text
+//! cargo run --release -p hlock-bench --bin lossy_links [--quick]
+//! ```
+//!
+//! The session framing adds 3 bytes per frame at small sequence
+//! numbers (tag + two varints, measured by `hlock-wire`'s
+//! `session_frame_overhead_is_small`); `overhead_bytes` below uses
+//! that floor, so it is a lower bound at long-running sequence
+//! numbers.
+
+use hlock_core::ProtocolConfig;
+use hlock_session::SessionConfig;
+use hlock_sim::{Duration, LatencyModel, SimConfig};
+use hlock_workload::{run_session_experiment, WorkloadConfig};
+
+/// Minimum encoded overhead of one session frame (tag + seq + ack
+/// varints for `Data`; tag + ack varint for a standalone `Ack`).
+const FRAME_OVERHEAD_BYTES: u64 = 3;
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let (nodes, workload) = if quick {
+        (4, WorkloadConfig { entries: 8, ops_per_node: 6, ..Default::default() })
+    } else {
+        (10, WorkloadConfig::default())
+    };
+    let drops = [0.0, 0.05, 0.1, 0.2, 0.3];
+    let rtos_ms: &[u64] = if quick { &[150, 450] } else { &[50, 150, 450, 1_350] };
+
+    eprintln!(
+        "lossy_links: {nodes} nodes, {} entries, {} ops/node, {} drop rates x {} RTOs",
+        workload.entries,
+        workload.ops_per_node,
+        drops.len(),
+        rtos_ms.len(),
+    );
+
+    for &drop in &drops {
+        for &rto_ms in rtos_ms {
+            let session = SessionConfig {
+                rto_micros: rto_ms * 1_000,
+                max_backoff_micros: rto_ms * 16_000,
+                ..SessionConfig::default()
+            };
+            let sim = SimConfig {
+                latency: LatencyModel::paper(),
+                drop_probability: drop,
+                // A generous stall bound: the workload idles ~150 ms
+                // between ops, so minutes of silence means wedged.
+                watchdog: Some(Duration::from_millis(120_000)),
+                ..SimConfig::default()
+            };
+            let r = run_session_experiment(ProtocolConfig::paper(), session, nodes, &workload, sim)
+                .expect("session layer must mask link loss");
+            assert!(r.report.quiescent, "run did not quiesce (drop={drop}, rto={rto_ms}ms)");
+            let m = &r.report.metrics;
+            let s = &r.session;
+            let frames = s.data_frames + s.retransmits + s.acks;
+            println!(
+                "{{\"drop\":{drop},\"rto_ms\":{rto_ms},\"nodes\":{nodes},\
+                 \"requests\":{},\"grants\":{},\
+                 \"latency_mean_ms\":{:.2},\"latency_p99_ms\":{:.2},\
+                 \"data_frames\":{},\"retransmits\":{},\"acks\":{},\
+                 \"duplicates_dropped\":{},\"reordered_buffered\":{},\
+                 \"overhead_bytes\":{},\"end_time_ms\":{:.0}}}",
+                m.total_requests(),
+                m.total_grants(),
+                m.mean_latency().as_millis_f64(),
+                m.latency_percentile(0.99).as_millis_f64(),
+                s.data_frames,
+                s.retransmits,
+                s.acks,
+                s.duplicates_dropped,
+                s.reordered_buffered,
+                frames * FRAME_OVERHEAD_BYTES,
+                r.report.end_time.as_millis_f64(),
+            );
+        }
+    }
+}

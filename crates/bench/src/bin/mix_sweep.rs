@@ -54,12 +54,15 @@ fn main() {
             pure.messages_per_request(),
             pure.latency_factor(base),
         );
-        table.push_row(pct as usize, vec![
-            ours.messages_per_request(),
-            pure.messages_per_request(),
-            ours.latency_factor(base),
-            pure.latency_factor(base),
-        ]);
+        table.push_row(
+            pct as usize,
+            vec![
+                ours.messages_per_request(),
+                pure.messages_per_request(),
+                ours.latency_factor(base),
+                pure.latency_factor(base),
+            ],
+        );
     }
     println!("\n{}", table.render());
     if let Some(p) = table.save_csv("mix_sweep") {

@@ -59,9 +59,6 @@ fn main() {
     }
     println!("\nper-mode mean latency (ours, {nodes} nodes):");
     for (mode, latency, count) in ours_big.latency_by_mode() {
-        println!(
-            "  {mode:>3}: {:>8.1} ms ({count} grants)",
-            latency.as_millis_f64()
-        );
+        println!("  {mode:>3}: {:>8.1} ms ({count} grants)", latency.as_millis_f64());
     }
 }

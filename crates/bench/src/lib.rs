@@ -99,11 +99,7 @@ pub struct ResultTable {
 
 impl ResultTable {
     /// Creates an empty table.
-    pub fn new(
-        title: impl Into<String>,
-        x_label: impl Into<String>,
-        columns: Vec<String>,
-    ) -> Self {
+    pub fn new(title: impl Into<String>, x_label: impl Into<String>, columns: Vec<String>) -> Self {
         ResultTable { title: title.into(), x_label: x_label.into(), columns, rows: Vec::new() }
     }
 

@@ -41,6 +41,7 @@ use hlock_core::{
 };
 use hlock_naimi::NaimiSpace;
 use hlock_raymond::RaymondSpace;
+use hlock_session::{SessionConfig, SessionSpace};
 use hlock_suzuki::SuzukiSpace;
 use std::collections::hash_map::DefaultHasher;
 use std::collections::HashSet;
@@ -186,7 +187,7 @@ impl std::fmt::Display for CheckError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         writeln!(f, "{}", self.message)?;
         for (i, step) in self.trace.iter().enumerate() {
-            writeln!(f,"  {i}: {step}")?;
+            writeln!(f, "  {i}: {step}")?;
         }
         Ok(())
     }
@@ -218,6 +219,10 @@ struct State<P: ConcurrencyProtocol> {
     cancelled: Vec<Vec<(LockId, Ticket)>>,
     /// Monotonic per-link sequence counter.
     link_seq: u64,
+    /// Pending protocol timer tokens per node, kept sorted.
+    timers: Vec<Vec<u64>>,
+    /// Messages lost so far (bounded by [`Checker::max_drops`]).
+    drops_used: u32,
 }
 
 /// The model checker, parameterized by protocol factory.
@@ -227,72 +232,101 @@ pub struct Checker<P: ConcurrencyProtocol> {
     pub fifo_links: bool,
     /// Abort after this many distinct states (guards against explosion).
     pub max_states: u64,
+    /// Budget of in-flight messages the adversary may silently lose.
+    /// `0` (the default) models reliable links; with a positive budget a
+    /// `drop` step becomes enabled for every deliverable message, which
+    /// only session-wrapped protocols survive (via retransmission).
+    pub max_drops: u32,
+    /// Collapse byte-identical in-flight duplicates on the same link into
+    /// one. Sound only for idempotent transports (the session layer
+    /// drops duplicates at the receiver), where delivering a clone twice
+    /// is equivalent to delivering it once; unsound for raw protocols.
+    pub collapse_duplicate_inflight: bool,
+}
+
+impl<P: ConcurrencyProtocol> Checker<P> {
+    /// A checker over an arbitrary protocol factory (nodes, locks) →
+    /// per-node protocol instances, with reliable FIFO links.
+    pub fn with_factory(make: impl Fn(usize, usize) -> Vec<P> + 'static) -> Checker<P> {
+        Checker {
+            make: Box::new(make),
+            fifo_links: true,
+            max_states: 5_000_000,
+            max_drops: 0,
+            collapse_duplicate_inflight: false,
+        }
+    }
 }
 
 impl Checker<LockSpace> {
     /// A checker for the paper's hierarchical protocol.
     pub fn hierarchical(config: ProtocolConfig) -> Checker<LockSpace> {
-        Checker {
-            make: Box::new(move |nodes, locks| {
-                (0..nodes)
-                    .map(|i| LockSpace::new(NodeId(i as u32), locks, NodeId(0), config))
-                    .collect()
-            }),
-            fifo_links: true,
-            max_states: 5_000_000,
-        }
+        Checker::with_factory(move |nodes, locks| {
+            (0..nodes).map(|i| LockSpace::new(NodeId(i as u32), locks, NodeId(0), config)).collect()
+        })
+    }
+}
+
+impl Checker<SessionSpace<LockSpace>> {
+    /// A checker for the hierarchical protocol wrapped in the reliable
+    /// session layer. Use [`SessionConfig::for_model_checking`] (retry
+    /// cap off, jitter off) so the link state space stays finite; raise
+    /// [`Checker::max_drops`] above zero to let the adversary lose
+    /// frames and prove that retransmission restores every grant.
+    pub fn hierarchical_session(
+        config: ProtocolConfig,
+        session: SessionConfig,
+    ) -> Checker<SessionSpace<LockSpace>> {
+        let mut checker = Checker::with_factory(move |nodes, locks| {
+            (0..nodes)
+                .map(|i| {
+                    SessionSpace::new(
+                        LockSpace::new(NodeId(i as u32), locks, NodeId(0), config),
+                        session,
+                    )
+                })
+                .collect()
+        });
+        checker.collapse_duplicate_inflight = true;
+        checker
     }
 }
 
 impl Checker<NaimiSpace> {
     /// A checker for the Naimi–Trehel baseline.
     pub fn naimi() -> Checker<NaimiSpace> {
-        Checker {
-            make: Box::new(move |nodes, locks| {
-                (0..nodes)
-                    .map(|i| NaimiSpace::new(NodeId(i as u32), locks, NodeId(0)))
-                    .collect()
-            }),
-            fifo_links: true,
-            max_states: 5_000_000,
-        }
+        Checker::with_factory(move |nodes, locks| {
+            (0..nodes).map(|i| NaimiSpace::new(NodeId(i as u32), locks, NodeId(0))).collect()
+        })
     }
 }
 
 impl Checker<RaymondSpace> {
     /// A checker for Raymond's static-tree baseline.
     pub fn raymond() -> Checker<RaymondSpace> {
-        Checker {
-            make: Box::new(move |nodes, locks| {
-                (0..nodes)
-                    .map(|i| RaymondSpace::new(NodeId(i as u32), nodes, locks, NodeId(0)))
-                    .collect()
-            }),
-            fifo_links: true,
-            max_states: 5_000_000,
-        }
+        Checker::with_factory(move |nodes, locks| {
+            (0..nodes)
+                .map(|i| RaymondSpace::new(NodeId(i as u32), nodes, locks, NodeId(0)))
+                .collect()
+        })
     }
 }
 
 impl Checker<SuzukiSpace> {
     /// A checker for the Suzuki–Kasami broadcast baseline.
     pub fn suzuki() -> Checker<SuzukiSpace> {
-        Checker {
-            make: Box::new(move |nodes, locks| {
-                (0..nodes)
-                    .map(|i| SuzukiSpace::new(NodeId(i as u32), nodes, locks, NodeId(0)))
-                    .collect()
-            }),
-            fifo_links: true,
-            max_states: 5_000_000,
-        }
+        Checker::with_factory(move |nodes, locks| {
+            (0..nodes)
+                .map(|i| SuzukiSpace::new(NodeId(i as u32), nodes, locks, NodeId(0)))
+                .collect()
+        })
     }
 }
 
 impl<P> Checker<P>
 where
     P: ConcurrencyProtocol + Inspect + Clone + Hash,
-    P::Message: Hash + Debug + Clone,
+    P::Message: Hash + Debug + Clone + PartialEq,
 {
     /// Explores all interleavings of `scenario`.
     ///
@@ -309,6 +343,8 @@ where
             requested: vec![Vec::new(); scenario.nodes],
             cancelled: vec![Vec::new(); scenario.nodes],
             link_seq: 0,
+            timers: vec![Vec::new(); scenario.nodes],
+            drops_used: 0,
         };
         let mut visited: HashSet<u64> = HashSet::new();
         visited.insert(fingerprint(&initial));
@@ -324,10 +360,9 @@ where
             }
             for step in steps {
                 let mut next = state.clone();
-                let label = self.apply(scenario, &mut next, step).map_err(|msg| CheckError {
-                    message: msg,
-                    trace: trace.clone(),
-                })?;
+                let label = self
+                    .apply(scenario, &mut next, step)
+                    .map_err(|msg| CheckError { message: msg, trace: trace.clone() })?;
                 stats.transitions += 1;
                 self.check_safety(scenario, &next, &trace, &label)?;
                 let fp = fingerprint(&next);
@@ -350,7 +385,7 @@ where
 
     fn enabled_steps(&self, scenario: &Scenario, s: &State<P>) -> Vec<Step> {
         let mut steps = Vec::new();
-        // Message deliveries.
+        // Message deliveries (and, within the drop budget, losses).
         for (i, f) in s.inflight.iter().enumerate() {
             if self.fifo_links {
                 // Only the oldest message per (from, to) link is deliverable.
@@ -365,6 +400,16 @@ where
                 }
             }
             steps.push(Step::Deliver(i));
+            if s.drops_used < self.max_drops {
+                steps.push(Step::Drop(i));
+            }
+        }
+        // Protocol timer firings (time-abstract: any pending timer may
+        // fire whenever the scheduler chooses).
+        for (n, tokens) in s.timers.iter().enumerate() {
+            for &token in tokens {
+                steps.push(Step::Timer { node: NodeId(n as u32), token });
+            }
         }
         // Script actions.
         for n in 0..scenario.nodes {
@@ -390,12 +435,7 @@ where
         steps
     }
 
-    fn apply(
-        &self,
-        _scenario: &Scenario,
-        s: &mut State<P>,
-        step: Step,
-    ) -> Result<String, String> {
+    fn apply(&self, _scenario: &Scenario, s: &mut State<P>, step: Step) -> Result<String, String> {
         let mut fx = EffectSink::new();
         let label;
         match step {
@@ -403,7 +443,18 @@ where
                 let f = s.inflight.remove(i);
                 label = format!("deliver {:?} {}→{}", f.message.kind(), f.from, f.to);
                 s.nodes[f.to.index()].on_message(f.from, f.message, &mut fx);
-                Self::absorb(s, f.to, fx)?;
+                self.absorb(s, f.to, fx)?;
+            }
+            Step::Drop(i) => {
+                let f = s.inflight.remove(i);
+                s.drops_used += 1;
+                label = format!("drop {:?} {}→{}", f.message.kind(), f.from, f.to);
+            }
+            Step::Timer { node, token } => {
+                label = format!("{node} timer {token:#x}");
+                s.timers[node.index()].retain(|&t| t != token);
+                s.nodes[node.index()].on_timer(token, &mut fx);
+                self.absorb(s, node, fx)?;
             }
             Step::Script(node) => {
                 let action = {
@@ -474,18 +525,30 @@ where
                             .map_err(|e| format!("script misuse: {e}"))?;
                     }
                 }
-                Self::absorb(s, node, fx)?;
+                self.absorb(s, node, fx)?;
             }
         }
         Ok(label)
     }
 
     /// Moves effects into state: sends become in-flight messages, grants
-    /// are recorded.
-    fn absorb(s: &mut State<P>, node: NodeId, mut fx: EffectSink<P::Message>) -> Result<(), String> {
+    /// are recorded, timers become pending (time-abstract) firings.
+    fn absorb(
+        &self,
+        s: &mut State<P>,
+        node: NodeId,
+        mut fx: EffectSink<P::Message>,
+    ) -> Result<(), String> {
         for e in fx.drain() {
             match e {
                 Effect::Send { to, message } => {
+                    if self.collapse_duplicate_inflight
+                        && s.inflight
+                            .iter()
+                            .any(|g| g.from == node && g.to == to && g.message == message)
+                    {
+                        continue;
+                    }
                     s.link_seq += 1;
                     s.inflight.push(Flight { from: node, to, seq: s.link_seq, message });
                 }
@@ -495,6 +558,14 @@ where
                         "cancelled tickets never surface grants"
                     );
                     s.granted[node.index()].push((lock, ticket, mode));
+                }
+                Effect::SetTimer { token, .. } => {
+                    // Delays are abstracted away; only the pending-firing
+                    // set matters. Re-arming an armed timer is a no-op.
+                    let pending = &mut s.timers[node.index()];
+                    if let Err(at) = pending.binary_search(&token) {
+                        pending.insert(at, token);
+                    }
                 }
             }
         }
@@ -524,11 +595,7 @@ where
                 }
             }
             if tokens > 1 {
-                return Err(self.err(
-                    format!("{tokens} token holders for {lock}"),
-                    trace,
-                    label,
-                ));
+                return Err(self.err(format!("{tokens} token holders for {lock}"), trace, label));
             }
             for i in 0..held.len() {
                 for j in i + 1..held.len() {
@@ -536,9 +603,7 @@ where
                     let (nb, mb) = held[j];
                     if na != nb && !ma.compatible(mb) {
                         return Err(self.err(
-                            format!(
-                                "incompatible holders on {lock}: {na}:{ma} vs {nb}:{mb}"
-                            ),
+                            format!("incompatible holders on {lock}: {na}:{ma} vs {nb}:{mb}"),
                             trace,
                             label,
                         ));
@@ -598,11 +663,7 @@ where
             if states.len() == s.nodes.len() {
                 let findings = hlock_core::audit_lock(states);
                 if let Some(first) = findings.first() {
-                    return Err(self.err(
-                        format!("terminal-state audit: {first}"),
-                        trace,
-                        "end",
-                    ));
+                    return Err(self.err(format!("terminal-state audit: {first}"), trace, "end"));
                 }
             }
         }
@@ -619,6 +680,8 @@ where
 #[derive(Debug, Clone, Copy)]
 enum Step {
     Deliver(usize),
+    Drop(usize),
+    Timer { node: NodeId, token: u64 },
     Script(NodeId),
 }
 
@@ -633,6 +696,8 @@ where
     s.granted.hash(&mut h);
     s.requested.hash(&mut h);
     s.cancelled.hash(&mut h);
+    s.timers.hash(&mut h);
+    s.drops_used.hash(&mut h);
     // In-flight messages as an (unordered) multiset: combine per-message
     // hashes commutatively, keeping per-link order via seq normalization.
     let mut flight_hash: u64 = 0;
@@ -642,11 +707,8 @@ where
         f.to.hash(&mut fh);
         f.message.hash(&mut fh);
         // Relative order on the link matters; absolute seq does not.
-        let rank = s
-            .inflight
-            .iter()
-            .filter(|g| g.from == f.from && g.to == f.to && g.seq < f.seq)
-            .count();
+        let rank =
+            s.inflight.iter().filter(|g| g.from == f.from && g.to == f.to && g.seq < f.seq).count();
         rank.hash(&mut fh);
         flight_hash = flight_hash.wrapping_add(fh.finish());
     }
@@ -684,9 +746,8 @@ mod tests {
 
     #[test]
     fn hierarchical_two_writers_all_interleavings() {
-        let stats = Checker::hierarchical(ProtocolConfig::default())
-            .run(&two_writers())
-            .expect("safe");
+        let stats =
+            Checker::hierarchical(ProtocolConfig::default()).run(&two_writers()).expect("safe");
         assert!(stats.states > 10);
         assert!(stats.terminals > 0);
     }
@@ -721,9 +782,7 @@ mod tests {
                     Action::release(LockId(0), Ticket(3)),
                 ],
             );
-        let stats = Checker::hierarchical(ProtocolConfig::default())
-            .run(&scenario)
-            .expect("safe");
+        let stats = Checker::hierarchical(ProtocolConfig::default()).run(&scenario).expect("safe");
         assert!(stats.terminals > 0);
     }
 
@@ -748,6 +807,97 @@ mod tests {
         Checker::hierarchical(ProtocolConfig::default())
             .run(&scenario)
             .expect("upgrade interleavings safe");
+    }
+
+    #[test]
+    fn session_wrapped_writer_all_interleavings() {
+        // Reliable links: the wrapper must be invisible — every grant
+        // still arrives, quiescence still reached in every terminal.
+        let scenario = Scenario::new(2, 1).script(
+            NodeId(1),
+            vec![
+                Action::request(LockId(0), Mode::Write, Ticket(1)),
+                Action::release(LockId(0), Ticket(1)),
+            ],
+        );
+        let stats = Checker::hierarchical_session(
+            ProtocolConfig::default(),
+            SessionConfig::for_model_checking(),
+        )
+        .run(&scenario)
+        .expect("session wrapper preserves safety and progress");
+        assert!(stats.terminals > 0);
+    }
+
+    #[test]
+    fn session_survives_adversarial_message_loss() {
+        // With a drop budget, the adversary may lose any deliverable
+        // frame. Raw protocols deadlock (the request or grant vanishes);
+        // the session layer must retransmit until every scripted grant
+        // lands and every terminal state is quiescent.
+        let scenario = Scenario::new(2, 1).script(
+            NodeId(1),
+            vec![
+                Action::request(LockId(0), Mode::Write, Ticket(1)),
+                Action::release(LockId(0), Ticket(1)),
+            ],
+        );
+        let mut checker = Checker::hierarchical_session(
+            ProtocolConfig::default(),
+            SessionConfig::for_model_checking(),
+        );
+        checker.max_drops = 1;
+        let stats = checker.run(&scenario).expect("retransmission restores liveness");
+        assert!(stats.terminals > 0, "some execution must still terminate");
+        assert!(stats.states > 10);
+    }
+
+    #[test]
+    fn raw_protocol_deadlocks_under_message_loss() {
+        // The inverse: the same drop budget against the raw hierarchical
+        // protocol must produce a progress violation — this is exactly
+        // the gap the session layer exists to close.
+        let scenario = Scenario::new(2, 1).script(
+            NodeId(1),
+            vec![
+                Action::request(LockId(0), Mode::Write, Ticket(1)),
+                Action::release(LockId(0), Ticket(1)),
+            ],
+        );
+        let mut checker = Checker::hierarchical(ProtocolConfig::default());
+        checker.max_drops = 1;
+        let err = checker.run(&scenario).expect_err("a lost frame must wedge raw links");
+        assert!(
+            err.message.contains("deadlock") || err.message.contains("not quiescent"),
+            "unexpected violation: {}",
+            err.message
+        );
+    }
+
+    #[test]
+    fn session_readers_and_writer_under_loss() {
+        let scenario = Scenario::new(2, 1)
+            .script(
+                NodeId(0),
+                vec![
+                    Action::request(LockId(0), Mode::Read, Ticket(1)),
+                    Action::release(LockId(0), Ticket(1)),
+                ],
+            )
+            .script(
+                NodeId(1),
+                vec![
+                    Action::request(LockId(0), Mode::Write, Ticket(2)),
+                    Action::release(LockId(0), Ticket(2)),
+                ],
+            );
+        let mut checker = Checker::hierarchical_session(
+            ProtocolConfig::default(),
+            SessionConfig::for_model_checking(),
+        );
+        checker.max_drops = 1;
+        let stats = checker.run(&scenario).expect("mixed modes safe under loss");
+        assert!(stats.terminals > 0);
     }
 
     #[test]

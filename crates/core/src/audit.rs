@@ -59,12 +59,7 @@ pub fn audit_lock<'a>(nodes: impl IntoIterator<Item = &'a LockNode>) -> Vec<Audi
     }
     for n in &nodes {
         if n.is_token() != n.parent().is_none() {
-            f(format!(
-                "{lock}: {} token={} but parent={:?}",
-                n.id(),
-                n.is_token(),
-                n.parent()
-            ));
+            f(format!("{lock}: {} token={} but parent={:?}", n.id(), n.is_token(), n.parent()));
         }
     }
 
@@ -73,10 +68,7 @@ pub fn audit_lock<'a>(nodes: impl IntoIterator<Item = &'a LockNode>) -> Vec<Audi
     for p in &nodes {
         for (&c, &mode) in p.children() {
             if let Some(prev) = accounted_at.insert(c, p.id()) {
-                f(format!(
-                    "{lock}: {c} is accounted in two copysets ({prev} and {})",
-                    p.id()
-                ));
+                f(format!("{lock}: {c} is accounted in two copysets ({prev} and {})", p.id()));
             }
             match by_id.get(&c) {
                 None => f(format!("{lock}: {} lists unknown child {c}", p.id())),
@@ -103,11 +95,7 @@ pub fn audit_lock<'a>(nodes: impl IntoIterator<Item = &'a LockNode>) -> Vec<Audi
     // accounted exactly once.
     for n in &nodes {
         if !n.is_token() && n.owned().is_some() && !accounted_at.contains_key(&n.id()) {
-            f(format!(
-                "{lock}: {} owns {:?} but no copyset accounts for it",
-                n.id(),
-                n.owned()
-            ));
+            f(format!("{lock}: {} owns {:?} but no copyset accounts for it", n.id(), n.owned()));
         }
     }
 
@@ -129,8 +117,7 @@ pub fn audit_lock<'a>(nodes: impl IntoIterator<Item = &'a LockNode>) -> Vec<Audi
                 break;
             }
         }
-        if hops <= nodes.len() && !cur.is_token() && cur.parent().is_none() && !tokens.is_empty()
-        {
+        if hops <= nodes.len() && !cur.is_token() && cur.parent().is_none() && !tokens.is_empty() {
             f(format!("{lock}: chain from {} ends at non-token {}", n.id(), cur.id()));
         }
     }
@@ -147,10 +134,8 @@ pub fn audit_lock<'a>(nodes: impl IntoIterator<Item = &'a LockNode>) -> Vec<Audi
             }
         }
     }
-    let held: Vec<(NodeId, crate::Mode)> = nodes
-        .iter()
-        .flat_map(|n| n.held().iter().map(move |&(_, m)| (n.id(), m)))
-        .collect();
+    let held: Vec<(NodeId, crate::Mode)> =
+        nodes.iter().flat_map(|n| n.held().iter().map(move |&(_, m)| (n.id(), m))).collect();
     for i in 0..held.len() {
         for j in i + 1..held.len() {
             let (na, ma) = held[i];

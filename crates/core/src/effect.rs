@@ -30,6 +30,19 @@ pub enum Effect<M> {
         /// upgrade).
         mode: Mode,
     },
+    /// Ask the host to call [`crate::ConcurrencyProtocol::on_timer`] with
+    /// `token` after `delay_micros` of host time has elapsed.
+    ///
+    /// Hosts may not support cancellation, so a timer can fire after the
+    /// condition it guarded has passed; protocols must treat a stale or
+    /// unknown token as a no-op.
+    SetTimer {
+        /// Protocol-chosen correlation token, echoed back on fire.
+        token: u64,
+        /// Delay until the timer fires, in microseconds of host time
+        /// (virtual time in the simulator, wall time on a real transport).
+        delay_micros: u64,
+    },
 }
 
 impl<M> Effect<M> {
@@ -37,7 +50,7 @@ impl<M> Effect<M> {
     pub fn send_to(&self) -> Option<NodeId> {
         match self {
             Effect::Send { to, .. } => Some(*to),
-            Effect::Granted { .. } => None,
+            Effect::Granted { .. } | Effect::SetTimer { .. } => None,
         }
     }
 }
@@ -48,6 +61,9 @@ impl<M: fmt::Debug> fmt::Display for Effect<M> {
             Effect::Send { to, message } => write!(f, "send {message:?} -> {to}"),
             Effect::Granted { lock, ticket, mode } => {
                 write!(f, "granted {lock} {mode} ({ticket})")
+            }
+            Effect::SetTimer { token, delay_micros } => {
+                write!(f, "set-timer {token:#x} +{delay_micros}us")
             }
         }
     }
@@ -95,6 +111,11 @@ impl<M> EffectSink<M> {
         self.effects.push(Effect::Granted { lock, ticket, mode });
     }
 
+    /// Queues a `SetTimer` effect.
+    pub fn set_timer(&mut self, token: u64, delay_micros: u64) {
+        self.effects.push(Effect::SetTimer { token, delay_micros });
+    }
+
     /// Number of queued effects.
     pub fn len(&self) -> usize {
         self.effects.len()
@@ -130,10 +151,7 @@ mod tests {
         let v: Vec<_> = sink.drain().collect();
         assert_eq!(v[0], Effect::Send { to: NodeId(2), message: 10 });
         assert_eq!(v[1], Effect::Send { to: NodeId(3), message: 11 });
-        assert_eq!(
-            v[2],
-            Effect::Granted { lock: LockId(1), ticket: Ticket(5), mode: Mode::Write }
-        );
+        assert_eq!(v[2], Effect::Granted { lock: LockId(1), ticket: Ticket(5), mode: Mode::Write });
         assert!(sink.is_empty());
     }
 

@@ -86,12 +86,9 @@ mod tests {
             "ticket t3 is already in use"
         );
         assert!(ProtocolError::NotHeld { ticket: Ticket(1) }.to_string().contains("t1"));
-        assert!(ProtocolError::UpgradeRequiresUpgradeLock {
-            ticket: Ticket(2),
-            held: Mode::Read
-        }
-        .to_string()
-        .contains("holds R"));
+        assert!(ProtocolError::UpgradeRequiresUpgradeLock { ticket: Ticket(2), held: Mode::Read }
+            .to_string()
+            .contains("holds R"));
         assert!(ProtocolError::UnknownLock { lock: LockId(7) }.to_string().contains("L7"));
         assert!(ProtocolError::NotCancellable { ticket: Ticket(4) }
             .to_string()

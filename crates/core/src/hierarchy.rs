@@ -54,10 +54,8 @@ impl LockPlan {
     /// is taken in the [`Mode::intention`] of `mode`; the leaf in `mode`
     /// itself.
     pub fn for_leaf(ancestors: &[LockId], leaf: LockId, mode: Mode) -> Self {
-        let mut steps: Vec<HierarchyStep> = ancestors
-            .iter()
-            .map(|&lock| HierarchyStep { lock, mode: mode.intention() })
-            .collect();
+        let mut steps: Vec<HierarchyStep> =
+            ancestors.iter().map(|&lock| HierarchyStep { lock, mode: mode.intention() }).collect();
         steps.push(HierarchyStep { lock: leaf, mode });
         LockPlan::new(steps)
     }
@@ -89,9 +87,10 @@ impl PlanTracker {
 
     /// The next request to issue, or `None` when the plan is complete.
     pub fn current(&self) -> Option<(LockId, Mode, Ticket)> {
-        self.plan.steps.get(self.granted).map(|s| {
-            (s.lock, s.mode, Ticket(self.base_ticket + self.granted as u64))
-        })
+        self.plan
+            .steps
+            .get(self.granted)
+            .map(|s| (s.lock, s.mode, Ticket(self.base_ticket + self.granted as u64)))
     }
 
     /// Records that the current step was granted. Returns `true` when the
@@ -124,9 +123,9 @@ impl PlanTracker {
     /// Locks to release, leaf-first (reverse acquisition order), with the
     /// tickets they were granted under. Only granted steps are included.
     pub fn release_order(&self) -> impl Iterator<Item = (LockId, Ticket)> + '_ {
-        (0..self.granted).rev().map(move |i| {
-            (self.plan.steps[i].lock, Ticket(self.base_ticket + i as u64))
-        })
+        (0..self.granted)
+            .rev()
+            .map(move |i| (self.plan.steps[i].lock, Ticket(self.base_ticket + i as u64)))
     }
 }
 

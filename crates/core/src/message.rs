@@ -25,17 +25,21 @@ pub enum MessageKind {
     Freeze,
     /// A frozen-set update (unfreeze) notification.
     Update,
+    /// A standalone cumulative acknowledgement from the reliable session
+    /// layer (`hlock-session`); carries no protocol payload.
+    Ack,
 }
 
 impl MessageKind {
     /// All kinds, in the order used by the Figure 7 breakdown.
-    pub const ALL: [MessageKind; 6] = [
+    pub const ALL: [MessageKind; 7] = [
         MessageKind::Request,
         MessageKind::Grant,
         MessageKind::Token,
         MessageKind::Release,
         MessageKind::Freeze,
         MessageKind::Update,
+        MessageKind::Ack,
     ];
 
     /// Stable label used in benchmark output.
@@ -47,6 +51,7 @@ impl MessageKind {
             MessageKind::Release => "release",
             MessageKind::Freeze => "freeze",
             MessageKind::Update => "update",
+            MessageKind::Ack => "ack",
         }
     }
 }

@@ -40,13 +40,8 @@ pub enum Mode {
 }
 
 /// All five modes in strength order (weakest first).
-pub const ALL_MODES: [Mode; 5] = [
-    Mode::IntentRead,
-    Mode::Read,
-    Mode::Upgrade,
-    Mode::IntentWrite,
-    Mode::Write,
-];
+pub const ALL_MODES: [Mode; 5] =
+    [Mode::IntentRead, Mode::Read, Mode::Upgrade, Mode::IntentWrite, Mode::Write];
 
 impl Mode {
     /// Strength per Definition 1: `∅ < IR < R < U = IW < W`.
@@ -250,8 +245,8 @@ pub fn token_serve(owned: Option<Mode>, requested: Mode) -> Option<TokenServe> {
 /// mechanism (Rule 6) guarantees FIFO fairness. With `pending = ∅` (no
 /// pending request) every non-grantable request is forwarded.
 pub fn queue_or_forward(pending: Option<Mode>, incoming: Mode) -> QueueDecision {
-    let queue = grantable(pending, incoming)
-        || matches!(pending, Some(Mode::Upgrade) | Some(Mode::Write));
+    let queue =
+        grantable(pending, incoming) || matches!(pending, Some(Mode::Upgrade) | Some(Mode::Write));
     if queue {
         QueueDecision::Queue
     } else {
@@ -299,9 +294,7 @@ pub fn can_downgrade(old: Mode, new: Mode) -> bool {
     if old == new {
         return true;
     }
-    ALL_MODES
-        .into_iter()
-        .all(|m| !m.compatible(old) || m.compatible(new))
+    ALL_MODES.into_iter().all(|m| !m.compatible(old) || m.compatible(new))
 }
 
 /// Rule 6 / Table 2(b): the set of modes frozen while a request for
@@ -467,21 +460,23 @@ pub fn compatibility_table() -> String {
 
 /// Renders Table 1(b) (non-token grant legality; `X` = may NOT grant).
 pub fn child_grant_table() -> String {
-    render_table(
-        "Table 1(b): owned modes that may NOT grant a child request (X)",
-        |o, r| if grantable(o, r) { " " } else { "X" },
-    )
+    render_table("Table 1(b): owned modes that may NOT grant a child request (X)", |o, r| {
+        if grantable(o, r) {
+            " "
+        } else {
+            "X"
+        }
+    })
 }
 
 /// Renders Table 2(a) (queue `Q` vs forward `F` at a non-token node).
 pub fn queue_forward_table() -> String {
-    render_table(
-        "Table 2(a): queue (Q) or forward (F) at a non-token node",
-        |p, r| match queue_or_forward(p, r) {
+    render_table("Table 2(a): queue (Q) or forward (F) at a non-token node", |p, r| {
+        match queue_or_forward(p, r) {
             QueueDecision::Queue => "Q",
             QueueDecision::Forward => "F",
-        },
-    )
+        }
+    })
 }
 
 /// Renders Table 2(b) (frozen modes while a request waits at the token).
@@ -574,8 +569,7 @@ mod tests {
     /// verify the strength order is consistent with that characterization.
     #[test]
     fn strength_consistent_with_compatibility_count() {
-        let compat_count =
-            |m: Mode| ALL_MODES.iter().filter(|o| m.compatible(**o)).count();
+        let compat_count = |m: Mode| ALL_MODES.iter().filter(|o| m.compatible(**o)).count();
         for a in ALL_MODES {
             for b in ALL_MODES {
                 if a.strength() > b.strength() {
@@ -699,14 +693,8 @@ mod tests {
         assert!(frozen_modes(Read).contains(IntentWrite)); // the Fig. 3 example
         assert_eq!(frozen_modes(IntentRead), ModeSet::from_modes([Write]));
         assert_eq!(frozen_modes(Read), ModeSet::from_modes([IntentWrite, Write]));
-        assert_eq!(
-            frozen_modes(Upgrade),
-            ModeSet::from_modes([Upgrade, IntentWrite, Write])
-        );
-        assert_eq!(
-            frozen_modes(IntentWrite),
-            ModeSet::from_modes([Read, Upgrade, Write])
-        );
+        assert_eq!(frozen_modes(Upgrade), ModeSet::from_modes([Upgrade, IntentWrite, Write]));
+        assert_eq!(frozen_modes(IntentWrite), ModeSet::from_modes([Read, Upgrade, Write]));
         assert_eq!(frozen_modes(Write), ModeSet::ALL);
     }
 
@@ -792,12 +780,9 @@ mod tests {
 
     #[test]
     fn printable_tables_contain_all_modes() {
-        for table in [
-            compatibility_table(),
-            child_grant_table(),
-            queue_forward_table(),
-            freeze_table(),
-        ] {
+        for table in
+            [compatibility_table(), child_grant_table(), queue_forward_table(), freeze_table()]
+        {
             for m in ALL_MODES {
                 assert!(table.contains(m.symbol()), "{table}");
             }

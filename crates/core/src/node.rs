@@ -161,14 +161,9 @@ impl LockNode {
     /// The owned mode: strongest mode held in the subtree rooted here
     /// (Definition 3). `None` is `∅`.
     pub fn owned(&self) -> Option<Mode> {
-        let held_max = self
-            .held
-            .iter()
-            .map(|&(_, m)| m)
-            .fold(None, |acc, m| stronger(acc, Some(m)));
-        self.children
-            .values()
-            .fold(held_max, |acc, &m| stronger(acc, Some(m)))
+        let held_max =
+            self.held.iter().map(|&(_, m)| m).fold(None, |acc, m| stronger(acc, Some(m)));
+        self.children.values().fold(held_max, |acc, &m| stronger(acc, Some(m)))
     }
 
     /// Currently frozen modes at this node.
@@ -215,18 +210,15 @@ impl LockNode {
     }
 
     fn strongest_pending(&self) -> Option<Mode> {
-        self.pending
-            .iter()
-            .map(|p| p.mode)
-            .fold(None, |acc, m| stronger(acc, Some(m)))
+        self.pending.iter().map(|p| p.mode).fold(None, |acc, m| stronger(acc, Some(m)))
     }
 
     fn ticket_in_use(&self, ticket: Ticket) -> bool {
         self.held.iter().any(|&(t, _)| t == ticket)
             || self.pending.iter().any(|p| p.ticket == ticket)
-            || self.queue.iter().any(|e| {
-                matches!(e.waiter, Waiter::Local(t) | Waiter::LocalUpgrade(t) if t == ticket)
-            })
+            || self.queue.iter().any(
+                |e| matches!(e.waiter, Waiter::Local(t) | Waiter::LocalUpgrade(t) if t == ticket),
+            )
     }
 
     // ------------------------------------------------------------------
@@ -459,21 +451,24 @@ impl LockNode {
     ///
     /// A locally queued request is removed outright; a request already in
     /// flight cannot be recalled, so its eventual grant is absorbed and
-    /// relinquished automatically without a `Granted` effect.
+    /// relinquished automatically without a `Granted` effect. A pending
+    /// *upgrade* is cancellable too: the queued `W` entry is removed and
+    /// the ticket keeps its original `U` grant.
     ///
     /// # Errors
     ///
     /// [`ProtocolError::NotCancellable`] if the ticket already holds the
-    /// lock (release it instead); [`ProtocolError::NotHeld`] if the
-    /// ticket is unknown.
+    /// lock with no upgrade pending (release it instead);
+    /// [`ProtocolError::NotHeld`] if the ticket is unknown.
     pub fn cancel(
         &mut self,
         ticket: Ticket,
         fx: &mut EffectSink<Payload>,
     ) -> Result<CancelOutcome, ProtocolError> {
-        if self.held.iter().any(|&(t, _)| t == ticket) {
-            return Err(ProtocolError::NotCancellable { ticket });
-        }
+        // Queue removal runs before the held check: a ticket mid-upgrade
+        // both holds U and has a LocalUpgrade entry queued, and cancelling
+        // it must revert to the held U rather than fail as NotCancellable
+        // (which would strand the queued W entry forever).
         let queued = self.queue.remove_waiter(Waiter::Local(ticket))
             + self.queue.remove_waiter(Waiter::LocalUpgrade(ticket));
         if queued > 0 {
@@ -485,6 +480,9 @@ impl LockNode {
                 self.serve_queue_nontoken(fx);
             }
             return Ok(CancelOutcome::Cancelled);
+        }
+        if self.held.iter().any(|&(t, _)| t == ticket) {
+            return Err(ProtocolError::NotCancellable { ticket });
         }
         if self.pending.iter().any(|p| p.ticket == ticket) {
             self.cancelled.insert(ticket);
@@ -739,8 +737,7 @@ impl LockNode {
         // literal Rule 3.2 policy (`eager_transfers`); the default lazy
         // policy serves it as a copy, keeping the token pinned.
         let must_transfer = matches!(mode, Mode::Upgrade | Mode::Write);
-        let eager_transfer =
-            self.config.eager_transfers && owned_strength(owned) < mode.strength();
+        let eager_transfer = self.config.eager_transfers && owned_strength(owned) < mode.strength();
         if must_transfer || eager_transfer {
             self.transfer_token(origin, mode, fx);
         } else {
@@ -1012,9 +1009,7 @@ impl LockNode {
             return;
         }
         let new = if self.config.freezing {
-            self.queue
-                .iter()
-                .fold(ModeSet::EMPTY, |acc, e| acc.union(frozen_modes(e.mode)))
+            self.queue.iter().fold(ModeSet::EMPTY, |acc, e| acc.union(frozen_modes(e.mode)))
         } else {
             ModeSet::EMPTY
         };
@@ -1078,7 +1073,7 @@ mod tests {
         fx.drain()
             .filter_map(|e| match e {
                 Effect::Send { to, message } => Some((to, message)),
-                Effect::Granted { .. } => None,
+                _ => None,
             })
             .collect()
     }
@@ -1087,7 +1082,7 @@ mod tests {
         fx.drain()
             .filter_map(|e| match e {
                 Effect::Granted { ticket, mode, .. } => Some((ticket, mode)),
-                Effect::Send { .. } => None,
+                _ => None,
             })
             .collect()
     }
@@ -1099,10 +1094,7 @@ mod tests {
         n.request(Mode::Write, Ticket(1), &mut fx).unwrap();
         let effects: Vec<_> = fx.drain().collect();
         assert_eq!(effects.len(), 1);
-        assert!(matches!(
-            effects[0],
-            Effect::Granted { ticket: Ticket(1), mode: Mode::Write, .. }
-        ));
+        assert!(matches!(effects[0], Effect::Granted { ticket: Ticket(1), mode: Mode::Write, .. }));
         assert!(n.is_token());
         assert_eq!(n.owned(), Some(Mode::Write));
     }
@@ -1132,10 +1124,7 @@ mod tests {
         let out = sends(&mut fx);
         assert_eq!(out.len(), 1);
         assert_eq!(out[0].0, NodeId(0));
-        assert!(matches!(
-            out[0].1,
-            Payload::Request { origin: NodeId(1), mode: Mode::Read, .. }
-        ));
+        assert!(matches!(out[0].1, Payload::Request { origin: NodeId(1), mode: Mode::Read, .. }));
         assert_eq!(n.pending_len(), 1);
     }
 
@@ -1203,7 +1192,12 @@ mod tests {
         // Remote R arrives: incompatible with IW, queued, IW+W frozen.
         a.on_message(
             NodeId(1),
-            Payload::Request { origin: NodeId(1), mode: Mode::Read, stamp: Stamp(1), priority: Priority::NORMAL },
+            Payload::Request {
+                origin: NodeId(1),
+                mode: Mode::Read,
+                stamp: Stamp(1),
+                priority: Priority::NORMAL,
+            },
             &mut fx,
         );
         assert_eq!(a.queue_len(), 1);
@@ -1213,7 +1207,12 @@ mod tests {
         // Frozen IW now refuses even a compatible IW newcomer (Rule 6).
         a.on_message(
             NodeId(2),
-            Payload::Request { origin: NodeId(2), mode: Mode::IntentWrite, stamp: Stamp(2), priority: Priority::NORMAL },
+            Payload::Request {
+                origin: NodeId(2),
+                mode: Mode::IntentWrite,
+                stamp: Stamp(2),
+                priority: Priority::NORMAL,
+            },
             &mut fx,
         );
         assert_eq!(a.queue_len(), 2);
@@ -1249,8 +1248,8 @@ mod tests {
         c.request(Mode::IntentRead, Ticket(12), &mut fx).unwrap();
         let m = sends(&mut fx);
         assert_eq!(m[0].0, NodeId(0)); // C's initial parent is A
-        // B can grant IR itself when asked (Rule 3.1) — deliver there to
-        // reproduce the figure's topology.
+                                       // B can grant IR itself when asked (Rule 3.1) — deliver there to
+                                       // reproduce the figure's topology.
         b.on_message(NodeId(2), m[0].1.clone(), &mut fx);
         let m = sends(&mut fx);
         assert!(matches!(m[0].1, Payload::Grant { mode: Mode::IntentRead, .. }));
@@ -1282,10 +1281,9 @@ mod tests {
         b.on_message(NodeId(0), m[0].1.clone(), &mut fx);
         let out: Vec<_> = fx.drain().collect();
         // B got its grant and immediately granted D from its local queue.
-        assert!(out.iter().any(|e| matches!(
-            e,
-            Effect::Granted { ticket: Ticket(13), mode: Mode::Read, .. }
-        )));
+        assert!(out
+            .iter()
+            .any(|e| matches!(e, Effect::Granted { ticket: Ticket(13), mode: Mode::Read, .. })));
         let to_d: Vec<_> = out
             .iter()
             .filter_map(|e| match e {
@@ -1347,7 +1345,12 @@ mod tests {
         fx.drain().count();
         b.on_message(
             NodeId(4),
-            Payload::Request { origin: NodeId(4), mode: Mode::IntentWrite, stamp: Stamp(9), priority: Priority::NORMAL },
+            Payload::Request {
+                origin: NodeId(4),
+                mode: Mode::IntentWrite,
+                stamp: Stamp(9),
+                priority: Priority::NORMAL,
+            },
             &mut fx,
         );
         let fwd = sends(&mut fx);
@@ -1493,7 +1496,12 @@ mod tests {
         fx.drain().count();
         b.on_message(
             NodeId(2),
-            Payload::Request { origin: NodeId(2), mode: Mode::Read, stamp: Stamp(5), priority: Priority::NORMAL },
+            Payload::Request {
+                origin: NodeId(2),
+                mode: Mode::Read,
+                stamp: Stamp(5),
+                priority: Priority::NORMAL,
+            },
             &mut fx,
         );
         let m = sends(&mut fx);
@@ -1526,8 +1534,10 @@ mod tests {
         let m = sends(&mut fx);
         let Payload::Token { queue, .. } = &m[0].1 else { panic!("expected token") };
         assert_eq!(queue.len(), 1);
-        assert!(matches!(queue[0].waiter, Waiter::Remote(NodeId(0))),
-            "A's local entry travels as Remote(A): {queue:?}");
+        assert!(
+            matches!(queue[0].waiter, Waiter::Remote(NodeId(0))),
+            "A's local entry travels as Remote(A): {queue:?}"
+        );
         assert_eq!(a.pending_len(), 1, "A's converted entry is now pending");
         b.on_message(NodeId(0), m[0].1.clone(), &mut fx);
         let g = grants(&mut fx);
@@ -1645,7 +1655,12 @@ mod tests {
         let mut b = LockNode::new(NodeId(1), L, NodeId(0), CFG);
         b.on_message(
             NodeId(2),
-            Payload::Request { origin: NodeId(2), mode: Mode::Write, stamp: Stamp(1), priority: Priority::NORMAL },
+            Payload::Request {
+                origin: NodeId(2),
+                mode: Mode::Write,
+                stamp: Stamp(1),
+                priority: Priority::NORMAL,
+            },
             &mut fx,
         );
         assert_eq!(b.parent(), Some(NodeId(2)));
@@ -1665,7 +1680,12 @@ mod tests {
         fx.drain().count();
         b2.on_message(
             NodeId(2),
-            Payload::Request { origin: NodeId(2), mode: Mode::Write, stamp: Stamp(1), priority: Priority::NORMAL },
+            Payload::Request {
+                origin: NodeId(2),
+                mode: Mode::Write,
+                stamp: Stamp(1),
+                priority: Priority::NORMAL,
+            },
             &mut fx,
         );
         assert_eq!(b2.parent(), Some(NodeId(0)));
@@ -1673,7 +1693,12 @@ mod tests {
         let mut b3 = LockNode::new(NodeId(1), L, NodeId(0), CFG.without_path_compression());
         b3.on_message(
             NodeId(2),
-            Payload::Request { origin: NodeId(2), mode: Mode::Write, stamp: Stamp(1), priority: Priority::NORMAL },
+            Payload::Request {
+                origin: NodeId(2),
+                mode: Mode::Write,
+                stamp: Stamp(1),
+                priority: Priority::NORMAL,
+            },
             &mut fx,
         );
         assert_eq!(b3.parent(), Some(NodeId(0)));

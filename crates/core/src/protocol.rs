@@ -141,7 +141,31 @@ pub trait ConcurrencyProtocol {
     ) -> Result<CancelOutcome, ProtocolError>;
 
     /// Delivers one message from node `from`.
-    fn on_message(&mut self, from: NodeId, message: Self::Message, fx: &mut EffectSink<Self::Message>);
+    fn on_message(
+        &mut self,
+        from: NodeId,
+        message: Self::Message,
+        fx: &mut EffectSink<Self::Message>,
+    );
+
+    /// Fires a timer previously requested via [`crate::Effect::SetTimer`].
+    ///
+    /// Hosts echo back the protocol-chosen `token`. Timers are not
+    /// cancellable, so a fired token may refer to a condition that has
+    /// already passed; implementations must treat stale or unknown tokens
+    /// as no-ops. The default implementation ignores all timers (the base
+    /// protocols are purely message-driven).
+    fn on_timer(&mut self, token: u64, fx: &mut EffectSink<Self::Message>) {
+        let _ = (token, fx);
+    }
+
+    /// Notifies the protocol that the transport link to `peer` was torn
+    /// down and re-established (e.g. a TCP reconnect). Reliability layers
+    /// use this to resend unacknowledged traffic; the base protocols,
+    /// which assume reliable links, ignore it.
+    fn on_link_reset(&mut self, peer: NodeId, fx: &mut EffectSink<Self::Message>) {
+        let _ = (peer, fx);
+    }
 
     /// Whether this node has no protocol work in flight (no pending or
     /// queued requests). Used by hosts to detect system quiescence.

@@ -89,11 +89,8 @@ impl RequestQueue {
     /// (arrival order within a priority), ahead of lower priorities.
     /// With all-[`Priority::NORMAL`] entries this is a plain FIFO append.
     pub fn push_back(&mut self, e: QueueEntry) {
-        let pos = self
-            .entries
-            .iter()
-            .position(|q| q.priority < e.priority)
-            .unwrap_or(self.entries.len());
+        let pos =
+            self.entries.iter().position(|q| q.priority < e.priority).unwrap_or(self.entries.len());
         self.entries.insert(pos, e);
     }
 
@@ -302,12 +299,7 @@ mod proptests {
 
     fn arb_entry() -> impl Strategy<Value = QueueEntry> {
         (any::<u32>(), 0u8..4, any::<u64>()).prop_map(|(n, p, s)| {
-            QueueEntry::with_priority(
-                Waiter::Remote(NodeId(n)),
-                Mode::Read,
-                Stamp(s),
-                Priority(p),
-            )
+            QueueEntry::with_priority(Waiter::Remote(NodeId(n)), Mode::Read, Stamp(s), Priority(p))
         })
     }
 

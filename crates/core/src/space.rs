@@ -84,6 +84,7 @@ impl LockSpace {
                     fx.send(to, Envelope { lock, payload: message });
                 }
                 Effect::Granted { lock, ticket, mode } => fx.granted(lock, ticket, mode),
+                Effect::SetTimer { token, delay_micros } => fx.set_timer(token, delay_micros),
             }
         }
     }
@@ -254,10 +255,7 @@ mod tests {
         let mut fx = EffectSink::new();
         a.request(LockId(0), Mode::Write, Ticket(1), &mut fx).unwrap();
         a.request(LockId(1), Mode::Write, Ticket(1), &mut fx).unwrap();
-        let grants = fx
-            .drain()
-            .filter(|e| matches!(e, Effect::Granted { .. }))
-            .count();
+        let grants = fx.drain().filter(|e| matches!(e, Effect::Granted { .. })).count();
         assert_eq!(grants, 2, "same ticket on different locks is fine");
         assert!(a.lock_state(LockId(0)).is_token());
         assert_eq!(a.lock_state(LockId(2)).owned(), None);

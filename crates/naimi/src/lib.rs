@@ -129,10 +129,7 @@ impl NaimiSpace {
     /// `token_home` initially holding every token (and being every
     /// node's initial probable owner).
     pub fn new(id: NodeId, lock_count: usize, token_home: NodeId) -> Self {
-        NaimiSpace {
-            id,
-            locks: (0..lock_count).map(|_| NaimiLock::new(id, token_home)).collect(),
-        }
+        NaimiSpace { id, locks: (0..lock_count).map(|_| NaimiLock::new(id, token_home)).collect() }
     }
 
     /// Number of locks managed.
@@ -159,9 +156,7 @@ impl NaimiSpace {
     }
 
     fn lock_mut(&mut self, lock: LockId) -> Result<&mut NaimiLock, ProtocolError> {
-        self.locks
-            .get_mut(lock.index())
-            .ok_or(ProtocolError::UnknownLock { lock })
+        self.locks.get_mut(lock.index()).ok_or(ProtocolError::UnknownLock { lock })
     }
 
     fn enter_cs(
@@ -359,10 +354,7 @@ impl ConcurrencyProtocol for NaimiSpace {
                         // We are the root of the pointer graph.
                         if state.has_token && !state.busy() {
                             state.has_token = false;
-                            fx.send(
-                                origin,
-                                NaimiEnvelope { lock, payload: NaimiPayload::Token },
-                            );
+                            fx.send(origin, NaimiEnvelope { lock, payload: NaimiPayload::Token });
                         } else {
                             // Token busy here (or on its way to us):
                             // origin becomes our successor.
@@ -373,10 +365,7 @@ impl ConcurrencyProtocol for NaimiSpace {
                     Some(probable) => {
                         fx.send(
                             probable,
-                            NaimiEnvelope {
-                                lock,
-                                payload: NaimiPayload::Request { origin },
-                            },
+                            NaimiEnvelope { lock, payload: NaimiPayload::Request { origin } },
                         );
                     }
                 }
@@ -386,10 +375,8 @@ impl ConcurrencyProtocol for NaimiSpace {
             NaimiPayload::Token => {
                 debug_assert!(!state.has_token, "duplicate token");
                 state.has_token = true;
-                let ticket = state
-                    .requesting
-                    .take()
-                    .expect("token arrives only in response to a request");
+                let ticket =
+                    state.requesting.take().expect("token arrives only in response to a request");
                 if state.request_cancelled {
                     // The caller gave up: skip the critical section and
                     // hand the token to the successor (or keep it idle).
@@ -413,9 +400,7 @@ impl ConcurrencyProtocol for NaimiSpace {
     }
 
     fn is_quiescent(&self) -> bool {
-        self.locks
-            .iter()
-            .all(|s| s.requesting.is_none() && s.waiting.is_empty())
+        self.locks.iter().all(|s| s.requesting.is_none() && s.waiting.is_empty())
     }
 }
 
@@ -430,7 +415,7 @@ mod tests {
         fx.drain()
             .filter_map(|e| match e {
                 Effect::Send { to, message } => Some((to, message)),
-                Effect::Granted { .. } => None,
+                _ => None,
             })
             .collect()
     }
@@ -439,7 +424,7 @@ mod tests {
         fx.drain()
             .filter_map(|e| match e {
                 Effect::Granted { ticket, .. } => Some(ticket),
-                Effect::Send { .. } => None,
+                _ => None,
             })
             .collect()
     }
@@ -571,10 +556,7 @@ mod tests {
             NaimiEnvelope { lock: L, payload: NaimiPayload::Token }.kind(),
             MessageKind::Token
         );
-        assert_eq!(
-            NaimiPayload::Request { origin: NodeId(0) }.kind(),
-            MessageKind::Request
-        );
+        assert_eq!(NaimiPayload::Request { origin: NodeId(0) }.kind(), MessageKind::Request);
     }
 
     #[test]

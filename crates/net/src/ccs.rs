@@ -114,10 +114,7 @@ where
     ///
     /// [`NetError::Closed`] if the node has shut down.
     pub fn attempt_lock(&self, mode: Mode) -> Result<Option<HeldLock>, NetError> {
-        Ok(self
-            .handle
-            .try_acquire(self.lock, mode)?
-            .map(|ticket| HeldLock { ticket, mode }))
+        Ok(self.handle.try_acquire(self.lock, mode)?.map(|ticket| HeldLock { ticket, mode }))
     }
 
     /// Releases a held lock (CCS `unlock`). Consumes the handle.

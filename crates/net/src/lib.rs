@@ -33,20 +33,22 @@
 pub mod ccs;
 
 use bytes::BytesMut;
-use crossbeam::channel::{unbounded, Receiver, Sender};
+use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
 use hlock_core::{
     Classify, ConcurrencyProtocol, Effect, EffectSink, LockId, LockSpace, MessageKind, Mode,
     NodeId, Priority, ProtocolConfig, Ticket,
 };
 use hlock_naimi::NaimiSpace;
 use hlock_raymond::RaymondSpace;
+use hlock_session::{SessionConfig, SessionSpace};
 use hlock_suzuki::SuzukiSpace;
 use hlock_wire::{frame, WireCodec};
 use parking_lot::{Condvar, Mutex};
-use std::collections::HashMap;
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap};
 use std::fmt;
 use std::io::{Read, Write};
-use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
@@ -97,17 +99,48 @@ impl From<std::io::Error> for NetError {
 
 enum LoopEvent<M> {
     Incoming(NodeId, M),
-    Request { lock: LockId, mode: Mode, ticket: Ticket, priority: Priority },
-    Release { lock: LockId, ticket: Ticket, done: Sender<Result<(), NetError>> },
-    Upgrade { lock: LockId, ticket: Ticket, done: Sender<Result<(), NetError>> },
-    Cancel { lock: LockId, ticket: Ticket, done: Sender<Result<(), NetError>> },
-    IsQuiescent { done: Sender<bool> },
-    Downgrade { lock: LockId, ticket: Ticket, mode: Mode, done: Sender<Result<(), NetError>> },
+    Request {
+        lock: LockId,
+        mode: Mode,
+        ticket: Ticket,
+        priority: Priority,
+    },
+    Release {
+        lock: LockId,
+        ticket: Ticket,
+        done: Sender<Result<(), NetError>>,
+    },
+    Upgrade {
+        lock: LockId,
+        ticket: Ticket,
+        done: Sender<Result<(), NetError>>,
+    },
+    Cancel {
+        lock: LockId,
+        ticket: Ticket,
+        done: Sender<Result<(), NetError>>,
+    },
+    IsQuiescent {
+        done: Sender<bool>,
+    },
+    Downgrade {
+        lock: LockId,
+        ticket: Ticket,
+        mode: Mode,
+        done: Sender<Result<(), NetError>>,
+    },
     TryRequest {
         lock: LockId,
         mode: Mode,
         ticket: Ticket,
         done: Sender<Result<bool, NetError>>,
+    },
+    /// The outgoing link to `peer` was re-established after a failure.
+    LinkUp(NodeId),
+    /// Fault injection: shut down the outgoing socket to `peer`.
+    Sever {
+        peer: NodeId,
+        done: Sender<()>,
     },
     Stop,
 }
@@ -149,7 +182,7 @@ impl GrantTable {
 /// Per-kind message counters (sent messages) plus total wire bytes.
 #[derive(Default)]
 struct Counters {
-    by_kind: [AtomicU64; 6],
+    by_kind: [AtomicU64; MessageKind::ALL.len()],
     bytes: AtomicU64,
 }
 
@@ -232,10 +265,7 @@ where
     ///
     /// [`NetError::Timeout`] if the grant does not arrive in time.
     pub fn wait(&self, ticket: Ticket, timeout: Duration) -> Result<Mode, NetError> {
-        self.grants
-            .wait(ticket, timeout)
-            .map(|(_, m)| m)
-            .ok_or(NetError::Timeout { ticket })
+        self.grants.wait(ticket, timeout).map(|(_, m)| m).ok_or(NetError::Timeout { ticket })
     }
 
     /// Requests and blocks until granted. On timeout the request is
@@ -322,6 +352,11 @@ where
 
     /// Upgrades a held `U` to `W`, blocking until the upgrade completes.
     ///
+    /// On timeout the pending upgrade is cancelled so it cannot fire
+    /// later unobserved: normally the ticket reverts to its original `U`
+    /// grant; if the `W` grant raced ahead of the cancellation, the lock
+    /// is released entirely (mirroring a timed-out [`NodeHandle::acquire`]).
+    ///
     /// # Errors
     ///
     /// [`NetError::Protocol`] on misuse, [`NetError::Timeout`] if other
@@ -332,8 +367,28 @@ where
             .send(LoopEvent::Upgrade { lock, ticket, done: tx })
             .map_err(|_| NetError::Closed)?;
         rx.recv().map_err(|_| NetError::Closed)??;
-        self.wait(ticket, timeout)?;
-        Ok(())
+        match self.wait(ticket, timeout) {
+            Ok(_) => Ok(()),
+            Err(e) => {
+                let _ = self.cancel(lock, ticket);
+                Err(e)
+            }
+        }
+    }
+
+    /// Fault injection: forcibly shuts down the outgoing TCP stream to
+    /// `peer`. The next frame written to that peer fails, which evicts
+    /// the dead socket and starts the reconnect-with-backoff path; on a
+    /// session-wrapped cluster every frame lost in between is
+    /// retransmitted once the link comes back.
+    ///
+    /// # Errors
+    ///
+    /// [`NetError::Closed`] if the node has shut down.
+    pub fn sever_link(&self, peer: NodeId) -> Result<(), NetError> {
+        let (tx, rx) = unbounded();
+        self.events.send(LoopEvent::Sever { peer, done: tx }).map_err(|_| NetError::Closed)?;
+        rx.recv().map_err(|_| NetError::Closed)
     }
 
     /// Whether this node's protocol has no work in flight (no pending or
@@ -395,6 +450,28 @@ impl Cluster<LockSpace> {
     }
 }
 
+impl Cluster<SessionSpace<LockSpace>> {
+    /// Spawns `n` hierarchical nodes whose links are wrapped in the
+    /// reliable session layer ([`hlock_session`]): per-link sequencing,
+    /// cumulative acks and timer-driven retransmission. The cluster
+    /// keeps making progress across socket failures (see
+    /// [`NodeHandle::sever_link`]) at the cost of `Ack` traffic.
+    ///
+    /// # Errors
+    ///
+    /// Any socket error during setup.
+    pub fn spawn_hierarchical_session(
+        n: usize,
+        locks: usize,
+        config: ProtocolConfig,
+        session: SessionConfig,
+    ) -> Result<Cluster<SessionSpace<LockSpace>>, NetError> {
+        Cluster::spawn(n, move |i| {
+            SessionSpace::new(LockSpace::new(NodeId(i as u32), locks, NodeId(0), config), session)
+        })
+    }
+}
+
 impl Cluster<NaimiSpace> {
     /// Spawns `n` nodes running the Naimi–Trehel baseline with `locks`
     /// locks (token home: node 0), fully meshed over localhost.
@@ -450,9 +527,8 @@ where
     pub fn spawn(n: usize, make: impl Fn(usize) -> P) -> Result<Cluster<P>, NetError> {
         assert!(n >= 1, "need at least one node");
         // Bind all listeners first so every address is known.
-        let listeners: Vec<TcpListener> = (0..n)
-            .map(|_| TcpListener::bind(("127.0.0.1", 0)))
-            .collect::<Result<_, _>>()?;
+        let listeners: Vec<TcpListener> =
+            (0..n).map(|_| TcpListener::bind(("127.0.0.1", 0))).collect::<Result<_, _>>()?;
         let addrs: Vec<SocketAddr> =
             listeners.iter().map(TcpListener::local_addr).collect::<Result<_, _>>()?;
 
@@ -496,21 +572,26 @@ where
             writers.lock().insert(NodeId(j as u32), stream);
         }
 
-        // Listener thread: accepts inbound links and spawns readers.
+        // Listener thread: accepts inbound links and spawns readers. It
+        // keeps accepting until shutdown so that peers whose outgoing
+        // socket died can dial back in at any time.
         {
             let tx = tx.clone();
             let running = running.clone();
-            let expected_peers = addrs.len() - 1;
+            listener.set_nonblocking(true)?;
             threads.push(std::thread::spawn(move || {
-                for (accepted, stream) in listener.incoming().flatten().enumerate() {
-                    if !running.load(Ordering::SeqCst) {
-                        break;
-                    }
-                    let tx = tx.clone();
-                    let running = running.clone();
-                    std::thread::spawn(move || reader_loop::<P>(stream, tx, running));
-                    if accepted + 1 >= expected_peers {
-                        break; // full mesh established
+                while running.load(Ordering::SeqCst) {
+                    match listener.accept() {
+                        Ok((stream, _)) => {
+                            let _ = stream.set_nonblocking(false);
+                            let tx = tx.clone();
+                            let running = running.clone();
+                            std::thread::spawn(move || reader_loop::<P>(stream, tx, running));
+                        }
+                        Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                            std::thread::sleep(Duration::from_millis(25));
+                        }
+                        Err(_) => break,
                     }
                 }
             }));
@@ -521,8 +602,11 @@ where
             let grants = grants.clone();
             let counters = counters.clone();
             let writers = writers.clone();
+            let running = running.clone();
+            let tx = tx.clone();
+            let addrs: Arc<Vec<SocketAddr>> = Arc::new(addrs.to_vec());
             threads.push(std::thread::spawn(move || {
-                event_loop(protocol, rx, grants, counters, writers);
+                event_loop(protocol, rx, tx, grants, counters, writers, addrs, running);
             }));
         }
 
@@ -641,35 +725,70 @@ fn reader_loop<P>(
     }
 }
 
+#[allow(clippy::too_many_arguments)]
 fn event_loop<P>(
     mut protocol: P,
     rx: Receiver<LoopEvent<P::Message>>,
+    tx: Sender<LoopEvent<P::Message>>,
     grants: Arc<GrantTable>,
     counters: Arc<Counters>,
     writers: Writers,
+    addrs: Arc<Vec<SocketAddr>>,
+    running: Arc<AtomicBool>,
 ) where
     P: ConcurrencyProtocol,
-    P::Message: WireCodec,
+    P::Message: WireCodec + Send + 'static,
 {
     let me = protocol.node_id();
     let mut fx = EffectSink::new();
-    while let Ok(event) = rx.recv() {
+    // Protocol timers (retransmission deadlines) as a min-heap of
+    // (deadline, token); duplicates are harmless — the session layer
+    // treats a stale fire of a re-armed token as a no-op retransmit
+    // opportunity check.
+    let mut timers: BinaryHeap<Reverse<(Instant, u64)>> = BinaryHeap::new();
+    loop {
+        // Fire every due timer before blocking on the channel again.
+        let now = Instant::now();
+        let mut fired = false;
+        while let Some(&Reverse((deadline, token))) = timers.peek() {
+            if deadline > now {
+                break;
+            }
+            timers.pop();
+            protocol.on_timer(token, &mut fx);
+            fired = true;
+        }
+        let event = if fired {
+            None // flush the retransmissions before waiting
+        } else if let Some(&Reverse((deadline, _))) = timers.peek() {
+            match rx.recv_timeout(deadline.saturating_duration_since(Instant::now())) {
+                Ok(e) => Some(e),
+                Err(RecvTimeoutError::Timeout) => continue,
+                Err(RecvTimeoutError::Disconnected) => return,
+            }
+        } else {
+            match rx.recv() {
+                Ok(e) => Some(e),
+                Err(_) => return,
+            }
+        };
         match event {
-            LoopEvent::Incoming(from, msg) => protocol.on_message(from, msg, &mut fx),
-            LoopEvent::Request { lock, mode, ticket, priority } => {
+            None => {}
+            Some(LoopEvent::Incoming(from, msg)) => protocol.on_message(from, msg, &mut fx),
+            Some(LoopEvent::Request { lock, mode, ticket, priority }) => {
                 let r = protocol.request_with_priority(lock, mode, ticket, priority, &mut fx);
                 // Duplicate tickets cannot happen (monotonic counter).
                 debug_assert!(r.is_ok(), "request rejected: {r:?}");
             }
-            LoopEvent::Release { lock, ticket, done } => {
+            Some(LoopEvent::Release { lock, ticket, done }) => {
                 let r = protocol.release(lock, ticket, &mut fx).map_err(NetError::Protocol);
                 let _ = done.send(r);
             }
-            LoopEvent::Upgrade { lock, ticket, done } => {
+            Some(LoopEvent::Upgrade { lock, ticket, done }) => {
                 let r = protocol.upgrade(lock, ticket, &mut fx).map_err(NetError::Protocol);
                 let _ = done.send(r);
             }
-            LoopEvent::Cancel { lock, ticket, done } => {
+            Some(LoopEvent::Cancel { lock, ticket, done }) => {
                 // A grant may have raced ahead of the cancel: release it
                 // and drop its unclaimed mailbox entry.
                 let r = match protocol.cancel(lock, ticket, &mut fx) {
@@ -682,21 +801,28 @@ fn event_loop<P>(
                 };
                 let _ = done.send(r);
             }
-            LoopEvent::Downgrade { lock, ticket, mode, done } => {
+            Some(LoopEvent::Downgrade { lock, ticket, mode, done }) => {
+                let r = protocol.downgrade(lock, ticket, mode, &mut fx).map_err(NetError::Protocol);
+                let _ = done.send(r);
+            }
+            Some(LoopEvent::TryRequest { lock, mode, ticket, done }) => {
                 let r =
-                    protocol.downgrade(lock, ticket, mode, &mut fx).map_err(NetError::Protocol);
+                    protocol.try_request(lock, mode, ticket, &mut fx).map_err(NetError::Protocol);
                 let _ = done.send(r);
             }
-            LoopEvent::TryRequest { lock, mode, ticket, done } => {
-                let r = protocol
-                    .try_request(lock, mode, ticket, &mut fx)
-                    .map_err(NetError::Protocol);
-                let _ = done.send(r);
-            }
-            LoopEvent::IsQuiescent { done } => {
+            Some(LoopEvent::IsQuiescent { done }) => {
                 let _ = done.send(protocol.is_quiescent());
             }
-            LoopEvent::Stop => return,
+            Some(LoopEvent::LinkUp(peer)) => {
+                protocol.on_link_reset(peer, &mut fx);
+            }
+            Some(LoopEvent::Sever { peer, done }) => {
+                if let Some(stream) = writers.lock().get(&peer) {
+                    let _ = stream.shutdown(Shutdown::Both);
+                }
+                let _ = done.send(());
+            }
+            Some(LoopEvent::Stop) => return,
         }
         for effect in fx.drain() {
             match effect {
@@ -705,14 +831,77 @@ fn event_loop<P>(
                     let mut out = BytesMut::new();
                     frame::write(&mut out, me, &message);
                     counters.add_bytes(out.len() as u64);
-                    if let Some(stream) = writers.lock().get_mut(&to) {
-                        let _ = stream.write_all(&out);
+                    // A failed write evicts the dead socket and starts a
+                    // background redial; while the map has no entry for
+                    // `to`, frames are dropped on the floor — exactly the
+                    // lossy-link regime the session layer recovers from.
+                    let mut map = writers.lock();
+                    let write_failed = match map.get_mut(&to) {
+                        Some(stream) => stream.write_all(&out).is_err(),
+                        None => false,
+                    };
+                    if write_failed {
+                        map.remove(&to);
+                        drop(map);
+                        spawn_reconnect::<P>(
+                            me,
+                            to,
+                            addrs[to.index()],
+                            writers.clone(),
+                            tx.clone(),
+                            running.clone(),
+                        );
                     }
                 }
                 Effect::Granted { lock, ticket, mode } => grants.deliver(ticket, lock, mode),
+                Effect::SetTimer { token, delay_micros } => {
+                    let deadline = Instant::now() + Duration::from_micros(delay_micros);
+                    timers.push(Reverse((deadline, token)));
+                }
             }
         }
     }
+}
+
+/// Redials `peer` with exponential backoff (10 ms doubling to 1 s) until
+/// the node shuts down or the link is re-established, then replays the
+/// handshake, publishes the fresh socket and notifies the event loop so
+/// the protocol can resend anything unacknowledged.
+fn spawn_reconnect<P>(
+    me: NodeId,
+    peer: NodeId,
+    addr: SocketAddr,
+    writers: Writers,
+    tx: Sender<LoopEvent<P::Message>>,
+    running: Arc<AtomicBool>,
+) where
+    P: ConcurrencyProtocol,
+    P::Message: Send + 'static,
+{
+    std::thread::spawn(move || {
+        let mut delay = Duration::from_millis(10);
+        while running.load(Ordering::SeqCst) {
+            std::thread::sleep(delay);
+            match TcpStream::connect(addr) {
+                Ok(mut stream) => {
+                    let _ = stream.set_nodelay(true);
+                    let mut hello = BytesMut::new();
+                    hlock_wire::put_varint(&mut hello, u64::from(me.0));
+                    let mut framed = BytesMut::new();
+                    framed.extend_from_slice(&(hello.len() as u32).to_le_bytes());
+                    framed.extend_from_slice(&hello);
+                    if stream.write_all(&framed).is_err() {
+                        delay = (delay * 2).min(Duration::from_secs(1));
+                        continue;
+                    }
+                    writers.lock().insert(peer, stream);
+                    let _ = tx.send(LoopEvent::LinkUp(peer));
+                    return;
+                }
+                Err(_) => delay = (delay * 2).min(Duration::from_secs(1)),
+            }
+        }
+    });
 }
 
 #[cfg(test)]
@@ -844,8 +1033,76 @@ mod tests {
     }
 
     #[test]
+    fn session_cluster_read_write_cycle() {
+        let cluster = Cluster::spawn_hierarchical_session(
+            3,
+            1,
+            ProtocolConfig::default(),
+            SessionConfig::default(),
+        )
+        .unwrap();
+        let timeout = Duration::from_secs(10);
+        for i in [1usize, 2, 1] {
+            let t = cluster.node(i).acquire(LockId(0), Mode::Write, timeout).unwrap();
+            cluster.node(i).release(LockId(0), t).unwrap();
+        }
+        let stats = cluster.message_stats();
+        assert!(
+            stats.get(&MessageKind::Ack).copied().unwrap_or(0) > 0,
+            "session layer acknowledges data frames: {stats:?}"
+        );
+        cluster.shutdown();
+    }
+
+    #[test]
+    fn session_cluster_survives_link_failure() {
+        let cluster = Cluster::spawn_hierarchical_session(
+            2,
+            1,
+            ProtocolConfig::default(),
+            SessionConfig::default(),
+        )
+        .unwrap();
+        let timeout = Duration::from_secs(20);
+        // Warm up: moves the token to node 1.
+        let t = cluster.node(1).acquire(LockId(0), Mode::Write, timeout).unwrap();
+        cluster.node(1).release(LockId(0), t).unwrap();
+        // Kill node 1's outgoing socket. Node 0's next request forces a
+        // token transfer node 1 → node 0; that frame hits the dead
+        // socket, fails, and must be recovered by reconnect-with-backoff
+        // plus session retransmission.
+        cluster.node(1).sever_link(NodeId(0)).unwrap();
+        let t = cluster.node(0).acquire(LockId(0), Mode::Write, timeout).unwrap();
+        cluster.node(0).release(LockId(0), t).unwrap();
+        cluster.shutdown();
+    }
+
+    #[test]
+    fn upgrade_timeout_cancels_pending_upgrade() {
+        let cluster = Cluster::spawn_hierarchical(2, 1, ProtocolConfig::default()).unwrap();
+        let timeout = Duration::from_secs(10);
+        // Node 1 takes U; node 0 holds R, which blocks the upgrade to W.
+        let tu = cluster.node(1).acquire(LockId(0), Mode::Upgrade, timeout).unwrap();
+        let tr = cluster.node(0).acquire(LockId(0), Mode::Read, timeout).unwrap();
+        let err = cluster.node(1).upgrade(LockId(0), tu, Duration::from_millis(300)).unwrap_err();
+        assert!(matches!(err, NetError::Timeout { .. }), "{err}");
+        // The reader drains. A timed-out upgrade must NOT fire later
+        // unobserved: before the cancel-on-timeout fix, the stale queue
+        // entry would grab W here and park it in the mailbox forever.
+        cluster.node(0).release(LockId(0), tr).unwrap();
+        assert!(
+            cluster.node(1).wait(tu, Duration::from_millis(500)).is_err(),
+            "cancelled upgrade surfaced a grant after its timeout"
+        );
+        // Node 1 still holds its original U and can release it.
+        cluster.node(1).release(LockId(0), tu).unwrap();
+        cluster.shutdown();
+    }
+
+    #[test]
     fn concurrent_writers_from_threads() {
-        let cluster = Arc::new(Cluster::spawn_hierarchical(4, 1, ProtocolConfig::default()).unwrap());
+        let cluster =
+            Arc::new(Cluster::spawn_hierarchical(4, 1, ProtocolConfig::default()).unwrap());
         let counter = Arc::new(AtomicU64::new(0));
         let mut joins = Vec::new();
         for i in 0..4usize {

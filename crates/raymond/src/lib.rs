@@ -438,7 +438,7 @@ mod tests {
         fx.drain()
             .filter_map(|e| match e {
                 Effect::Send { to, message } => Some((to, message)),
-                Effect::Granted { .. } => None,
+                _ => None,
             })
             .collect()
     }
@@ -447,7 +447,7 @@ mod tests {
         fx.drain()
             .filter_map(|e| match e {
                 Effect::Granted { ticket, .. } => Some(ticket),
-                Effect::Send { .. } => None,
+                _ => None,
             })
             .collect()
     }
@@ -578,15 +578,9 @@ mod tests {
         // Waiting ticket cancels cleanly.
         nodes[1].request(L, Mode::Write, Ticket(1), &mut fx).unwrap();
         nodes[1].request(L, Mode::Write, Ticket(2), &mut fx).unwrap();
-        assert_eq!(
-            nodes[1].cancel(L, Ticket(2), &mut fx).unwrap(),
-            CancelOutcome::Cancelled
-        );
+        assert_eq!(nodes[1].cancel(L, Ticket(2), &mut fx).unwrap(), CancelOutcome::Cancelled);
         // In-flight request: privilege is absorbed, CS skipped.
-        assert_eq!(
-            nodes[1].cancel(L, Ticket(1), &mut fx).unwrap(),
-            CancelOutcome::WillAbort
-        );
+        assert_eq!(nodes[1].cancel(L, Ticket(1), &mut fx).unwrap(), CancelOutcome::WillAbort);
         pump(&mut nodes, &mut fx, NodeId(1));
         assert!(grants(&mut fx).is_empty());
         assert!(nodes[1].has_privilege(L));

@@ -48,6 +48,26 @@ pub struct SimConfig {
     /// Fault injection: probability that a sent message is delivered
     /// twice (with independent latencies).
     pub duplicate_probability: f64,
+    /// Fault injection: probability that a sent message bypasses the
+    /// per-link FIFO clock and gains an extra uniform latency in
+    /// `[0, reorder_max_skew]`, letting it overtake (or fall behind)
+    /// neighboring messages on the same link.
+    pub reorder_probability: f64,
+    /// Maximum extra skew a reordered message can gain.
+    pub reorder_max_skew: Duration,
+    /// Fault injection: timed network partitions. While a partition is
+    /// active, messages crossing its cut are dropped at send time;
+    /// partitions heal when their window closes.
+    pub partitions: Vec<Partition>,
+    /// Fault injection: node pause windows (crash-stop with resume).
+    /// Messages arriving at a paused node are lost; the node's timers
+    /// freeze and fire after resume with their remaining delay intact.
+    pub pauses: Vec<NodePause>,
+    /// Liveness watchdog: if set, the run fails with a stuck-state
+    /// report when requests are outstanding but no request or grant has
+    /// happened for this long — instead of spinning silently until
+    /// `max_virtual_time`, or draining the queue with wedged requests.
+    pub watchdog: Option<Duration>,
 }
 
 impl Default for SimConfig {
@@ -61,7 +81,92 @@ impl Default for SimConfig {
             max_virtual_time: SimTime(u64::MAX),
             drop_probability: 0.0,
             duplicate_probability: 0.0,
+            reorder_probability: 0.0,
+            reorder_max_skew: Duration::ZERO,
+            partitions: Vec::new(),
+            pauses: Vec::new(),
+            watchdog: None,
         }
+    }
+}
+
+impl SimConfig {
+    /// Checks the fault knobs for consistency: probabilities must be
+    /// finite and within `[0, 1]` (feeding NaN or an out-of-range value
+    /// to the RNG would otherwise panic deep inside the run, or worse,
+    /// silently misbehave), and every partition or pause window must
+    /// close after it opens.
+    ///
+    /// # Errors
+    ///
+    /// Names the offending knob and its value.
+    pub fn validate(&self) -> Result<(), String> {
+        let probabilities = [
+            ("drop_probability", self.drop_probability),
+            ("duplicate_probability", self.duplicate_probability),
+            ("reorder_probability", self.reorder_probability),
+        ];
+        for (name, p) in probabilities {
+            if !p.is_finite() || !(0.0..=1.0).contains(&p) {
+                return Err(format!("{name} must be a finite probability in [0, 1], got {p}"));
+            }
+        }
+        for p in &self.partitions {
+            if p.until <= p.from {
+                return Err(format!(
+                    "partition window must close after it opens (from {}, until {})",
+                    p.from, p.until
+                ));
+            }
+            if p.island.is_empty() {
+                return Err("partition island must name at least one node".into());
+            }
+        }
+        for p in &self.pauses {
+            if p.until <= p.from {
+                return Err(format!(
+                    "pause window for {} must close after it opens (from {}, until {})",
+                    p.node, p.from, p.until
+                ));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// A timed network partition separating `island` from everyone else.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Partition {
+    /// Nodes on one side of the cut.
+    pub island: Vec<NodeId>,
+    /// Virtual time at which the partition opens.
+    pub from: SimTime,
+    /// Virtual time at which the partition heals (exclusive).
+    pub until: SimTime,
+}
+
+impl Partition {
+    /// Whether a message from `a` to `b` sent at `at` crosses the cut.
+    pub fn severs(&self, a: NodeId, b: NodeId, at: SimTime) -> bool {
+        at >= self.from && at < self.until && (self.island.contains(&a) != self.island.contains(&b))
+    }
+}
+
+/// A timed pause of one node (crash-stop that later resumes).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NodePause {
+    /// The paused node.
+    pub node: NodeId,
+    /// Virtual time at which the node stops.
+    pub from: SimTime,
+    /// Virtual time at which the node resumes (exclusive).
+    pub until: SimTime,
+}
+
+impl NodePause {
+    /// Whether `node` is paused at `at`.
+    pub fn covers(&self, node: NodeId, at: SimTime) -> bool {
+        node == self.node && at >= self.from && at < self.until
     }
 }
 
@@ -137,7 +242,14 @@ pub trait Driver {
     fn start(&mut self, node: NodeId, api: &mut SimApi);
 
     /// A request previously issued with `ticket` was granted `mode`.
-    fn on_granted(&mut self, node: NodeId, lock: LockId, ticket: Ticket, mode: Mode, api: &mut SimApi);
+    fn on_granted(
+        &mut self,
+        node: NodeId,
+        lock: LockId,
+        ticket: Ticket,
+        mode: Mode,
+        api: &mut SimApi,
+    );
 
     /// A timer set via [`SimApi::set_timer`] fired.
     fn on_timer(&mut self, node: NodeId, timer: u64, api: &mut SimApi);
@@ -145,8 +257,21 @@ pub trait Driver {
 
 #[derive(Debug)]
 enum EventKind<M> {
-    Deliver { from: NodeId, to: NodeId, message: M },
-    Timer { node: NodeId, timer: u64 },
+    Deliver {
+        from: NodeId,
+        to: NodeId,
+        message: M,
+    },
+    /// A driver (application) timer, set via [`SimApi::set_timer`].
+    Timer {
+        node: NodeId,
+        timer: u64,
+    },
+    /// A protocol timer, requested via [`Effect::SetTimer`].
+    ProtocolTimer {
+        node: NodeId,
+        token: u64,
+    },
 }
 
 struct Event<M> {
@@ -212,6 +337,8 @@ pub struct Sim<P: ConcurrencyProtocol, D> {
     fx: EffectSink<P::Message>,
     delivered: u64,
     tracer: Box<dyn Tracer>,
+    /// Virtual time of the last request or grant, for the watchdog.
+    last_progress: SimTime,
 }
 
 impl<P, D> Sim<P, D>
@@ -224,11 +351,16 @@ where
     ///
     /// # Panics
     ///
-    /// Panics if `nodes` is empty or node ids are not dense `0..n`.
+    /// Panics if `nodes` is empty, node ids are not dense `0..n`, or the
+    /// config fails [`SimConfig::validate`] (NaN / out-of-range fault
+    /// probabilities, inverted fault windows).
     pub fn new(nodes: Vec<P>, driver: D, config: SimConfig) -> Self {
         assert!(!nodes.is_empty(), "need at least one node");
         for (i, n) in nodes.iter().enumerate() {
             assert_eq!(n.node_id().index(), i, "node ids must be dense 0..n");
+        }
+        if let Err(e) = config.validate() {
+            panic!("invalid SimConfig: {e}");
         }
         let rng = StdRng::seed_from_u64(config.seed);
         Sim {
@@ -245,6 +377,7 @@ where
             fx: EffectSink::new(),
             delivered: 0,
             tracer: Box::new(NullTracer),
+            last_progress: SimTime::ZERO,
         }
     }
 
@@ -293,6 +426,28 @@ where
                     self.now, self.delivered
                 )));
             }
+            self.check_watchdog()?;
+            // Node pauses: a paused node loses arriving messages
+            // (crash-stop) but keeps its timers frozen — they fire after
+            // resume with their remaining delay intact.
+            let event_node = match &ev.kind {
+                EventKind::Deliver { to, .. } => *to,
+                EventKind::Timer { node, .. } | EventKind::ProtocolTimer { node, .. } => *node,
+            };
+            if let Some(pause) =
+                self.config.pauses.iter().find(|p| p.covers(event_node, ev.time)).copied()
+            {
+                match ev.kind {
+                    EventKind::Deliver { from, to, message } => {
+                        self.trace(TraceEvent::Drop { from, to, kind: message.kind() });
+                    }
+                    kind => {
+                        let resume_at = pause.until + (ev.time - pause.from);
+                        self.push_event(resume_at, kind);
+                    }
+                }
+                continue;
+            }
             match ev.kind {
                 EventKind::Deliver { from, to, message } => {
                     self.trace(TraceEvent::Deliver {
@@ -316,6 +471,18 @@ where
                     self.driver.on_timer(node, timer, &mut api);
                     self.execute(node, api.commands)?;
                 }
+                EventKind::ProtocolTimer { node, token } => {
+                    self.trace(TraceEvent::Timer { node, timer: token });
+                    self.nodes[node.index()].on_timer(token, &mut self.fx);
+                    self.process_effects(node)?;
+                }
+            }
+        }
+        if let Some(report) = self.stuck_report() {
+            if self.config.watchdog.is_some() {
+                return Err(InvariantViolation(format!(
+                    "liveness watchdog: event queue drained with wedged requests: {report}"
+                )));
             }
         }
         if self.config.check_every > 0 {
@@ -353,6 +520,10 @@ where
                 match effect {
                     Effect::Send { to, message } => {
                         self.metrics.count_message_from(node, message.kind());
+                        if self.config.partitions.iter().any(|p| p.severs(node, to, self.now)) {
+                            self.trace(TraceEvent::Drop { from: node, to, kind: message.kind() });
+                            continue;
+                        }
                         if self.config.drop_probability > 0.0
                             && self.rng.gen_bool(self.config.drop_probability)
                         {
@@ -369,7 +540,17 @@ where
                         for _ in 0..copies {
                             let latency = self.config.latency.sample(&mut self.rng);
                             let mut at = self.now + latency;
-                            if self.config.fifo_links {
+                            // A reordered message skips the FIFO clock and
+                            // gains bounded extra skew, so it can overtake
+                            // (or fall behind) its link neighbors.
+                            let reordered = self.config.reorder_probability > 0.0
+                                && self.rng.gen_bool(self.config.reorder_probability);
+                            if reordered {
+                                let skew = self.config.reorder_max_skew.as_micros();
+                                if skew > 0 {
+                                    at = at + Duration(self.rng.gen_range(0..=skew));
+                                }
+                            } else if self.config.fifo_links {
                                 let clock =
                                     self.link_clock.entry((node, to)).or_insert(SimTime::ZERO);
                                 if at <= *clock {
@@ -383,7 +564,12 @@ where
                             );
                         }
                     }
+                    Effect::SetTimer { token, delay_micros } => {
+                        let at = self.now + Duration(delay_micros);
+                        self.push_event(at, EventKind::ProtocolTimer { node, token });
+                    }
                     Effect::Granted { lock, ticket, mode } => {
+                        self.last_progress = self.now;
                         self.trace(TraceEvent::Grant { node, lock, mode, ticket });
                         if let Some((start, req_mode)) =
                             self.outstanding.remove(&(node, lock, ticket))
@@ -419,39 +605,32 @@ where
                 Command::Request { lock, mode, ticket, priority } => {
                     self.trace(TraceEvent::Request { node, lock, mode, ticket });
                     self.metrics.count_request();
+                    self.last_progress = self.now;
                     self.outstanding.insert((node, lock, ticket), (self.now, mode));
                     self.nodes[node.index()]
                         .request_with_priority(lock, mode, ticket, priority, &mut self.fx)
-                        .map_err(|e| {
-                            InvariantViolation(format!("driver misuse at {node}: {e}"))
-                        })?;
+                        .map_err(|e| InvariantViolation(format!("driver misuse at {node}: {e}")))?;
                 }
                 Command::Release { lock, ticket } => {
                     self.trace(TraceEvent::Release { node, lock, ticket });
                     self.nodes[node.index()]
                         .release(lock, ticket, &mut self.fx)
-                        .map_err(|e| {
-                            InvariantViolation(format!("driver misuse at {node}: {e}"))
-                        })?;
+                        .map_err(|e| InvariantViolation(format!("driver misuse at {node}: {e}")))?;
                 }
                 Command::Upgrade { lock, ticket } => {
                     self.trace(TraceEvent::Upgrade { node, lock, ticket });
                     // An upgrade is itself a lock request (for W).
                     self.metrics.count_request();
-                    self.outstanding
-                        .insert((node, lock, ticket), (self.now, Mode::Write));
+                    self.last_progress = self.now;
+                    self.outstanding.insert((node, lock, ticket), (self.now, Mode::Write));
                     self.nodes[node.index()]
                         .upgrade(lock, ticket, &mut self.fx)
-                        .map_err(|e| {
-                            InvariantViolation(format!("driver misuse at {node}: {e}"))
-                        })?;
+                        .map_err(|e| InvariantViolation(format!("driver misuse at {node}: {e}")))?;
                 }
                 Command::Downgrade { lock, ticket, mode } => {
                     self.nodes[node.index()]
                         .downgrade(lock, ticket, mode, &mut self.fx)
-                        .map_err(|e| {
-                            InvariantViolation(format!("driver misuse at {node}: {e}"))
-                        })?;
+                        .map_err(|e| InvariantViolation(format!("driver misuse at {node}: {e}")))?;
                 }
                 Command::Timer { delay, timer } => {
                     let time = self.now + delay;
@@ -465,6 +644,39 @@ where
     fn push_event(&mut self, time: SimTime, kind: EventKind<P::Message>) {
         self.seq += 1;
         self.events.push(Reverse(Event { time, seq: self.seq, kind }));
+    }
+
+    /// Describes every wedged request (node, lock, ticket, mode, age),
+    /// or `None` when nothing is outstanding.
+    fn stuck_report(&self) -> Option<String> {
+        if self.outstanding.is_empty() {
+            return None;
+        }
+        let mut entries: Vec<(&(NodeId, LockId, Ticket), &(SimTime, Mode))> =
+            self.outstanding.iter().collect();
+        entries.sort_by_key(|((n, l, t), _)| (n.0, l.0, t.0));
+        let listed = entries
+            .iter()
+            .map(|((node, lock, ticket), (since, mode))| {
+                format!("{node} waits for {lock} {mode} ({ticket}, {} old)", self.now - *since)
+            })
+            .collect::<Vec<_>>()
+            .join("; ");
+        Some(format!("{} outstanding: {listed}", entries.len()))
+    }
+
+    /// Fails the run if the watchdog is armed, requests are outstanding,
+    /// and nothing has progressed for longer than the watchdog window.
+    fn check_watchdog(&self) -> Result<(), InvariantViolation> {
+        let Some(window) = self.config.watchdog else { return Ok(()) };
+        if self.outstanding.is_empty() || self.now - self.last_progress <= window {
+            return Ok(());
+        }
+        let report = self.stuck_report().unwrap_or_default();
+        Err(InvariantViolation(format!(
+            "liveness watchdog: no request or grant for {} (> {window}): {report}",
+            self.now - self.last_progress
+        )))
     }
 
     /// Global audit at quiescence: copyset/parent agreement, single
@@ -524,5 +736,74 @@ where
             }
         }
         Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn validate_rejects_bad_probabilities() {
+        for bad in [f64::NAN, -0.1, 1.5, f64::INFINITY] {
+            let cfg = SimConfig { drop_probability: bad, ..SimConfig::default() };
+            let err = cfg.validate().unwrap_err();
+            assert!(err.contains("drop_probability"), "{err}");
+            let cfg = SimConfig { duplicate_probability: bad, ..SimConfig::default() };
+            assert!(cfg.validate().unwrap_err().contains("duplicate_probability"));
+            let cfg = SimConfig { reorder_probability: bad, ..SimConfig::default() };
+            assert!(cfg.validate().unwrap_err().contains("reorder_probability"));
+        }
+        assert!(SimConfig::default().validate().is_ok());
+        let full =
+            SimConfig { drop_probability: 1.0, duplicate_probability: 0.0, ..SimConfig::default() };
+        assert!(full.validate().is_ok(), "boundary values are legal");
+    }
+
+    #[test]
+    fn validate_rejects_inverted_windows() {
+        let cfg = SimConfig {
+            partitions: vec![Partition {
+                island: vec![NodeId(0)],
+                from: SimTime(100),
+                until: SimTime(100),
+            }],
+            ..SimConfig::default()
+        };
+        assert!(cfg.validate().unwrap_err().contains("partition"));
+        let cfg = SimConfig {
+            pauses: vec![NodePause { node: NodeId(1), from: SimTime(9), until: SimTime(3) }],
+            ..SimConfig::default()
+        };
+        assert!(cfg.validate().unwrap_err().contains("pause"));
+        let cfg = SimConfig {
+            partitions: vec![Partition { island: vec![], from: SimTime(0), until: SimTime(1) }],
+            ..SimConfig::default()
+        };
+        assert!(cfg.validate().unwrap_err().contains("island"));
+    }
+
+    #[test]
+    fn partition_severs_only_across_the_cut_during_the_window() {
+        let p =
+            Partition { island: vec![NodeId(0), NodeId(1)], from: SimTime(10), until: SimTime(20) };
+        // Crossing the cut, inside the window.
+        assert!(p.severs(NodeId(0), NodeId(2), SimTime(10)));
+        assert!(p.severs(NodeId(2), NodeId(1), SimTime(19)));
+        // Same side: never severed.
+        assert!(!p.severs(NodeId(0), NodeId(1), SimTime(15)));
+        assert!(!p.severs(NodeId(2), NodeId(3), SimTime(15)));
+        // Outside the window: healed.
+        assert!(!p.severs(NodeId(0), NodeId(2), SimTime(9)));
+        assert!(!p.severs(NodeId(0), NodeId(2), SimTime(20)));
+    }
+
+    #[test]
+    fn pause_covers_its_node_and_window() {
+        let p = NodePause { node: NodeId(3), from: SimTime(5), until: SimTime(8) };
+        assert!(p.covers(NodeId(3), SimTime(5)));
+        assert!(p.covers(NodeId(3), SimTime(7)));
+        assert!(!p.covers(NodeId(3), SimTime(8)));
+        assert!(!p.covers(NodeId(2), SimTime(6)));
     }
 }

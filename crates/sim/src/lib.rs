@@ -50,7 +50,9 @@ mod metrics;
 mod time;
 mod trace;
 
-pub use engine::{Driver, InvariantViolation, Sim, SimApi, SimConfig, SimReport};
+pub use engine::{
+    Driver, InvariantViolation, NodePause, Partition, Sim, SimApi, SimConfig, SimReport,
+};
 pub use latency::{sample_exponential, LatencyModel};
 pub use metrics::Metrics;
 pub use time::{Duration, SimTime};
@@ -123,23 +125,16 @@ mod tests {
 
     fn run_ours(nodes: usize, ops: u32, seed: u64) -> SimReport {
         let cfg = ProtocolConfig::default();
-        let spaces = (0..nodes)
-            .map(|i| LockSpace::new(NodeId(i as u32), 1, NodeId(0), cfg))
-            .collect();
+        let spaces =
+            (0..nodes).map(|i| LockSpace::new(NodeId(i as u32), 1, NodeId(0), cfg)).collect();
         let sim_cfg = SimConfig { seed, check_every: 1, ..SimConfig::default() };
-        Sim::new(spaces, ExclusiveLoop::new(nodes, ops), sim_cfg)
-            .run()
-            .expect("invariants hold")
+        Sim::new(spaces, ExclusiveLoop::new(nodes, ops), sim_cfg).run().expect("invariants hold")
     }
 
     fn run_naimi(nodes: usize, ops: u32, seed: u64) -> SimReport {
-        let spaces = (0..nodes)
-            .map(|i| NaimiSpace::new(NodeId(i as u32), 1, NodeId(0)))
-            .collect();
+        let spaces = (0..nodes).map(|i| NaimiSpace::new(NodeId(i as u32), 1, NodeId(0))).collect();
         let sim_cfg = SimConfig { seed, check_every: 1, ..SimConfig::default() };
-        Sim::new(spaces, ExclusiveLoop::new(nodes, ops), sim_cfg)
-            .run()
-            .expect("invariants hold")
+        Sim::new(spaces, ExclusiveLoop::new(nodes, ops), sim_cfg).run().expect("invariants hold")
     }
 
     #[test]
@@ -194,9 +189,8 @@ mod tests {
 
     #[test]
     fn non_fifo_links_still_safe_for_naimi() {
-        let spaces = (0..5)
-            .map(|i| NaimiSpace::new(NodeId(i as u32), 1, NodeId(0)))
-            .collect::<Vec<_>>();
+        let spaces =
+            (0..5).map(|i| NaimiSpace::new(NodeId(i as u32), 1, NodeId(0))).collect::<Vec<_>>();
         let sim_cfg =
             SimConfig { seed: 11, fifo_links: false, check_every: 1, ..SimConfig::default() };
         let report = Sim::new(spaces, ExclusiveLoop::new(5, 4), sim_cfg).run().unwrap();

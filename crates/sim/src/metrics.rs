@@ -127,10 +127,8 @@ impl Metrics {
 
     /// Average request-to-grant latency over all modes (Figure 6 metric).
     pub fn mean_latency(&self) -> Duration {
-        let (sum, count) = self
-            .latency
-            .values()
-            .fold((0u128, 0u64), |(s, c), a| (s + a.sum_micros, c + a.count));
+        let (sum, count) =
+            self.latency.values().fold((0u128, 0u64), |(s, c), a| (s + a.sum_micros, c + a.count));
         if count == 0 {
             Duration::ZERO
         } else {

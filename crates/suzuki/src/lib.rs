@@ -95,10 +95,8 @@ impl SuzukiLock {
     fn new(id: NodeId, nodes: usize, token_home: NodeId) -> Self {
         SuzukiLock {
             request_numbers: vec![0; nodes],
-            token: (id == token_home).then(|| TokenState {
-                last_served: vec![0; nodes],
-                queue: VecDeque::new(),
-            }),
+            token: (id == token_home)
+                .then(|| TokenState { last_served: vec![0; nodes], queue: VecDeque::new() }),
             in_cs: None,
             requesting: None,
             waiting: VecDeque::new(),
@@ -162,7 +160,12 @@ impl SuzukiSpace {
         self.locks.get_mut(lock.index()).ok_or(ProtocolError::UnknownLock { lock })
     }
 
-    fn enter_cs(lock: LockId, state: &mut SuzukiLock, ticket: Ticket, fx: &mut EffectSink<SuzukiEnvelope>) {
+    fn enter_cs(
+        lock: LockId,
+        state: &mut SuzukiLock,
+        ticket: Ticket,
+        fx: &mut EffectSink<SuzukiEnvelope>,
+    ) {
         debug_assert!(state.token.is_some() && state.in_cs.is_none());
         state.in_cs = Some(ticket);
         fx.granted(lock, ticket, Mode::Write);
@@ -184,10 +187,7 @@ impl SuzukiSpace {
             if j != id.index() {
                 fx.send(
                     NodeId(j as u32),
-                    SuzukiEnvelope {
-                        lock,
-                        payload: SuzukiPayload::Request { origin: id, seq },
-                    },
+                    SuzukiEnvelope { lock, payload: SuzukiPayload::Request { origin: id, seq } },
                 );
             }
         }
@@ -383,13 +383,9 @@ impl ConcurrencyProtocol for SuzukiSpace {
                 // An idle token holder serves the outstanding request.
                 let can_serve = state.in_cs.is_none()
                     && state.requesting.is_none()
-                    && state
-                        .token
-                        .as_ref()
-                        .is_some_and(|t| {
-                            state.request_numbers[origin.index()]
-                                == t.last_served[origin.index()] + 1
-                        });
+                    && state.token.as_ref().is_some_and(|t| {
+                        state.request_numbers[origin.index()] == t.last_served[origin.index()] + 1
+                    });
                 if can_serve {
                     let mut token = state.token.take().expect("checked");
                     // Our own LN is already current (set at release time).
@@ -408,12 +404,9 @@ impl ConcurrencyProtocol for SuzukiSpace {
             }
             SuzukiPayload::Token { last_served, queue } => {
                 debug_assert!(state.token.is_none(), "duplicate token");
-                state.token =
-                    Some(TokenState { last_served, queue: queue.into_iter().collect() });
-                let ticket = state
-                    .requesting
-                    .take()
-                    .expect("token arrives only in response to a request");
+                state.token = Some(TokenState { last_served, queue: queue.into_iter().collect() });
+                let ticket =
+                    state.requesting.take().expect("token arrives only in response to a request");
                 if state.cancelled {
                     state.cancelled = false;
                     // Serve our sequence number (the request is consumed)
@@ -434,9 +427,7 @@ impl ConcurrencyProtocol for SuzukiSpace {
     }
 
     fn is_quiescent(&self) -> bool {
-        self.locks
-            .iter()
-            .all(|s| s.requesting.is_none() && s.waiting.is_empty())
+        self.locks.iter().all(|s| s.requesting.is_none() && s.waiting.is_empty())
     }
 }
 
@@ -451,7 +442,7 @@ mod tests {
         fx.drain()
             .filter_map(|e| match e {
                 Effect::Send { to, message } => Some((to, message)),
-                Effect::Granted { .. } => None,
+                _ => None,
             })
             .collect()
     }
@@ -460,7 +451,7 @@ mod tests {
         fx.drain()
             .filter_map(|e| match e {
                 Effect::Granted { ticket, .. } => Some(ticket),
-                Effect::Send { .. } => None,
+                _ => None,
             })
             .collect()
     }
@@ -544,7 +535,10 @@ mod tests {
         // Replay node 1's old request at node 1 (which holds the token).
         nodes[1].on_message(
             NodeId(0),
-            SuzukiEnvelope { lock: L, payload: SuzukiPayload::Request { origin: NodeId(0), seq: 0 } },
+            SuzukiEnvelope {
+                lock: L,
+                payload: SuzukiPayload::Request { origin: NodeId(0), seq: 0 },
+            },
             &mut fx,
         );
         assert!(sends(&mut fx).is_empty(), "stale request must not move the token");
@@ -578,10 +572,7 @@ mod tests {
             (0..3).map(|i| SuzukiSpace::new(NodeId(i), 3, 1, NodeId(0))).collect();
         let mut fx = EffectSink::new();
         nodes[1].request(L, Mode::Write, Ticket(1), &mut fx).unwrap();
-        assert_eq!(
-            nodes[1].cancel(L, Ticket(1), &mut fx).unwrap(),
-            CancelOutcome::WillAbort
-        );
+        assert_eq!(nodes[1].cancel(L, Ticket(1), &mut fx).unwrap(), CancelOutcome::WillAbort);
         pump(&mut nodes, &mut fx, NodeId(1));
         assert!(nodes[1].held_modes(L).is_empty(), "no CS entry for a cancelled ticket");
         assert!(nodes[1].is_quiescent());

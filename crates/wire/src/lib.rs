@@ -31,12 +31,16 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
-use bytes::{Buf, BufMut, Bytes, BytesMut};
+use bytes::{Buf, BufMut};
+// Re-exported so downstream crates can drive the codec without their own
+// `bytes` dependency.
+pub use bytes::{Bytes, BytesMut};
 use hlock_core::{
     Envelope, LockId, Mode, ModeSet, NodeId, Payload, Priority, QueueEntry, Stamp, Ticket, Waiter,
 };
 use hlock_naimi::{NaimiEnvelope, NaimiPayload};
 use hlock_raymond::{RaymondEnvelope, RaymondPayload};
+use hlock_session::SessionFrame;
 use hlock_suzuki::{SuzukiEnvelope, SuzukiPayload};
 use std::fmt;
 
@@ -398,6 +402,46 @@ impl WireCodec for SuzukiEnvelope {
     }
 }
 
+const TAG_SESSION_DATA: u8 = 0;
+const TAG_SESSION_ACK: u8 = 1;
+
+/// Session frames wrap any codec-capable message with delivery metadata:
+/// one tag byte, then for `Data` the varint sequence number, varint
+/// cumulative ack and the inner encoding; for `Ack` just the varint ack.
+/// Overhead is 3 bytes for small sequence numbers.
+impl<M: WireCodec> WireCodec for SessionFrame<M> {
+    fn encode(&self, buf: &mut BytesMut) {
+        match self {
+            SessionFrame::Data { seq, ack, message } => {
+                buf.put_u8(TAG_SESSION_DATA);
+                put_varint(buf, *seq);
+                put_varint(buf, *ack);
+                message.encode(buf);
+            }
+            SessionFrame::Ack { ack } => {
+                buf.put_u8(TAG_SESSION_ACK);
+                put_varint(buf, *ack);
+            }
+        }
+    }
+
+    fn decode(buf: &mut Bytes) -> Result<Self, WireError> {
+        if !buf.has_remaining() {
+            return Err(WireError::UnexpectedEof);
+        }
+        match buf.get_u8() {
+            TAG_SESSION_DATA => {
+                let seq = get_varint(buf)?;
+                let ack = get_varint(buf)?;
+                let message = M::decode(buf)?;
+                Ok(SessionFrame::Data { seq, ack, message })
+            }
+            TAG_SESSION_ACK => Ok(SessionFrame::Ack { ack: get_varint(buf)? }),
+            other => Err(WireError::InvalidTag(other)),
+        }
+    }
+}
+
 /// Length-prefixed framing: `u32` little-endian body length, then the
 /// sender's node id as a varint, then the encoded message body.
 pub mod frame {
@@ -480,7 +524,12 @@ mod tests {
     #[test]
     fn all_payload_variants_roundtrip() {
         let samples = vec![
-            Payload::Request { origin: NodeId(3), mode: Mode::Read, stamp: Stamp(99), priority: Priority::NORMAL },
+            Payload::Request {
+                origin: NodeId(3),
+                mode: Mode::Read,
+                stamp: Stamp(99),
+                priority: Priority::NORMAL,
+            },
             Payload::Grant { mode: Mode::IntentWrite, frozen: ModeSet::ALL },
             Payload::Token {
                 mode: Mode::Write,
@@ -533,6 +582,44 @@ mod tests {
     }
 
     #[test]
+    fn session_frame_variants_roundtrip() {
+        let inner = Envelope {
+            lock: LockId(5),
+            payload: Payload::Request {
+                origin: NodeId(2),
+                mode: Mode::Write,
+                stamp: Stamp(7),
+                priority: Priority::NORMAL,
+            },
+        };
+        roundtrip(&SessionFrame::Data { seq: 1, ack: 0, message: inner.clone() });
+        roundtrip(&SessionFrame::Data { seq: u64::MAX, ack: u64::MAX - 1, message: inner });
+        roundtrip(&SessionFrame::<Envelope>::Ack { ack: 0 });
+        roundtrip(&SessionFrame::<Envelope>::Ack { ack: 300 });
+    }
+
+    #[test]
+    fn session_frame_overhead_is_small() {
+        // The reliability header costs 3 bytes for small seq/ack values.
+        let inner = NaimiEnvelope { lock: LockId(1), payload: NaimiPayload::Token };
+        let mut plain = BytesMut::new();
+        inner.encode(&mut plain);
+        let mut wrapped = BytesMut::new();
+        SessionFrame::Data { seq: 9, ack: 4, message: inner }.encode(&mut wrapped);
+        assert_eq!(wrapped.len(), plain.len() + 3);
+    }
+
+    #[test]
+    fn session_frame_invalid_bytes_error_not_panic() {
+        let mut b = Bytes::from_static(&[0x05]); // unknown session tag
+        assert_eq!(SessionFrame::<Envelope>::decode(&mut b), Err(WireError::InvalidTag(5)));
+        let mut b = Bytes::from_static(&[TAG_SESSION_DATA, 0x01]); // truncated
+        assert_eq!(SessionFrame::<Envelope>::decode(&mut b), Err(WireError::UnexpectedEof));
+        let mut b = Bytes::from_static(&[]);
+        assert_eq!(SessionFrame::<Envelope>::decode(&mut b), Err(WireError::UnexpectedEof));
+    }
+
+    #[test]
     fn invalid_bytes_error_not_panic() {
         let mut b = Bytes::from_static(&[0x00, 0x09]); // lock 0, tag 9
         assert_eq!(Envelope::decode(&mut b), Err(WireError::InvalidTag(9)));
@@ -548,7 +635,12 @@ mod tests {
     fn frame_roundtrip_and_partial_reads() {
         let msg = Envelope {
             lock: LockId(2),
-            payload: Payload::Request { origin: NodeId(1), mode: Mode::Write, stamp: Stamp(8), priority: Priority::NORMAL },
+            payload: Payload::Request {
+                origin: NodeId(1),
+                mode: Mode::Write,
+                stamp: Stamp(8),
+                priority: Priority::NORMAL,
+            },
         };
         let mut wire = BytesMut::new();
         frame::write(&mut wire, NodeId(1), &msg);
@@ -599,16 +691,15 @@ mod tests {
 
     fn arb_payload() -> impl Strategy<Value = Payload> {
         prop_oneof![
-            (any::<u32>(), arb_mode(), any::<u64>(), any::<u8>()).prop_map(
-                |(o, m, s, p)| Payload::Request {
+            (any::<u32>(), arb_mode(), any::<u64>(), any::<u8>()).prop_map(|(o, m, s, p)| {
+                Payload::Request {
                     origin: NodeId(o),
                     mode: m,
                     stamp: Stamp(s),
                     priority: Priority(p),
                 }
-            ),
-            (arb_mode(), arb_mode_set())
-                .prop_map(|(m, f)| Payload::Grant { mode: m, frozen: f }),
+            }),
+            (arb_mode(), arb_mode_set()).prop_map(|(m, f)| Payload::Grant { mode: m, frozen: f }),
             (
                 arb_mode(),
                 proptest::collection::vec(arb_entry(), 0..8),
@@ -659,6 +750,21 @@ mod tests {
         fn prop_raymond_roundtrip(lock in any::<u32>(), req in any::<bool>()) {
             let payload = if req { RaymondPayload::Request } else { RaymondPayload::Privilege };
             roundtrip(&RaymondEnvelope { lock: LockId(lock), payload });
+        }
+
+        #[test]
+        fn prop_session_frame_roundtrip(
+            seq in any::<u64>(),
+            ack in any::<u64>(),
+            payload in arb_payload(),
+            is_ack in any::<bool>(),
+        ) {
+            let frame = if is_ack {
+                SessionFrame::Ack { ack }
+            } else {
+                SessionFrame::Data { seq, ack, message: Envelope { lock: LockId(1), payload } }
+            };
+            roundtrip(&frame);
         }
 
         #[test]

@@ -5,8 +5,9 @@ use crate::mix::WorkloadConfig;
 use hlock_core::{LockSpace, NodeId, ProtocolConfig};
 use hlock_naimi::NaimiSpace;
 use hlock_raymond::RaymondSpace;
-use hlock_suzuki::SuzukiSpace;
+use hlock_session::{SessionConfig, SessionSpace, SessionStats};
 use hlock_sim::{InvariantViolation, LatencyModel, Sim, SimConfig, SimReport};
+use hlock_suzuki::SuzukiSpace;
 
 /// Which system runs the workload.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -40,6 +41,25 @@ impl ProtocolKind {
     }
 }
 
+/// Seed perturbation shared by every runner so that identical workloads
+/// on different systems still see the same latency process.
+fn derive_seed(workload: &WorkloadConfig, nodes: usize) -> u64 {
+    workload.seed.wrapping_mul(0xD134_2543_DE82_EF95).wrapping_add(nodes as u64)
+}
+
+/// Token-home placement for the hierarchical lock tree.
+fn token_homes(workload: &WorkloadConfig, nodes: usize, lock_count: usize) -> Vec<NodeId> {
+    (0..lock_count)
+        .map(|l| {
+            if workload.spread_token_homes && l > 0 && nodes > 1 {
+                NodeId((1 + (l - 1) % (nodes - 1)) as u32)
+            } else {
+                NodeId(0)
+            }
+        })
+        .collect()
+}
+
 /// Runs the airline workload for `nodes` nodes under `kind`.
 ///
 /// `check_every` enables global safety checking every N delivered
@@ -56,26 +76,15 @@ pub fn run_experiment(
     latency: LatencyModel,
     check_every: u64,
 ) -> Result<SimReport, InvariantViolation> {
-    let seed = workload
-        .seed
-        .wrapping_mul(0xD134_2543_DE82_EF95)
-        .wrapping_add(nodes as u64);
+    let seed = derive_seed(workload, nodes);
     match kind {
         ProtocolKind::Hierarchical(cfg) => {
             let lock_count = workload.hierarchical_lock_count();
-            let homes: Vec<NodeId> = (0..lock_count)
-                .map(|l| {
-                    if workload.spread_token_homes && l > 0 && nodes > 1 {
-                        NodeId((1 + (l - 1) % (nodes - 1)) as u32)
-                    } else {
-                        NodeId(0)
-                    }
-                })
-                .collect();
-            let spaces = (0..nodes)
-                .map(|i| LockSpace::with_homes(NodeId(i as u32), &homes, cfg))
-                .collect();
-            let sim_cfg = SimConfig { seed, latency, lock_count, check_every, ..SimConfig::default() };
+            let homes = token_homes(workload, nodes, lock_count);
+            let spaces =
+                (0..nodes).map(|i| LockSpace::with_homes(NodeId(i as u32), &homes, cfg)).collect();
+            let sim_cfg =
+                SimConfig { seed, latency, lock_count, check_every, ..SimConfig::default() };
             Sim::new(spaces, HierarchicalDriver::new(workload, nodes), sim_cfg).run()
         }
         ProtocolKind::NaimiSameWork => {
@@ -83,13 +92,13 @@ pub fn run_experiment(
             let spaces = (0..nodes)
                 .map(|i| NaimiSpace::new(NodeId(i as u32), lock_count, NodeId(0)))
                 .collect();
-            let sim_cfg = SimConfig { seed, latency, lock_count, check_every, ..SimConfig::default() };
+            let sim_cfg =
+                SimConfig { seed, latency, lock_count, check_every, ..SimConfig::default() };
             Sim::new(spaces, NaimiSameWorkDriver::new(workload, nodes), sim_cfg).run()
         }
         ProtocolKind::NaimiPure => {
-            let spaces = (0..nodes)
-                .map(|i| NaimiSpace::new(NodeId(i as u32), 1, NodeId(0)))
-                .collect();
+            let spaces =
+                (0..nodes).map(|i| NaimiSpace::new(NodeId(i as u32), 1, NodeId(0))).collect();
             let sim_cfg =
                 SimConfig { seed, latency, lock_count: 1, check_every, ..SimConfig::default() };
             Sim::new(spaces, NaimiPureDriver::new(workload, nodes), sim_cfg).run()
@@ -111,6 +120,52 @@ pub fn run_experiment(
             Sim::new(spaces, NaimiPureDriver::new(workload, nodes), sim_cfg).run()
         }
     }
+}
+
+/// Result of [`run_session_experiment`]: the simulator report plus the
+/// session layer's reliability counters summed over every node.
+#[derive(Debug)]
+pub struct SessionExperimentReport {
+    /// Metrics, end time and quiescence from the simulator.
+    pub report: SimReport,
+    /// Cluster-wide session counters (retransmits, acks, dedups, …).
+    pub session: SessionStats,
+}
+
+/// Runs the airline workload on the hierarchical protocol wrapped in
+/// reliable sessions, under the fault model carried by `sim`.
+///
+/// Unlike [`run_experiment`], this takes a full [`SimConfig`] so callers
+/// can dial in drop/duplicate/reorder probabilities, partitions, node
+/// pauses and the liveness watchdog. The `seed` (derived from the
+/// workload exactly as [`run_experiment`] derives it, so raw and
+/// session-wrapped runs face the same latency process) and `lock_count`
+/// fields are overwritten; every other field is honoured.
+///
+/// # Errors
+///
+/// Propagates [`InvariantViolation`] from the simulator — either a
+/// protocol bug or, with `sim.watchdog` set, a liveness stall.
+pub fn run_session_experiment(
+    cfg: ProtocolConfig,
+    session: SessionConfig,
+    nodes: usize,
+    workload: &WorkloadConfig,
+    sim: SimConfig,
+) -> Result<SessionExperimentReport, InvariantViolation> {
+    let lock_count = workload.hierarchical_lock_count();
+    let homes = token_homes(workload, nodes, lock_count);
+    let spaces: Vec<SessionSpace<LockSpace>> = (0..nodes)
+        .map(|i| SessionSpace::new(LockSpace::with_homes(NodeId(i as u32), &homes, cfg), session))
+        .collect();
+    let sim_cfg = SimConfig { seed: derive_seed(workload, nodes), lock_count, ..sim };
+    let (report, spaces) =
+        Sim::new(spaces, HierarchicalDriver::new(workload, nodes), sim_cfg).run_with_nodes()?;
+    let mut stats = SessionStats::default();
+    for space in &spaces {
+        stats.merge(&space.stats());
+    }
+    Ok(SessionExperimentReport { report, session: stats })
 }
 
 #[cfg(test)]
@@ -170,14 +225,59 @@ mod tests {
             0,
         )
         .unwrap();
-        let same = run_experiment(ProtocolKind::NaimiSameWork, 8, &wl, LatencyModel::paper(), 0)
-            .unwrap();
+        let same =
+            run_experiment(ProtocolKind::NaimiSameWork, 8, &wl, LatencyModel::paper(), 0).unwrap();
         assert!(
             ours.metrics.messages_per_request() < same.metrics.messages_per_request() + 2.0,
             "ours {:.2} vs same-work {:.2}",
             ours.metrics.messages_per_request(),
             same.metrics.messages_per_request()
         );
+    }
+
+    #[test]
+    fn session_wrapped_run_is_lossless_noop() {
+        // Without faults the session layer must not change the outcome:
+        // same grants as requests, nothing retransmitted, no dedup work.
+        // The RTO must clear the paper's 150 ms mean RTT, otherwise the
+        // layer retransmits spuriously (correct, but not a no-op).
+        let wl = small_workload();
+        let sim =
+            SimConfig { latency: LatencyModel::paper(), check_every: 1, ..Default::default() };
+        let session = SessionConfig {
+            rto_micros: 2_000_000,
+            max_backoff_micros: 8_000_000,
+            ..SessionConfig::default()
+        };
+        let r =
+            run_session_experiment(ProtocolConfig::default(), session, 5, &wl, sim).expect("safe");
+        assert!(r.report.quiescent);
+        assert_eq!(r.report.metrics.total_grants(), r.report.metrics.total_requests());
+        assert_eq!(r.session.retransmits, 0);
+        assert_eq!(r.session.duplicates_dropped, 0);
+        assert!(r.session.data_frames > 0);
+    }
+
+    #[test]
+    fn session_wrapped_run_completes_under_heavy_drops() {
+        let wl = small_workload();
+        let sim = SimConfig {
+            latency: LatencyModel::paper(),
+            drop_probability: 0.2,
+            check_every: 1,
+            ..Default::default()
+        };
+        let r = run_session_experiment(
+            ProtocolConfig::default(),
+            SessionConfig::default(),
+            4,
+            &wl,
+            sim,
+        )
+        .expect("safe despite 20% loss");
+        assert!(r.report.quiescent, "all ops must finish despite drops");
+        assert_eq!(r.report.metrics.total_grants(), r.report.metrics.total_requests());
+        assert!(r.session.retransmits > 0, "loss must have forced retransmissions");
     }
 
     #[test]

@@ -40,7 +40,9 @@ mod ops;
 mod plan_driver;
 
 pub use drivers::{HierarchicalDriver, NaimiPureDriver, NaimiSameWorkDriver};
-pub use experiment::{run_experiment, ProtocolKind};
+pub use experiment::{
+    run_experiment, run_session_experiment, ProtocolKind, SessionExperimentReport,
+};
 pub use mix::{ModeMix, WorkloadConfig};
 pub use ops::{plan_for_node, OpKind, OpPlan};
 pub use plan_driver::PlanDriver;

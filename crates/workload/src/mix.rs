@@ -47,8 +47,13 @@ impl ModeMix {
         let mut pick = rng.gen_range(0..total);
         for (i, w) in self.weights.iter().enumerate() {
             if pick < *w {
-                return [Mode::IntentRead, Mode::Read, Mode::Upgrade, Mode::IntentWrite, Mode::Write]
-                    [i];
+                return [
+                    Mode::IntentRead,
+                    Mode::Read,
+                    Mode::Upgrade,
+                    Mode::IntentWrite,
+                    Mode::Write,
+                ][i];
             }
             pick -= w;
         }

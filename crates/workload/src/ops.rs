@@ -121,10 +121,7 @@ mod tests {
             ..WorkloadConfig::default()
         };
         let plan = plan_for_node(&cfg, 0);
-        let reads = plan
-            .iter()
-            .filter(|p| matches!(p.kind, OpKind::EntryRead(_)))
-            .count() as f64;
+        let reads = plan.iter().filter(|p| matches!(p.kind, OpKind::EntryRead(_))).count() as f64;
         assert!((reads / 20_000.0 - 0.80).abs() < 0.02);
     }
 

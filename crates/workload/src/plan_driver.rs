@@ -116,12 +116,9 @@ mod tests {
 
     fn run(plans: Vec<Vec<LockPlan>>, locks: usize) -> hlock_sim::SimReport {
         let nodes: Vec<LockSpace> = (0..plans.len())
-            .map(|i| {
-                LockSpace::new(NodeId(i as u32), locks, NodeId(0), ProtocolConfig::default())
-            })
+            .map(|i| LockSpace::new(NodeId(i as u32), locks, NodeId(0), ProtocolConfig::default()))
             .collect();
-        let driver =
-            PlanDriver::new(plans, Duration::from_millis(10), Duration::from_millis(20));
+        let driver = PlanDriver::new(plans, Duration::from_millis(10), Duration::from_millis(20));
         let cfg = SimConfig { seed: 5, lock_count: locks, check_every: 1, ..Default::default() };
         Sim::new(nodes, driver, cfg).run().expect("safe")
     }

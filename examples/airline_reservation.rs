@@ -18,9 +18,8 @@ fn main() {
     const SEATS: u32 = 8;
 
     println!("launching {NODES} booking agents over TCP, {FLIGHTS} flights × {SEATS} seats…");
-    let sys = Arc::new(
-        ReservationSystem::launch(NODES, FLIGHTS, 100.0, SEATS).expect("cluster boots"),
-    );
+    let sys =
+        Arc::new(ReservationSystem::launch(NODES, FLIGHTS, 100.0, SEATS).expect("cluster boots"));
 
     // Every agent hammers the hot flight 0 plus a random other flight.
     let booked = Arc::new(AtomicU32::new(0));

@@ -93,38 +93,30 @@ impl Driver for ReadersVsWriter {
 /// Runs the scenario and returns (writer wait in ms, run end in ms).
 /// The writer's wait is read from the per-mode latency metrics.
 fn run(freezing: bool) -> (f64, f64) {
-    let cfg = if freezing {
-        ProtocolConfig::paper()
-    } else {
-        ProtocolConfig::paper().without_freezing()
-    };
-    let nodes: Vec<LockSpace> = (0..READERS as u32 + 1)
-        .map(|i| LockSpace::new(NodeId(i), 1, NodeId(0), cfg))
-        .collect();
+    let cfg =
+        if freezing { ProtocolConfig::paper() } else { ProtocolConfig::paper().without_freezing() };
+    let nodes: Vec<LockSpace> =
+        (0..READERS as u32 + 1).map(|i| LockSpace::new(NodeId(i), 1, NodeId(0), cfg)).collect();
     let driver = ReadersVsWriter::new(READERS + 1);
     let sim_cfg = SimConfig { seed: 7, check_every: 100, ..SimConfig::default() };
     let report = Sim::new(nodes, driver, sim_cfg).run().expect("safe");
     assert!(report.quiescent, "writer was eventually served");
-    let w = report
-        .metrics
-        .mean_latency_for(Mode::Write)
-        .expect("writer got its grant")
-        .as_millis_f64();
+    let w =
+        report.metrics.mean_latency_for(Mode::Write).expect("writer got its grant").as_millis_f64();
     (w, report.end_time.as_millis_f64())
 }
 
 fn main() {
-    println!(
-        "{READERS} readers keep overlapping R holds; one writer requests W at t=400 ms.\n"
-    );
+    println!("{READERS} readers keep overlapping R holds; one writer requests W at t=400 ms.\n");
     let (with_freeze, end1) = run(true);
     let (without_freeze, end2) = run(false);
-    println!("writer wait WITH freezing (Rule 6):     {with_freeze:>9.0} ms  (run ends {end1:.0} ms)");
-    println!("writer wait WITHOUT freezing (ablated): {without_freeze:>9.0} ms  (run ends {end2:.0} ms)");
+    println!(
+        "writer wait WITH freezing (Rule 6):     {with_freeze:>9.0} ms  (run ends {end1:.0} ms)"
+    );
+    println!(
+        "writer wait WITHOUT freezing (ablated): {without_freeze:>9.0} ms  (run ends {end2:.0} ms)"
+    );
     let speedup = without_freeze / with_freeze.max(1.0);
     println!("\nfreezing served the writer {speedup:.1}x sooner — FIFO fairness restored.");
-    assert!(
-        without_freeze > with_freeze,
-        "starvation should be visible without freezing"
-    );
+    assert!(without_freeze > with_freeze, "starvation should be visible without freezing");
 }

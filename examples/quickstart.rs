@@ -82,6 +82,7 @@ fn drain(
     for e in fx.drain() {
         match e {
             Effect::Send { to, message } => wire.push_back((from, to, message)),
+            Effect::SetTimer { .. } => {}
             Effect::Granted { lock, ticket, mode } => {
                 println!("   GRANTED {lock} in mode {mode} to {from} ({ticket})");
             }

@@ -11,10 +11,7 @@ use hlock::sim::LatencyModel;
 use hlock::workload::{run_experiment, ProtocolKind, WorkloadConfig};
 
 fn main() {
-    let nodes: usize = std::env::args()
-        .nth(1)
-        .and_then(|a| a.parse().ok())
-        .unwrap_or(40);
+    let nodes: usize = std::env::args().nth(1).and_then(|a| a.parse().ok()).unwrap_or(40);
     let workload = WorkloadConfig::default();
     let latency = LatencyModel::paper();
     let base = latency.mean();

@@ -36,9 +36,10 @@ pub use hlock_app as app;
 pub use hlock_check as check;
 pub use hlock_core as core;
 pub use hlock_naimi as naimi;
-pub use hlock_raymond as raymond;
-pub use hlock_suzuki as suzuki;
 pub use hlock_net as net;
+pub use hlock_raymond as raymond;
+pub use hlock_session as session;
 pub use hlock_sim as sim;
+pub use hlock_suzuki as suzuki;
 pub use hlock_wire as wire;
 pub use hlock_workload as workload;

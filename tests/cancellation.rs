@@ -17,7 +17,7 @@ fn sends<M: Clone>(fx: &mut EffectSink<M>) -> Vec<(NodeId, M)> {
     fx.drain()
         .filter_map(|e| match e {
             Effect::Send { to, message } => Some((to, message)),
-            Effect::Granted { .. } => None,
+            _ => None,
         })
         .collect()
 }
@@ -26,7 +26,7 @@ fn grants<M>(fx: &mut EffectSink<M>) -> Vec<Ticket> {
     fx.drain()
         .filter_map(|e| match e {
             Effect::Granted { ticket, .. } => Some(ticket),
-            Effect::Send { .. } => None,
+            _ => None,
         })
         .collect()
 }
@@ -113,6 +113,32 @@ fn cancelled_head_unblocks_queue() {
     assert!(a.lock_state(L).frozen().contains(Mode::IntentRead));
     a.cancel(L, Ticket(2), &mut fx).unwrap();
     assert!(!a.lock_state(L).frozen().contains(Mode::IntentRead), "unfrozen after cancel");
+}
+
+#[test]
+fn cancel_pending_upgrade_retains_update_grant() {
+    // A ticket mid-upgrade both holds U and has a W entry queued behind
+    // a reader. Cancelling it must remove the queued W and keep the
+    // original U grant — not fail as NotCancellable, which would strand
+    // the queued entry and later grant W to a caller that gave up.
+    let cfg = ProtocolConfig::default();
+    let mut a = LockSpace::new(NodeId(0), 1, NodeId(0), cfg);
+    let mut fx = EffectSink::new();
+    a.request(L, Mode::Upgrade, Ticket(1), &mut fx).unwrap();
+    a.request(L, Mode::Read, Ticket(2), &mut fx).unwrap();
+    assert_eq!(grants(&mut fx), vec![Ticket(1), Ticket(2)], "U and R are compatible");
+    // The upgrade waits for the reader, then is cancelled.
+    a.upgrade(L, Ticket(1), &mut fx).unwrap();
+    assert!(grants(&mut fx).is_empty(), "upgrade must wait for the reader");
+    assert_eq!(a.cancel(L, Ticket(1), &mut fx).unwrap(), CancelOutcome::Cancelled);
+    // The reader leaving must NOT surface the abandoned W grant.
+    a.release(L, Ticket(2), &mut fx).unwrap();
+    assert!(grants(&mut fx).is_empty(), "cancelled upgrade must never grant");
+    // Ticket 1 still holds its U and can release it normally...
+    a.release(L, Ticket(1), &mut fx).unwrap();
+    // ...after which the lock is fully free for new work.
+    a.request(L, Mode::Write, Ticket(3), &mut fx).unwrap();
+    assert_eq!(grants(&mut fx), vec![Ticket(3)]);
 }
 
 #[test]

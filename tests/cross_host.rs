@@ -39,9 +39,9 @@ fn run_manual() -> HashMap<MessageKind, u64> {
     let mut next_ticket = 1u64;
 
     let pump = |nodes: &mut Vec<LockSpace>,
-                    fx: &mut EffectSink<Envelope>,
-                    from: NodeId,
-                    counts: &mut HashMap<MessageKind, u64>| {
+                fx: &mut EffectSink<Envelope>,
+                from: NodeId,
+                counts: &mut HashMap<MessageKind, u64>| {
         let mut wire: VecDeque<(NodeId, NodeId, Envelope)> = fx
             .drain()
             .filter_map(|e| match e {
@@ -115,10 +115,7 @@ fn run_tcp() -> HashMap<MessageKind, u64> {
 fn manual_and_tcp_hosts_produce_identical_traffic() {
     let manual = run_manual();
     let tcp = run_tcp();
-    assert_eq!(
-        manual, tcp,
-        "the sans-I/O protocol must behave identically under any host"
-    );
+    assert_eq!(manual, tcp, "the sans-I/O protocol must behave identically under any host");
     // Sanity: the script exercises several message kinds.
     assert!(manual.get(&MessageKind::Request).copied().unwrap_or(0) >= 5);
     assert!(manual.get(&MessageKind::Token).copied().unwrap_or(0) >= 1);

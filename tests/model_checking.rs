@@ -32,8 +32,7 @@ fn three_nodes_mixed_modes_exhaustive() {
             acquire_release(2, Mode::IntentRead, 3),
         ],
     );
-    let stats =
-        Checker::hierarchical(ProtocolConfig::default()).run(&scenario).expect("safe");
+    let stats = Checker::hierarchical(ProtocolConfig::default()).run(&scenario).expect("safe");
     assert!(stats.states > 100, "nontrivial exploration: {stats:?}");
 }
 
@@ -107,10 +106,7 @@ fn all_ablations_stay_safe_and_live_in_model_checker() {
     let scenario = build(
         3,
         1,
-        vec![
-            acquire_release(1, Mode::IntentWrite, 1),
-            acquire_release(2, Mode::Read, 2),
-        ],
+        vec![acquire_release(1, Mode::IntentWrite, 1), acquire_release(2, Mode::Read, 2)],
     );
     for cfg in [
         ProtocolConfig::paper(),
@@ -119,9 +115,7 @@ fn all_ablations_stay_safe_and_live_in_model_checker() {
         ProtocolConfig::paper().without_freezing(),
         ProtocolConfig::paper().without_path_compression(),
     ] {
-        Checker::hierarchical(cfg)
-            .run(&scenario)
-            .unwrap_or_else(|e| panic!("{cfg:?}: {e}"));
+        Checker::hierarchical(cfg).run(&scenario).unwrap_or_else(|e| panic!("{cfg:?}: {e}"));
     }
 }
 
@@ -199,10 +193,7 @@ fn cancel_races_grant_in_every_interleaving() {
         vec![
             (
                 NodeId(1),
-                vec![
-                    Action::request(L, Mode::Write, Ticket(1)),
-                    Action::cancel(L, Ticket(1)),
-                ],
+                vec![Action::request(L, Mode::Write, Ticket(1)), Action::cancel(L, Ticket(1))],
             ),
             acquire_release(2, Mode::Write, 2),
         ],
@@ -220,10 +211,7 @@ fn cancel_of_read_request_against_writer() {
         vec![
             (
                 NodeId(1),
-                vec![
-                    Action::request(L, Mode::Read, Ticket(1)),
-                    Action::cancel(L, Ticket(1)),
-                ],
+                vec![Action::request(L, Mode::Read, Ticket(1)), Action::cancel(L, Ticket(1))],
             ),
             acquire_release(0, Mode::IntentWrite, 2),
             acquire_release(2, Mode::Read, 3),
@@ -261,10 +249,7 @@ fn naimi_cancel_all_interleavings() {
         vec![
             (
                 NodeId(1),
-                vec![
-                    Action::request(L, Mode::Write, Ticket(1)),
-                    Action::cancel(L, Ticket(1)),
-                ],
+                vec![Action::request(L, Mode::Write, Ticket(1)), Action::cancel(L, Ticket(1))],
             ),
             acquire_release(2, Mode::Write, 2),
         ],
@@ -295,10 +280,7 @@ fn raymond_cancel_all_interleavings() {
         vec![
             (
                 NodeId(1),
-                vec![
-                    Action::request(L, Mode::Write, Ticket(1)),
-                    Action::cancel(L, Ticket(1)),
-                ],
+                vec![Action::request(L, Mode::Write, Ticket(1)), Action::cancel(L, Ticket(1))],
             ),
             acquire_release(2, Mode::Write, 2),
         ],
@@ -359,10 +341,7 @@ fn suzuki_cancel_all_interleavings() {
         vec![
             (
                 NodeId(1),
-                vec![
-                    Action::request(L, Mode::Write, Ticket(1)),
-                    Action::cancel(L, Ticket(1)),
-                ],
+                vec![Action::request(L, Mode::Write, Ticket(1)), Action::cancel(L, Ticket(1))],
             ),
             acquire_release(2, Mode::Write, 2),
         ],

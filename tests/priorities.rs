@@ -42,9 +42,7 @@ fn higher_priority_served_first_at_token() {
     // Node 1 requests W at NORMAL, then node 2 requests W at higher priority.
     nodes[1].request(L, Mode::Write, Ticket(2), &mut fx).unwrap();
     deliver_all(&mut nodes, &mut fx, NodeId(1));
-    nodes[2]
-        .request_with_priority(L, Mode::Write, Ticket(3), Priority(5), &mut fx)
-        .unwrap();
+    nodes[2].request_with_priority(L, Mode::Write, Ticket(3), Priority(5), &mut fx).unwrap();
     deliver_all(&mut nodes, &mut fx, NodeId(2));
     // Release: the token must go to node 2 (priority 5) first.
     nodes[0].release(L, Ticket(1), &mut fx).unwrap();

@@ -24,13 +24,14 @@ fn pump<P: ConcurrencyProtocol>(
     let mut grants = Vec::new();
     let mut wire: Vec<(NodeId, NodeId, P::Message)> = Vec::new();
     let drain = |fx: &mut EffectSink<P::Message>,
-                     at: NodeId,
-                     wire: &mut Vec<(NodeId, NodeId, P::Message)>,
-                     grants: &mut Vec<(NodeId, Ticket)>| {
+                 at: NodeId,
+                 wire: &mut Vec<(NodeId, NodeId, P::Message)>,
+                 grants: &mut Vec<(NodeId, Ticket)>| {
         for e in fx.drain() {
             match e {
                 Effect::Send { to, message } => wire.push((at, to, message)),
                 Effect::Granted { ticket, .. } => grants.push((at, ticket)),
+                Effect::SetTimer { .. } => {}
             }
         }
     };
@@ -89,10 +90,7 @@ fn conformance<P: ConcurrencyProtocol + Inspect>(mut nodes: Vec<P>, name: &str) 
     //    separately so message senders are attributed correctly.)
     nodes[3].request(L, Mode::Write, Ticket(2), &mut fx).unwrap();
     let outcome = nodes[3].cancel(L, Ticket(2), &mut fx).unwrap();
-    assert!(
-        matches!(outcome, CancelOutcome::WillAbort | CancelOutcome::Cancelled),
-        "{name}"
-    );
+    assert!(matches!(outcome, CancelOutcome::WillAbort | CancelOutcome::Cancelled), "{name}");
     let grants = pump(&mut nodes, &mut fx, NodeId(3));
     assert!(
         !grants.iter().any(|&(n, t)| n == NodeId(3) && t == Ticket(2)),

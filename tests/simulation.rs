@@ -60,14 +60,9 @@ fn every_ablation_variant_is_safe() {
         },
     ];
     for (i, cfg) in variants.into_iter().enumerate() {
-        let r = run_experiment(
-            ProtocolKind::Hierarchical(cfg),
-            6,
-            &wl(3),
-            LatencyModel::paper(),
-            1,
-        )
-        .unwrap_or_else(|e| panic!("variant {i}: {e}"));
+        let r =
+            run_experiment(ProtocolKind::Hierarchical(cfg), 6, &wl(3), LatencyModel::paper(), 1)
+                .unwrap_or_else(|e| panic!("variant {i}: {e}"));
         assert!(r.quiescent, "variant {i} did not quiesce");
     }
 }
@@ -198,9 +193,8 @@ fn lazy_transfers_keep_the_tree_shallow() {
     let wl = WorkloadConfig { entries: 8, ops_per_node: 10, seed: 21, ..Default::default() };
     let depth_for = |cfg: ProtocolConfig| {
         let lock_count = wl.hierarchical_lock_count();
-        let nodes: Vec<LockSpace> = (0..16)
-            .map(|i| LockSpace::new(NodeId(i as u32), lock_count, NodeId(0), cfg))
-            .collect();
+        let nodes: Vec<LockSpace> =
+            (0..16).map(|i| LockSpace::new(NodeId(i as u32), lock_count, NodeId(0), cfg)).collect();
         let sim_cfg = SimConfig { seed: 4, lock_count, ..SimConfig::default() };
         let (report, final_nodes) = Sim::new(nodes, HierarchicalDriver::new(&wl, 16), sim_cfg)
             .run_with_nodes()
@@ -257,8 +251,7 @@ fn three_level_hierarchy_database_table_entry() {
             LockPlan::for_leaf(&[DB, table(1)], entry(1, 1), Mode::Read),
         ],
     ];
-    let expected_grants: u64 =
-        plans.iter().flatten().map(|p| p.steps().len() as u64).sum();
+    let expected_grants: u64 = plans.iter().flatten().map(|p| p.steps().len() as u64).sum();
     let nodes: Vec<LockSpace> = (0..3)
         .map(|i| LockSpace::new(NodeId(i), 7, NodeId(0), ProtocolConfig::default()))
         .collect();

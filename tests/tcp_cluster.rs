@@ -14,9 +14,8 @@ const TIMEOUT: Duration = Duration::from_secs(30);
 fn readers_share_writer_excludes_over_tcp() {
     let cluster = Cluster::spawn_hierarchical(4, 1, ProtocolConfig::default()).unwrap();
     // Three readers hold simultaneously.
-    let tickets: Vec<_> = (1..4)
-        .map(|i| cluster.node(i).acquire(LockId(0), Mode::Read, TIMEOUT).unwrap())
-        .collect();
+    let tickets: Vec<_> =
+        (1..4).map(|i| cluster.node(i).acquire(LockId(0), Mode::Read, TIMEOUT).unwrap()).collect();
     // A writer cannot get in while they hold (expect timeout).
     let w = cluster.node(0).request(LockId(0), Mode::Write).unwrap();
     assert!(cluster.node(0).wait(w, Duration::from_millis(300)).is_err());
