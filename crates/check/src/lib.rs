@@ -36,8 +36,8 @@
 #![warn(rust_2018_idioms)]
 
 use hlock_core::{
-    Classify, ConcurrencyProtocol, Effect, EffectSink, Inspect, LockId, LockSpace, Mode, NodeId,
-    Priority, ProtocolConfig, Ticket,
+    BatchHost, Classify, ConcurrencyProtocol, EffectSink, HostRuntime, Inspect, LockId, LockSpace,
+    Mode, NodeId, Priority, ProtocolConfig, Ticket,
 };
 use hlock_naimi::NaimiSpace;
 use hlock_raymond::RaymondSpace;
@@ -195,14 +195,17 @@ impl std::fmt::Display for CheckError {
 
 impl std::error::Error for CheckError {}
 
-/// In-flight message.
+/// In-flight wire frame: a whole per-destination batch from one effect
+/// step, delivered (or lost) atomically — the frame is the network
+/// transfer unit, exactly as on the TCP transport.
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
 struct Flight<M> {
     from: NodeId,
     to: NodeId,
     /// Per-link sequence number (for FIFO-link mode).
     seq: u64,
-    message: M,
+    /// The batch, in per-link emission order; never empty.
+    messages: Vec<M>,
 }
 
 #[derive(Clone)]
@@ -441,14 +444,16 @@ where
         match step {
             Step::Deliver(i) => {
                 let f = s.inflight.remove(i);
-                label = format!("deliver {:?} {}→{}", f.message.kind(), f.from, f.to);
-                s.nodes[f.to.index()].on_message(f.from, f.message, &mut fx);
+                label = format!("deliver {} {}→{}", batch_label(&f.messages), f.from, f.to);
+                s.nodes[f.to.index()].on_message_batch(f.from, f.messages, &mut fx);
                 self.absorb(s, f.to, fx)?;
             }
             Step::Drop(i) => {
+                // The whole frame is lost: batched messages share fate on
+                // the wire, so the adversary cannot split a batch.
                 let f = s.inflight.remove(i);
                 s.drops_used += 1;
-                label = format!("drop {:?} {}→{}", f.message.kind(), f.from, f.to);
+                label = format!("drop {} {}→{}", batch_label(&f.messages), f.from, f.to);
             }
             Step::Timer { node, token } => {
                 label = format!("{node} timer {token:#x}");
@@ -531,44 +536,24 @@ where
         Ok(label)
     }
 
-    /// Moves effects into state: sends become in-flight messages, grants
-    /// are recorded, timers become pending (time-abstract) firings.
+    /// Moves effects into state through the shared [`HostRuntime`]: each
+    /// per-destination batch becomes one in-flight frame, grants are
+    /// recorded, timers become pending (time-abstract) firings.
     fn absorb(
         &self,
         s: &mut State<P>,
         node: NodeId,
         mut fx: EffectSink<P::Message>,
     ) -> Result<(), String> {
-        for e in fx.drain() {
-            match e {
-                Effect::Send { to, message } => {
-                    if self.collapse_duplicate_inflight
-                        && s.inflight
-                            .iter()
-                            .any(|g| g.from == node && g.to == to && g.message == message)
-                    {
-                        continue;
-                    }
-                    s.link_seq += 1;
-                    s.inflight.push(Flight { from: node, to, seq: s.link_seq, message });
-                }
-                Effect::Granted { lock, ticket, mode } => {
-                    debug_assert!(
-                        !s.cancelled[node.index()].contains(&(lock, ticket)),
-                        "cancelled tickets never surface grants"
-                    );
-                    s.granted[node.index()].push((lock, ticket, mode));
-                }
-                Effect::SetTimer { token, .. } => {
-                    // Delays are abstracted away; only the pending-firing
-                    // set matters. Re-arming an armed timer is a no-op.
-                    let pending = &mut s.timers[node.index()];
-                    if let Err(at) = pending.binary_search(&token) {
-                        pending.insert(at, token);
-                    }
-                }
-            }
-        }
+        let mut runtime = HostRuntime::new();
+        runtime.dispatch(
+            &mut fx,
+            &mut CheckHost {
+                s,
+                node,
+                collapse_duplicate_inflight: self.collapse_duplicate_inflight,
+            },
+        );
         Ok(())
     }
 
@@ -677,6 +662,60 @@ where
     }
 }
 
+/// The model checker's [`BatchHost`]: state mutation only, no I/O. The
+/// runtime's counters and scratch never enter [`State`], so fingerprints
+/// are unaffected by accounting.
+struct CheckHost<'a, P: ConcurrencyProtocol> {
+    s: &'a mut State<P>,
+    node: NodeId,
+    collapse_duplicate_inflight: bool,
+}
+
+impl<P> BatchHost<P::Message> for CheckHost<'_, P>
+where
+    P: ConcurrencyProtocol,
+    P::Message: PartialEq,
+{
+    fn on_batch(&mut self, to: NodeId, messages: Vec<P::Message>) {
+        let node = self.node;
+        if self.collapse_duplicate_inflight
+            && self
+                .s
+                .inflight
+                .iter()
+                .any(|g| g.from == node && g.to == to && g.messages == messages)
+        {
+            return;
+        }
+        self.s.link_seq += 1;
+        let seq = self.s.link_seq;
+        self.s.inflight.push(Flight { from: node, to, seq, messages });
+    }
+
+    fn on_granted(&mut self, lock: LockId, ticket: Ticket, mode: Mode) {
+        debug_assert!(
+            !self.s.cancelled[self.node.index()].contains(&(lock, ticket)),
+            "cancelled tickets never surface grants"
+        );
+        self.s.granted[self.node.index()].push((lock, ticket, mode));
+    }
+
+    fn on_set_timer(&mut self, token: u64, _delay_micros: u64) {
+        // Delays are abstracted away; only the pending-firing set
+        // matters. Re-arming an armed timer is a no-op.
+        let pending = &mut self.s.timers[self.node.index()];
+        if let Err(at) = pending.binary_search(&token) {
+            pending.insert(at, token);
+        }
+    }
+}
+
+/// Human-readable kinds of one batch, e.g. `[request+grant]`.
+fn batch_label<M: Classify>(messages: &[M]) -> String {
+    let kinds: Vec<String> = messages.iter().map(|m| format!("{:?}", m.kind())).collect();
+    format!("[{}]", kinds.join("+"))
+}
+
 #[derive(Debug, Clone, Copy)]
 enum Step {
     Deliver(usize),
@@ -698,14 +737,14 @@ where
     s.cancelled.hash(&mut h);
     s.timers.hash(&mut h);
     s.drops_used.hash(&mut h);
-    // In-flight messages as an (unordered) multiset: combine per-message
+    // In-flight frames as an (unordered) multiset: combine per-frame
     // hashes commutatively, keeping per-link order via seq normalization.
     let mut flight_hash: u64 = 0;
     for f in &s.inflight {
         let mut fh = DefaultHasher::new();
         f.from.hash(&mut fh);
         f.to.hash(&mut fh);
-        f.message.hash(&mut fh);
+        f.messages.hash(&mut fh);
         // Relative order on the link matters; absolute seq does not.
         let rank =
             s.inflight.iter().filter(|g| g.from == f.from && g.to == f.to && g.seq < f.seq).count();
@@ -897,6 +936,60 @@ mod tests {
         );
         checker.max_drops = 1;
         let stats = checker.run(&scenario).expect("mixed modes safe under loss");
+        assert!(stats.terminals > 0);
+    }
+
+    #[test]
+    fn batching_preserves_per_link_fifo() {
+        // A single effect step that sends twice to the same peer must
+        // yield ONE in-flight frame with both messages in emission order
+        // — and the scenario sharing that path must still pass every
+        // interleaving under FIFO links (the default), proving batching
+        // cannot reorder a link.
+        let checker = Checker::hierarchical(ProtocolConfig::default());
+        let mut s = State {
+            nodes: (checker.make)(2, 2),
+            inflight: Vec::new(),
+            pc: vec![0; 2],
+            granted: vec![Vec::new(); 2],
+            requested: vec![Vec::new(); 2],
+            cancelled: vec![Vec::new(); 2],
+            link_seq: 0,
+            timers: vec![Vec::new(); 2],
+            drops_used: 0,
+        };
+        let mut fx = EffectSink::new();
+        s.nodes[1]
+            .request_batch(
+                &[(LockId(0), Mode::IntentRead, Ticket(1)), (LockId(1), Mode::Read, Ticket(2))],
+                &mut fx,
+            )
+            .expect("fresh tickets");
+        checker.absorb(&mut s, NodeId(1), fx).unwrap();
+        assert_eq!(s.inflight.len(), 1, "two requests to the token home share one frame");
+        assert_eq!(s.inflight[0].to, NodeId(0));
+        assert_eq!(s.inflight[0].messages.len(), 2, "both messages ride the frame in order");
+
+        let scenario = Scenario::new(2, 2)
+            .script(
+                NodeId(0),
+                vec![
+                    Action::request(LockId(0), Mode::IntentWrite, Ticket(10)),
+                    Action::release(LockId(0), Ticket(10)),
+                ],
+            )
+            .script(
+                NodeId(1),
+                vec![
+                    Action::request(LockId(0), Mode::IntentRead, Ticket(1)),
+                    Action::request(LockId(1), Mode::Read, Ticket(2)),
+                    Action::release(LockId(1), Ticket(2)),
+                    Action::release(LockId(0), Ticket(1)),
+                ],
+            );
+        let stats = Checker::hierarchical(ProtocolConfig::default())
+            .run(&scenario)
+            .expect("batched frames keep every interleaving safe and live");
         assert!(stats.terminals > 0);
     }
 

@@ -69,6 +69,56 @@ impl<M: fmt::Debug> fmt::Display for Effect<M> {
     }
 }
 
+/// A step-level instruction produced by [`EffectSink::drain_batched`]:
+/// the same information as a sequence of [`Effect`]s, but with every
+/// `Send` of one protocol step to the same destination coalesced into a
+/// single [`StepEffect::Batch`].
+///
+/// Hosts that transmit a batch as one wire frame (or one simulated hop)
+/// model the piggybacking the paper's message counts assume: a
+/// hierarchical acquisition that fans IR + R out to the same peer costs
+/// one frame, not two.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StepEffect<M> {
+    /// Deliver `messages` to node `to` as one unit, preserving order.
+    ///
+    /// The vector is never empty. Messages appear in the exact order the
+    /// protocol emitted them towards `to` (per-link FIFO is preserved);
+    /// only messages of the *same step* are ever grouped.
+    Batch {
+        /// Destination node.
+        to: NodeId,
+        /// The step's messages for `to`, in emission order.
+        messages: Vec<M>,
+    },
+    /// Same as [`Effect::Granted`].
+    Granted {
+        /// Lock concerned.
+        lock: LockId,
+        /// The ticket supplied with the original request.
+        ticket: Ticket,
+        /// The granted mode.
+        mode: Mode,
+    },
+    /// Same as [`Effect::SetTimer`].
+    SetTimer {
+        /// Protocol-chosen correlation token, echoed back on fire.
+        token: u64,
+        /// Delay until the timer fires, in microseconds of host time.
+        delay_micros: u64,
+    },
+}
+
+impl<M> StepEffect<M> {
+    /// Returns the destination if this is a `Batch`.
+    pub fn batch_to(&self) -> Option<NodeId> {
+        match self {
+            StepEffect::Batch { to, .. } => Some(*to),
+            StepEffect::Granted { .. } | StepEffect::SetTimer { .. } => None,
+        }
+    }
+}
+
 /// Accumulator for the effects of one protocol step.
 ///
 /// Reusable across steps via [`EffectSink::drain`] to avoid reallocation
@@ -135,6 +185,51 @@ impl<M> EffectSink<M> {
     pub fn as_slice(&self) -> &[Effect<M>] {
         &self.effects
     }
+
+    /// Drains the queued effects into `out`, coalescing every `Send` to
+    /// the same destination into one [`StepEffect::Batch`].
+    ///
+    /// A batch sits at the position of the *first* send to its
+    /// destination; messages within it keep their emission order, so
+    /// per-link FIFO is preserved. `Granted` and `SetTimer` effects keep
+    /// their relative positions. A step with a single destination moves
+    /// its messages without cloning.
+    ///
+    /// `out` is appended to (not cleared) so hosts can reuse one scratch
+    /// vector across steps.
+    pub fn drain_batched_into(&mut self, out: &mut Vec<StepEffect<M>>) {
+        let base = out.len();
+        for effect in self.effects.drain(..) {
+            match effect {
+                Effect::Send { to, message } => {
+                    // Steps fan out to a handful of peers at most, so a
+                    // linear scan beats a hash map here.
+                    let existing = out[base..].iter_mut().find_map(|e| match e {
+                        StepEffect::Batch { to: t, messages } if *t == to => Some(messages),
+                        _ => None,
+                    });
+                    match existing {
+                        Some(messages) => messages.push(message),
+                        None => out.push(StepEffect::Batch { to, messages: vec![message] }),
+                    }
+                }
+                Effect::Granted { lock, ticket, mode } => {
+                    out.push(StepEffect::Granted { lock, ticket, mode });
+                }
+                Effect::SetTimer { token, delay_micros } => {
+                    out.push(StepEffect::SetTimer { token, delay_micros });
+                }
+            }
+        }
+    }
+
+    /// Convenience wrapper around [`EffectSink::drain_batched_into`]
+    /// returning a fresh vector.
+    pub fn drain_batched(&mut self) -> Vec<StepEffect<M>> {
+        let mut out = Vec::new();
+        self.drain_batched_into(&mut out);
+        out
+    }
 }
 
 #[cfg(test)]
@@ -162,6 +257,55 @@ mod tests {
         let g: Effect<u8> =
             Effect::Granted { lock: LockId(0), ticket: Ticket(0), mode: Mode::Read };
         assert_eq!(g.send_to(), None);
+    }
+
+    #[test]
+    fn drain_batched_coalesces_per_destination() {
+        let mut sink: EffectSink<u8> = EffectSink::new();
+        sink.send(NodeId(2), 10);
+        sink.granted(LockId(0), Ticket(1), Mode::Read);
+        sink.send(NodeId(3), 11);
+        sink.send(NodeId(2), 12);
+        sink.set_timer(7, 100);
+        sink.send(NodeId(3), 13);
+        let batched = sink.drain_batched();
+        assert!(sink.is_empty());
+        assert_eq!(
+            batched,
+            vec![
+                StepEffect::Batch { to: NodeId(2), messages: vec![10, 12] },
+                StepEffect::Granted { lock: LockId(0), ticket: Ticket(1), mode: Mode::Read },
+                StepEffect::Batch { to: NodeId(3), messages: vec![11, 13] },
+                StepEffect::SetTimer { token: 7, delay_micros: 100 },
+            ]
+        );
+    }
+
+    #[test]
+    fn drain_batched_into_appends_and_scopes_batches_per_call() {
+        let mut sink: EffectSink<u8> = EffectSink::new();
+        let mut out = Vec::new();
+        sink.send(NodeId(1), 1);
+        sink.drain_batched_into(&mut out);
+        // A second step to the same peer must NOT merge into the first
+        // step's batch: batches never span a step boundary.
+        sink.send(NodeId(1), 2);
+        sink.drain_batched_into(&mut out);
+        assert_eq!(
+            out,
+            vec![
+                StepEffect::Batch { to: NodeId(1), messages: vec![1] },
+                StepEffect::Batch { to: NodeId(1), messages: vec![2] },
+            ]
+        );
+    }
+
+    #[test]
+    fn batch_to_extracts_destination() {
+        let b: StepEffect<u8> = StepEffect::Batch { to: NodeId(9), messages: vec![1] };
+        assert_eq!(b.batch_to(), Some(NodeId(9)));
+        let t: StepEffect<u8> = StepEffect::SetTimer { token: 0, delay_micros: 1 };
+        assert_eq!(t.batch_to(), None);
     }
 
     #[test]

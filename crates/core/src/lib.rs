@@ -68,11 +68,12 @@ mod mode;
 mod node;
 mod protocol;
 mod queue;
+mod runtime;
 mod space;
 
 pub use audit::{audit_lock, mean_tree_depth, tree_depths, AuditFinding};
 pub use config::ProtocolConfig;
-pub use effect::{Effect, EffectSink};
+pub use effect::{Effect, EffectSink, StepEffect};
 pub use error::ProtocolError;
 pub use hierarchy::{HierarchyStep, LockPlan, PlanTracker};
 pub use ids::{LockId, NodeId, Priority, Stamp, Ticket};
@@ -85,4 +86,5 @@ pub use mode::{
 pub use node::LockNode;
 pub use protocol::{CancelOutcome, ConcurrencyProtocol, Inspect};
 pub use queue::{QueueEntry, RequestQueue, Waiter};
+pub use runtime::{BatchHost, HostRuntime, RuntimeCounters};
 pub use space::LockSpace;

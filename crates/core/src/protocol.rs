@@ -148,6 +148,26 @@ pub trait ConcurrencyProtocol {
         fx: &mut EffectSink<Self::Message>,
     );
 
+    /// Delivers a whole batch (one wire frame / one simulated hop) from
+    /// node `from`, in order.
+    ///
+    /// The default processes the messages one by one, so plain protocols
+    /// are batch-transparent for free. Layers that keep per-link state
+    /// (e.g. the session layer) override this to treat the batch as one
+    /// sequenced unit — acknowledging once per batch instead of once per
+    /// message — while emitting all resulting effects into the same step
+    /// so the reply coalesces too.
+    fn on_message_batch(
+        &mut self,
+        from: NodeId,
+        messages: Vec<Self::Message>,
+        fx: &mut EffectSink<Self::Message>,
+    ) {
+        for message in messages {
+            self.on_message(from, message, fx);
+        }
+    }
+
     /// Fires a timer previously requested via [`crate::Effect::SetTimer`].
     ///
     /// Hosts echo back the protocol-chosen `token`. Timers are not

@@ -1,0 +1,221 @@
+//! The shared batched host runtime.
+//!
+//! Every host (simulator, model checker, TCP transport) used to hand-roll
+//! its own `match Effect` dispatch loop, and the copies drifted. The
+//! [`HostRuntime`] owns that loop once: it drains an [`EffectSink`]
+//! through the step/flush boundary ([`EffectSink::drain_batched_into`]),
+//! hands each coalesced [`StepEffect`] to a host-specific [`BatchHost`]
+//! callback, and keeps per-step counters (logical messages, frames,
+//! coalesce ratio) so every host reports batching the same way.
+//!
+//! ```
+//! use hlock_core::{BatchHost, EffectSink, HostRuntime, LockId, Mode, NodeId, Ticket};
+//!
+//! #[derive(Default)]
+//! struct Recorder(Vec<(NodeId, Vec<u8>)>);
+//! impl BatchHost<u8> for Recorder {
+//!     fn on_batch(&mut self, to: NodeId, messages: Vec<u8>) {
+//!         self.0.push((to, messages));
+//!     }
+//!     fn on_granted(&mut self, _: LockId, _: Ticket, _: Mode) {}
+//!     fn on_set_timer(&mut self, _: u64, _: u64) {}
+//! }
+//!
+//! let mut fx = EffectSink::new();
+//! fx.send(NodeId(1), 10);
+//! fx.send(NodeId(1), 11);
+//! let mut rt = HostRuntime::new();
+//! let mut host = Recorder::default();
+//! rt.dispatch(&mut fx, &mut host);
+//! assert_eq!(host.0, vec![(NodeId(1), vec![10, 11])]);
+//! assert_eq!(rt.counters().logical_messages, 2);
+//! assert_eq!(rt.counters().frames, 1);
+//! ```
+
+use crate::effect::{EffectSink, StepEffect};
+use crate::ids::{LockId, NodeId, Ticket};
+use crate::mode::Mode;
+
+/// Host-specific handlers for the three step-effect kinds.
+///
+/// Implementations decide what "deliver a batch" means — enqueue a
+/// simulated hop, push a model-checker flight, or encode one wire frame —
+/// while the [`HostRuntime`] owns ordering, coalescing and accounting.
+pub trait BatchHost<M> {
+    /// Deliver `messages` to `to` as one unit. Never called with an
+    /// empty vector; messages are in per-link emission order.
+    fn on_batch(&mut self, to: NodeId, messages: Vec<M>);
+
+    /// A local request was granted.
+    fn on_granted(&mut self, lock: LockId, ticket: Ticket, mode: Mode);
+
+    /// The protocol asked for a timer.
+    fn on_set_timer(&mut self, token: u64, delay_micros: u64);
+}
+
+/// Per-step accounting kept by a [`HostRuntime`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RuntimeCounters {
+    /// Dispatched steps that produced at least one effect.
+    pub steps: u64,
+    /// Protocol messages sent (what the paper's figures count).
+    pub logical_messages: u64,
+    /// Transfer units actually emitted (batches); `frames <=
+    /// logical_messages` always holds.
+    pub frames: u64,
+    /// Grants delivered to local callers.
+    pub grants: u64,
+    /// Timer registrations.
+    pub timers: u64,
+    /// Largest single batch seen, in messages.
+    pub max_batch: u64,
+}
+
+impl RuntimeCounters {
+    /// Logical messages per frame — 1.0 when nothing coalesced, higher
+    /// when multi-message steps shared destinations.
+    pub fn coalesce_ratio(&self) -> f64 {
+        if self.frames == 0 {
+            1.0
+        } else {
+            self.logical_messages as f64 / self.frames as f64
+        }
+    }
+}
+
+/// The one dispatch loop shared by every host.
+///
+/// Owns a reusable scratch vector (no per-step allocation once warm) and
+/// the [`RuntimeCounters`]. Hosts call [`HostRuntime::dispatch`] after
+/// every protocol step; the runtime batches, counts and forwards.
+#[derive(Debug, Clone)]
+pub struct HostRuntime<M> {
+    scratch: Vec<StepEffect<M>>,
+    counters: RuntimeCounters,
+}
+
+impl<M> Default for HostRuntime<M> {
+    fn default() -> Self {
+        HostRuntime::new()
+    }
+}
+
+impl<M> HostRuntime<M> {
+    /// Creates a runtime with zeroed counters.
+    pub fn new() -> Self {
+        HostRuntime { scratch: Vec::new(), counters: RuntimeCounters::default() }
+    }
+
+    /// Drains one step's effects from `fx`, coalescing sends per
+    /// destination, and invokes `host` for each resulting step effect in
+    /// order. The whole sink is flushed: batches never split a step and
+    /// never span two steps.
+    pub fn dispatch<H: BatchHost<M>>(&mut self, fx: &mut EffectSink<M>, host: &mut H) {
+        if fx.is_empty() {
+            return;
+        }
+        self.counters.steps += 1;
+        debug_assert!(self.scratch.is_empty(), "scratch leaked from a previous dispatch");
+        fx.drain_batched_into(&mut self.scratch);
+        for effect in self.scratch.drain(..) {
+            match effect {
+                StepEffect::Batch { to, messages } => {
+                    self.counters.frames += 1;
+                    self.counters.logical_messages += messages.len() as u64;
+                    self.counters.max_batch = self.counters.max_batch.max(messages.len() as u64);
+                    host.on_batch(to, messages);
+                }
+                StepEffect::Granted { lock, ticket, mode } => {
+                    self.counters.grants += 1;
+                    host.on_granted(lock, ticket, mode);
+                }
+                StepEffect::SetTimer { token, delay_micros } => {
+                    self.counters.timers += 1;
+                    host.on_set_timer(token, delay_micros);
+                }
+            }
+        }
+    }
+
+    /// The accumulated counters.
+    pub fn counters(&self) -> &RuntimeCounters {
+        &self.counters
+    }
+
+    /// Resets the counters (the scratch buffer is kept).
+    pub fn reset_counters(&mut self) {
+        self.counters = RuntimeCounters::default();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Default)]
+    struct Recorder {
+        batches: Vec<(NodeId, Vec<u8>)>,
+        grants: Vec<(LockId, Ticket, Mode)>,
+        timers: Vec<(u64, u64)>,
+    }
+
+    impl BatchHost<u8> for Recorder {
+        fn on_batch(&mut self, to: NodeId, messages: Vec<u8>) {
+            self.batches.push((to, messages));
+        }
+        fn on_granted(&mut self, lock: LockId, ticket: Ticket, mode: Mode) {
+            self.grants.push((lock, ticket, mode));
+        }
+        fn on_set_timer(&mut self, token: u64, delay_micros: u64) {
+            self.timers.push((token, delay_micros));
+        }
+    }
+
+    #[test]
+    fn dispatch_batches_and_counts() {
+        let mut fx = EffectSink::new();
+        fx.send(NodeId(1), 10);
+        fx.send(NodeId(2), 20);
+        fx.send(NodeId(1), 11);
+        fx.granted(LockId(0), Ticket(3), Mode::Write);
+        fx.set_timer(9, 500);
+        let mut rt = HostRuntime::new();
+        let mut host = Recorder::default();
+        rt.dispatch(&mut fx, &mut host);
+        assert!(fx.is_empty());
+        assert_eq!(host.batches, vec![(NodeId(1), vec![10, 11]), (NodeId(2), vec![20])]);
+        assert_eq!(host.grants, vec![(LockId(0), Ticket(3), Mode::Write)]);
+        assert_eq!(host.timers, vec![(9, 500)]);
+        let c = rt.counters();
+        assert_eq!(c.steps, 1);
+        assert_eq!(c.logical_messages, 3);
+        assert_eq!(c.frames, 2);
+        assert_eq!(c.grants, 1);
+        assert_eq!(c.timers, 1);
+        assert_eq!(c.max_batch, 2);
+        assert!((c.coalesce_ratio() - 1.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_step_is_not_counted() {
+        let mut fx: EffectSink<u8> = EffectSink::new();
+        let mut rt = HostRuntime::new();
+        let mut host = Recorder::default();
+        rt.dispatch(&mut fx, &mut host);
+        assert_eq!(rt.counters().steps, 0);
+        assert_eq!(rt.counters().coalesce_ratio(), 1.0);
+    }
+
+    #[test]
+    fn steps_never_share_a_batch() {
+        let mut fx = EffectSink::new();
+        let mut rt = HostRuntime::new();
+        let mut host = Recorder::default();
+        fx.send(NodeId(1), 1);
+        rt.dispatch(&mut fx, &mut host);
+        fx.send(NodeId(1), 2);
+        rt.dispatch(&mut fx, &mut host);
+        assert_eq!(host.batches, vec![(NodeId(1), vec![1]), (NodeId(1), vec![2])]);
+        assert_eq!(rt.counters().frames, 2);
+    }
+}

@@ -76,6 +76,34 @@ impl LockSpace {
         Ok(&mut self.locks[idx])
     }
 
+    /// Issues a whole multi-lock acquisition plan as **one protocol
+    /// step**: every `(lock, mode, ticket)` request is processed in
+    /// order, with all effects accumulated in the same sink. Drained
+    /// through [`EffectSink::drain_batched`], the step yields at most one
+    /// batch per peer — a hierarchical CCS acquire that sends IR + R
+    /// along a shared path costs one wire frame, not one per level.
+    ///
+    /// # Errors
+    ///
+    /// Unknown locks are rejected up front (before any request is
+    /// issued). A duplicate ticket surfaces mid-plan: requests before it
+    /// have already taken effect, exactly as if issued individually.
+    pub fn request_batch(
+        &mut self,
+        steps: &[(LockId, Mode, Ticket)],
+        fx: &mut EffectSink<Envelope>,
+    ) -> Result<(), ProtocolError> {
+        for &(lock, ..) in steps {
+            if lock.index() >= self.locks.len() {
+                return Err(ProtocolError::UnknownLock { lock });
+            }
+        }
+        for &(lock, mode, ticket) in steps {
+            self.request(lock, mode, ticket, fx)?;
+        }
+        Ok(())
+    }
+
     /// Re-emits scratch effects, wrapping payloads in envelopes.
     fn flush(&mut self, lock: LockId, fx: &mut EffectSink<Envelope>) {
         for effect in self.scratch.drain() {
@@ -345,6 +373,45 @@ mod tests {
         let mut fx = EffectSink::new();
         let mut s1 = spaces[1].clone();
         assert!(s1.try_request(LockId(1), Mode::Write, Ticket(1), &mut fx).unwrap());
+    }
+
+    #[test]
+    fn request_batch_coalesces_shared_path_into_one_batch_per_peer() {
+        use crate::effect::StepEffect;
+        let cfg = ProtocolConfig::default();
+        // Both locks' tokens live at node 0; node 1 acquires IR on the
+        // table plus R on an entry — the paper's CCS lock-set pattern.
+        let mut b = LockSpace::new(NodeId(1), 2, NodeId(0), cfg);
+        let mut fx = EffectSink::new();
+        b.request_batch(
+            &[(LockId(0), Mode::IntentRead, Ticket(1)), (LockId(1), Mode::Read, Ticket(2))],
+            &mut fx,
+        )
+        .unwrap();
+        assert_eq!(fx.len(), 2, "two logical request messages");
+        let batched = fx.drain_batched();
+        assert_eq!(batched.len(), 1, "one frame to the shared token home");
+        let StepEffect::Batch { to, messages } = &batched[0] else { panic!("expected batch") };
+        assert_eq!(*to, NodeId(0));
+        assert_eq!(messages.len(), 2);
+        assert_eq!(messages[0].lock, LockId(0));
+        assert_eq!(messages[1].lock, LockId(1));
+    }
+
+    #[test]
+    fn request_batch_rejects_unknown_lock_before_any_side_effect() {
+        let cfg = ProtocolConfig::default();
+        let mut b = LockSpace::new(NodeId(1), 1, NodeId(0), cfg);
+        let mut fx = EffectSink::new();
+        let err = b
+            .request_batch(
+                &[(LockId(0), Mode::Read, Ticket(1)), (LockId(9), Mode::Read, Ticket(2))],
+                &mut fx,
+            )
+            .unwrap_err();
+        assert_eq!(err, ProtocolError::UnknownLock { lock: LockId(9) });
+        assert!(fx.is_empty(), "no request was issued");
+        assert!(b.is_quiescent());
     }
 
     #[test]

@@ -35,8 +35,8 @@ pub mod ccs;
 use bytes::BytesMut;
 use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
 use hlock_core::{
-    Classify, ConcurrencyProtocol, Effect, EffectSink, LockId, LockSpace, MessageKind, Mode,
-    NodeId, Priority, ProtocolConfig, Ticket,
+    BatchHost, Classify, ConcurrencyProtocol, EffectSink, HostRuntime, LockId, LockSpace,
+    MessageKind, Mode, NodeId, Priority, ProtocolConfig, Ticket,
 };
 use hlock_naimi::NaimiSpace;
 use hlock_raymond::RaymondSpace;
@@ -98,7 +98,8 @@ impl From<std::io::Error> for NetError {
 }
 
 enum LoopEvent<M> {
-    Incoming(NodeId, M),
+    /// One decoded wire frame: a whole batch from one peer, in order.
+    Incoming(NodeId, Vec<M>),
     Request {
         lock: LockId,
         mode: Mode,
@@ -583,6 +584,7 @@ where
                 while running.load(Ordering::SeqCst) {
                     match listener.accept() {
                         Ok((stream, _)) => {
+                            let _ = stream.set_nodelay(true);
                             let _ = stream.set_nonblocking(false);
                             let tx = tx.clone();
                             let running = running.clone();
@@ -712,9 +714,9 @@ fn reader_loop<P>(
                 continue;
             }
             match frame::read::<P::Message>(&mut buf) {
-                Ok(Some((from, msg))) => {
+                Ok(Some((from, messages))) => {
                     debug_assert_eq!(Some(from), peer);
-                    if tx.send(LoopEvent::Incoming(from, msg)).is_err() {
+                    if tx.send(LoopEvent::Incoming(from, messages)).is_err() {
                         return;
                     }
                 }
@@ -741,6 +743,9 @@ fn event_loop<P>(
 {
     let me = protocol.node_id();
     let mut fx = EffectSink::new();
+    let mut runtime: HostRuntime<P::Message> = HostRuntime::new();
+    // Reusable encode buffer: one frame per (step, destination).
+    let mut out = BytesMut::new();
     // Protocol timers (retransmission deadlines) as a min-heap of
     // (deadline, token); duplicates are harmless — the session layer
     // treats a stale fire of a re-armed token as a no-op retransmit
@@ -774,7 +779,9 @@ fn event_loop<P>(
         };
         match event {
             None => {}
-            Some(LoopEvent::Incoming(from, msg)) => protocol.on_message(from, msg, &mut fx),
+            Some(LoopEvent::Incoming(from, messages)) => {
+                protocol.on_message_batch(from, messages, &mut fx);
+            }
             Some(LoopEvent::Request { lock, mode, ticket, priority }) => {
                 let r = protocol.request_with_priority(lock, mode, ticket, priority, &mut fx);
                 // Duplicate tickets cannot happen (monotonic counter).
@@ -824,60 +831,131 @@ fn event_loop<P>(
             }
             Some(LoopEvent::Stop) => return,
         }
-        for effect in fx.drain() {
-            match effect {
-                Effect::Send { to, message } => {
-                    counters.bump(message.kind());
-                    let mut out = BytesMut::new();
-                    frame::write(&mut out, me, &message);
-                    counters.add_bytes(out.len() as u64);
-                    // A failed write evicts the dead socket and starts a
-                    // background redial; while the map has no entry for
-                    // `to`, frames are dropped on the floor — exactly the
-                    // lossy-link regime the session layer recovers from.
-                    let mut map = writers.lock();
-                    let write_failed = match map.get_mut(&to) {
-                        Some(stream) => stream.write_all(&out).is_err(),
-                        None => false,
-                    };
-                    if write_failed {
-                        map.remove(&to);
-                        drop(map);
-                        spawn_reconnect::<P>(
-                            me,
-                            to,
-                            addrs[to.index()],
-                            writers.clone(),
-                            tx.clone(),
-                            running.clone(),
-                        );
-                    }
-                }
-                Effect::Granted { lock, ticket, mode } => grants.deliver(ticket, lock, mode),
-                Effect::SetTimer { token, delay_micros } => {
-                    let deadline = Instant::now() + Duration::from_micros(delay_micros);
-                    timers.push(Reverse((deadline, token)));
-                }
-            }
+        runtime.dispatch(
+            &mut fx,
+            &mut NetHost {
+                me,
+                grants: &grants,
+                counters: &counters,
+                writers: &writers,
+                addrs: addrs.as_slice(),
+                tx: &tx,
+                running: &running,
+                timers: &mut timers,
+                out: &mut out,
+            },
+        );
+    }
+}
+
+/// The TCP transport's [`BatchHost`]: one step effect batch becomes one
+/// encoded wire frame and one socket write per destination, so the flush
+/// boundary of the shared runtime is also the TCP flush boundary.
+struct NetHost<'a, M> {
+    me: NodeId,
+    grants: &'a GrantTable,
+    counters: &'a Counters,
+    writers: &'a Writers,
+    addrs: &'a [SocketAddr],
+    tx: &'a Sender<LoopEvent<M>>,
+    running: &'a Arc<AtomicBool>,
+    timers: &'a mut BinaryHeap<Reverse<(Instant, u64)>>,
+    out: &'a mut BytesMut,
+}
+
+impl<M> BatchHost<M> for NetHost<'_, M>
+where
+    M: WireCodec + Classify + Send + 'static,
+{
+    fn on_batch(&mut self, to: NodeId, messages: Vec<M>) {
+        for message in &messages {
+            self.counters.bump(message.kind());
+        }
+        self.out.clear();
+        frame::write_batch(self.out, self.me, &messages);
+        self.counters.add_bytes(self.out.len() as u64);
+        // A failed write evicts the dead socket and starts a background
+        // redial; while the map has no entry for `to`, frames are dropped
+        // on the floor — exactly the lossy-link regime the session layer
+        // recovers from.
+        let mut map = self.writers.lock();
+        let write_failed = match map.get_mut(&to) {
+            Some(stream) => write_frame(stream, self.out).is_err(),
+            None => false,
+        };
+        if write_failed {
+            map.remove(&to);
+            drop(map);
+            spawn_reconnect(
+                self.me,
+                to,
+                self.addrs[to.index()],
+                self.writers.clone(),
+                self.tx.clone(),
+                self.running.clone(),
+            );
         }
     }
+
+    fn on_granted(&mut self, lock: LockId, ticket: Ticket, mode: Mode) {
+        self.grants.deliver(ticket, lock, mode);
+    }
+
+    fn on_set_timer(&mut self, token: u64, delay_micros: u64) {
+        let deadline = Instant::now() + Duration::from_micros(delay_micros);
+        self.timers.push(Reverse((deadline, token)));
+    }
+}
+
+/// Writes one whole frame, riding out partial writes, `Interrupted`, and
+/// transient `WouldBlock`/`TimedOut` conditions (for up to five seconds)
+/// instead of declaring the peer dead on the first incomplete write.
+///
+/// # Errors
+///
+/// Any other I/O error, a zero-byte write (closed socket), or a transient
+/// condition persisting past the deadline — all of which the caller
+/// treats as a dead link.
+fn write_frame(stream: &mut TcpStream, frame: &[u8]) -> std::io::Result<()> {
+    let deadline = Instant::now() + Duration::from_secs(5);
+    let mut written = 0;
+    while written < frame.len() {
+        match stream.write(&frame[written..]) {
+            Ok(0) => {
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::WriteZero,
+                    "socket accepted no bytes",
+                ));
+            }
+            Ok(n) => written += n,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                if Instant::now() >= deadline {
+                    return Err(e);
+                }
+                std::thread::sleep(Duration::from_millis(1));
+            }
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(())
 }
 
 /// Redials `peer` with exponential backoff (10 ms doubling to 1 s) until
 /// the node shuts down or the link is re-established, then replays the
 /// handshake, publishes the fresh socket and notifies the event loop so
 /// the protocol can resend anything unacknowledged.
-fn spawn_reconnect<P>(
+fn spawn_reconnect<M: Send + 'static>(
     me: NodeId,
     peer: NodeId,
     addr: SocketAddr,
     writers: Writers,
-    tx: Sender<LoopEvent<P::Message>>,
+    tx: Sender<LoopEvent<M>>,
     running: Arc<AtomicBool>,
-) where
-    P: ConcurrencyProtocol,
-    P::Message: Send + 'static,
-{
+) {
     std::thread::spawn(move || {
         let mut delay = Duration::from_millis(10);
         while running.load(Ordering::SeqCst) {

@@ -368,6 +368,84 @@ impl<P: ConcurrencyProtocol> SessionSpace<P> {
         self.scratch = scratch;
     }
 
+    /// Accepts one incoming frame: applies its cumulative ack, delivers
+    /// in-order `Data` (plus anything it unblocks in the reorder buffer)
+    /// to the wrapped protocol and flushes the results into `fx`.
+    /// Returns whether the frame was `Data` — i.e. whether the peer is
+    /// now owed an acknowledgement. The ack itself is *not* emitted
+    /// here: callers decide once per delivery unit (message or batch),
+    /// so a whole batch costs at most one standalone `Ack`.
+    fn accept_frame(
+        &mut self,
+        from: NodeId,
+        message: SessionFrame<P::Message>,
+        fx: &mut EffectSink<SessionFrame<P::Message>>,
+    ) -> bool {
+        match message {
+            SessionFrame::Ack { ack } => {
+                self.process_ack(from, ack);
+                false
+            }
+            SessionFrame::Data { seq, ack, message } => {
+                self.process_ack(from, ack);
+                // Accept in-order traffic (including anything it unblocks
+                // in the reorder buffer); stash or drop the rest.
+                let mut deliver = Vec::new();
+                {
+                    let link = self.links.entry(from).or_default();
+                    if seq == link.next_expected {
+                        link.next_expected += 1;
+                        deliver.push(message);
+                        while let Some(m) = link.reorder.remove(&link.next_expected) {
+                            link.next_expected += 1;
+                            deliver.push(m);
+                        }
+                    } else if seq < link.next_expected {
+                        self.stats.duplicates_dropped += 1;
+                    } else if seq - link.next_expected < self.cfg.recv_window {
+                        if link.reorder.insert(seq, message).is_some() {
+                            self.stats.duplicates_dropped += 1;
+                        } else {
+                            self.stats.reordered_buffered += 1;
+                        }
+                    } else {
+                        self.stats.out_of_window_dropped += 1;
+                    }
+                }
+                for m in deliver {
+                    let mut scratch = std::mem::take(&mut self.scratch);
+                    self.inner.on_message(from, m, &mut scratch);
+                    self.scratch = scratch;
+                    self.flush_inner(fx);
+                }
+                true
+            }
+        }
+    }
+
+    /// Emits the acknowledgement owed to `from` after a delivery unit:
+    /// piggybacked if the effects since `before` already carry a `Data`
+    /// frame to that peer, standalone otherwise.
+    fn ack_if_needed(
+        &mut self,
+        from: NodeId,
+        need_ack: bool,
+        before: usize,
+        fx: &mut EffectSink<SessionFrame<P::Message>>,
+    ) {
+        if !need_ack {
+            return;
+        }
+        let piggybacked = fx.as_slice()[before..].iter().any(
+            |e| matches!(e, Effect::Send { to, message: SessionFrame::Data { .. } } if *to == from),
+        );
+        if !piggybacked {
+            let ack = self.links.entry(from).or_default().ack_level();
+            self.stats.acks += 1;
+            fx.send(from, SessionFrame::Ack { ack });
+        }
+    }
+
     /// Applies a cumulative ack from `from`, releasing covered frames.
     fn process_ack(&mut self, from: NodeId, ack: u64) {
         let link = self.links.entry(from).or_default();
@@ -492,53 +570,28 @@ impl<P: ConcurrencyProtocol> ConcurrencyProtocol for SessionSpace<P> {
         message: Self::Message,
         fx: &mut EffectSink<Self::Message>,
     ) {
-        match message {
-            SessionFrame::Ack { ack } => self.process_ack(from, ack),
-            SessionFrame::Data { seq, ack, message } => {
-                self.process_ack(from, ack);
-                // Accept in-order traffic (including anything it unblocks
-                // in the reorder buffer); stash or drop the rest.
-                let mut deliver = Vec::new();
-                {
-                    let link = self.links.entry(from).or_default();
-                    if seq == link.next_expected {
-                        link.next_expected += 1;
-                        deliver.push(message);
-                        while let Some(m) = link.reorder.remove(&link.next_expected) {
-                            link.next_expected += 1;
-                            deliver.push(m);
-                        }
-                    } else if seq < link.next_expected {
-                        self.stats.duplicates_dropped += 1;
-                    } else if seq - link.next_expected < self.cfg.recv_window {
-                        if link.reorder.insert(seq, message).is_some() {
-                            self.stats.duplicates_dropped += 1;
-                        } else {
-                            self.stats.reordered_buffered += 1;
-                        }
-                    } else {
-                        self.stats.out_of_window_dropped += 1;
-                    }
-                }
-                let before = fx.len();
-                for m in deliver {
-                    let mut scratch = std::mem::take(&mut self.scratch);
-                    self.inner.on_message(from, m, &mut scratch);
-                    self.scratch = scratch;
-                    self.flush_inner(fx);
-                }
-                // Ack what we have: piggybacked if delivery already sent
-                // this peer a Data frame, standalone otherwise.
-                let piggybacked = fx.as_slice()[before..].iter().any(|e| {
-                    matches!(e, Effect::Send { to, message: SessionFrame::Data { .. } } if *to == from)
-                });
-                if !piggybacked {
-                    let ack = self.links.entry(from).or_default().ack_level();
-                    self.stats.acks += 1;
-                    fx.send(from, SessionFrame::Ack { ack });
-                }
-            }
+        let before = fx.len();
+        let need_ack = self.accept_frame(from, message, fx);
+        self.ack_if_needed(from, need_ack, before, fx);
+    }
+
+    /// A batch is one sequenced unit: every frame is accepted in order,
+    /// but the acknowledgement decision is made **once** for the whole
+    /// batch — so `n` coalesced `Data` frames cost at most one standalone
+    /// `Ack` instead of `n`, and any reply traffic the batch provokes
+    /// piggybacks the ack for all of them.
+    fn on_message_batch(
+        &mut self,
+        from: NodeId,
+        messages: Vec<Self::Message>,
+        fx: &mut EffectSink<Self::Message>,
+    ) {
+        let before = fx.len();
+        let mut need_ack = false;
+        for message in messages {
+            need_ack |= self.accept_frame(from, message, fx);
         }
+        self.ack_if_needed(from, need_ack, before, fx);
     }
 
     fn on_timer(&mut self, token: u64, fx: &mut EffectSink<Self::Message>) {
@@ -964,6 +1017,87 @@ mod tests {
         // A remote request creates link state (seq, unacked) → new print.
         b1.request(L, Mode::Write, Ticket(9), &mut fx).unwrap();
         assert_ne!(fp(&b0), fp(&b1), "link state is");
+    }
+
+    #[test]
+    fn batch_delivery_acks_once_for_all_frames() {
+        // Two locks, both with token home node 0: two requests in one
+        // step yield two Data frames that travel to node 0 as one batch.
+        let cfg = SessionConfig { jitter_micros: 0, ..SessionConfig::default() };
+        let mut a = SessionSpace::new(
+            LockSpace::new(NodeId(0), 2, NodeId(0), ProtocolConfig::default()),
+            cfg,
+        );
+        let mut b = SessionSpace::new(
+            LockSpace::new(NodeId(1), 2, NodeId(0), ProtocolConfig::default()),
+            cfg,
+        );
+        let mut fx = EffectSink::new();
+        b.request(LockId(0), Mode::Read, Ticket(1), &mut fx).unwrap();
+        b.request(LockId(1), Mode::Read, Ticket(2), &mut fx).unwrap();
+        let frames: Vec<_> = sends(&mut fx).into_iter().map(|(_, f)| f).collect();
+        assert_eq!(frames.len(), 2);
+        a.on_message_batch(NodeId(1), frames, &mut fx);
+        // a replies with grants (Data frames carrying piggybacked acks) —
+        // and must NOT add a standalone Ack on top.
+        let replies = sends(&mut fx);
+        assert!(replies.iter().all(|(_, f)| matches!(f, SessionFrame::Data { .. })), "{replies:?}");
+        assert_eq!(a.stats().acks, 0, "batch ack rode on the replies");
+        // The last reply's cumulative ack covers the whole batch.
+        let Some((_, SessionFrame::Data { ack, .. })) = replies.last() else { panic!() };
+        assert_eq!(*ack, 2);
+    }
+
+    #[test]
+    fn batch_of_pure_acks_sends_nothing_back() {
+        let (mut a, mut b) = pair();
+        let mut fx = EffectSink::new();
+        b.request(L, Mode::Write, Ticket(1), &mut fx).unwrap();
+        let (_, frame) = sends(&mut fx).remove(0);
+        a.on_message(NodeId(1), frame, &mut fx);
+        let (_, reply) = sends(&mut fx).remove(0);
+        b.on_message(NodeId(0), reply, &mut fx);
+        let (_, standalone) = sends(&mut fx).remove(0);
+        assert!(matches!(standalone, SessionFrame::Ack { .. }));
+        // Delivering the standalone ack as a (degenerate) batch must not
+        // provoke an ack-of-an-ack loop.
+        a.on_message_batch(NodeId(1), vec![standalone], &mut fx);
+        assert!(fx.is_empty(), "acks are never acked");
+    }
+
+    #[test]
+    fn batch_and_singles_deliver_identically() {
+        let cfg = SessionConfig { jitter_micros: 0, ..SessionConfig::default() };
+        let a0 = SessionSpace::new(
+            LockSpace::new(NodeId(0), 2, NodeId(0), ProtocolConfig::default()),
+            cfg,
+        );
+        let mut b = SessionSpace::new(
+            LockSpace::new(NodeId(1), 2, NodeId(0), ProtocolConfig::default()),
+            cfg,
+        );
+        let mut fx = EffectSink::new();
+        b.request(LockId(0), Mode::Read, Ticket(1), &mut fx).unwrap();
+        b.request(LockId(1), Mode::Write, Ticket(2), &mut fx).unwrap();
+        let frames: Vec<_> = sends(&mut fx).into_iter().map(|(_, f)| f).collect();
+        assert_eq!(frames.len(), 2);
+        let mut a_batch = a0.clone();
+        let mut a_single = a0;
+        let mut fx_b = EffectSink::new();
+        let mut fx_s = EffectSink::new();
+        a_batch.on_message_batch(NodeId(1), frames.clone(), &mut fx_b);
+        for f in frames {
+            a_single.on_message(NodeId(1), f, &mut fx_s);
+        }
+        // Same protocol state either way (only ack traffic may differ).
+        assert_eq!(a_batch.inner(), a_single.inner());
+        let data = |fx: &mut EffectSink<Frame>| {
+            sends(fx)
+                .into_iter()
+                .filter(|(_, f)| matches!(f, SessionFrame::Data { .. }))
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(data(&mut fx_b), data(&mut fx_s));
     }
 
     #[test]

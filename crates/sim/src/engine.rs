@@ -16,8 +16,8 @@ use crate::metrics::Metrics;
 use crate::time::{Duration, SimTime};
 use crate::trace::{NullTracer, TraceEvent, TraceRecord, Tracer};
 use hlock_core::{
-    Classify, ConcurrencyProtocol, Effect, EffectSink, Inspect, LockId, Mode, NodeId, Priority,
-    Ticket,
+    BatchHost, Classify, ConcurrencyProtocol, EffectSink, HostRuntime, Inspect, LockId, Mode,
+    NodeId, Priority, Ticket,
 };
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -257,21 +257,13 @@ pub trait Driver {
 
 #[derive(Debug)]
 enum EventKind<M> {
-    Deliver {
-        from: NodeId,
-        to: NodeId,
-        message: M,
-    },
+    /// One network hop: a whole per-destination batch (one wire frame)
+    /// arriving atomically, messages in per-link emission order.
+    Deliver { from: NodeId, to: NodeId, messages: Vec<M> },
     /// A driver (application) timer, set via [`SimApi::set_timer`].
-    Timer {
-        node: NodeId,
-        timer: u64,
-    },
-    /// A protocol timer, requested via [`Effect::SetTimer`].
-    ProtocolTimer {
-        node: NodeId,
-        token: u64,
-    },
+    Timer { node: NodeId, timer: u64 },
+    /// A protocol timer, requested via [`hlock_core::Effect::SetTimer`].
+    ProtocolTimer { node: NodeId, token: u64 },
 }
 
 struct Event<M> {
@@ -335,6 +327,10 @@ pub struct Sim<P: ConcurrencyProtocol, D> {
     outstanding: HashMap<(NodeId, LockId, Ticket), (SimTime, Mode)>,
     metrics: Metrics,
     fx: EffectSink<P::Message>,
+    runtime: HostRuntime<P::Message>,
+    /// Computes the encoded size of one outgoing batch (one wire frame),
+    /// for wire-byte accounting; `None` counts frames but zero bytes.
+    frame_sizer: Option<Box<dyn Fn(&[P::Message]) -> u64>>,
     delivered: u64,
     tracer: Box<dyn Tracer>,
     /// Virtual time of the last request or grant, for the watchdog.
@@ -375,6 +371,8 @@ where
             outstanding: HashMap::new(),
             metrics: Metrics::new(),
             fx: EffectSink::new(),
+            runtime: HostRuntime::new(),
+            frame_sizer: None,
             delivered: 0,
             tracer: Box::new(NullTracer),
             last_progress: SimTime::ZERO,
@@ -385,6 +383,16 @@ where
     #[must_use]
     pub fn with_tracer(mut self, tracer: impl Tracer + 'static) -> Self {
         self.tracer = Box::new(tracer);
+        self
+    }
+
+    /// Attaches a frame sizer: given the messages of one outgoing batch
+    /// (delivered as one wire frame), returns its encoded size in bytes.
+    /// Enables [`Metrics::wire_bytes`] accounting; without it frames are
+    /// still counted but bytes stay zero.
+    #[must_use]
+    pub fn with_frame_sizer(mut self, sizer: impl Fn(&[P::Message]) -> u64 + 'static) -> Self {
+        self.frame_sizer = Some(Box::new(sizer));
         self
     }
 
@@ -438,8 +446,10 @@ where
                 self.config.pauses.iter().find(|p| p.covers(event_node, ev.time)).copied()
             {
                 match ev.kind {
-                    EventKind::Deliver { from, to, message } => {
-                        self.trace(TraceEvent::Drop { from, to, kind: message.kind() });
+                    EventKind::Deliver { from, to, messages } => {
+                        for message in &messages {
+                            self.trace(TraceEvent::Drop { from, to, kind: message.kind() });
+                        }
                     }
                     kind => {
                         let resume_at = pause.until + (ev.time - pause.from);
@@ -449,18 +459,24 @@ where
                 continue;
             }
             match ev.kind {
-                EventKind::Deliver { from, to, message } => {
-                    self.trace(TraceEvent::Deliver {
-                        from,
-                        to,
-                        kind: message.kind(),
-                        message: format!("{message:?}"),
-                    });
-                    self.nodes[to.index()].on_message(from, message, &mut self.fx);
+                EventKind::Deliver { from, to, messages } => {
+                    for message in &messages {
+                        self.trace(TraceEvent::Deliver {
+                            from,
+                            to,
+                            kind: message.kind(),
+                            message: format!("{message:?}"),
+                        });
+                    }
+                    let before = self.delivered;
+                    self.delivered += messages.len() as u64;
+                    self.nodes[to.index()].on_message_batch(from, messages, &mut self.fx);
                     self.process_effects(to)?;
-                    self.delivered += 1;
+                    // `delivered` counts logical messages; a batch checks
+                    // once when it crosses a `check_every` boundary.
                     if self.config.check_every > 0
-                        && self.delivered.is_multiple_of(self.config.check_every)
+                        && before / self.config.check_every
+                            != self.delivered / self.config.check_every
                     {
                         self.check_invariants()?;
                     }
@@ -506,86 +522,22 @@ where
         self.process_effects(node)
     }
 
-    /// Drains the effect sink after any protocol step at `node`:
-    /// schedules sends and dispatches grants to the driver (which may
-    /// enqueue further commands, processed in the same instant).
+    /// Drains the effect sink after any protocol step at `node` through
+    /// the shared [`HostRuntime`]: sends coalesce per destination into one
+    /// simulated hop (one wire frame), grants dispatch to the driver
+    /// (which may enqueue further commands, processed in the same instant).
     fn process_effects(&mut self, node: NodeId) -> Result<(), InvariantViolation> {
         loop {
-            let effects: Vec<Effect<P::Message>> = self.fx.drain().collect();
-            if effects.is_empty() {
+            if self.fx.is_empty() {
                 return Ok(());
             }
+            let mut fx = std::mem::replace(&mut self.fx, EffectSink::new());
+            let mut runtime = std::mem::take(&mut self.runtime);
             let mut commands: Vec<(NodeId, Vec<Command>)> = Vec::new();
-            for effect in effects {
-                match effect {
-                    Effect::Send { to, message } => {
-                        self.metrics.count_message_from(node, message.kind());
-                        if self.config.partitions.iter().any(|p| p.severs(node, to, self.now)) {
-                            self.trace(TraceEvent::Drop { from: node, to, kind: message.kind() });
-                            continue;
-                        }
-                        if self.config.drop_probability > 0.0
-                            && self.rng.gen_bool(self.config.drop_probability)
-                        {
-                            self.trace(TraceEvent::Drop { from: node, to, kind: message.kind() });
-                            continue;
-                        }
-                        let copies = if self.config.duplicate_probability > 0.0
-                            && self.rng.gen_bool(self.config.duplicate_probability)
-                        {
-                            2
-                        } else {
-                            1
-                        };
-                        for _ in 0..copies {
-                            let latency = self.config.latency.sample(&mut self.rng);
-                            let mut at = self.now + latency;
-                            // A reordered message skips the FIFO clock and
-                            // gains bounded extra skew, so it can overtake
-                            // (or fall behind) its link neighbors.
-                            let reordered = self.config.reorder_probability > 0.0
-                                && self.rng.gen_bool(self.config.reorder_probability);
-                            if reordered {
-                                let skew = self.config.reorder_max_skew.as_micros();
-                                if skew > 0 {
-                                    at = at + Duration(self.rng.gen_range(0..=skew));
-                                }
-                            } else if self.config.fifo_links {
-                                let clock =
-                                    self.link_clock.entry((node, to)).or_insert(SimTime::ZERO);
-                                if at <= *clock {
-                                    at = SimTime(clock.0 + 1);
-                                }
-                                *clock = at;
-                            }
-                            self.push_event(
-                                at,
-                                EventKind::Deliver { from: node, to, message: message.clone() },
-                            );
-                        }
-                    }
-                    Effect::SetTimer { token, delay_micros } => {
-                        let at = self.now + Duration(delay_micros);
-                        self.push_event(at, EventKind::ProtocolTimer { node, token });
-                    }
-                    Effect::Granted { lock, ticket, mode } => {
-                        self.last_progress = self.now;
-                        self.trace(TraceEvent::Grant { node, lock, mode, ticket });
-                        if let Some((start, req_mode)) =
-                            self.outstanding.remove(&(node, lock, ticket))
-                        {
-                            debug_assert!(
-                                req_mode == mode || mode == Mode::Write,
-                                "grant mode matches request (or upgraded to W)"
-                            );
-                            self.metrics.record_grant(req_mode, self.now - start);
-                        }
-                        let mut api = SimApi { now: self.now, commands: Vec::new() };
-                        self.driver.on_granted(node, lock, ticket, mode, &mut api);
-                        commands.push((node, api.commands));
-                    }
-                }
-            }
+            runtime
+                .dispatch(&mut fx, &mut SimStepHost { sim: self, node, commands: &mut commands });
+            self.runtime = runtime;
+            self.fx = fx;
             for (n, cmds) in commands {
                 // Execute driver reactions; their effects are picked up by
                 // the next loop iteration.
@@ -736,6 +688,108 @@ where
             }
         }
         Ok(())
+    }
+}
+
+/// One effect-step's host adapter: borrows the simulator and routes the
+/// shared runtime's step effects into the event queue, the metrics and
+/// the driver. `node` is the node whose protocol step produced the sink.
+struct SimStepHost<'a, P: ConcurrencyProtocol, D> {
+    sim: &'a mut Sim<P, D>,
+    node: NodeId,
+    /// Driver reactions to grants, executed by the caller after dispatch
+    /// (their effects belong to the *next* step, never this batch).
+    commands: &'a mut Vec<(NodeId, Vec<Command>)>,
+}
+
+impl<P, D> BatchHost<P::Message> for SimStepHost<'_, P, D>
+where
+    P: ConcurrencyProtocol + Inspect,
+    D: Driver,
+{
+    fn on_batch(&mut self, to: NodeId, messages: Vec<P::Message>) {
+        let sim = &mut *self.sim;
+        let from = self.node;
+        for message in &messages {
+            sim.metrics.count_message_from(from, message.kind());
+        }
+        let bytes = sim.frame_sizer.as_ref().map_or(0, |sizer| sizer(&messages));
+        sim.metrics.count_frame(messages.len(), bytes);
+        // Fault injection applies to the frame — the network transfer
+        // unit — so a fault hits or spares the whole batch, exactly as a
+        // lost or duplicated TCP segment would.
+        if sim.config.partitions.iter().any(|p| p.severs(from, to, sim.now)) {
+            for message in &messages {
+                sim.trace(TraceEvent::Drop { from, to, kind: message.kind() });
+            }
+            return;
+        }
+        if sim.config.drop_probability > 0.0 && sim.rng.gen_bool(sim.config.drop_probability) {
+            for message in &messages {
+                sim.trace(TraceEvent::Drop { from, to, kind: message.kind() });
+            }
+            return;
+        }
+        let copies = if sim.config.duplicate_probability > 0.0
+            && sim.rng.gen_bool(sim.config.duplicate_probability)
+        {
+            2
+        } else {
+            1
+        };
+        let mut remaining = Some(messages);
+        for copy in 0..copies {
+            let latency = sim.config.latency.sample(&mut sim.rng);
+            let mut at = sim.now + latency;
+            // A reordered frame skips the FIFO clock and gains bounded
+            // extra skew, so it can overtake (or fall behind) its link
+            // neighbors.
+            let reordered = sim.config.reorder_probability > 0.0
+                && sim.rng.gen_bool(sim.config.reorder_probability);
+            if reordered {
+                let skew = sim.config.reorder_max_skew.as_micros();
+                if skew > 0 {
+                    at = at + Duration(sim.rng.gen_range(0..=skew));
+                }
+            } else if sim.config.fifo_links {
+                let clock = sim.link_clock.entry((from, to)).or_insert(SimTime::ZERO);
+                if at <= *clock {
+                    at = SimTime(clock.0 + 1);
+                }
+                *clock = at;
+            }
+            // The common single-copy case moves the batch without cloning;
+            // only a duplicated frame pays for a copy.
+            let batch = if copy + 1 == copies {
+                remaining.take().expect("one batch per copy")
+            } else {
+                remaining.as_ref().expect("one batch per copy").clone()
+            };
+            sim.push_event(at, EventKind::Deliver { from, to, messages: batch });
+        }
+    }
+
+    fn on_granted(&mut self, lock: LockId, ticket: Ticket, mode: Mode) {
+        let sim = &mut *self.sim;
+        let node = self.node;
+        sim.last_progress = sim.now;
+        sim.trace(TraceEvent::Grant { node, lock, mode, ticket });
+        if let Some((start, req_mode)) = sim.outstanding.remove(&(node, lock, ticket)) {
+            debug_assert!(
+                req_mode == mode || mode == Mode::Write,
+                "grant mode matches request (or upgraded to W)"
+            );
+            sim.metrics.record_grant(req_mode, sim.now - start);
+        }
+        let mut api = SimApi { now: sim.now, commands: Vec::new() };
+        sim.driver.on_granted(node, lock, ticket, mode, &mut api);
+        self.commands.push((node, api.commands));
+    }
+
+    fn on_set_timer(&mut self, token: u64, delay_micros: u64) {
+        let at = self.sim.now + Duration(delay_micros);
+        let node = self.node;
+        self.sim.push_event(at, EventKind::ProtocolTimer { node, token });
     }
 }
 

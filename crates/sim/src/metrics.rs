@@ -16,6 +16,13 @@ pub struct Metrics {
     requests: u64,
     /// Total grants observed.
     grants: u64,
+    /// Wire frames sent (one frame carries a whole per-destination batch).
+    frames: u64,
+    /// Logical messages carried inside counted frames (for the coalesce
+    /// ratio; equals `total_messages()` when every send is frame-counted).
+    frame_messages: u64,
+    /// Encoded bytes of all counted frames (0 without a frame sizer).
+    wire_bytes: u64,
     /// Request-to-grant latency samples, per requested mode.
     latency: HashMap<ModeKey, LatencyAgg>,
 }
@@ -72,6 +79,43 @@ impl Metrics {
         }
         let max = self.sent_by_node.values().max().copied().unwrap_or(0);
         max as f64 / (total as f64 / nodes as f64)
+    }
+
+    /// Records one wire frame carrying `logical` coalesced messages and
+    /// occupying `bytes` on the wire (pass 0 when no sizer is available).
+    pub fn count_frame(&mut self, logical: usize, bytes: u64) {
+        self.frames += 1;
+        self.frame_messages += logical as u64;
+        self.wire_bytes += bytes;
+    }
+
+    /// Wire frames sent.
+    pub fn total_frames(&self) -> u64 {
+        self.frames
+    }
+
+    /// Encoded wire bytes of all counted frames.
+    pub fn wire_bytes(&self) -> u64 {
+        self.wire_bytes
+    }
+
+    /// Logical messages per wire frame — 1.0 when nothing coalesced (or
+    /// nothing was frame-counted), higher when batching amortized frames.
+    pub fn coalesce_ratio(&self) -> f64 {
+        if self.frames == 0 {
+            1.0
+        } else {
+            self.frame_messages as f64 / self.frames as f64
+        }
+    }
+
+    /// Encoded wire bytes per grant (0 with no grants).
+    pub fn bytes_per_grant(&self) -> f64 {
+        if self.grants == 0 {
+            0.0
+        } else {
+            self.wire_bytes as f64 / self.grants as f64
+        }
     }
 
     /// Records that a request was issued.
@@ -216,6 +260,9 @@ impl Metrics {
         }
         self.requests += other.requests;
         self.grants += other.grants;
+        self.frames += other.frames;
+        self.frame_messages += other.frame_messages;
+        self.wire_bytes += other.wire_bytes;
         for (m, a) in &other.latency {
             let agg = self.latency.entry(*m).or_default();
             agg.sum_micros += a.sum_micros;
@@ -303,6 +350,27 @@ mod tests {
         assert_eq!(m.mean_latency(), Duration::ZERO);
         assert_eq!(m.latency_factor(Duration::ZERO), 0.0);
         assert!(m.latency_by_mode().is_empty());
+    }
+
+    #[test]
+    fn frame_accounting() {
+        let mut m = Metrics::new();
+        assert_eq!(m.coalesce_ratio(), 1.0, "no frames counted yet");
+        // Three logical messages in two frames: one coalesced pair, one single.
+        m.count_frame(2, 40);
+        m.count_frame(1, 28);
+        m.record_grant(Mode::Read, Duration::from_millis(10));
+        assert_eq!(m.total_frames(), 2);
+        assert_eq!(m.wire_bytes(), 68);
+        assert!((m.coalesce_ratio() - 1.5).abs() < 1e-9);
+        assert!((m.bytes_per_grant() - 68.0).abs() < 1e-9);
+        assert_eq!(Metrics::new().bytes_per_grant(), 0.0);
+        let mut other = Metrics::new();
+        other.count_frame(3, 12);
+        m.merge(&other);
+        assert_eq!(m.total_frames(), 3);
+        assert_eq!(m.wire_bytes(), 80);
+        assert!((m.coalesce_ratio() - 2.0).abs() < 1e-9);
     }
 
     #[test]

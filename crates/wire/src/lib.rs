@@ -442,27 +442,61 @@ impl<M: WireCodec> WireCodec for SessionFrame<M> {
     }
 }
 
-/// Length-prefixed framing: `u32` little-endian body length, then the
-/// sender's node id as a varint, then the encoded message body.
+/// Length-prefixed **batch** framing — one frame per effect-step batch.
+///
+/// Layout: `u32` little-endian body length, then the body:
+///
+/// ```text
+/// varint sender | varint count | count × (varint sub_len | sub_len bytes)
+/// ```
+///
+/// The sender header is paid once per frame regardless of how many
+/// messages the step coalesced; each sub-frame is one message in the
+/// existing per-message codec. Decoding is zero-copy: the body is split
+/// into [`Bytes`] sub-slices handed to the per-message codecs without
+/// re-buffering.
 pub mod frame {
     use super::*;
 
-    /// Appends one frame containing `message` from `sender` to `buf`.
-    pub fn write<M: WireCodec>(buf: &mut BytesMut, sender: NodeId, message: &M) {
+    /// Appends one frame containing a whole batch from `sender` to `buf`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `messages` is empty — empty batches never cross the
+    /// step/flush boundary.
+    pub fn write_batch<M: WireCodec>(buf: &mut BytesMut, sender: NodeId, messages: &[M]) {
+        assert!(!messages.is_empty(), "a batch frame carries at least one message");
         let mut body = BytesMut::new();
         put_varint(&mut body, u64::from(sender.0));
-        message.encode(&mut body);
+        put_varint(&mut body, messages.len() as u64);
+        let mut sub = BytesMut::new();
+        for message in messages {
+            sub.clear();
+            message.encode(&mut sub);
+            put_varint(&mut body, sub.len() as u64);
+            body.extend_from_slice(&sub);
+        }
         buf.put_u32_le(body.len() as u32);
         buf.extend_from_slice(&body);
     }
 
-    /// Tries to split one complete frame off the front of `buf`.
+    /// Appends one single-message frame (a batch of one) to `buf`.
+    pub fn write<M: WireCodec>(buf: &mut BytesMut, sender: NodeId, message: &M) {
+        write_batch(buf, sender, std::slice::from_ref(message));
+    }
+
+    /// Tries to split one complete frame off the front of `buf`,
+    /// returning the sender and the batch's messages in wire order.
     /// Returns `Ok(None)` if more bytes are needed.
+    ///
+    /// Bytes trailing the advertised message count inside a complete
+    /// body are ignored (forward compatibility); the count itself is
+    /// untrusted, so nothing is preallocated from it.
     ///
     /// # Errors
     ///
     /// Any [`WireError`] from decoding a complete but malformed frame.
-    pub fn read<M: WireCodec>(buf: &mut BytesMut) -> Result<Option<(NodeId, M)>, WireError> {
+    pub fn read<M: WireCodec>(buf: &mut BytesMut) -> Result<Option<(NodeId, Vec<M>)>, WireError> {
         if buf.len() < 4 {
             return Ok(None);
         }
@@ -473,8 +507,17 @@ pub mod frame {
         let _ = buf.split_to(4);
         let mut body = buf.split_to(len).freeze();
         let sender = NodeId(get_varint(&mut body)? as u32);
-        let message = M::decode(&mut body)?;
-        Ok(Some((sender, message)))
+        let count = get_varint(&mut body)?;
+        let mut messages = Vec::new();
+        for _ in 0..count {
+            let sub_len = get_varint(&mut body)?;
+            if sub_len > body.len() as u64 {
+                return Err(WireError::UnexpectedEof);
+            }
+            let mut sub = body.split_to(sub_len as usize);
+            messages.push(M::decode(&mut sub)?);
+        }
+        Ok(Some((sender, messages)))
     }
 }
 
@@ -494,7 +537,7 @@ mod tests {
 
     #[test]
     fn varint_edge_cases() {
-        for v in [0u64, 1, 127, 128, 300, u32::MAX as u64, u64::MAX] {
+        for v in [0u64, 1, 127, 128, 300, u32::MAX as u64, 1 << 63, u64::MAX] {
             let mut buf = BytesMut::new();
             put_varint(&mut buf, v);
             let mut b = buf.freeze();
@@ -651,15 +694,107 @@ mod tests {
         let mut decoded = 0;
         for (i, byte) in full.iter().enumerate() {
             partial.put_u8(*byte);
-            while let Some((from, m)) = frame::read::<Envelope>(&mut partial).unwrap() {
+            while let Some((from, batch)) = frame::read::<Envelope>(&mut partial).unwrap() {
                 assert_eq!(from, NodeId(1));
-                assert_eq!(m, msg);
+                assert_eq!(batch, vec![msg.clone()]);
                 decoded += 1;
                 let _ = i;
             }
         }
         assert_eq!(decoded, 2);
         assert!(partial.is_empty());
+    }
+
+    #[test]
+    fn batch_frame_roundtrip_preserves_order() {
+        let msgs: Vec<Envelope> = (0..4)
+            .map(|i| Envelope {
+                lock: LockId(i),
+                payload: Payload::Request {
+                    origin: NodeId(7),
+                    mode: Mode::IntentRead,
+                    stamp: Stamp(u64::from(i)),
+                    priority: Priority::NORMAL,
+                },
+            })
+            .collect();
+        let mut wire = BytesMut::new();
+        frame::write_batch(&mut wire, NodeId(7), &msgs);
+        let (from, decoded) = frame::read::<Envelope>(&mut wire).unwrap().unwrap();
+        assert_eq!(from, NodeId(7));
+        assert_eq!(decoded, msgs);
+        assert!(wire.is_empty());
+    }
+
+    #[test]
+    fn batch_frame_amortizes_the_header() {
+        // n messages in one batch frame cost less than n single frames:
+        // the u32 length prefix and sender varint are paid once.
+        let msg = NaimiEnvelope { lock: LockId(1), payload: NaimiPayload::Token };
+        let msgs = vec![msg.clone(); 4];
+        let mut batched = BytesMut::new();
+        frame::write_batch(&mut batched, NodeId(3), &msgs);
+        let mut singles = BytesMut::new();
+        for m in &msgs {
+            frame::write(&mut singles, NodeId(3), m);
+        }
+        assert!(
+            batched.len() < singles.len(),
+            "batch {} bytes vs singles {} bytes",
+            batched.len(),
+            singles.len()
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one message")]
+    fn empty_batch_frames_are_rejected() {
+        let mut wire = BytesMut::new();
+        frame::write_batch::<Envelope>(&mut wire, NodeId(0), &[]);
+    }
+
+    #[test]
+    fn batch_frame_garbage_errors_not_panics() {
+        // Body claims 3 sub-frames but truncates after the count.
+        let mut body = BytesMut::new();
+        put_varint(&mut body, 1); // sender
+        put_varint(&mut body, 3); // count
+        let mut wire = BytesMut::new();
+        wire.put_u32_le(body.len() as u32);
+        wire.extend_from_slice(&body);
+        assert_eq!(frame::read::<Envelope>(&mut wire), Err(WireError::UnexpectedEof));
+
+        // Sub-frame length larger than the remaining body.
+        let mut body = BytesMut::new();
+        put_varint(&mut body, 1);
+        put_varint(&mut body, 1);
+        put_varint(&mut body, 1_000_000); // sub_len way past the body
+        body.put_u8(0xAA);
+        let mut wire = BytesMut::new();
+        wire.put_u32_le(body.len() as u32);
+        wire.extend_from_slice(&body);
+        assert_eq!(frame::read::<Envelope>(&mut wire), Err(WireError::UnexpectedEof));
+
+        // Absurd count (2^63) with no sub-frames: must error, not OOM.
+        let mut body = BytesMut::new();
+        put_varint(&mut body, 1);
+        put_varint(&mut body, 1 << 63);
+        let mut wire = BytesMut::new();
+        wire.put_u32_le(body.len() as u32);
+        wire.extend_from_slice(&body);
+        assert_eq!(frame::read::<Envelope>(&mut wire), Err(WireError::UnexpectedEof));
+
+        // A sub-frame holding garbage bytes surfaces the codec's error.
+        let mut body = BytesMut::new();
+        put_varint(&mut body, 1);
+        put_varint(&mut body, 1);
+        put_varint(&mut body, 2);
+        body.put_u8(0x00); // lock 0
+        body.put_u8(0x09); // invalid payload tag
+        let mut wire = BytesMut::new();
+        wire.put_u32_le(body.len() as u32);
+        wire.extend_from_slice(&body);
+        assert_eq!(frame::read::<Envelope>(&mut wire), Err(WireError::InvalidTag(9)));
     }
 
     fn arb_mode() -> impl Strategy<Value = Mode> {
@@ -774,8 +909,37 @@ mod tests {
             frame::write(&mut wire, NodeId(sender), &msg);
             let (from, decoded) = frame::read::<Envelope>(&mut wire).unwrap().unwrap();
             prop_assert_eq!(from, NodeId(sender));
-            prop_assert_eq!(decoded, msg);
+            prop_assert_eq!(decoded, vec![msg]);
             prop_assert!(wire.is_empty());
+        }
+
+        #[test]
+        fn prop_batch_frame_roundtrip(
+            sender in any::<u32>(),
+            payloads in proptest::collection::vec(arb_payload(), 1..6),
+        ) {
+            let msgs: Vec<Envelope> = payloads
+                .into_iter()
+                .enumerate()
+                .map(|(i, payload)| Envelope { lock: LockId(i as u32), payload })
+                .collect();
+            let mut wire = BytesMut::new();
+            frame::write_batch(&mut wire, NodeId(sender), &msgs);
+            let (from, decoded) = frame::read::<Envelope>(&mut wire).unwrap().unwrap();
+            prop_assert_eq!(from, NodeId(sender));
+            prop_assert_eq!(decoded, msgs);
+            prop_assert!(wire.is_empty());
+        }
+
+        #[test]
+        fn prop_batch_read_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..96)) {
+            // Arbitrary bytes fed as a complete frame body: Err or
+            // Ok(None) are both fine; panics and runaway allocation are
+            // not.
+            let mut wire = BytesMut::new();
+            wire.put_u32_le(bytes.len() as u32);
+            wire.extend_from_slice(&bytes);
+            let _ = frame::read::<Envelope>(&mut wire);
         }
     }
 }

@@ -8,6 +8,16 @@ use hlock_raymond::RaymondSpace;
 use hlock_session::{SessionConfig, SessionSpace, SessionStats};
 use hlock_sim::{InvariantViolation, LatencyModel, Sim, SimConfig, SimReport};
 use hlock_suzuki::SuzukiSpace;
+use hlock_wire::{frame, BytesMut, WireCodec};
+
+/// Sizes a frame exactly as the TCP transport encodes it, so the
+/// simulator's byte metrics (`wire_bytes`, `bytes_per_grant`) match the
+/// real wire format instead of a per-message guess.
+fn wire_frame_size<M: WireCodec>(messages: &[M]) -> u64 {
+    let mut buf = BytesMut::new();
+    frame::write_batch(&mut buf, NodeId(0), messages);
+    buf.len() as u64
+}
 
 /// Which system runs the workload.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -85,7 +95,9 @@ pub fn run_experiment(
                 (0..nodes).map(|i| LockSpace::with_homes(NodeId(i as u32), &homes, cfg)).collect();
             let sim_cfg =
                 SimConfig { seed, latency, lock_count, check_every, ..SimConfig::default() };
-            Sim::new(spaces, HierarchicalDriver::new(workload, nodes), sim_cfg).run()
+            Sim::new(spaces, HierarchicalDriver::new(workload, nodes), sim_cfg)
+                .with_frame_sizer(wire_frame_size)
+                .run()
         }
         ProtocolKind::NaimiSameWork => {
             let lock_count = workload.naimi_lock_count();
@@ -94,14 +106,18 @@ pub fn run_experiment(
                 .collect();
             let sim_cfg =
                 SimConfig { seed, latency, lock_count, check_every, ..SimConfig::default() };
-            Sim::new(spaces, NaimiSameWorkDriver::new(workload, nodes), sim_cfg).run()
+            Sim::new(spaces, NaimiSameWorkDriver::new(workload, nodes), sim_cfg)
+                .with_frame_sizer(wire_frame_size)
+                .run()
         }
         ProtocolKind::NaimiPure => {
             let spaces =
                 (0..nodes).map(|i| NaimiSpace::new(NodeId(i as u32), 1, NodeId(0))).collect();
             let sim_cfg =
                 SimConfig { seed, latency, lock_count: 1, check_every, ..SimConfig::default() };
-            Sim::new(spaces, NaimiPureDriver::new(workload, nodes), sim_cfg).run()
+            Sim::new(spaces, NaimiPureDriver::new(workload, nodes), sim_cfg)
+                .with_frame_sizer(wire_frame_size)
+                .run()
         }
         ProtocolKind::RaymondPure => {
             let spaces = (0..nodes)
@@ -109,7 +125,9 @@ pub fn run_experiment(
                 .collect();
             let sim_cfg =
                 SimConfig { seed, latency, lock_count: 1, check_every, ..SimConfig::default() };
-            Sim::new(spaces, NaimiPureDriver::new(workload, nodes), sim_cfg).run()
+            Sim::new(spaces, NaimiPureDriver::new(workload, nodes), sim_cfg)
+                .with_frame_sizer(wire_frame_size)
+                .run()
         }
         ProtocolKind::SuzukiPure => {
             let spaces = (0..nodes)
@@ -117,7 +135,9 @@ pub fn run_experiment(
                 .collect();
             let sim_cfg =
                 SimConfig { seed, latency, lock_count: 1, check_every, ..SimConfig::default() };
-            Sim::new(spaces, NaimiPureDriver::new(workload, nodes), sim_cfg).run()
+            Sim::new(spaces, NaimiPureDriver::new(workload, nodes), sim_cfg)
+                .with_frame_sizer(wire_frame_size)
+                .run()
         }
     }
 }
@@ -159,8 +179,9 @@ pub fn run_session_experiment(
         .map(|i| SessionSpace::new(LockSpace::with_homes(NodeId(i as u32), &homes, cfg), session))
         .collect();
     let sim_cfg = SimConfig { seed: derive_seed(workload, nodes), lock_count, ..sim };
-    let (report, spaces) =
-        Sim::new(spaces, HierarchicalDriver::new(workload, nodes), sim_cfg).run_with_nodes()?;
+    let (report, spaces) = Sim::new(spaces, HierarchicalDriver::new(workload, nodes), sim_cfg)
+        .with_frame_sizer(wire_frame_size)
+        .run_with_nodes()?;
     let mut stats = SessionStats::default();
     for space in &spaces {
         stats.merge(&space.stats());

@@ -45,6 +45,7 @@ pub struct PlanDriver {
     scripts: Vec<NodeScript>,
     hold: Duration,
     idle: Duration,
+    pipelined: bool,
 }
 
 impl PlanDriver {
@@ -57,17 +58,47 @@ impl PlanDriver {
                 .collect(),
             hold,
             idle,
+            pipelined: false,
         }
+    }
+
+    /// Issue every step of a plan in one effect step instead of waiting
+    /// for each grant before requesting the next lock.
+    ///
+    /// All requests of a plan then leave the node in the same batch, so
+    /// requests sharing a token home coalesce into one wire frame — the
+    /// whole point of the batched runtime. Grants may arrive in any
+    /// order; the plan counts as held once all of them are in.
+    ///
+    /// **Caveat (why this is opt-in):** pipelining gives up the
+    /// root-first acquisition discipline, which is what rules out
+    /// hold-and-wait cycles across plans. It is only safe when any two
+    /// concurrent plans conflict on at most one lock — e.g. the standard
+    /// multi-granularity shape ([`LockPlan::for_leaf`]) where ancestors
+    /// are taken in mutually compatible intention modes and only leaves
+    /// conflict. Two plans taking the same two locks in exclusive modes
+    /// in opposite orders can deadlock under pipelining.
+    #[must_use]
+    pub fn pipelined(mut self) -> Self {
+        self.pipelined = true;
+        self
     }
 
     fn start_next_plan(&mut self, node: NodeId, api: &mut SimApi) {
         let s = &mut self.scripts[node.index()];
         let Some(plan) = s.plans.get(s.next_plan) else { return };
-        let tracker = PlanTracker::new(plan.clone(), s.ticket_base);
+        let base = s.ticket_base;
+        let tracker = PlanTracker::new(plan.clone(), base);
         s.ticket_base += plan.steps().len() as u64;
-        let (lock, mode, ticket) = tracker.current().expect("plans are nonempty");
+        if self.pipelined {
+            for (i, step) in tracker.plan().steps().iter().enumerate() {
+                api.request(step.lock, step.mode, Ticket(base + i as u64));
+            }
+        } else {
+            let (lock, mode, ticket) = tracker.current().expect("plans are nonempty");
+            api.request(lock, mode, ticket);
+        }
         s.tracker = Some(tracker);
-        api.request(lock, mode, ticket);
     }
 }
 
@@ -83,7 +114,7 @@ impl Driver for PlanDriver {
         let tracker = s.tracker.as_mut().expect("grant implies an active plan");
         if tracker.advance() {
             api.set_timer(self.hold, T_HOLD_DONE);
-        } else {
+        } else if !self.pipelined {
             let (lock, mode, ticket) = tracker.current().expect("not complete");
             api.request(lock, mode, ticket);
         }
@@ -150,6 +181,34 @@ mod tests {
         let report = run(plans, 1);
         assert!(report.quiescent);
         assert_eq!(report.metrics.total_grants(), 9);
+    }
+
+    #[test]
+    fn pipelined_plans_coalesce_requests() {
+        // Both steps of each multi-granularity plan leave in one effect
+        // step; with a shared token home they must share a wire frame,
+        // so the run averages more than one logical message per frame.
+        let table = LockId(0);
+        let plans = vec![
+            vec![],
+            vec![LockPlan::for_leaf(&[table], LockId(1), Mode::Read)],
+            vec![LockPlan::for_leaf(&[table], LockId(2), Mode::Write)],
+        ];
+        let nodes: Vec<LockSpace> = (0..plans.len())
+            .map(|i| LockSpace::new(NodeId(i as u32), 3, NodeId(0), ProtocolConfig::default()))
+            .collect();
+        let driver = PlanDriver::new(plans, Duration::from_millis(10), Duration::from_millis(20))
+            .pipelined();
+        let cfg = SimConfig { seed: 5, lock_count: 3, check_every: 1, ..Default::default() };
+        let report = Sim::new(nodes, driver, cfg).run().expect("safe");
+        assert!(report.quiescent);
+        assert_eq!(report.metrics.total_grants(), 4);
+        assert!(
+            report.metrics.coalesce_ratio() > 1.0,
+            "pipelined plan steps must share frames: ratio {}",
+            report.metrics.coalesce_ratio()
+        );
+        assert!(report.metrics.total_frames() < report.metrics.total_messages());
     }
 
     #[test]
