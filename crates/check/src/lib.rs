@@ -37,12 +37,13 @@
 
 use hlock_core::{
     BatchHost, Classify, ConcurrencyProtocol, EffectSink, HostRuntime, Inspect, LockId, LockSpace,
-    Mode, NodeId, Priority, ProtocolConfig, Ticket,
+    Mode, NodeId, Observer, Priority, ProtocolConfig, ProtocolEvent, Ticket,
 };
 use hlock_naimi::NaimiSpace;
 use hlock_raymond::RaymondSpace;
 use hlock_session::{SessionConfig, SessionSpace};
 use hlock_suzuki::SuzukiSpace;
+use std::cell::{Cell, RefCell};
 use std::collections::hash_map::DefaultHasher;
 use std::collections::HashSet;
 use std::fmt::Debug;
@@ -245,6 +246,14 @@ pub struct Checker<P: ConcurrencyProtocol> {
     /// drops duplicates at the receiver), where delivering a clone twice
     /// is equivalent to delivering it once; unsound for raw protocols.
     pub collapse_duplicate_inflight: bool,
+    /// Optional event sink: when attached, every explored transition
+    /// emits the same [`ProtocolEvent`] vocabulary as the simulator and
+    /// the TCP transport (see [`Checker::with_observer`]).
+    observer: Option<RefCell<Box<dyn Observer>>>,
+    /// Transition counter standing in for time: the checker is
+    /// time-abstract, so events are stamped with the DFS step at which
+    /// their transition executed.
+    steps: Cell<u64>,
 }
 
 impl<P: ConcurrencyProtocol> Checker<P> {
@@ -257,6 +266,28 @@ impl<P: ConcurrencyProtocol> Checker<P> {
             max_states: 5_000_000,
             max_drops: 0,
             collapse_duplicate_inflight: false,
+            observer: None,
+            steps: Cell::new(0),
+        }
+    }
+
+    /// Attaches an [`Observer`] receiving every [`ProtocolEvent`] the
+    /// exploration produces, in DFS transition order. Because the
+    /// checker is time-abstract, the timestamp is a transition counter
+    /// rather than microseconds; events from different interleavings of
+    /// the same scenario interleave in the stream.
+    #[must_use]
+    pub fn with_observer(mut self, observer: impl Observer + 'static) -> Self {
+        self.observer = Some(RefCell::new(Box::new(observer)));
+        self
+    }
+
+    /// Records a host-level event (delivery, drop, timer, audit); the
+    /// closure never runs when no observer is attached.
+    fn observe_with(&self, event: impl FnOnce() -> ProtocolEvent) {
+        if let Some(obs) = &self.observer {
+            let event = event();
+            obs.borrow_mut().on_event(self.steps.get(), &event);
         }
     }
 }
@@ -439,12 +470,18 @@ where
     }
 
     fn apply(&self, _scenario: &Scenario, s: &mut State<P>, step: Step) -> Result<String, String> {
+        self.steps.set(self.steps.get() + 1);
         let mut fx = EffectSink::new();
+        fx.set_observing(self.observer.is_some());
         let label;
         match step {
             Step::Deliver(i) => {
                 let f = s.inflight.remove(i);
                 label = format!("deliver {} {}→{}", batch_label(&f.messages), f.from, f.to);
+                for m in &f.messages {
+                    let kind = m.kind();
+                    self.observe_with(|| ProtocolEvent::Delivered { node: f.to, from: f.from, kind });
+                }
                 s.nodes[f.to.index()].on_message_batch(f.from, f.messages, &mut fx);
                 self.absorb(s, f.to, fx)?;
             }
@@ -454,10 +491,15 @@ where
                 let f = s.inflight.remove(i);
                 s.drops_used += 1;
                 label = format!("drop {} {}→{}", batch_label(&f.messages), f.from, f.to);
+                for m in &f.messages {
+                    let kind = m.kind();
+                    self.observe_with(|| ProtocolEvent::Dropped { node: f.to, from: f.from, kind });
+                }
             }
             Step::Timer { node, token } => {
                 label = format!("{node} timer {token:#x}");
                 s.timers[node.index()].retain(|&t| t != token);
+                self.observe_with(|| ProtocolEvent::TimerFired { node, token });
                 s.nodes[node.index()].on_timer(token, &mut fx);
                 self.absorb(s, node, fx)?;
             }
@@ -546,14 +588,14 @@ where
         mut fx: EffectSink<P::Message>,
     ) -> Result<(), String> {
         let mut runtime = HostRuntime::new();
-        runtime.dispatch(
-            &mut fx,
-            &mut CheckHost {
-                s,
-                node,
-                collapse_duplicate_inflight: self.collapse_duplicate_inflight,
-            },
-        );
+        let mut host =
+            CheckHost { s, node, collapse_duplicate_inflight: self.collapse_duplicate_inflight };
+        if let Some(obs) = &self.observer {
+            let mut obs = obs.borrow_mut();
+            runtime.dispatch_observed(&mut fx, &mut host, node, &mut **obs, self.steps.get());
+        } else {
+            runtime.dispatch(&mut fx, &mut host);
+        }
         Ok(())
     }
 
@@ -648,6 +690,15 @@ where
             if states.len() == s.nodes.len() {
                 let findings = hlock_core::audit_lock(states);
                 if let Some(first) = findings.first() {
+                    // Surface every finding on the event stream before
+                    // failing, matching the simulator's audit reporting.
+                    for finding in &findings {
+                        self.observe_with(|| ProtocolEvent::AuditViolation {
+                            node: NodeId(0),
+                            lock,
+                            detail: finding.to_string(),
+                        });
+                    }
                     return Err(self.err(format!("terminal-state audit: {first}"), trace, "end"));
                 }
             }
@@ -795,6 +846,38 @@ mod tests {
     fn naimi_two_writers_all_interleavings() {
         let stats = Checker::naimi().run(&two_writers()).expect("safe");
         assert!(stats.states > 10);
+    }
+
+    #[test]
+    fn observer_reports_shared_event_vocabulary() {
+        use std::rc::Rc;
+        let names: Rc<RefCell<Vec<&'static str>>> = Rc::default();
+        let sink = Rc::clone(&names);
+        let stats = Checker::hierarchical(ProtocolConfig::default())
+            .with_observer(move |_at: u64, e: &ProtocolEvent| sink.borrow_mut().push(e.name()))
+            .run(&two_writers())
+            .expect("safe");
+        assert!(stats.states > 10);
+        let names = names.borrow();
+        // The checker speaks the exact vocabulary of the simulator and
+        // the TCP transport: node lifecycle events plus transport legs.
+        for expected in ["request_issued", "granted", "released", "message_sent", "delivered"] {
+            assert!(names.iter().any(|n| n == &expected), "missing {expected}");
+        }
+    }
+
+    #[test]
+    fn unobserved_exploration_is_unperturbed_by_observer() {
+        let plain = Checker::hierarchical(ProtocolConfig::default())
+            .run(&two_writers())
+            .expect("safe");
+        let observed = Checker::hierarchical(ProtocolConfig::default())
+            .with_observer(|_: u64, _: &ProtocolEvent| {})
+            .run(&two_writers())
+            .expect("safe");
+        assert_eq!(plain.states, observed.states, "observation must not change the state graph");
+        assert_eq!(plain.transitions, observed.transitions);
+        assert_eq!(plain.terminals, observed.terminals);
     }
 
     #[test]

@@ -7,6 +7,7 @@
 
 use crate::ids::{LockId, NodeId, Ticket};
 use crate::mode::Mode;
+use crate::observe::ProtocolEvent;
 use core::fmt;
 
 /// An instruction from the protocol to its host.
@@ -137,6 +138,8 @@ impl<M> StepEffect<M> {
 #[derive(Debug, Clone)]
 pub struct EffectSink<M> {
     effects: Vec<Effect<M>>,
+    events: Vec<ProtocolEvent>,
+    observing: bool,
 }
 
 impl<M> Default for EffectSink<M> {
@@ -146,9 +149,47 @@ impl<M> Default for EffectSink<M> {
 }
 
 impl<M> EffectSink<M> {
-    /// Creates an empty sink.
+    /// Creates an empty sink with observation off.
     pub fn new() -> Self {
-        EffectSink { effects: Vec::new() }
+        EffectSink { effects: Vec::new(), events: Vec::new(), observing: false }
+    }
+
+    /// Turns observation on or off. While off (the default),
+    /// [`EffectSink::emit_with`] is a no-op — protocols instrumented
+    /// with events cost nothing when nobody is listening.
+    pub fn set_observing(&mut self, on: bool) {
+        self.observing = on;
+    }
+
+    /// Whether protocol events are being recorded.
+    pub fn observing(&self) -> bool {
+        self.observing
+    }
+
+    /// Records a [`ProtocolEvent`] if observation is on. Takes a closure
+    /// so event payloads are never even constructed when off.
+    pub fn emit_with(&mut self, event: impl FnOnce() -> ProtocolEvent) {
+        if self.observing {
+            self.events.push(event());
+        }
+    }
+
+    /// The recorded events (drained by the host runtime).
+    pub fn events(&self) -> &[ProtocolEvent] {
+        &self.events
+    }
+
+    /// Takes the recorded events, leaving the buffer empty.
+    pub fn take_events(&mut self) -> Vec<ProtocolEvent> {
+        std::mem::take(&mut self.events)
+    }
+
+    /// Moves the recorded events into another sink (used by
+    /// [`crate::LockSpace`] to forward per-node scratch events).
+    pub fn forward_events_into<N>(&mut self, other: &mut EffectSink<N>) {
+        if !self.events.is_empty() {
+            other.events.append(&mut self.events);
+        }
     }
 
     /// Queues a `Send` effect.

@@ -66,6 +66,7 @@ mod ids;
 mod message;
 mod mode;
 mod node;
+mod observe;
 mod protocol;
 mod queue;
 mod runtime;
@@ -84,6 +85,10 @@ pub use mode::{
     stronger, token_can_serve, token_serve, Mode, ModeSet, QueueDecision, TokenServe, ALL_MODES,
 };
 pub use node::LockNode;
+pub use observe::{
+    check_span_balance, ChromeTraceObserver, JsonlObserver, MetricsRegistry, NullObserver,
+    Observer, ProtocolEvent, Reservoir, SpanId, VecObserver, DEFAULT_RESERVOIR_CAPACITY,
+};
 pub use protocol::{CancelOutcome, ConcurrencyProtocol, Inspect};
 pub use queue::{QueueEntry, RequestQueue, Waiter};
 pub use runtime::{BatchHost, HostRuntime, RuntimeCounters};

@@ -4,7 +4,7 @@
 //! *request*, *grant*, *token*, *release*, *freeze* and *update*.
 //! Each message is scoped to one lock by the [`Envelope`] wrapper.
 
-use crate::ids::{LockId, NodeId, Priority, Stamp};
+use crate::ids::{LockId, NodeId, Priority, Stamp, Ticket};
 use crate::mode::{Mode, ModeSet};
 use crate::queue::QueueEntry;
 use core::fmt;
@@ -83,6 +83,11 @@ pub enum Payload {
         stamp: Stamp,
         /// Request priority (higher served first, FIFO within).
         priority: Priority,
+        /// Causal span ticket: the ticket the origin assigned to this
+        /// request, carried across hops so observers at every node can
+        /// attribute forwarding/queueing/grant events to one span
+        /// (`SpanId { origin, ticket: span }`).
+        span: Ticket,
     },
     /// A granted copy: the requester becomes a child of the sender holding
     /// `mode` (Rules 3.1, 3.2 copy case). Carries the granter's current
@@ -161,7 +166,7 @@ impl fmt::Display for Envelope {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::ids::{LockId, NodeId, Priority, Stamp};
+    use crate::ids::{LockId, NodeId, Priority, Stamp, Ticket};
     use crate::mode::Mode;
 
     #[test]
@@ -171,6 +176,7 @@ mod tests {
             mode: Mode::Read,
             stamp: Stamp(4),
             priority: Priority::NORMAL,
+            span: Ticket(9),
         };
         assert_eq!(req.kind(), MessageKind::Request);
         assert_eq!(

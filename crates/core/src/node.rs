@@ -42,6 +42,7 @@ use crate::mode::{
     compatible_owned, frozen_modes, grantable, grantable_set, owned_strength, queue_or_forward,
     stronger, Mode, ModeSet, QueueDecision,
 };
+use crate::observe::{ProtocolEvent, SpanId};
 use crate::protocol::CancelOutcome;
 use crate::queue::{QueueEntry, RequestQueue, Waiter};
 use std::collections::{BTreeMap, BTreeSet};
@@ -213,6 +214,46 @@ impl LockNode {
         self.pending.iter().map(|p| p.mode).fold(None, |acc, m| stronger(acc, Some(m)))
     }
 
+    /// The span of one of this node's own requests.
+    fn own_span(&self, ticket: Ticket) -> SpanId {
+        SpanId::new(self.id, ticket)
+    }
+
+    /// Reports grant of a local request: the effect plus the span-closing
+    /// [`ProtocolEvent::Granted`] — always emitted together so every span
+    /// closes exactly once.
+    fn grant_local(&self, ticket: Ticket, mode: Mode, fx: &mut EffectSink<Payload>) {
+        fx.granted(self.lock, ticket, mode);
+        fx.emit_with(|| ProtocolEvent::Granted {
+            node: self.id,
+            lock: self.lock,
+            span: self.own_span(ticket),
+            mode,
+        });
+    }
+
+    /// Emits the freeze/unfreeze transition from `old` to the current
+    /// frozen set, if it changed.
+    fn emit_frozen_change(&self, old: ModeSet, fx: &mut EffectSink<Payload>) {
+        let new = self.frozen;
+        if new == old {
+            return;
+        }
+        if old.difference(new).is_empty() {
+            fx.emit_with(|| ProtocolEvent::ModeFrozen {
+                node: self.id,
+                lock: self.lock,
+                modes: new.difference(old),
+            });
+        } else {
+            fx.emit_with(|| ProtocolEvent::ModeUnfrozen {
+                node: self.id,
+                lock: self.lock,
+                modes: new,
+            });
+        }
+    }
+
     fn ticket_in_use(&self, ticket: Ticket) -> bool {
         self.held.iter().any(|&(t, _)| t == ticket)
             || self.pending.iter().any(|p| p.ticket == ticket)
@@ -263,12 +304,19 @@ impl LockNode {
         }
         self.clock = self.clock.next();
         let stamp = self.clock;
+        fx.emit_with(|| ProtocolEvent::RequestIssued {
+            node: self.id,
+            lock: self.lock,
+            span: self.own_span(ticket),
+            mode,
+            priority,
+        });
         let owned = self.owned();
         if self.is_token {
             // Rule 3.2 for the local caller: compatibility suffices.
             if compatible_owned(owned, mode) && !self.frozen.contains(mode) {
                 self.held.push((ticket, mode));
-                fx.granted(self.lock, ticket, mode);
+                self.grant_local(ticket, mode, fx);
             } else {
                 // Rule 4.2: the token node queues unconditionally.
                 self.queue.push_back(QueueEntry::with_priority(
@@ -277,6 +325,13 @@ impl LockNode {
                     stamp,
                     priority,
                 ));
+                fx.emit_with(|| ProtocolEvent::RequestQueued {
+                    node: self.id,
+                    lock: self.lock,
+                    span: self.own_span(ticket),
+                    mode,
+                    queue_depth: self.queue.len(),
+                });
                 self.refresh_frozen(fx);
             }
             return Ok(());
@@ -287,7 +342,7 @@ impl LockNode {
             && !self.frozen.contains(mode)
         {
             self.held.push((ticket, mode));
-            fx.granted(self.lock, ticket, mode);
+            self.grant_local(ticket, mode, fx);
             return Ok(());
         }
         // Cannot satisfy locally: queue behind a pending request when
@@ -301,6 +356,13 @@ impl LockNode {
                 stamp,
                 priority,
             ));
+            fx.emit_with(|| ProtocolEvent::RequestQueued {
+                node: self.id,
+                lock: self.lock,
+                span: self.own_span(ticket),
+                mode,
+                queue_depth: self.queue.len(),
+            });
         } else {
             self.send_own_request(ticket, mode, stamp, priority, fx);
         }
@@ -338,8 +400,15 @@ impl LockNode {
         };
         if grantable_here {
             self.clock = self.clock.next();
+            fx.emit_with(|| ProtocolEvent::RequestIssued {
+                node: self.id,
+                lock: self.lock,
+                span: self.own_span(ticket),
+                mode,
+                priority: Priority::NORMAL,
+            });
             self.held.push((ticket, mode));
-            fx.granted(self.lock, ticket, mode);
+            self.grant_local(ticket, mode, fx);
         }
         Ok(grantable_here)
     }
@@ -363,6 +432,7 @@ impl LockNode {
             .position(|&(t, _)| t == ticket)
             .ok_or(ProtocolError::NotHeld { ticket })?;
         let (_, mode) = self.held.remove(idx);
+        fx.emit_with(|| ProtocolEvent::Released { node: self.id, lock: self.lock, ticket, mode });
         self.after_ownership_change(fx);
         Ok(mode)
     }
@@ -394,7 +464,14 @@ impl LockNode {
         if held_mode == Mode::Write {
             // Already exclusive: upgrading is a trivial no-op grant (the
             // same contract the exclusive-only baselines expose).
-            fx.granted(self.lock, ticket, Mode::Write);
+            fx.emit_with(|| ProtocolEvent::RequestIssued {
+                node: self.id,
+                lock: self.lock,
+                span: self.own_span(ticket),
+                mode: Mode::Write,
+                priority: Priority::NORMAL,
+            });
+            self.grant_local(ticket, Mode::Write, fx);
             return Ok(());
         }
         if held_mode != Mode::Upgrade {
@@ -404,6 +481,13 @@ impl LockNode {
         // never copy-granted (no mode is ≥ U and compatible with U).
         debug_assert!(self.is_token, "U holder must be the token node");
         self.clock = self.clock.next();
+        fx.emit_with(|| ProtocolEvent::RequestIssued {
+            node: self.id,
+            lock: self.lock,
+            span: self.own_span(ticket),
+            mode: Mode::Write,
+            priority: Priority::NORMAL,
+        });
         self.queue.push_front(QueueEntry::new(
             Waiter::LocalUpgrade(ticket),
             Mode::Write,
@@ -472,6 +556,11 @@ impl LockNode {
         let queued = self.queue.remove_waiter(Waiter::Local(ticket))
             + self.queue.remove_waiter(Waiter::LocalUpgrade(ticket));
         if queued > 0 {
+            fx.emit_with(|| ProtocolEvent::RequestCancelled {
+                node: self.id,
+                lock: self.lock,
+                span: self.own_span(ticket),
+            });
             // Removing a queue entry may unfreeze modes and unblock the
             // entries behind it.
             if self.is_token {
@@ -486,6 +575,11 @@ impl LockNode {
         }
         if self.pending.iter().any(|p| p.ticket == ticket) {
             self.cancelled.insert(ticket);
+            fx.emit_with(|| ProtocolEvent::RequestCancelled {
+                node: self.id,
+                lock: self.lock,
+                span: self.own_span(ticket),
+            });
             return Ok(CancelOutcome::WillAbort);
         }
         Err(ProtocolError::NotHeld { ticket })
@@ -494,9 +588,9 @@ impl LockNode {
     /// Handles a protocol message from `from`.
     pub fn on_message(&mut self, from: NodeId, payload: Payload, fx: &mut EffectSink<Payload>) {
         match payload {
-            Payload::Request { origin, mode, stamp, priority } => {
+            Payload::Request { origin, mode, stamp, priority, span } => {
                 self.clock = self.clock.merged(stamp);
-                self.handle_request(from, origin, mode, stamp, priority, fx);
+                self.handle_request(from, origin, mode, stamp, priority, span, fx);
             }
             Payload::Grant { mode, frozen } => {
                 self.clock = self.clock.next();
@@ -526,6 +620,7 @@ impl LockNode {
     // ------------------------------------------------------------------
 
     /// `HandleRequest` of Figure 4.
+    #[allow(clippy::too_many_arguments)]
     fn handle_request(
         &mut self,
         _from: NodeId,
@@ -533,6 +628,7 @@ impl LockNode {
         mode: Mode,
         stamp: Stamp,
         priority: Priority,
+        span: Ticket,
         fx: &mut EffectSink<Payload>,
     ) {
         if origin == self.id {
@@ -547,15 +643,20 @@ impl LockNode {
             // Rule 3.2: compatibility is necessary and sufficient, subject
             // to freezing (Rule 6).
             if compatible_owned(owned, mode) && !self.frozen.contains(mode) {
-                self.serve_remote_at_token(origin, mode, fx);
+                self.serve_remote_at_token(origin, mode, span, fx);
             } else {
                 // Rule 4.2: queue locally regardless of pending requests.
-                self.queue.push_back(QueueEntry::with_priority(
-                    Waiter::Remote(origin),
+                self.queue.push_back(
+                    QueueEntry::with_priority(Waiter::Remote(origin), mode, stamp, priority)
+                        .with_span(span),
+                );
+                fx.emit_with(|| ProtocolEvent::RequestQueued {
+                    node: self.id,
+                    lock: self.lock,
+                    span: SpanId::new(origin, span),
                     mode,
-                    stamp,
-                    priority,
-                ));
+                    queue_depth: self.queue.len(),
+                });
                 self.refresh_frozen(fx);
             }
             return;
@@ -563,22 +664,27 @@ impl LockNode {
         // Rule 3.1: grant from a non-token node when owned is compatible
         // and at least as strong (Table 1(b)) and the mode is not frozen.
         if grantable(owned, mode) && !self.frozen.contains(mode) {
-            self.grant_copy(origin, mode, fx);
+            self.grant_copy(origin, mode, span, fx);
             return;
         }
         // Rule 4.1: queue or forward per Table 2(a).
         if self.config.absorb_requests
             && queue_or_forward(self.strongest_pending(), mode) == QueueDecision::Queue
         {
-            self.queue.push_back(QueueEntry::with_priority(
-                Waiter::Remote(origin),
+            self.queue.push_back(
+                QueueEntry::with_priority(Waiter::Remote(origin), mode, stamp, priority)
+                    .with_span(span),
+            );
+            fx.emit_with(|| ProtocolEvent::RequestQueued {
+                node: self.id,
+                lock: self.lock,
+                span: SpanId::new(origin, span),
                 mode,
-                stamp,
-                priority,
-            ));
+                queue_depth: self.queue.len(),
+            });
             return;
         }
-        self.forward_request(origin, mode, stamp, priority, fx);
+        self.forward_request(origin, mode, stamp, priority, span, fx);
     }
 
     /// `ReceiveGrant` of Figure 4: a copy grant for one of our pending
@@ -603,26 +709,40 @@ impl LockNode {
         // to the propagation path" the paper's Figure 7 discussion
         // mentions).
         if self.parent != Some(from) {
-            if self.reported_owned.is_some() {
-                if let Some(old) = self.parent {
+            if let Some(old) = self.parent {
+                fx.emit_with(|| ProtocolEvent::PathReversal {
+                    node: self.id,
+                    lock: self.lock,
+                    old_parent: old,
+                });
+                if self.reported_owned.is_some() {
                     fx.send(old, Payload::Release { new_owned: None });
+                    fx.emit_with(|| ProtocolEvent::ReleaseSent {
+                        node: self.id,
+                        lock: self.lock,
+                        new_owned: None,
+                    });
                 }
             }
             self.parent = Some(from);
         }
         self.held.push((p.ticket, mode));
         self.reported_owned = stronger(self.reported_owned, Some(mode));
+        let old_frozen = self.frozen;
         self.frozen = frozen;
         self.clamp_frozen();
+        self.emit_frozen_change(old_frozen, fx);
         if self.cancelled.remove(&p.ticket) {
             // The caller gave up on this request: accept the grant to
-            // keep the granter's copyset consistent, then let it go.
+            // keep the granter's copyset consistent, then let it go. The
+            // span was already closed when `cancel` reported `WillAbort`,
+            // so no span event is emitted here.
             self.propagate_freezes(fx);
             let released = self.release(p.ticket, fx);
             debug_assert!(released.is_ok());
             return;
         }
-        fx.granted(self.lock, p.ticket, mode);
+        self.grant_local(p.ticket, mode, fx);
         self.propagate_freezes(fx);
         self.serve_queue_nontoken(fx);
     }
@@ -648,6 +768,11 @@ impl LockNode {
         if self.parent != Some(from) && self.reported_owned.is_some() {
             if let Some(old) = self.parent {
                 fx.send(old, Payload::Release { new_owned: None });
+                fx.emit_with(|| ProtocolEvent::ReleaseSent {
+                    node: self.id,
+                    lock: self.lock,
+                    new_owned: None,
+                });
             }
         }
         self.is_token = true;
@@ -666,14 +791,21 @@ impl LockNode {
         // at the conservative default (nothing told).
         if self.cancelled.remove(&p.ticket) {
             // Cancelled while the token travelled: we keep the token
-            // (someone must) but relinquish the grant immediately.
+            // (someone must) but relinquish the grant immediately. The
+            // span was already closed when `cancel` reported `WillAbort`.
             let released = self.release(p.ticket, fx);
             debug_assert!(released.is_ok());
             self.refresh_frozen(fx);
             self.serve_queue_token(fx);
             return;
         }
-        fx.granted(self.lock, p.ticket, mode);
+        fx.emit_with(|| ProtocolEvent::TokenReceived {
+            node: self.id,
+            lock: self.lock,
+            span: self.own_span(p.ticket),
+            mode,
+        });
+        self.grant_local(p.ticket, mode, fx);
         self.refresh_frozen(fx);
         self.serve_queue_token(fx);
     }
@@ -694,6 +826,12 @@ impl LockNode {
                 self.child_frozen.remove(&from);
             }
         }
+        fx.emit_with(|| ProtocolEvent::CopyRevoked {
+            node: self.id,
+            lock: self.lock,
+            child: from,
+            new_owned,
+        });
         self.after_ownership_change(fx);
     }
 
@@ -702,11 +840,13 @@ impl LockNode {
         if self.parent != Some(from) {
             return; // stale: freezing authority flows down the current tree
         }
+        let old = self.frozen;
         self.frozen = self.frozen.union(modes);
         // A freeze that crossed our release in flight (or over-estimated
         // what we can grant) is clamped away: nobody unfreezes bits we
         // cannot act on.
         self.clamp_frozen();
+        self.emit_frozen_change(old, fx);
         self.propagate_freezes(fx);
     }
 
@@ -715,8 +855,10 @@ impl LockNode {
         if self.parent != Some(from) {
             return;
         }
+        let old = self.frozen;
         self.frozen = frozen;
         self.clamp_frozen();
+        self.emit_frozen_change(old, fx);
         self.propagate_freezes(fx);
         // Thawed modes may unblock locally queued requests.
         self.serve_queue_nontoken(fx);
@@ -728,7 +870,13 @@ impl LockNode {
 
     /// Serves a remote request at the token node (Rule 3.2): copy grant if
     /// `owned ≥ mode`, token transfer otherwise.
-    fn serve_remote_at_token(&mut self, origin: NodeId, mode: Mode, fx: &mut EffectSink<Payload>) {
+    fn serve_remote_at_token(
+        &mut self,
+        origin: NodeId,
+        mode: Mode,
+        span: Ticket,
+        fx: &mut EffectSink<Payload>,
+    ) {
         let owned = self.owned();
         debug_assert!(compatible_owned(owned, mode));
         // U and W can never be held under a copy grant (no mode is both
@@ -739,25 +887,38 @@ impl LockNode {
         let must_transfer = matches!(mode, Mode::Upgrade | Mode::Write);
         let eager_transfer = self.config.eager_transfers && owned_strength(owned) < mode.strength();
         if must_transfer || eager_transfer {
-            self.transfer_token(origin, mode, fx);
+            self.transfer_token(origin, mode, span, fx);
         } else {
-            self.grant_copy(origin, mode, fx);
+            self.grant_copy(origin, mode, span, fx);
         }
     }
 
     /// Copy grant (Rules 3.1 / 3.2): the requester becomes our child.
-    fn grant_copy(&mut self, origin: NodeId, mode: Mode, fx: &mut EffectSink<Payload>) {
+    fn grant_copy(&mut self, origin: NodeId, mode: Mode, span: Ticket, fx: &mut EffectSink<Payload>) {
         let entry = self.children.entry(origin).or_insert(mode);
         *entry = stronger(Some(*entry), Some(mode)).expect("nonempty");
         // The new child inherits the modes it must consider frozen.
         let relevant = self.frozen.intersection(grantable_set(Some(*entry)));
         self.child_frozen.insert(origin, relevant);
         fx.send(origin, Payload::Grant { mode, frozen: self.frozen });
+        fx.emit_with(|| ProtocolEvent::CopyGranted {
+            node: self.id,
+            lock: self.lock,
+            span: SpanId::new(origin, span),
+            mode,
+            copyset_size: self.children.len(),
+        });
     }
 
     /// Token transfer (Rule 3.2): `origin` becomes the new token node and
     /// our parent; our remaining queue travels along.
-    fn transfer_token(&mut self, origin: NodeId, mode: Mode, fx: &mut EffectSink<Payload>) {
+    fn transfer_token(
+        &mut self,
+        origin: NodeId,
+        mode: Mode,
+        span: Ticket,
+        fx: &mut EffectSink<Payload>,
+    ) {
         debug_assert!(self.is_token);
         // If the requester was our child, its entry moves with the token
         // (its owned mode is subsumed by its new token role).
@@ -779,12 +940,15 @@ impl LockNode {
                         stamp: e.stamp,
                         priority: e.priority,
                     });
-                    queue.push(QueueEntry::with_priority(
-                        Waiter::Remote(self.id),
-                        e.mode,
-                        e.stamp,
-                        e.priority,
-                    ));
+                    queue.push(
+                        QueueEntry::with_priority(
+                            Waiter::Remote(self.id),
+                            e.mode,
+                            e.stamp,
+                            e.priority,
+                        )
+                        .with_span(ticket),
+                    );
                 }
                 Waiter::LocalUpgrade(_) => {
                     debug_assert!(false, "a held U pins the token: upgrades cannot travel");
@@ -795,12 +959,22 @@ impl LockNode {
         self.is_token = false;
         self.parent = Some(origin);
         self.reported_owned = sender_owned;
+        let old_frozen = self.frozen;
         self.frozen = ModeSet::EMPTY;
+        self.emit_frozen_change(old_frozen, fx);
         // Our queue (the freezing authority) travels with the token:
         // release our children from any freezes we issued. The new token
         // node re-freezes through us if the merged queue requires it.
         self.propagate_freezes(fx);
+        let queue_len = queue.len();
         fx.send(origin, Payload::Token { mode, queue, sender_owned });
+        fx.emit_with(|| ProtocolEvent::TokenSent {
+            node: self.id,
+            lock: self.lock,
+            span: SpanId::new(origin, span),
+            mode,
+            queue_len,
+        });
     }
 
     /// Sends our own request one hop toward the token and records it
@@ -815,7 +989,7 @@ impl LockNode {
     ) {
         let parent = self.parent.expect("non-token node has a parent");
         self.pending.push(PendingRequest { ticket, mode, stamp, priority });
-        fx.send(parent, Payload::Request { origin: self.id, mode, stamp, priority });
+        fx.send(parent, Payload::Request { origin: self.id, mode, stamp, priority, span: ticket });
     }
 
     /// Relays a remote request one hop toward the token (Rule 4.1),
@@ -826,10 +1000,17 @@ impl LockNode {
         mode: Mode,
         stamp: Stamp,
         priority: Priority,
+        span: Ticket,
         fx: &mut EffectSink<Payload>,
     ) {
         let parent = self.parent.expect("non-token node has a parent");
-        fx.send(parent, Payload::Request { origin, mode, stamp, priority });
+        fx.send(parent, Payload::Request { origin, mode, stamp, priority, span });
+        fx.emit_with(|| ProtocolEvent::RequestForwarded {
+            node: self.id,
+            lock: self.lock,
+            span: SpanId::new(origin, span),
+            mode,
+        });
         // Naimi-style path compression, restricted to requests that are
         // guaranteed to end in a token transfer (`U`/`W` can never be
         // copy-granted): the origin is about to become the root, so an
@@ -862,13 +1043,14 @@ impl LockNode {
         if !self.is_token {
             // Still not the root: keep the request moving.
             let parent = self.parent.expect("non-token node has a parent");
-            fx.send(parent, Payload::Request { origin: self.id, mode, stamp, priority });
+            let span = self.pending[idx].ticket;
+            fx.send(parent, Payload::Request { origin: self.id, mode, stamp, priority, span });
             return;
         }
         let p = self.pending.remove(idx);
         if compatible_owned(self.owned(), mode) && !self.frozen.contains(mode) {
             self.held.push((p.ticket, mode));
-            fx.granted(self.lock, p.ticket, mode);
+            self.grant_local(p.ticket, mode, fx);
         } else {
             self.queue.push_back(QueueEntry::with_priority(
                 Waiter::Local(p.ticket),
@@ -876,6 +1058,13 @@ impl LockNode {
                 p.stamp,
                 p.priority,
             ));
+            fx.emit_with(|| ProtocolEvent::RequestQueued {
+                node: self.id,
+                lock: self.lock,
+                span: self.own_span(p.ticket),
+                mode,
+                queue_depth: self.queue.len(),
+            });
             self.refresh_frozen(fx);
         }
     }
@@ -892,8 +1081,12 @@ impl LockNode {
         if changed || !self.config.suppress_releases {
             if let Some(parent) = self.parent {
                 fx.send(parent, Payload::Release { new_owned: owned });
+                fx.emit_with(|| ProtocolEvent::ReleaseSent { node: self.id, lock: self.lock, new_owned: owned });
             }
             self.reported_owned = owned;
+        } else if self.parent.is_some() {
+            // Rule 5.2: the parent's view is still accurate — suppressed.
+            fx.emit_with(|| ProtocolEvent::ReleaseSuppressed { node: self.id, lock: self.lock, owned });
         }
         // Weakened ownership shrinks the set of modes we could act on;
         // drop frozen bits outside it (nobody tracks or unfreezes them).
@@ -921,7 +1114,7 @@ impl LockNode {
                     if only_upgrader {
                         self.queue.pop_head();
                         self.held[0].1 = Mode::Write;
-                        fx.granted(self.lock, ticket, Mode::Write);
+                        self.grant_local(ticket, Mode::Write, fx);
                     } else {
                         break;
                     }
@@ -930,7 +1123,7 @@ impl LockNode {
                     if compatible_owned(owned, head.mode) {
                         self.queue.pop_head();
                         self.held.push((ticket, head.mode));
-                        fx.granted(self.lock, ticket, head.mode);
+                        self.grant_local(ticket, head.mode, fx);
                     } else {
                         break;
                     }
@@ -938,7 +1131,7 @@ impl LockNode {
                 Waiter::Remote(origin) => {
                     if compatible_owned(owned, head.mode) {
                         self.queue.pop_head();
-                        self.serve_remote_at_token(origin, head.mode, fx);
+                        self.serve_remote_at_token(origin, head.mode, head.span, fx);
                         if !self.is_token {
                             // The token (and remaining queue) moved on.
                             return;
@@ -975,7 +1168,7 @@ impl LockNode {
                     {
                         self.queue.pop_head();
                         self.held.push((ticket, head.mode));
-                        fx.granted(self.lock, ticket, head.mode);
+                        self.grant_local(ticket, head.mode, fx);
                     } else if queue_or_forward(self.strongest_pending(), head.mode)
                         == QueueDecision::Queue
                     {
@@ -988,14 +1181,16 @@ impl LockNode {
                 Waiter::Remote(origin) => {
                     if grantable(owned, head.mode) && !self.frozen.contains(head.mode) {
                         self.queue.pop_head();
-                        self.grant_copy(origin, head.mode, fx);
+                        self.grant_copy(origin, head.mode, head.span, fx);
                     } else if queue_or_forward(self.strongest_pending(), head.mode)
                         == QueueDecision::Queue
                     {
                         break;
                     } else {
                         self.queue.pop_head();
-                        self.forward_request(origin, head.mode, head.stamp, head.priority, fx);
+                        self.forward_request(
+                            origin, head.mode, head.stamp, head.priority, head.span, fx,
+                        );
                     }
                 }
             }
@@ -1013,7 +1208,9 @@ impl LockNode {
         } else {
             ModeSet::EMPTY
         };
+        let old = self.frozen;
         self.frozen = new;
+        self.emit_frozen_change(old, fx);
         self.propagate_freezes(fx);
     }
 
@@ -1197,6 +1394,7 @@ mod tests {
                 mode: Mode::Read,
                 stamp: Stamp(1),
                 priority: Priority::NORMAL,
+                span: Ticket(1),
             },
             &mut fx,
         );
@@ -1212,6 +1410,7 @@ mod tests {
                 mode: Mode::IntentWrite,
                 stamp: Stamp(2),
                 priority: Priority::NORMAL,
+                span: Ticket(1),
             },
             &mut fx,
         );
@@ -1350,6 +1549,7 @@ mod tests {
                 mode: Mode::IntentWrite,
                 stamp: Stamp(9),
                 priority: Priority::NORMAL,
+                span: Ticket(1),
             },
             &mut fx,
         );
@@ -1478,7 +1678,7 @@ mod tests {
         {
             b.on_message(
                 origin,
-                Payload::Request { origin, mode, stamp: Stamp(5), priority: Priority::NORMAL },
+                Payload::Request { origin, mode, stamp: Stamp(5), priority: Priority::NORMAL, span: Ticket(5) },
                 &mut fx,
             );
         }
@@ -1501,6 +1701,7 @@ mod tests {
                 mode: Mode::Read,
                 stamp: Stamp(5),
                 priority: Priority::NORMAL,
+                span: Ticket(1),
             },
             &mut fx,
         );
@@ -1615,6 +1816,7 @@ mod tests {
                 mode: Mode::Upgrade,
                 stamp: Stamp(5),
                 priority: Priority::NORMAL,
+                span: Ticket(1),
             },
             &mut fx,
         );
@@ -1660,6 +1862,7 @@ mod tests {
                 mode: Mode::Write,
                 stamp: Stamp(1),
                 priority: Priority::NORMAL,
+                span: Ticket(1),
             },
             &mut fx,
         );
@@ -1685,6 +1888,7 @@ mod tests {
                 mode: Mode::Write,
                 stamp: Stamp(1),
                 priority: Priority::NORMAL,
+                span: Ticket(1),
             },
             &mut fx,
         );
@@ -1698,9 +1902,101 @@ mod tests {
                 mode: Mode::Write,
                 stamp: Stamp(1),
                 priority: Priority::NORMAL,
+                span: Ticket(1),
             },
             &mut fx,
         );
         assert_eq!(b3.parent(), Some(NodeId(0)));
+    }
+
+    /// With observing enabled, a remote request produces a causally
+    /// consistent span: one `request_issued` at the origin, matching
+    /// span ids on every hop, and a balanced open/close per
+    /// [`crate::check_span_balance`].
+    #[test]
+    fn span_follows_remote_request_across_hops() {
+        use crate::observe::{check_span_balance, ProtocolEvent, SpanId};
+        let mut fx = sink();
+        fx.set_observing(true);
+        let mut a = LockNode::new(NodeId(0), L, NodeId(0), CFG);
+        let mut b = LockNode::new(NodeId(1), L, NodeId(0), CFG);
+        let mut events: Vec<ProtocolEvent> = Vec::new();
+
+        b.request(Mode::Read, Ticket(7), &mut fx).unwrap();
+        let m = sends(&mut fx);
+        events.extend(fx.take_events());
+        a.on_message(NodeId(1), m[0].1.clone(), &mut fx);
+        let m = sends(&mut fx);
+        events.extend(fx.take_events());
+        b.on_message(NodeId(0), m[0].1.clone(), &mut fx);
+        assert_eq!(grants(&mut fx), vec![(Ticket(7), Mode::Read)]);
+        events.extend(fx.take_events());
+
+        let span = SpanId::new(NodeId(1), Ticket(7));
+        assert!(events
+            .iter()
+            .any(|e| matches!(e, ProtocolEvent::RequestIssued { .. }) && e.span() == Some(span)));
+        assert!(events
+            .iter()
+            .any(|e| matches!(e, ProtocolEvent::CopyGranted { .. }) && e.span() == Some(span)));
+        assert!(events
+            .iter()
+            .any(|e| matches!(e, ProtocolEvent::Granted { .. }) && e.span() == Some(span)));
+        // Every span-carrying event in the exchange belongs to this span.
+        for e in &events {
+            if let Some(s) = e.span() {
+                assert_eq!(s, span, "stray span in {e:?}");
+            }
+        }
+        check_span_balance(&events).expect("span opens and closes exactly once");
+    }
+
+    /// A token transfer preserves the requester's span and carries local
+    /// queue entries onward with their own spans intact.
+    #[test]
+    fn span_survives_token_transfer() {
+        use crate::observe::{check_span_balance, ProtocolEvent, SpanId};
+        let mut fx = sink();
+        fx.set_observing(true);
+        let mut a = LockNode::new(NodeId(0), L, NodeId(0), CFG);
+        let mut b = LockNode::new(NodeId(1), L, NodeId(0), CFG);
+        let mut events: Vec<ProtocolEvent> = Vec::new();
+
+        // W can never be copy-granted: the token must travel to B.
+        b.request(Mode::Write, Ticket(3), &mut fx).unwrap();
+        let m = sends(&mut fx);
+        events.extend(fx.take_events());
+        a.on_message(NodeId(1), m[0].1.clone(), &mut fx);
+        let m = sends(&mut fx);
+        events.extend(fx.take_events());
+        assert!(matches!(m[0].1, Payload::Token { .. }));
+        b.on_message(NodeId(0), m[0].1.clone(), &mut fx);
+        assert_eq!(grants(&mut fx), vec![(Ticket(3), Mode::Write)]);
+        events.extend(fx.take_events());
+
+        let span = SpanId::new(NodeId(1), Ticket(3));
+        assert!(events
+            .iter()
+            .any(|e| matches!(e, ProtocolEvent::TokenSent { .. }) && e.span() == Some(span)));
+        assert!(events
+            .iter()
+            .any(|e| matches!(e, ProtocolEvent::TokenReceived { .. }) && e.span() == Some(span)));
+        check_span_balance(&events).expect("span opens and closes exactly once");
+    }
+
+    /// With observing off (the default), no events accumulate anywhere —
+    /// the observability layer is pay-for-use.
+    #[test]
+    fn no_events_without_observing() {
+        let mut fx = sink();
+        let mut a = LockNode::new(NodeId(0), L, NodeId(0), CFG);
+        let mut b = LockNode::new(NodeId(1), L, NodeId(0), CFG);
+        b.request(Mode::Read, Ticket(7), &mut fx).unwrap();
+        let m = sends(&mut fx);
+        a.on_message(NodeId(1), m[0].1.clone(), &mut fx);
+        let m = sends(&mut fx);
+        b.on_message(NodeId(0), m[0].1.clone(), &mut fx);
+        b.release(Ticket(7), &mut fx).unwrap();
+        assert!(fx.events().is_empty());
     }
 }

@@ -42,17 +42,36 @@ pub struct QueueEntry {
     pub stamp: Stamp,
     /// Request priority (higher first; FIFO within a priority).
     pub priority: Priority,
+    /// The request's causal span ticket (the ticket assigned at the
+    /// origin node), travelling with the entry — including through token
+    /// transfers — so observers can follow the request end to end. For
+    /// local waiters it is derived from the waiter's ticket; for remote
+    /// entries the receiver stamps it via [`QueueEntry::with_span`].
+    pub span: Ticket,
 }
 
 impl QueueEntry {
     /// Convenience constructor at [`Priority::NORMAL`].
     pub fn new(waiter: Waiter, mode: Mode, stamp: Stamp) -> Self {
-        QueueEntry { waiter, mode, stamp, priority: Priority::NORMAL }
+        QueueEntry::with_priority(waiter, mode, stamp, Priority::NORMAL)
     }
 
     /// Constructor with an explicit priority.
     pub fn with_priority(waiter: Waiter, mode: Mode, stamp: Stamp, priority: Priority) -> Self {
-        QueueEntry { waiter, mode, stamp, priority }
+        let span = match waiter {
+            Waiter::Local(t) | Waiter::LocalUpgrade(t) => t,
+            Waiter::Remote(_) => Ticket(0),
+        };
+        QueueEntry { waiter, mode, stamp, priority, span }
+    }
+
+    /// Overrides the span ticket (builder style) — used for remote
+    /// entries, whose span arrives in the request message rather than
+    /// being derivable from the waiter.
+    #[must_use]
+    pub fn with_span(mut self, span: Ticket) -> Self {
+        self.span = span;
+        self
     }
 
     /// Total-order key for service and merges: priority first (higher

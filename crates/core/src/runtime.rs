@@ -34,7 +34,9 @@
 
 use crate::effect::{EffectSink, StepEffect};
 use crate::ids::{LockId, NodeId, Ticket};
+use crate::message::Classify;
 use crate::mode::Mode;
+use crate::observe::{Observer, ProtocolEvent};
 
 /// Host-specific handlers for the three step-effect kinds.
 ///
@@ -137,6 +139,64 @@ impl<M> HostRuntime<M> {
         }
     }
 
+    /// Like [`HostRuntime::dispatch`], but also drains the sink's
+    /// recorded [`ProtocolEvent`]s into `obs` (stamped `now_micros`) and
+    /// emits one [`ProtocolEvent::MessageSent`] per logical message of
+    /// every batch, so per-kind message counters are identical across
+    /// hosts with zero per-host code.
+    ///
+    /// Events are drained even when the step produced no effects (a
+    /// suppressed release, for instance, is an event without an effect);
+    /// such steps still do not count toward [`RuntimeCounters::steps`].
+    pub fn dispatch_observed<H, O>(
+        &mut self,
+        fx: &mut EffectSink<M>,
+        host: &mut H,
+        node: NodeId,
+        obs: &mut O,
+        now_micros: u64,
+    ) where
+        H: BatchHost<M>,
+        O: Observer + ?Sized,
+        M: Classify,
+    {
+        for event in fx.take_events() {
+            obs.on_event(now_micros, &event);
+        }
+        if fx.is_empty() {
+            return;
+        }
+        self.counters.steps += 1;
+        debug_assert!(self.scratch.is_empty(), "scratch leaked from a previous dispatch");
+        fx.drain_batched_into(&mut self.scratch);
+        for effect in self.scratch.drain(..) {
+            match effect {
+                StepEffect::Batch { to, messages } => {
+                    self.counters.frames += 1;
+                    self.counters.logical_messages += messages.len() as u64;
+                    self.counters.max_batch = self.counters.max_batch.max(messages.len() as u64);
+                    if fx.observing() {
+                        for m in &messages {
+                            obs.on_event(
+                                now_micros,
+                                &ProtocolEvent::MessageSent { node, to, kind: m.kind() },
+                            );
+                        }
+                    }
+                    host.on_batch(to, messages);
+                }
+                StepEffect::Granted { lock, ticket, mode } => {
+                    self.counters.grants += 1;
+                    host.on_granted(lock, ticket, mode);
+                }
+                StepEffect::SetTimer { token, delay_micros } => {
+                    self.counters.timers += 1;
+                    host.on_set_timer(token, delay_micros);
+                }
+            }
+        }
+    }
+
     /// The accumulated counters.
     pub fn counters(&self) -> &RuntimeCounters {
         &self.counters
@@ -217,5 +277,48 @@ mod tests {
         rt.dispatch(&mut fx, &mut host);
         assert_eq!(host.batches, vec![(NodeId(1), vec![1]), (NodeId(1), vec![2])]);
         assert_eq!(rt.counters().frames, 2);
+    }
+
+    impl crate::Classify for u8 {
+        fn kind(&self) -> crate::MessageKind {
+            crate::MessageKind::Request
+        }
+    }
+
+    #[test]
+    fn dispatch_observed_emits_message_sent_and_drains_events() {
+        use crate::observe::{ProtocolEvent, VecObserver};
+        let mut fx = EffectSink::new();
+        fx.set_observing(true);
+        fx.emit_with(|| ProtocolEvent::ReleaseSuppressed {
+            node: NodeId(0),
+            lock: LockId(0),
+            owned: None,
+        });
+        fx.send(NodeId(1), 10u8);
+        fx.send(NodeId(1), 11u8);
+        let mut rt = HostRuntime::new();
+        let mut host = Recorder::default();
+        let mut obs = VecObserver::default();
+        rt.dispatch_observed(&mut fx, &mut host, NodeId(0), &mut obs, 42);
+        assert!(fx.events().is_empty());
+        let names: Vec<&str> = obs.events.iter().map(|(_, e)| e.name()).collect();
+        assert_eq!(names, vec!["release_suppressed", "message_sent", "message_sent"]);
+        assert!(obs.events.iter().all(|(at, _)| *at == 42));
+        assert_eq!(rt.counters().logical_messages, 2);
+    }
+
+    #[test]
+    fn dispatch_observed_drains_events_without_effects() {
+        use crate::observe::{ProtocolEvent, VecObserver};
+        let mut fx: EffectSink<u8> = EffectSink::new();
+        fx.set_observing(true);
+        fx.emit_with(|| ProtocolEvent::TimerFired { node: NodeId(3), token: 7 });
+        let mut rt = HostRuntime::new();
+        let mut host = Recorder::default();
+        let mut obs = VecObserver::default();
+        rt.dispatch_observed(&mut fx, &mut host, NodeId(3), &mut obs, 0);
+        assert_eq!(obs.events.len(), 1);
+        assert_eq!(rt.counters().steps, 0, "event-only steps are not effectful");
     }
 }

@@ -104,8 +104,19 @@ impl LockSpace {
         Ok(())
     }
 
-    /// Re-emits scratch effects, wrapping payloads in envelopes.
+    /// Takes the scratch sink for one per-lock call, mirroring the outer
+    /// sink's observing flag so [`crate::ProtocolEvent`]s are collected
+    /// exactly when the host asked for them.
+    fn take_scratch(&mut self, fx: &EffectSink<Envelope>) -> EffectSink<Payload> {
+        let mut scratch = std::mem::take(&mut self.scratch);
+        scratch.set_observing(fx.observing());
+        scratch
+    }
+
+    /// Re-emits scratch effects, wrapping payloads in envelopes; protocol
+    /// events pass through unchanged (they already carry their lock id).
     fn flush(&mut self, lock: LockId, fx: &mut EffectSink<Envelope>) {
+        self.scratch.forward_events_into(fx);
         for effect in self.scratch.drain() {
             match effect {
                 Effect::Send { to, message } => {
@@ -132,7 +143,7 @@ impl ConcurrencyProtocol for LockSpace {
         ticket: Ticket,
         fx: &mut EffectSink<Envelope>,
     ) -> Result<(), ProtocolError> {
-        let mut scratch = std::mem::take(&mut self.scratch);
+        let mut scratch = self.take_scratch(fx);
         let result = self.lock_mut(lock)?.request(mode, ticket, &mut scratch);
         self.scratch = scratch;
         self.flush(lock, fx);
@@ -147,7 +158,7 @@ impl ConcurrencyProtocol for LockSpace {
         priority: Priority,
         fx: &mut EffectSink<Envelope>,
     ) -> Result<(), ProtocolError> {
-        let mut scratch = std::mem::take(&mut self.scratch);
+        let mut scratch = self.take_scratch(fx);
         let result =
             self.lock_mut(lock)?.request_with_priority(mode, ticket, priority, &mut scratch);
         self.scratch = scratch;
@@ -161,7 +172,7 @@ impl ConcurrencyProtocol for LockSpace {
         ticket: Ticket,
         fx: &mut EffectSink<Envelope>,
     ) -> Result<(), ProtocolError> {
-        let mut scratch = std::mem::take(&mut self.scratch);
+        let mut scratch = self.take_scratch(fx);
         let result = self.lock_mut(lock)?.release(ticket, &mut scratch).map(|_| ());
         self.scratch = scratch;
         self.flush(lock, fx);
@@ -174,7 +185,7 @@ impl ConcurrencyProtocol for LockSpace {
         ticket: Ticket,
         fx: &mut EffectSink<Envelope>,
     ) -> Result<(), ProtocolError> {
-        let mut scratch = std::mem::take(&mut self.scratch);
+        let mut scratch = self.take_scratch(fx);
         let result = self.lock_mut(lock)?.upgrade(ticket, &mut scratch);
         self.scratch = scratch;
         self.flush(lock, fx);
@@ -188,7 +199,7 @@ impl ConcurrencyProtocol for LockSpace {
         ticket: Ticket,
         fx: &mut EffectSink<Envelope>,
     ) -> Result<bool, ProtocolError> {
-        let mut scratch = std::mem::take(&mut self.scratch);
+        let mut scratch = self.take_scratch(fx);
         let result = self.lock_mut(lock)?.try_request(mode, ticket, &mut scratch);
         self.scratch = scratch;
         self.flush(lock, fx);
@@ -202,7 +213,7 @@ impl ConcurrencyProtocol for LockSpace {
         new_mode: Mode,
         fx: &mut EffectSink<Envelope>,
     ) -> Result<(), ProtocolError> {
-        let mut scratch = std::mem::take(&mut self.scratch);
+        let mut scratch = self.take_scratch(fx);
         let result = self.lock_mut(lock)?.downgrade(ticket, new_mode, &mut scratch);
         self.scratch = scratch;
         self.flush(lock, fx);
@@ -215,7 +226,7 @@ impl ConcurrencyProtocol for LockSpace {
         ticket: Ticket,
         fx: &mut EffectSink<Envelope>,
     ) -> Result<CancelOutcome, ProtocolError> {
-        let mut scratch = std::mem::take(&mut self.scratch);
+        let mut scratch = self.take_scratch(fx);
         let result = self.lock_mut(lock)?.cancel(ticket, &mut scratch);
         self.scratch = scratch;
         self.flush(lock, fx);
@@ -229,7 +240,7 @@ impl ConcurrencyProtocol for LockSpace {
         if idx >= self.locks.len() {
             return;
         }
-        let mut scratch = std::mem::take(&mut self.scratch);
+        let mut scratch = self.take_scratch(fx);
         self.locks[idx].on_message(from, message.payload, &mut scratch);
         self.scratch = scratch;
         self.flush(lock, fx);

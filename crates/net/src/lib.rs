@@ -36,7 +36,8 @@ use bytes::BytesMut;
 use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
 use hlock_core::{
     BatchHost, Classify, ConcurrencyProtocol, EffectSink, HostRuntime, LockId, LockSpace,
-    MessageKind, Mode, NodeId, Priority, ProtocolConfig, Ticket,
+    MessageKind, MetricsRegistry, Mode, NodeId, Observer, Priority, ProtocolConfig, ProtocolEvent,
+    RuntimeCounters, Ticket,
 };
 use hlock_naimi::NaimiSpace;
 use hlock_raymond::RaymondSpace;
@@ -205,12 +206,56 @@ impl Counters {
     }
 }
 
+/// A cluster-wide [`MetricsRegistry`] shared by every node's event loop.
+///
+/// Cloning is cheap (an [`Arc`]); each clone observes into the same
+/// registry, so request-to-grant latency, message counts and audit
+/// violations aggregate across the whole mesh. The lock is taken per
+/// event *inside* [`Observer::on_event`] — never held across a dispatch
+/// — so node event loops cannot deadlock on it.
+#[derive(Clone, Default)]
+pub struct ClusterMetrics {
+    registry: Arc<Mutex<MetricsRegistry>>,
+}
+
+impl ClusterMetrics {
+    /// A fresh, empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Runs `f` with the registry locked (for queries or snapshots).
+    pub fn with<R>(&self, f: impl FnOnce(&mut MetricsRegistry) -> R) -> R {
+        f(&mut self.registry.lock())
+    }
+
+    /// Renders the registry in Prometheus text exposition format.
+    pub fn render(&self) -> String {
+        self.registry.lock().render()
+    }
+}
+
+impl fmt::Debug for ClusterMetrics {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ClusterMetrics").finish_non_exhaustive()
+    }
+}
+
+impl Observer for ClusterMetrics {
+    fn on_event(&mut self, at_micros: u64, event: &ProtocolEvent) {
+        self.registry.lock().on_event(at_micros, event);
+    }
+}
+
 /// One running node: protocol event loop + sockets.
 pub struct NodeHandle<P: ConcurrencyProtocol> {
     id: NodeId,
     events: Sender<LoopEvent<P::Message>>,
     grants: Arc<GrantTable>,
     counters: Arc<Counters>,
+    /// Snapshot of the event loop's [`HostRuntime`] counters, refreshed
+    /// after every dispatch.
+    runtime: Arc<Mutex<RuntimeCounters>>,
     next_ticket: AtomicU64,
     running: Arc<AtomicBool>,
     threads: Mutex<Vec<JoinHandle<()>>>,
@@ -416,6 +461,13 @@ where
         self.counters.bytes.load(Ordering::Relaxed)
     }
 
+    /// A snapshot of this node's [`HostRuntime`] counters (steps,
+    /// logical messages, frames, grants, timers, max batch), refreshed
+    /// after every dispatch of the event loop.
+    pub fn runtime_counters(&self) -> RuntimeCounters {
+        *self.runtime.lock()
+    }
+
     fn stop(&self) {
         if self.running.swap(false, Ordering::SeqCst) {
             let _ = self.events.send(LoopEvent::Stop);
@@ -430,9 +482,26 @@ where
 /// Shared writer map: peer id → socket for outgoing frames.
 type Writers = Arc<Mutex<HashMap<NodeId, TcpStream>>>;
 
+/// A running `/metrics` HTTP listener (see [`Cluster::serve_metrics`]).
+struct MetricsServer {
+    addr: SocketAddr,
+    running: Arc<AtomicBool>,
+    thread: Option<JoinHandle<()>>,
+}
+
+impl MetricsServer {
+    fn stop(&mut self) {
+        self.running.store(false, Ordering::SeqCst);
+        if let Some(t) = self.thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
 /// An in-process TCP mesh of protocol nodes.
 pub struct Cluster<P: ConcurrencyProtocol> {
     nodes: Vec<Arc<NodeHandle<P>>>,
+    metrics_server: Option<MetricsServer>,
 }
 
 impl Cluster<LockSpace> {
@@ -448,6 +517,29 @@ impl Cluster<LockSpace> {
         config: ProtocolConfig,
     ) -> Result<Cluster<LockSpace>, NetError> {
         Cluster::spawn(n, move |i| LockSpace::new(NodeId(i as u32), locks, NodeId(0), config))
+    }
+
+    /// Like [`Cluster::spawn_hierarchical`], with every node observing
+    /// into one shared [`ClusterMetrics`] registry. Pair with
+    /// [`Cluster::serve_metrics`] for a Prometheus scrape endpoint, or
+    /// query the returned handle directly.
+    ///
+    /// # Errors
+    ///
+    /// Any socket error during setup.
+    pub fn spawn_hierarchical_metered(
+        n: usize,
+        locks: usize,
+        config: ProtocolConfig,
+    ) -> Result<(Cluster<LockSpace>, ClusterMetrics), NetError> {
+        let metrics = ClusterMetrics::new();
+        let sink = metrics.clone();
+        let cluster = Cluster::spawn_observed(
+            n,
+            move |i| LockSpace::new(NodeId(i as u32), locks, NodeId(0), config),
+            move |_| Some(Box::new(sink.clone()) as Box<dyn Observer + Send>),
+        )?;
+        Ok((cluster, metrics))
     }
 }
 
@@ -526,6 +618,28 @@ where
     /// Panics if `n` is zero or `make` returns a protocol whose node id
     /// does not match its index.
     pub fn spawn(n: usize, make: impl Fn(usize) -> P) -> Result<Cluster<P>, NetError> {
+        Self::spawn_observed(n, make, |_| None)
+    }
+
+    /// Like [`Cluster::spawn`], with a per-node [`Observer`]: `observe`
+    /// is called once per node and may hand back a sink that the node's
+    /// event loop feeds with the same [`ProtocolEvent`] stream the
+    /// simulator and the model checker emit (timestamps are microseconds
+    /// since the node started). Return `None` for zero-overhead nodes.
+    ///
+    /// # Errors
+    ///
+    /// Any socket error during setup.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero or `make` returns a protocol whose node id
+    /// does not match its index.
+    pub fn spawn_observed(
+        n: usize,
+        make: impl Fn(usize) -> P,
+        observe: impl Fn(NodeId) -> Option<Box<dyn Observer + Send>>,
+    ) -> Result<Cluster<P>, NetError> {
         assert!(n >= 1, "need at least one node");
         // Bind all listeners first so every address is known.
         let listeners: Vec<TcpListener> =
@@ -538,9 +652,9 @@ where
             let id = NodeId(i as u32);
             let protocol = make(i);
             assert_eq!(protocol.node_id(), id, "factory must honour node ids");
-            nodes.push(Self::spawn_node(id, protocol, listener, &addrs)?);
+            nodes.push(Self::spawn_node(id, protocol, listener, &addrs, observe(id))?);
         }
-        Ok(Cluster { nodes })
+        Ok(Cluster { nodes, metrics_server: None })
     }
 
     fn spawn_node(
@@ -548,10 +662,12 @@ where
         protocol: P,
         listener: TcpListener,
         addrs: &[SocketAddr],
+        observer: Option<Box<dyn Observer + Send>>,
     ) -> Result<Arc<NodeHandle<P>>, NetError> {
         let (tx, rx) = unbounded::<LoopEvent<P::Message>>();
         let grants = Arc::new(GrantTable::default());
         let counters = Arc::new(Counters::default());
+        let runtime_mirror = Arc::new(Mutex::new(RuntimeCounters::default()));
         let running = Arc::new(AtomicBool::new(true));
         let writers: Writers = Arc::new(Mutex::new(HashMap::new()));
         let mut threads = Vec::new();
@@ -599,16 +715,29 @@ where
             }));
         }
 
-        // Event loop thread: owns the protocol.
+        // Event loop thread: owns the protocol (and the observer, so no
+        // lock is ever held around a dispatch).
         {
             let grants = grants.clone();
             let counters = counters.clone();
+            let runtime_mirror = runtime_mirror.clone();
             let writers = writers.clone();
             let running = running.clone();
             let tx = tx.clone();
             let addrs: Arc<Vec<SocketAddr>> = Arc::new(addrs.to_vec());
             threads.push(std::thread::spawn(move || {
-                event_loop(protocol, rx, tx, grants, counters, writers, addrs, running);
+                event_loop(
+                    protocol,
+                    rx,
+                    tx,
+                    grants,
+                    counters,
+                    runtime_mirror,
+                    writers,
+                    addrs,
+                    running,
+                    observer,
+                );
             }));
         }
 
@@ -617,6 +746,7 @@ where
             events: tx,
             grants,
             counters,
+            runtime: runtime_mirror,
             next_ticket: AtomicU64::new(1),
             running,
             threads: Mutex::new(threads),
@@ -660,12 +790,96 @@ where
         self.nodes.iter().map(|n| n.bytes_sent()).sum()
     }
 
-    /// Stops every node and joins their threads.
-    pub fn shutdown(self) {
+    /// Serves `metrics` over HTTP on an ephemeral localhost port in
+    /// Prometheus text exposition format; returns the bound address.
+    /// Every scrape also folds the per-node [`RuntimeCounters`] (summed
+    /// across the cluster) into the registry, so `hlock_runtime_*`
+    /// gauges are current. The listener stops on [`Cluster::shutdown`].
+    ///
+    /// # Errors
+    ///
+    /// Any socket error while binding.
+    pub fn serve_metrics(&mut self, metrics: ClusterMetrics) -> Result<SocketAddr, NetError> {
+        if let Some(server) = &self.metrics_server {
+            return Ok(server.addr);
+        }
+        let listener = TcpListener::bind(("127.0.0.1", 0))?;
+        listener.set_nonblocking(true)?;
+        let addr = listener.local_addr()?;
+        let running = Arc::new(AtomicBool::new(true));
+        let mirrors: Vec<Arc<Mutex<RuntimeCounters>>> =
+            self.nodes.iter().map(|n| n.runtime.clone()).collect();
+        let thread = {
+            let running = running.clone();
+            std::thread::spawn(move || {
+                while running.load(Ordering::SeqCst) {
+                    match listener.accept() {
+                        Ok((stream, _)) => {
+                            serve_scrape(stream, &metrics, &mirrors);
+                        }
+                        Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                            std::thread::sleep(Duration::from_millis(25));
+                        }
+                        Err(_) => break,
+                    }
+                }
+            })
+        };
+        self.metrics_server = Some(MetricsServer { addr, running, thread: Some(thread) });
+        Ok(addr)
+    }
+
+    /// Address of the running `/metrics` listener, if any.
+    pub fn metrics_addr(&self) -> Option<SocketAddr> {
+        self.metrics_server.as_ref().map(|s| s.addr)
+    }
+
+    /// Stops every node and joins their threads (plus the `/metrics`
+    /// listener, if one was started).
+    pub fn shutdown(mut self) {
+        if let Some(server) = &mut self.metrics_server {
+            server.stop();
+        }
         for n in &self.nodes {
             n.stop();
         }
     }
+}
+
+/// Answers one `/metrics` scrape: folds the summed per-node runtime
+/// counters into the registry, renders it, and writes a minimal HTTP/1.0
+/// response. Best-effort — scrape failures never disturb the cluster.
+fn serve_scrape(
+    mut stream: TcpStream,
+    metrics: &ClusterMetrics,
+    mirrors: &[Arc<Mutex<RuntimeCounters>>],
+) {
+    // Drain (and ignore) the request line + headers, briefly.
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(100)));
+    let mut scratch = [0u8; 1024];
+    let _ = stream.read(&mut scratch);
+
+    let mut total = RuntimeCounters::default();
+    for mirror in mirrors {
+        let c = *mirror.lock();
+        total.steps += c.steps;
+        total.logical_messages += c.logical_messages;
+        total.frames += c.frames;
+        total.grants += c.grants;
+        total.timers += c.timers;
+        total.max_batch = total.max_batch.max(c.max_batch);
+    }
+    let body = metrics.with(|r| {
+        r.record_runtime(&total);
+        r.render()
+    });
+    let response = format!(
+        "HTTP/1.0 200 OK\r\nContent-Type: text/plain; version=0.0.4\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{}",
+        body.len(),
+        body
+    );
+    let _ = stream.write_all(response.as_bytes());
+    let _ = stream.shutdown(Shutdown::Both);
 }
 
 fn reader_loop<P>(
@@ -734,15 +948,24 @@ fn event_loop<P>(
     tx: Sender<LoopEvent<P::Message>>,
     grants: Arc<GrantTable>,
     counters: Arc<Counters>,
+    runtime_mirror: Arc<Mutex<RuntimeCounters>>,
     writers: Writers,
     addrs: Arc<Vec<SocketAddr>>,
     running: Arc<AtomicBool>,
+    mut observer: Option<Box<dyn Observer + Send>>,
 ) where
     P: ConcurrencyProtocol,
     P::Message: WireCodec + Send + 'static,
 {
     let me = protocol.node_id();
     let mut fx = EffectSink::new();
+    // With an observer attached the node emits the full protocol-event
+    // stream (the same vocabulary as the simulator and model checker);
+    // without one, `emit_with` closures never run and the loop is the
+    // plain fast path.
+    fx.set_observing(observer.is_some());
+    // Observer timestamps: microseconds since this node started.
+    let epoch = Instant::now();
     let mut runtime: HostRuntime<P::Message> = HostRuntime::new();
     // Reusable encode buffer: one frame per (step, destination).
     let mut out = BytesMut::new();
@@ -760,6 +983,7 @@ fn event_loop<P>(
                 break;
             }
             timers.pop();
+            fx.emit_with(|| ProtocolEvent::TimerFired { node: me, token });
             protocol.on_timer(token, &mut fx);
             fired = true;
         }
@@ -780,6 +1004,12 @@ fn event_loop<P>(
         match event {
             None => {}
             Some(LoopEvent::Incoming(from, messages)) => {
+                if fx.observing() {
+                    for message in &messages {
+                        let kind = message.kind();
+                        fx.emit_with(|| ProtocolEvent::Delivered { node: me, from, kind });
+                    }
+                }
                 protocol.on_message_batch(from, messages, &mut fx);
             }
             Some(LoopEvent::Request { lock, mode, ticket, priority }) => {
@@ -831,20 +1061,25 @@ fn event_loop<P>(
             }
             Some(LoopEvent::Stop) => return,
         }
-        runtime.dispatch(
-            &mut fx,
-            &mut NetHost {
-                me,
-                grants: &grants,
-                counters: &counters,
-                writers: &writers,
-                addrs: addrs.as_slice(),
-                tx: &tx,
-                running: &running,
-                timers: &mut timers,
-                out: &mut out,
-            },
-        );
+        let mut host = NetHost {
+            me,
+            grants: &grants,
+            counters: &counters,
+            writers: &writers,
+            addrs: addrs.as_slice(),
+            tx: &tx,
+            running: &running,
+            timers: &mut timers,
+            out: &mut out,
+        };
+        match observer.as_deref_mut() {
+            Some(obs) => {
+                let now = epoch.elapsed().as_micros() as u64;
+                runtime.dispatch_observed(&mut fx, &mut host, me, obs, now);
+            }
+            None => runtime.dispatch(&mut fx, &mut host),
+        }
+        *runtime_mirror.lock() = *runtime.counters();
     }
 }
 
@@ -1209,5 +1444,52 @@ mod tests {
             Ok(c) => c.shutdown(),
             Err(_) => panic!("all threads joined"),
         }
+    }
+
+    #[test]
+    fn metered_cluster_exports_prometheus_text() {
+        let (mut cluster, metrics) =
+            Cluster::spawn_hierarchical_metered(3, 1, ProtocolConfig::default()).unwrap();
+        let addr = cluster.serve_metrics(metrics.clone()).unwrap();
+        assert_eq!(cluster.metrics_addr(), Some(addr));
+
+        let timeout = Duration::from_secs(10);
+        for i in [1usize, 2] {
+            let t = cluster.node(i).acquire(LockId(0), Mode::Write, timeout).unwrap();
+            cluster.node(i).release(LockId(0), t).unwrap();
+        }
+
+        // The shared registry saw the grants with their request spans.
+        assert!(metrics.with(|r| r.grants_total()) >= 2, "registry records cluster grants");
+
+        // Scrape like Prometheus would.
+        let mut stream = TcpStream::connect(addr).unwrap();
+        stream.write_all(b"GET /metrics HTTP/1.0\r\n\r\n").unwrap();
+        let mut response = String::new();
+        stream.read_to_string(&mut response).unwrap();
+        assert!(response.starts_with("HTTP/1.0 200 OK"), "{response}");
+        for metric in
+            ["hlock_messages_total", "hlock_grants_total", "hlock_runtime_steps_total"]
+        {
+            assert!(response.contains(metric), "missing {metric} in:\n{response}");
+        }
+
+        // Runtime counters flowed from the event loops into the scrape.
+        let steps: u64 = cluster.nodes.iter().map(|n| n.runtime_counters().steps).sum();
+        assert!(steps > 0, "event loops dispatched steps");
+        cluster.shutdown();
+    }
+
+    #[test]
+    fn unobserved_cluster_emits_no_events() {
+        // `spawn` (no observer) must keep the event pipeline disabled so
+        // the fast path stays allocation- and lock-free per message.
+        let cluster = Cluster::spawn_hierarchical(2, 1, ProtocolConfig::default()).unwrap();
+        let timeout = Duration::from_secs(10);
+        let t = cluster.node(1).acquire(LockId(0), Mode::Write, timeout).unwrap();
+        cluster.node(1).release(LockId(0), t).unwrap();
+        // Runtime mirrors still work without an observer.
+        assert!(cluster.node(1).runtime_counters().logical_messages > 0);
+        cluster.shutdown();
     }
 }

@@ -348,10 +348,28 @@ impl<P: ConcurrencyProtocol> SessionSpace<P> {
         }
     }
 
+    /// Runs `f` with the wrapped protocol and the scratch sink, then
+    /// flushes the results into `fx`. The scratch sink inherits `fx`'s
+    /// observing flag so protocol events ([`hlock_core::ProtocolEvent`])
+    /// emitted by the inner state machine survive the session wrapper.
+    fn with_inner<R>(
+        &mut self,
+        fx: &mut EffectSink<SessionFrame<P::Message>>,
+        f: impl FnOnce(&mut P, &mut EffectSink<P::Message>) -> R,
+    ) -> R {
+        let mut scratch = std::mem::take(&mut self.scratch);
+        scratch.set_observing(fx.observing());
+        let out = f(&mut self.inner, &mut scratch);
+        self.scratch = scratch;
+        self.flush_inner(fx);
+        out
+    }
+
     /// Translates the wrapped protocol's queued effects into session
-    /// frames, passing grants and inner timers through.
+    /// frames, passing grants, inner timers and protocol events through.
     fn flush_inner(&mut self, fx: &mut EffectSink<SessionFrame<P::Message>>) {
         let mut scratch = std::mem::take(&mut self.scratch);
+        scratch.forward_events_into(fx);
         for effect in scratch.drain() {
             match effect {
                 Effect::Send { to, message } => self.send_data(to, message, fx),
@@ -413,10 +431,7 @@ impl<P: ConcurrencyProtocol> SessionSpace<P> {
                     }
                 }
                 for m in deliver {
-                    let mut scratch = std::mem::take(&mut self.scratch);
-                    self.inner.on_message(from, m, &mut scratch);
-                    self.scratch = scratch;
-                    self.flush_inner(fx);
+                    self.with_inner(fx, |inner, scratch| inner.on_message(from, m, scratch));
                 }
                 true
             }
@@ -475,11 +490,7 @@ impl<P: ConcurrencyProtocol> ConcurrencyProtocol for SessionSpace<P> {
         ticket: Ticket,
         fx: &mut EffectSink<Self::Message>,
     ) -> Result<(), ProtocolError> {
-        let mut scratch = std::mem::take(&mut self.scratch);
-        let out = self.inner.request(lock, mode, ticket, &mut scratch);
-        self.scratch = scratch;
-        self.flush_inner(fx);
-        out
+        self.with_inner(fx, |inner, scratch| inner.request(lock, mode, ticket, scratch))
     }
 
     fn request_with_priority(
@@ -490,11 +501,9 @@ impl<P: ConcurrencyProtocol> ConcurrencyProtocol for SessionSpace<P> {
         priority: Priority,
         fx: &mut EffectSink<Self::Message>,
     ) -> Result<(), ProtocolError> {
-        let mut scratch = std::mem::take(&mut self.scratch);
-        let out = self.inner.request_with_priority(lock, mode, ticket, priority, &mut scratch);
-        self.scratch = scratch;
-        self.flush_inner(fx);
-        out
+        self.with_inner(fx, |inner, scratch| {
+            inner.request_with_priority(lock, mode, ticket, priority, scratch)
+        })
     }
 
     fn release(
@@ -503,11 +512,7 @@ impl<P: ConcurrencyProtocol> ConcurrencyProtocol for SessionSpace<P> {
         ticket: Ticket,
         fx: &mut EffectSink<Self::Message>,
     ) -> Result<(), ProtocolError> {
-        let mut scratch = std::mem::take(&mut self.scratch);
-        let out = self.inner.release(lock, ticket, &mut scratch);
-        self.scratch = scratch;
-        self.flush_inner(fx);
-        out
+        self.with_inner(fx, |inner, scratch| inner.release(lock, ticket, scratch))
     }
 
     fn upgrade(
@@ -516,11 +521,7 @@ impl<P: ConcurrencyProtocol> ConcurrencyProtocol for SessionSpace<P> {
         ticket: Ticket,
         fx: &mut EffectSink<Self::Message>,
     ) -> Result<(), ProtocolError> {
-        let mut scratch = std::mem::take(&mut self.scratch);
-        let out = self.inner.upgrade(lock, ticket, &mut scratch);
-        self.scratch = scratch;
-        self.flush_inner(fx);
-        out
+        self.with_inner(fx, |inner, scratch| inner.upgrade(lock, ticket, scratch))
     }
 
     fn try_request(
@@ -530,11 +531,7 @@ impl<P: ConcurrencyProtocol> ConcurrencyProtocol for SessionSpace<P> {
         ticket: Ticket,
         fx: &mut EffectSink<Self::Message>,
     ) -> Result<bool, ProtocolError> {
-        let mut scratch = std::mem::take(&mut self.scratch);
-        let out = self.inner.try_request(lock, mode, ticket, &mut scratch);
-        self.scratch = scratch;
-        self.flush_inner(fx);
-        out
+        self.with_inner(fx, |inner, scratch| inner.try_request(lock, mode, ticket, scratch))
     }
 
     fn downgrade(
@@ -544,11 +541,7 @@ impl<P: ConcurrencyProtocol> ConcurrencyProtocol for SessionSpace<P> {
         new_mode: Mode,
         fx: &mut EffectSink<Self::Message>,
     ) -> Result<(), ProtocolError> {
-        let mut scratch = std::mem::take(&mut self.scratch);
-        let out = self.inner.downgrade(lock, ticket, new_mode, &mut scratch);
-        self.scratch = scratch;
-        self.flush_inner(fx);
-        out
+        self.with_inner(fx, |inner, scratch| inner.downgrade(lock, ticket, new_mode, scratch))
     }
 
     fn cancel(
@@ -557,11 +550,7 @@ impl<P: ConcurrencyProtocol> ConcurrencyProtocol for SessionSpace<P> {
         ticket: Ticket,
         fx: &mut EffectSink<Self::Message>,
     ) -> Result<CancelOutcome, ProtocolError> {
-        let mut scratch = std::mem::take(&mut self.scratch);
-        let out = self.inner.cancel(lock, ticket, &mut scratch);
-        self.scratch = scratch;
-        self.flush_inner(fx);
-        out
+        self.with_inner(fx, |inner, scratch| inner.cancel(lock, ticket, scratch))
     }
 
     fn on_message(
@@ -597,10 +586,7 @@ impl<P: ConcurrencyProtocol> ConcurrencyProtocol for SessionSpace<P> {
     fn on_timer(&mut self, token: u64, fx: &mut EffectSink<Self::Message>) {
         let Some(peer) = timer_peer(token) else {
             // An inner-protocol timer: forward it.
-            let mut scratch = std::mem::take(&mut self.scratch);
-            self.inner.on_timer(token, &mut scratch);
-            self.scratch = scratch;
-            self.flush_inner(fx);
+            self.with_inner(fx, |inner, scratch| inner.on_timer(token, scratch));
             return;
         };
         let Some(link) = self.links.get_mut(&peer) else { return };
@@ -642,12 +628,7 @@ impl<P: ConcurrencyProtocol> ConcurrencyProtocol for SessionSpace<P> {
     }
 
     fn on_link_reset(&mut self, peer: NodeId, fx: &mut EffectSink<Self::Message>) {
-        {
-            let mut scratch = std::mem::take(&mut self.scratch);
-            self.inner.on_link_reset(peer, &mut scratch);
-            self.scratch = scratch;
-            self.flush_inner(fx);
-        }
+        self.with_inner(fx, |inner, scratch| inner.on_link_reset(peer, scratch));
         let Some(link) = self.links.get_mut(&peer) else { return };
         link.attempts = 0;
         link.failed = false;
@@ -759,6 +740,20 @@ mod tests {
                 _ => None,
             })
             .collect()
+    }
+
+    #[test]
+    fn inner_protocol_events_survive_the_wrapper() {
+        // The session layer must pass the wrapped protocol's observability
+        // stream through: a local request + grant at the token home shows
+        // up as `request_issued` / `granted` on the *outer* sink.
+        let (mut a, _) = pair();
+        let mut fx = EffectSink::new();
+        fx.set_observing(true);
+        a.request(L, Mode::Write, Ticket(1), &mut fx).unwrap();
+        let names: Vec<&str> = fx.events().iter().map(|e| e.name()).collect();
+        assert!(names.contains(&"request_issued"), "{names:?}");
+        assert!(names.contains(&"granted"), "{names:?}");
     }
 
     #[test]

@@ -14,10 +14,10 @@
 use crate::latency::LatencyModel;
 use crate::metrics::Metrics;
 use crate::time::{Duration, SimTime};
-use crate::trace::{NullTracer, TraceEvent, TraceRecord, Tracer};
+use crate::trace::{Tracer, TracerObserver};
 use hlock_core::{
     BatchHost, Classify, ConcurrencyProtocol, EffectSink, HostRuntime, Inspect, LockId, Mode,
-    NodeId, Priority, Ticket,
+    NodeId, NullObserver, Observer, Priority, ProtocolEvent, Ticket,
 };
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -332,7 +332,14 @@ pub struct Sim<P: ConcurrencyProtocol, D> {
     /// for wire-byte accounting; `None` counts frames but zero bytes.
     frame_sizer: Option<Box<dyn Fn(&[P::Message]) -> u64>>,
     delivered: u64,
-    tracer: Box<dyn Tracer>,
+    observer: Box<dyn Observer>,
+    /// Whether an observer is attached. Protocol-event emission is
+    /// enabled only then, so an unobserved run constructs no events.
+    observing: bool,
+    /// Host-level events recorded while the observer is checked out
+    /// during [`HostRuntime::dispatch_observed`] (the step host borrows
+    /// the whole simulator); flushed right after the dispatch returns.
+    host_events: Vec<ProtocolEvent>,
     /// Virtual time of the last request or grant, for the watchdog.
     last_progress: SimTime,
 }
@@ -374,16 +381,32 @@ where
             runtime: HostRuntime::new(),
             frame_sizer: None,
             delivered: 0,
-            tracer: Box::new(NullTracer),
+            observer: Box::new(NullObserver),
+            observing: false,
+            host_events: Vec::new(),
             last_progress: SimTime::ZERO,
         }
     }
 
-    /// Attaches a [`Tracer`] receiving a structured record per event.
+    /// Attaches an [`Observer`] receiving every [`ProtocolEvent`] of the
+    /// run — protocol lifecycle transitions from the nodes, transport
+    /// events from the engine — stamped with virtual time in
+    /// microseconds. Attach a `hlock_core::JsonlObserver`,
+    /// `ChromeTraceObserver` or `MetricsRegistry` (or a plain closure)
+    /// to export the run.
     #[must_use]
-    pub fn with_tracer(mut self, tracer: impl Tracer + 'static) -> Self {
-        self.tracer = Box::new(tracer);
+    pub fn with_observer(mut self, observer: impl Observer + 'static) -> Self {
+        self.observer = Box::new(observer);
+        self.observing = true;
+        self.fx.set_observing(true);
         self
+    }
+
+    /// Attaches a [`Tracer`] receiving a structured record per event
+    /// (adapter over [`Sim::with_observer`]).
+    #[must_use]
+    pub fn with_tracer(self, tracer: impl Tracer + 'static) -> Self {
+        self.with_observer(TracerObserver::new(tracer))
     }
 
     /// Attaches a frame sizer: given the messages of one outgoing batch
@@ -396,8 +419,26 @@ where
         self
     }
 
-    fn trace(&mut self, event: TraceEvent) {
-        self.tracer.record(TraceRecord { at: self.now, event });
+    /// Records a host-level event; like `EffectSink::emit_with`, the
+    /// closure never runs when no observer is attached.
+    fn observe_with(&mut self, event: impl FnOnce() -> ProtocolEvent) {
+        if self.observing {
+            let event = event();
+            self.observer.on_event(self.now.0, &event);
+        }
+    }
+
+    /// Delivers events buffered by [`SimStepHost`] while the observer
+    /// was checked out for a dispatch.
+    fn flush_host_events(&mut self) {
+        if self.host_events.is_empty() {
+            return;
+        }
+        let mut events = std::mem::take(&mut self.host_events);
+        for event in events.drain(..) {
+            self.observer.on_event(self.now.0, &event);
+        }
+        self.host_events = events;
     }
 
     /// Runs to completion (event queue drained) and reports.
@@ -448,7 +489,8 @@ where
                 match ev.kind {
                     EventKind::Deliver { from, to, messages } => {
                         for message in &messages {
-                            self.trace(TraceEvent::Drop { from, to, kind: message.kind() });
+                            let kind = message.kind();
+                            self.observe_with(|| ProtocolEvent::Dropped { node: to, from, kind });
                         }
                     }
                     kind => {
@@ -461,12 +503,8 @@ where
             match ev.kind {
                 EventKind::Deliver { from, to, messages } => {
                     for message in &messages {
-                        self.trace(TraceEvent::Deliver {
-                            from,
-                            to,
-                            kind: message.kind(),
-                            message: format!("{message:?}"),
-                        });
+                        let kind = message.kind();
+                        self.observe_with(|| ProtocolEvent::Delivered { node: to, from, kind });
                     }
                     let before = self.delivered;
                     self.delivered += messages.len() as u64;
@@ -482,13 +520,13 @@ where
                     }
                 }
                 EventKind::Timer { node, timer } => {
-                    self.trace(TraceEvent::Timer { node, timer });
+                    self.observe_with(|| ProtocolEvent::TimerFired { node, token: timer });
                     let mut api = SimApi { now: self.now, commands: Vec::new() };
                     self.driver.on_timer(node, timer, &mut api);
                     self.execute(node, api.commands)?;
                 }
                 EventKind::ProtocolTimer { node, token } => {
-                    self.trace(TraceEvent::Timer { node, timer: token });
+                    self.observe_with(|| ProtocolEvent::TimerFired { node, token });
                     self.nodes[node.index()].on_timer(token, &mut self.fx);
                     self.process_effects(node)?;
                 }
@@ -528,14 +566,33 @@ where
     /// (which may enqueue further commands, processed in the same instant).
     fn process_effects(&mut self, node: NodeId) -> Result<(), InvariantViolation> {
         loop {
-            if self.fx.is_empty() {
+            if self.fx.is_empty() && self.fx.events().is_empty() {
                 return Ok(());
             }
             let mut fx = std::mem::replace(&mut self.fx, EffectSink::new());
             let mut runtime = std::mem::take(&mut self.runtime);
             let mut commands: Vec<(NodeId, Vec<Command>)> = Vec::new();
-            runtime
-                .dispatch(&mut fx, &mut SimStepHost { sim: self, node, commands: &mut commands });
+            if self.observing {
+                // The step host borrows the whole simulator, so the
+                // observer is checked out for the duration of the
+                // dispatch; host-side drops land in `host_events`.
+                let mut observer = std::mem::replace(&mut self.observer, Box::new(NullObserver));
+                let now = self.now.0;
+                runtime.dispatch_observed(
+                    &mut fx,
+                    &mut SimStepHost { sim: self, node, commands: &mut commands },
+                    node,
+                    &mut *observer,
+                    now,
+                );
+                self.observer = observer;
+                self.flush_host_events();
+            } else {
+                runtime.dispatch(
+                    &mut fx,
+                    &mut SimStepHost { sim: self, node, commands: &mut commands },
+                );
+            }
             self.runtime = runtime;
             self.fx = fx;
             for (n, cmds) in commands {
@@ -555,7 +612,7 @@ where
         for cmd in commands {
             match cmd {
                 Command::Request { lock, mode, ticket, priority } => {
-                    self.trace(TraceEvent::Request { node, lock, mode, ticket });
+                    // The node itself emits `RequestIssued` (span open).
                     self.metrics.count_request();
                     self.last_progress = self.now;
                     self.outstanding.insert((node, lock, ticket), (self.now, mode));
@@ -564,13 +621,11 @@ where
                         .map_err(|e| InvariantViolation(format!("driver misuse at {node}: {e}")))?;
                 }
                 Command::Release { lock, ticket } => {
-                    self.trace(TraceEvent::Release { node, lock, ticket });
                     self.nodes[node.index()]
                         .release(lock, ticket, &mut self.fx)
                         .map_err(|e| InvariantViolation(format!("driver misuse at {node}: {e}")))?;
                 }
                 Command::Upgrade { lock, ticket } => {
-                    self.trace(TraceEvent::Upgrade { node, lock, ticket });
                     // An upgrade is itself a lock request (for W).
                     self.metrics.count_request();
                     self.last_progress = self.now;
@@ -634,24 +689,37 @@ where
     /// Global audit at quiescence: copyset/parent agreement, single
     /// accounting, acyclicity, dominance and drained frozen state (only
     /// for protocols exposing their lock nodes; see `hlock_core::audit`).
-    fn audit_quiescent(&self) -> Result<(), InvariantViolation> {
+    fn audit_quiescent(&mut self) -> Result<(), InvariantViolation> {
         if !self.nodes.iter().all(|n| n.is_quiescent()) {
             return Ok(()); // a faulted run may legitimately be wedged
         }
         for l in 0..self.config.lock_count {
             let lock = LockId(l as u32);
-            let states: Vec<&hlock_core::LockNode> =
-                self.nodes.iter().filter_map(|n| n.lock_node(lock)).collect();
-            if states.len() != self.nodes.len() {
-                return Ok(()); // not the hierarchical protocol
+            let findings: Vec<String> = {
+                let states: Vec<&hlock_core::LockNode> =
+                    self.nodes.iter().filter_map(|n| n.lock_node(lock)).collect();
+                if states.len() != self.nodes.len() {
+                    return Ok(()); // not the hierarchical protocol
+                }
+                hlock_core::audit_lock(states).iter().map(ToString::to_string).collect()
+            };
+            if findings.is_empty() {
+                continue;
             }
-            let findings = hlock_core::audit_lock(states);
-            if let Some(first) = findings.first() {
-                return Err(InvariantViolation(format!(
-                    "quiescent-state audit failed ({} findings): {first}",
-                    findings.len()
-                )));
+            // Surface every finding on the event stream before failing,
+            // so an exported log or metrics dump records the audit too.
+            for detail in &findings {
+                self.observe_with(|| ProtocolEvent::AuditViolation {
+                    node: NodeId(0),
+                    lock,
+                    detail: detail.clone(),
+                });
             }
+            return Err(InvariantViolation(format!(
+                "quiescent-state audit failed ({} findings): {}",
+                findings.len(),
+                findings[0]
+            )));
         }
         Ok(())
     }
@@ -719,14 +787,26 @@ where
         // unit — so a fault hits or spares the whole batch, exactly as a
         // lost or duplicated TCP segment would.
         if sim.config.partitions.iter().any(|p| p.severs(from, to, sim.now)) {
-            for message in &messages {
-                sim.trace(TraceEvent::Drop { from, to, kind: message.kind() });
+            if sim.observing {
+                for message in &messages {
+                    sim.host_events.push(ProtocolEvent::Dropped {
+                        node: to,
+                        from,
+                        kind: message.kind(),
+                    });
+                }
             }
             return;
         }
         if sim.config.drop_probability > 0.0 && sim.rng.gen_bool(sim.config.drop_probability) {
-            for message in &messages {
-                sim.trace(TraceEvent::Drop { from, to, kind: message.kind() });
+            if sim.observing {
+                for message in &messages {
+                    sim.host_events.push(ProtocolEvent::Dropped {
+                        node: to,
+                        from,
+                        kind: message.kind(),
+                    });
+                }
             }
             return;
         }
@@ -773,7 +853,7 @@ where
         let sim = &mut *self.sim;
         let node = self.node;
         sim.last_progress = sim.now;
-        sim.trace(TraceEvent::Grant { node, lock, mode, ticket });
+        // The node itself emits `Granted` (span close).
         if let Some((start, req_mode)) = sim.outstanding.remove(&(node, lock, ticket)) {
             debug_assert!(
                 req_mode == mode || mode == Mode::Write,

@@ -56,7 +56,11 @@ pub use engine::{
 pub use latency::{sample_exponential, LatencyModel};
 pub use metrics::Metrics;
 pub use time::{Duration, SimTime};
-pub use trace::{NullTracer, RingTracer, StderrTracer, TraceEvent, TraceRecord, Tracer};
+pub use trace::{NullTracer, RingTracer, StderrTracer, TraceRecord, Tracer, TracerObserver};
+
+// The simulator speaks the workspace-wide observability vocabulary;
+// re-export it so `Sim::with_observer` users need only this crate.
+pub use hlock_core::{Observer, ProtocolEvent};
 
 #[cfg(test)]
 mod tests {
@@ -185,6 +189,58 @@ mod tests {
             large.metrics.mean_latency(),
             small.metrics.mean_latency()
         );
+    }
+
+    #[test]
+    fn observer_sees_balanced_spans_and_transport_events() {
+        use hlock_core::check_span_balance;
+        use std::cell::RefCell;
+        use std::rc::Rc;
+
+        let events: Rc<RefCell<Vec<(u64, ProtocolEvent)>>> = Rc::default();
+        let sink = Rc::clone(&events);
+        let cfg = ProtocolConfig::default();
+        let spaces =
+            (0..4).map(|i| LockSpace::new(NodeId(i), 1, NodeId(0), cfg)).collect();
+        let sim_cfg = SimConfig { seed: 5, check_every: 1, ..SimConfig::default() };
+        let report = Sim::new(spaces, ExclusiveLoop::new(4, 3), sim_cfg)
+            .with_observer(move |at: u64, e: &ProtocolEvent| {
+                sink.borrow_mut().push((at, e.clone()));
+            })
+            .run()
+            .expect("invariants hold");
+        assert!(report.quiescent);
+
+        let events = events.borrow();
+        let count = |name: &str| events.iter().filter(|(_, e)| e.name() == name).count();
+        // Every request opens a span, every grant closes one.
+        assert_eq!(count("request_issued") as u64, report.metrics.total_requests());
+        assert_eq!(count("granted") as u64, report.metrics.total_grants());
+        // Transport activity is visible with both legs accounted:
+        // everything sent was delivered (no fault injection configured).
+        assert!(count("message_sent") > 0, "no message_sent events");
+        assert_eq!(count("message_sent"), count("delivered"));
+        assert_eq!(count("dropped"), 0);
+        check_span_balance(events.iter().map(|(_, e)| e)).expect("spans balance");
+        // Timestamps are the virtual clock, which never runs backwards.
+        assert!(events.windows(2).all(|w| w[0].0 <= w[1].0));
+    }
+
+    #[test]
+    fn unobserved_run_matches_observed_run() {
+        // Attaching an observer must not perturb the simulation itself.
+        let plain = run_ours(5, 4, 21);
+        let cfg = ProtocolConfig::default();
+        let spaces =
+            (0..5).map(|i| LockSpace::new(NodeId(i), 1, NodeId(0), cfg)).collect();
+        let sim_cfg = SimConfig { seed: 21, check_every: 1, ..SimConfig::default() };
+        let observed = Sim::new(spaces, ExclusiveLoop::new(5, 4), sim_cfg)
+            .with_observer(|_: u64, _: &ProtocolEvent| {})
+            .run()
+            .expect("invariants hold");
+        assert_eq!(plain.end_time, observed.end_time);
+        assert_eq!(plain.metrics.total_messages(), observed.metrics.total_messages());
+        assert_eq!(plain.metrics.total_grants(), observed.metrics.total_grants());
     }
 
     #[test]

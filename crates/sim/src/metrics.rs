@@ -2,7 +2,7 @@
 //! Figures 5–7.
 
 use crate::time::Duration;
-use hlock_core::{MessageKind, Mode, NodeId, ALL_MODES};
+use hlock_core::{MessageKind, Mode, NodeId, Reservoir, ALL_MODES};
 use std::collections::HashMap;
 
 /// Aggregated measurements of one simulation run.
@@ -23,21 +23,15 @@ pub struct Metrics {
     frame_messages: u64,
     /// Encoded bytes of all counted frames (0 without a frame sizer).
     wire_bytes: u64,
-    /// Request-to-grant latency samples, per requested mode.
-    latency: HashMap<ModeKey, LatencyAgg>,
+    /// Request-to-grant latency samples, per requested mode. Each entry
+    /// is a bounded [`Reservoir`]: exact sum/count/max forever, with a
+    /// fixed-size uniform sample for percentile queries — memory stays
+    /// constant no matter how long the run is.
+    latency: HashMap<ModeKey, Reservoir>,
 }
 
 /// Latencies are keyed by mode; exclusive baselines use `Write` for all.
 type ModeKey = Mode;
-
-#[derive(Debug, Clone, Default)]
-struct LatencyAgg {
-    sum_micros: u128,
-    count: u64,
-    max_micros: u64,
-    /// All samples, for percentile queries (runs are small enough).
-    samples: Vec<u64>,
-}
 
 impl Metrics {
     /// Fresh, empty metrics.
@@ -126,11 +120,7 @@ impl Metrics {
     /// Records a grant and its request-to-grant latency.
     pub fn record_grant(&mut self, mode: Mode, latency: Duration) {
         self.grants += 1;
-        let agg = self.latency.entry(mode).or_default();
-        agg.sum_micros += u128::from(latency.as_micros());
-        agg.count += 1;
-        agg.max_micros = agg.max_micros.max(latency.as_micros());
-        agg.samples.push(latency.as_micros());
+        self.latency.entry(mode).or_default().record(latency.as_micros());
     }
 
     /// Total messages of one kind.
@@ -172,7 +162,7 @@ impl Metrics {
     /// Average request-to-grant latency over all modes (Figure 6 metric).
     pub fn mean_latency(&self) -> Duration {
         let (sum, count) =
-            self.latency.values().fold((0u128, 0u64), |(s, c), a| (s + a.sum_micros, c + a.count));
+            self.latency.values().fold((0u128, 0u64), |(s, c), a| (s + a.sum(), c + a.count()));
         if count == 0 {
             Duration::ZERO
         } else {
@@ -183,31 +173,34 @@ impl Metrics {
     /// Average latency for one requested mode, if any samples exist.
     pub fn mean_latency_for(&self, mode: Mode) -> Option<Duration> {
         self.latency.get(&mode).and_then(|a| {
-            (a.count > 0).then(|| Duration((a.sum_micros / u128::from(a.count)) as u64))
+            (!a.is_empty()).then(|| Duration((a.sum() / u128::from(a.count())) as u64))
         })
     }
 
     /// Worst observed latency across all modes.
     pub fn max_latency(&self) -> Duration {
-        Duration(self.latency.values().map(|a| a.max_micros).max().unwrap_or(0))
+        Duration(self.latency.values().map(Reservoir::max).max().unwrap_or(0))
     }
 
     /// Latency percentile over all modes (`p` in `0.0..=1.0`, e.g. `0.99`).
-    /// Returns zero with no samples.
+    /// Returns zero with no samples. Exact while total samples fit in the
+    /// per-mode reservoirs; an unbiased estimate beyond that.
     ///
     /// # Panics
     ///
     /// Panics if `p` is outside `[0, 1]`.
     pub fn latency_percentile(&self, p: f64) -> Duration {
         assert!((0.0..=1.0).contains(&p), "percentile must be in [0, 1]");
-        let mut all: Vec<u64> =
-            self.latency.values().flat_map(|a| a.samples.iter().copied()).collect();
-        if all.is_empty() {
-            return Duration::ZERO;
+        let mut all = Reservoir::default();
+        for a in self.latency.values() {
+            all.merge(a);
         }
-        all.sort_unstable();
-        let idx = ((all.len() - 1) as f64 * p).round() as usize;
-        Duration(all[idx])
+        Duration(all.percentile(p).unwrap_or(0))
+    }
+
+    /// The per-mode latency reservoir, if any samples were recorded.
+    pub fn latency_reservoir(&self, mode: Mode) -> Option<&Reservoir> {
+        self.latency.get(&mode)
     }
 
     /// Figure 6 metric: mean latency as a multiple of `base`.
@@ -241,8 +234,8 @@ impl Metrics {
             .into_iter()
             .filter_map(|m| {
                 self.latency.get(&m).and_then(|a| {
-                    (a.count > 0).then(|| {
-                        (m, Duration((a.sum_micros / u128::from(a.count)) as u64), a.count)
+                    (!a.is_empty()).then(|| {
+                        (m, Duration((a.sum() / u128::from(a.count())) as u64), a.count())
                     })
                 })
             })
@@ -264,11 +257,7 @@ impl Metrics {
         self.frame_messages += other.frame_messages;
         self.wire_bytes += other.wire_bytes;
         for (m, a) in &other.latency {
-            let agg = self.latency.entry(*m).or_default();
-            agg.sum_micros += a.sum_micros;
-            agg.count += a.count;
-            agg.max_micros = agg.max_micros.max(a.max_micros);
-            agg.samples.extend_from_slice(&a.samples);
+            self.latency.entry(*m).or_default().merge(a);
         }
     }
 }
@@ -341,6 +330,23 @@ mod tests {
     #[should_panic(expected = "percentile")]
     fn percentile_out_of_range_panics() {
         let _ = Metrics::new().latency_percentile(1.5);
+    }
+
+    /// Long runs no longer grow memory per grant: aggregates stay exact
+    /// and percentiles stay plausible past the reservoir capacity.
+    #[test]
+    fn latency_memory_stays_bounded() {
+        let mut m = Metrics::new();
+        for ms in 1..=10_000u64 {
+            m.record_grant(Mode::Read, Duration::from_millis(ms));
+        }
+        assert_eq!(m.total_grants(), 10_000);
+        assert_eq!(m.mean_latency(), Duration(5_000_500));
+        assert_eq!(m.max_latency(), Duration::from_millis(10_000));
+        let p50 = m.latency_percentile(0.5).as_millis_f64();
+        assert!((p50 - 5_000.0).abs() < 1_000.0, "{p50}");
+        let p99 = m.latency_percentile(0.99).as_millis_f64();
+        assert!(p99 > 9_000.0, "{p99}");
     }
 
     #[test]

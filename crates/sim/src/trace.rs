@@ -1,127 +1,47 @@
-//! Structured run tracing.
+//! Structured tracing over the shared protocol-event vocabulary.
 //!
-//! A [`Tracer`] receives one [`TraceRecord`] per interesting simulator
-//! event — deliveries, API calls, grants, timer fires, drops. Records are
-//! plain data (messages pre-rendered to strings) so tracers need no
-//! knowledge of the protocol's message type.
+//! A [`Tracer`] receives one [`TraceRecord`] per observed event. Since
+//! the observability rework the simulator no longer has a bespoke event
+//! enum: a record carries a [`ProtocolEvent`] — the exact vocabulary the
+//! model checker and the TCP transport emit — stamped with simulated
+//! time. [`TracerObserver`] adapts any `Tracer` to the core
+//! [`Observer`] interface, which is how [`Sim::with_tracer`] plugs
+//! tracers into the shared event pipeline.
+//!
+//! [`Sim::with_tracer`]: crate::Sim::with_tracer
 
-use crate::time::SimTime;
-use hlock_core::{LockId, MessageKind, Mode, NodeId, Ticket};
 use std::fmt;
 
-/// What happened.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub enum TraceEvent {
-    /// A message was delivered to `to`.
-    Deliver {
-        /// Sender.
-        from: NodeId,
-        /// Receiver.
-        to: NodeId,
-        /// Message classification.
-        kind: MessageKind,
-        /// Rendered message contents.
-        message: String,
-    },
-    /// A message was dropped by fault injection.
-    Drop {
-        /// Sender.
-        from: NodeId,
-        /// Intended receiver.
-        to: NodeId,
-        /// Message classification.
-        kind: MessageKind,
-    },
-    /// The application issued a lock request.
-    Request {
-        /// Requesting node.
-        node: NodeId,
-        /// Lock requested.
-        lock: LockId,
-        /// Mode requested.
-        mode: Mode,
-        /// Correlation ticket.
-        ticket: Ticket,
-    },
-    /// A request was granted.
-    Grant {
-        /// Node receiving the grant.
-        node: NodeId,
-        /// Lock granted.
-        lock: LockId,
-        /// Granted mode.
-        mode: Mode,
-        /// Correlation ticket.
-        ticket: Ticket,
-    },
-    /// The application released a lock.
-    Release {
-        /// Releasing node.
-        node: NodeId,
-        /// Lock released.
-        lock: LockId,
-        /// Correlation ticket.
-        ticket: Ticket,
-    },
-    /// The application requested an upgrade.
-    Upgrade {
-        /// Upgrading node.
-        node: NodeId,
-        /// Lock upgraded.
-        lock: LockId,
-        /// Correlation ticket.
-        ticket: Ticket,
-    },
-    /// A driver timer fired.
-    Timer {
-        /// The timer's node.
-        node: NodeId,
-        /// Driver-chosen timer id.
-        timer: u64,
-    },
-}
+use hlock_core::{Observer, ProtocolEvent};
 
-/// A timestamped [`TraceEvent`].
+use crate::time::SimTime;
+
+/// A timestamped [`ProtocolEvent`].
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct TraceRecord {
-    /// Virtual time of the event.
+    /// Virtual time at which the event was observed.
     pub at: SimTime,
-    /// The event.
-    pub event: TraceEvent,
+    /// What happened.
+    pub event: ProtocolEvent,
 }
 
 impl fmt::Display for TraceRecord {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{} ", self.at)?;
-        match &self.event {
-            TraceEvent::Deliver { from, to, kind, message } => {
-                write!(f, "deliver {kind} {from}->{to}: {message}")
-            }
-            TraceEvent::Drop { from, to, kind } => write!(f, "DROP {kind} {from}->{to}"),
-            TraceEvent::Request { node, lock, mode, ticket } => {
-                write!(f, "{node} request {lock} {mode} ({ticket})")
-            }
-            TraceEvent::Grant { node, lock, mode, ticket } => {
-                write!(f, "{node} granted {lock} {mode} ({ticket})")
-            }
-            TraceEvent::Release { node, lock, ticket } => {
-                write!(f, "{node} release {lock} ({ticket})")
-            }
-            TraceEvent::Upgrade { node, lock, ticket } => {
-                write!(f, "{node} upgrade {lock} ({ticket})")
-            }
-            TraceEvent::Timer { node, timer } => write!(f, "{node} timer {timer}"),
+        write!(f, "[{}] {} at {}", self.at, self.event.name(), self.event.node())?;
+        if let Some(span) = self.event.span() {
+            write!(f, " span {}:{}", span.origin, span.ticket.0)?;
         }
+        Ok(())
     }
 }
 
-/// Receives trace records during a run.
+/// Consumes trace records during a simulation run.
 pub trait Tracer {
-    /// Called once per simulator event, in virtual-time order.
+    /// Called once per record, in observation order.
     fn record(&mut self, record: TraceRecord);
 }
 
-/// Discards everything (the default).
+/// Discards every record (the default).
 #[derive(Debug, Clone, Copy, Default)]
 pub struct NullTracer;
 
@@ -129,9 +49,9 @@ impl Tracer for NullTracer {
     fn record(&mut self, _record: TraceRecord) {}
 }
 
-/// Keeps the last `capacity` records in memory — handy for post-mortem
-/// debugging of a failed run.
-#[derive(Debug, Clone)]
+/// Keeps the last `capacity` records in memory — cheap enough to leave
+/// on, complete enough to explain a failure post-mortem.
+#[derive(Debug)]
 pub struct RingTracer {
     capacity: usize,
     records: std::collections::VecDeque<TraceRecord>,
@@ -139,13 +59,13 @@ pub struct RingTracer {
 }
 
 impl RingTracer {
-    /// A ring holding at most `capacity` records.
+    /// Creates a ring holding at most `capacity` records.
     ///
     /// # Panics
     ///
     /// Panics if `capacity` is zero.
     pub fn new(capacity: usize) -> Self {
-        assert!(capacity > 0, "capacity must be positive");
+        assert!(capacity > 0, "ring capacity must be positive");
         RingTracer { capacity, records: std::collections::VecDeque::new(), total: 0 }
     }
 
@@ -154,17 +74,17 @@ impl RingTracer {
         self.records.iter()
     }
 
-    /// Total records ever seen (≥ retained count).
+    /// Total number of records ever received (including evicted ones).
     pub fn total(&self) -> u64 {
         self.total
     }
 
-    /// Renders the retained records, one per line.
+    /// Formats the retained records, one per line.
     pub fn dump(&self) -> String {
+        use fmt::Write as _;
         let mut out = String::new();
         for r in &self.records {
-            out.push_str(&r.to_string());
-            out.push('\n');
+            let _ = writeln!(out, "{r}");
         }
         out
     }
@@ -172,15 +92,15 @@ impl RingTracer {
 
 impl Tracer for RingTracer {
     fn record(&mut self, record: TraceRecord) {
-        self.total += 1;
         if self.records.len() == self.capacity {
             self.records.pop_front();
         }
         self.records.push_back(record);
+        self.total += 1;
     }
 }
 
-/// Writes every record to stderr as it happens.
+/// Prints every record to stderr (debugging aid; very verbose).
 #[derive(Debug, Clone, Copy, Default)]
 pub struct StderrTracer;
 
@@ -190,23 +110,53 @@ impl Tracer for StderrTracer {
     }
 }
 
-/// Forwards to a closure.
+/// Any closure taking a record is a tracer.
 impl<F: FnMut(TraceRecord)> Tracer for F {
     fn record(&mut self, record: TraceRecord) {
         self(record);
     }
 }
 
+/// Adapts a [`Tracer`] to the core [`Observer`] interface: each event is
+/// wrapped in a [`TraceRecord`] whose timestamp reinterprets the
+/// observer's microsecond clock as [`SimTime`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct TracerObserver<T> {
+    tracer: T,
+}
+
+impl<T: Tracer> TracerObserver<T> {
+    /// Wraps `tracer`.
+    pub fn new(tracer: T) -> Self {
+        TracerObserver { tracer }
+    }
+
+    /// Returns the wrapped tracer.
+    pub fn into_inner(self) -> T {
+        self.tracer
+    }
+}
+
+impl<T: Tracer> Observer for TracerObserver<T> {
+    fn on_event(&mut self, at_micros: u64, event: &ProtocolEvent) {
+        self.tracer.record(TraceRecord { at: SimTime(at_micros), event: event.clone() });
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use hlock_core::NodeId;
 
     fn rec(t: u64) -> TraceRecord {
-        TraceRecord { at: SimTime(t), event: TraceEvent::Timer { node: NodeId(0), timer: t } }
+        TraceRecord {
+            at: SimTime(t),
+            event: ProtocolEvent::TimerFired { node: NodeId(0), token: t },
+        }
     }
 
     #[test]
-    fn ring_keeps_most_recent() {
+    fn ring_keeps_most_recent_and_counts_all() {
         let mut ring = RingTracer::new(3);
         for t in 0..5 {
             ring.record(rec(t));
@@ -219,13 +169,13 @@ mod tests {
 
     #[test]
     #[should_panic(expected = "positive")]
-    fn zero_capacity_ring_panics() {
+    fn ring_rejects_zero_capacity() {
         let _ = RingTracer::new(0);
     }
 
     #[test]
     fn closures_are_tracers() {
-        let mut seen = 0u32;
+        let mut seen = 0;
         {
             let mut f = |_r: TraceRecord| seen += 1;
             f.record(rec(1));
@@ -235,24 +185,26 @@ mod tests {
     }
 
     #[test]
-    fn records_render_human_readably() {
+    fn display_names_event_and_node() {
         let r = TraceRecord {
-            at: SimTime::from_millis(5),
-            event: TraceEvent::Grant {
-                node: NodeId(3),
-                lock: LockId(0),
-                mode: Mode::Read,
-                ticket: Ticket(9),
-            },
+            at: SimTime(1_500_000),
+            event: ProtocolEvent::TimerFired { node: NodeId(3), token: 9 },
         };
         let s = r.to_string();
-        assert!(s.contains("n3"));
-        assert!(s.contains("granted"));
-        assert!(s.contains('R'));
-        let d = TraceRecord {
-            at: SimTime::ZERO,
-            event: TraceEvent::Drop { from: NodeId(0), to: NodeId(1), kind: MessageKind::Token },
-        };
-        assert!(d.to_string().contains("DROP"));
+        assert!(s.contains("timer_fired"), "{s}");
+        assert!(s.contains("n3"), "{s}");
+    }
+
+    #[test]
+    fn tracer_observer_bridges_events_to_records() {
+        let mut seen: Vec<TraceRecord> = Vec::new();
+        {
+            let mut obs = TracerObserver::new(|r: TraceRecord| seen.push(r));
+            let event = ProtocolEvent::TimerFired { node: NodeId(1), token: 4 };
+            obs.on_event(250, &event);
+        }
+        assert_eq!(seen.len(), 1);
+        assert_eq!(seen[0].at, SimTime(250));
+        assert_eq!(seen[0].event, ProtocolEvent::TimerFired { node: NodeId(1), token: 4 });
     }
 }

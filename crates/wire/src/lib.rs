@@ -8,7 +8,7 @@
 //!
 //! ```
 //! use bytes::BytesMut;
-//! use hlock_core::{Envelope, LockId, Mode, NodeId, Payload, Priority, Stamp};
+//! use hlock_core::{Envelope, LockId, Mode, NodeId, Payload, Priority, Stamp, Ticket};
 //! use hlock_wire::WireCodec;
 //!
 //! let msg = Envelope {
@@ -18,6 +18,7 @@
 //!         mode: Mode::Read,
 //!         stamp: Stamp(42),
 //!         priority: Priority::NORMAL,
+//!         span: Ticket(42),
 //!     },
 //! };
 //! let mut buf = BytesMut::new();
@@ -188,6 +189,7 @@ impl WireCodec for QueueEntry {
         put_mode(buf, self.mode);
         put_varint(buf, self.stamp.0);
         buf.put_u8(self.priority.0);
+        put_varint(buf, self.span.0);
     }
 
     fn decode(buf: &mut Bytes) -> Result<Self, WireError> {
@@ -208,7 +210,8 @@ impl WireCodec for QueueEntry {
             return Err(WireError::UnexpectedEof);
         }
         let priority = Priority(buf.get_u8());
-        Ok(QueueEntry::with_priority(waiter, mode, stamp, priority))
+        let span = Ticket(get_varint(buf)?);
+        Ok(QueueEntry::with_priority(waiter, mode, stamp, priority).with_span(span))
     }
 }
 
@@ -223,12 +226,13 @@ impl WireCodec for Envelope {
     fn encode(&self, buf: &mut BytesMut) {
         put_varint(buf, u64::from(self.lock.0));
         match &self.payload {
-            Payload::Request { origin, mode, stamp, priority } => {
+            Payload::Request { origin, mode, stamp, priority, span } => {
                 buf.put_u8(TAG_REQUEST);
                 put_varint(buf, u64::from(origin.0));
                 put_mode(buf, *mode);
                 put_varint(buf, stamp.0);
                 buf.put_u8(priority.0);
+                put_varint(buf, span.0);
             }
             Payload::Grant { mode, frozen } => {
                 buf.put_u8(TAG_GRANT);
@@ -274,7 +278,8 @@ impl WireCodec for Envelope {
                     return Err(WireError::UnexpectedEof);
                 }
                 let priority = Priority(buf.get_u8());
-                Payload::Request { origin, mode, stamp, priority }
+                let span = Ticket(get_varint(buf)?);
+                Payload::Request { origin, mode, stamp, priority, span }
             }
             TAG_GRANT => {
                 let mode = get_mode(buf)?;
@@ -572,6 +577,7 @@ mod tests {
                 mode: Mode::Read,
                 stamp: Stamp(99),
                 priority: Priority::NORMAL,
+                span: Ticket(99),
             },
             Payload::Grant { mode: Mode::IntentWrite, frozen: ModeSet::ALL },
             Payload::Token {
@@ -633,6 +639,7 @@ mod tests {
                 mode: Mode::Write,
                 stamp: Stamp(7),
                 priority: Priority::NORMAL,
+                span: Ticket(7),
             },
         };
         roundtrip(&SessionFrame::Data { seq: 1, ack: 0, message: inner.clone() });
@@ -683,6 +690,7 @@ mod tests {
                 mode: Mode::Write,
                 stamp: Stamp(8),
                 priority: Priority::NORMAL,
+                span: Ticket(8),
             },
         };
         let mut wire = BytesMut::new();
@@ -715,6 +723,7 @@ mod tests {
                     mode: Mode::IntentRead,
                     stamp: Stamp(u64::from(i)),
                     priority: Priority::NORMAL,
+                    span: Ticket(u64::from(i)),
                 },
             })
             .collect();
@@ -816,8 +825,8 @@ mod tests {
     }
 
     fn arb_entry() -> impl Strategy<Value = QueueEntry> {
-        (arb_waiter(), arb_mode(), any::<u64>())
-            .prop_map(|(w, m, s)| QueueEntry::new(w, m, Stamp(s)))
+        (arb_waiter(), arb_mode(), any::<u64>(), any::<u64>())
+            .prop_map(|(w, m, s, sp)| QueueEntry::new(w, m, Stamp(s)).with_span(Ticket(sp)))
     }
 
     fn arb_mode_set() -> impl Strategy<Value = ModeSet> {
@@ -826,14 +835,15 @@ mod tests {
 
     fn arb_payload() -> impl Strategy<Value = Payload> {
         prop_oneof![
-            (any::<u32>(), arb_mode(), any::<u64>(), any::<u8>()).prop_map(|(o, m, s, p)| {
-                Payload::Request {
+            (any::<u32>(), arb_mode(), any::<u64>(), any::<u8>(), any::<u64>()).prop_map(
+                |(o, m, s, p, sp)| Payload::Request {
                     origin: NodeId(o),
                     mode: m,
                     stamp: Stamp(s),
                     priority: Priority(p),
+                    span: Ticket(sp),
                 }
-            }),
+            ),
             (arb_mode(), arb_mode_set()).prop_map(|(m, f)| Payload::Grant { mode: m, frozen: f }),
             (
                 arb_mode(),
@@ -864,6 +874,55 @@ mod tests {
             prop_assert!(buf.len() <= 10);
             let mut b = buf.freeze();
             prop_assert_eq!(get_varint(&mut b).unwrap(), v);
+        }
+
+        /// Causal span tickets survive the wire in both places they
+        /// travel: request messages and queue entries inside a token
+        /// transfer — the invariant the cross-node span ids rely on.
+        #[test]
+        fn prop_span_survives_roundtrip(
+            origin in any::<u32>(),
+            span in any::<u64>(),
+            entry_span in any::<u64>(),
+        ) {
+            let req = Envelope {
+                lock: LockId(1),
+                payload: Payload::Request {
+                    origin: NodeId(origin),
+                    mode: Mode::Write,
+                    stamp: Stamp(1),
+                    priority: Priority::NORMAL,
+                    span: Ticket(span),
+                },
+            };
+            let mut buf = BytesMut::new();
+            req.encode(&mut buf);
+            let mut bytes = buf.freeze();
+            let decoded = Envelope::decode(&mut bytes).unwrap();
+            let Payload::Request { span: got, .. } = decoded.payload else {
+                return Err(TestCaseError::fail("not a request"));
+            };
+            prop_assert_eq!(got, Ticket(span));
+
+            let tok = Envelope {
+                lock: LockId(1),
+                payload: Payload::Token {
+                    mode: Mode::Write,
+                    queue: vec![
+                        QueueEntry::new(Waiter::Remote(NodeId(4)), Mode::Read, Stamp(2))
+                            .with_span(Ticket(entry_span)),
+                    ],
+                    sender_owned: None,
+                },
+            };
+            let mut buf = BytesMut::new();
+            tok.encode(&mut buf);
+            let mut bytes = buf.freeze();
+            let decoded = Envelope::decode(&mut bytes).unwrap();
+            let Payload::Token { queue, .. } = decoded.payload else {
+                return Err(TestCaseError::fail("not a token"));
+            };
+            prop_assert_eq!(queue[0].span, Ticket(entry_span));
         }
 
         #[test]

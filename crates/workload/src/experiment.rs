@@ -2,11 +2,13 @@
 
 use crate::drivers::{HierarchicalDriver, NaimiPureDriver, NaimiSameWorkDriver};
 use crate::mix::WorkloadConfig;
-use hlock_core::{LockSpace, NodeId, ProtocolConfig};
+use hlock_core::{ConcurrencyProtocol, Inspect, LockSpace, NodeId, ProtocolConfig};
 use hlock_naimi::NaimiSpace;
 use hlock_raymond::RaymondSpace;
 use hlock_session::{SessionConfig, SessionSpace, SessionStats};
-use hlock_sim::{InvariantViolation, LatencyModel, Sim, SimConfig, SimReport};
+use hlock_sim::{
+    Driver, InvariantViolation, LatencyModel, Observer, ProtocolEvent, Sim, SimConfig, SimReport,
+};
 use hlock_suzuki::SuzukiSpace;
 use hlock_wire::{frame, BytesMut, WireCodec};
 
@@ -86,6 +88,54 @@ pub fn run_experiment(
     latency: LatencyModel,
     check_every: u64,
 ) -> Result<SimReport, InvariantViolation> {
+    run_observed_experiment(kind, nodes, workload, latency, check_every, None)
+}
+
+/// Adapts a boxed observer to `Sim::with_observer`'s `impl Observer`
+/// parameter (a bare `Box<dyn Observer>` cannot implement [`Observer`]
+/// here without clashing with the closure blanket impl).
+struct BoxedObserver(Box<dyn Observer>);
+
+impl Observer for BoxedObserver {
+    fn on_event(&mut self, at_micros: u64, event: &ProtocolEvent) {
+        self.0.on_event(at_micros, event);
+    }
+}
+
+/// Applies the optional observer and runs — the shared tail of every
+/// [`run_observed_experiment`] arm. Without an observer the simulation
+/// takes the unobserved fast path (no event construction at all).
+fn finish<P, D>(
+    sim: Sim<P, D>,
+    observer: Option<Box<dyn Observer>>,
+) -> Result<SimReport, InvariantViolation>
+where
+    P: ConcurrencyProtocol + Inspect,
+    D: Driver,
+{
+    match observer {
+        Some(obs) => sim.with_observer(BoxedObserver(obs)).run(),
+        None => sim.run(),
+    }
+}
+
+/// Like [`run_experiment`], additionally streaming every
+/// [`ProtocolEvent`] of the run into `observer` (stamped with virtual
+/// time in microseconds). Attach a `hlock_core::JsonlObserver`,
+/// `ChromeTraceObserver` or `MetricsRegistry` to export the run.
+///
+/// # Errors
+///
+/// Propagates [`InvariantViolation`] from the simulator — which would
+/// indicate a protocol bug, so callers usually `expect` it.
+pub fn run_observed_experiment(
+    kind: ProtocolKind,
+    nodes: usize,
+    workload: &WorkloadConfig,
+    latency: LatencyModel,
+    check_every: u64,
+    observer: Option<Box<dyn Observer>>,
+) -> Result<SimReport, InvariantViolation> {
     let seed = derive_seed(workload, nodes);
     match kind {
         ProtocolKind::Hierarchical(cfg) => {
@@ -95,9 +145,9 @@ pub fn run_experiment(
                 (0..nodes).map(|i| LockSpace::with_homes(NodeId(i as u32), &homes, cfg)).collect();
             let sim_cfg =
                 SimConfig { seed, latency, lock_count, check_every, ..SimConfig::default() };
-            Sim::new(spaces, HierarchicalDriver::new(workload, nodes), sim_cfg)
-                .with_frame_sizer(wire_frame_size)
-                .run()
+            let sim = Sim::new(spaces, HierarchicalDriver::new(workload, nodes), sim_cfg)
+                .with_frame_sizer(wire_frame_size);
+            finish(sim, observer)
         }
         ProtocolKind::NaimiSameWork => {
             let lock_count = workload.naimi_lock_count();
@@ -106,18 +156,18 @@ pub fn run_experiment(
                 .collect();
             let sim_cfg =
                 SimConfig { seed, latency, lock_count, check_every, ..SimConfig::default() };
-            Sim::new(spaces, NaimiSameWorkDriver::new(workload, nodes), sim_cfg)
-                .with_frame_sizer(wire_frame_size)
-                .run()
+            let sim = Sim::new(spaces, NaimiSameWorkDriver::new(workload, nodes), sim_cfg)
+                .with_frame_sizer(wire_frame_size);
+            finish(sim, observer)
         }
         ProtocolKind::NaimiPure => {
             let spaces =
                 (0..nodes).map(|i| NaimiSpace::new(NodeId(i as u32), 1, NodeId(0))).collect();
             let sim_cfg =
                 SimConfig { seed, latency, lock_count: 1, check_every, ..SimConfig::default() };
-            Sim::new(spaces, NaimiPureDriver::new(workload, nodes), sim_cfg)
-                .with_frame_sizer(wire_frame_size)
-                .run()
+            let sim = Sim::new(spaces, NaimiPureDriver::new(workload, nodes), sim_cfg)
+                .with_frame_sizer(wire_frame_size);
+            finish(sim, observer)
         }
         ProtocolKind::RaymondPure => {
             let spaces = (0..nodes)
@@ -125,9 +175,9 @@ pub fn run_experiment(
                 .collect();
             let sim_cfg =
                 SimConfig { seed, latency, lock_count: 1, check_every, ..SimConfig::default() };
-            Sim::new(spaces, NaimiPureDriver::new(workload, nodes), sim_cfg)
-                .with_frame_sizer(wire_frame_size)
-                .run()
+            let sim = Sim::new(spaces, NaimiPureDriver::new(workload, nodes), sim_cfg)
+                .with_frame_sizer(wire_frame_size);
+            finish(sim, observer)
         }
         ProtocolKind::SuzukiPure => {
             let spaces = (0..nodes)
@@ -135,9 +185,9 @@ pub fn run_experiment(
                 .collect();
             let sim_cfg =
                 SimConfig { seed, latency, lock_count: 1, check_every, ..SimConfig::default() };
-            Sim::new(spaces, NaimiPureDriver::new(workload, nodes), sim_cfg)
-                .with_frame_sizer(wire_frame_size)
-                .run()
+            let sim = Sim::new(spaces, NaimiPureDriver::new(workload, nodes), sim_cfg)
+                .with_frame_sizer(wire_frame_size);
+            finish(sim, observer)
         }
     }
 }
@@ -299,6 +349,33 @@ mod tests {
         assert!(r.report.quiescent, "all ops must finish despite drops");
         assert_eq!(r.report.metrics.total_grants(), r.report.metrics.total_requests());
         assert!(r.session.retransmits > 0, "loss must have forced retransmissions");
+    }
+
+    #[test]
+    fn observed_experiment_feeds_a_metrics_registry() {
+        use hlock_core::MetricsRegistry;
+        use std::cell::RefCell;
+        use std::rc::Rc;
+
+        let registry = Rc::new(RefCell::new(MetricsRegistry::new()));
+        let sink = Rc::clone(&registry);
+        let obs = move |at: u64, e: &ProtocolEvent| sink.borrow_mut().on_event(at, e);
+        let r = run_observed_experiment(
+            ProtocolKind::Hierarchical(ProtocolConfig::default()),
+            4,
+            &small_workload(),
+            LatencyModel::paper(),
+            0,
+            Some(Box::new(obs)),
+        )
+        .expect("safe");
+        assert!(r.quiescent);
+        let registry = registry.borrow();
+        // The registry's view agrees with the simulator's own metrics.
+        assert_eq!(registry.grants_total(), r.metrics.total_grants());
+        let text = registry.render();
+        assert!(text.contains("hlock_request_to_grant_micros"), "{text}");
+        assert!(text.contains("hlock_grants_total"), "{text}");
     }
 
     #[test]

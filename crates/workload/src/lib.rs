@@ -41,7 +41,8 @@ mod plan_driver;
 
 pub use drivers::{HierarchicalDriver, NaimiPureDriver, NaimiSameWorkDriver};
 pub use experiment::{
-    run_experiment, run_session_experiment, ProtocolKind, SessionExperimentReport,
+    run_experiment, run_observed_experiment, run_session_experiment, ProtocolKind,
+    SessionExperimentReport,
 };
 pub use mix::{ModeMix, WorkloadConfig};
 pub use ops::{plan_for_node, OpKind, OpPlan};

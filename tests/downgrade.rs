@@ -46,6 +46,7 @@ fn writer_downgrade_unblocks_waiting_readers() {
                 mode: Mode::Read,
                 stamp: hlock::core::Stamp(1),
                 priority: Priority::NORMAL,
+                span: Ticket(0),
             },
         },
         &mut fx,

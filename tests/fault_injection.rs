@@ -5,7 +5,7 @@
 
 use hlock::core::{LockSpace, NodeId, ProtocolConfig};
 use hlock::session::SessionConfig;
-use hlock::sim::{Duration, Partition, RingTracer, Sim, SimConfig, SimTime, TraceEvent, Tracer};
+use hlock::sim::{Duration, Partition, ProtocolEvent, RingTracer, Sim, SimConfig, SimTime, Tracer};
 use hlock::workload::{run_session_experiment, HierarchicalDriver, WorkloadConfig};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -55,7 +55,7 @@ fn reordering_never_violates_safety() {
     let reordered = Arc::new(AtomicU64::new(0));
     let counter = reordered.clone();
     let tracer = move |r: hlock::sim::TraceRecord| {
-        if matches!(r.event, TraceEvent::Deliver { .. }) {
+        if matches!(r.event, ProtocolEvent::Delivered { .. }) {
             counter.fetch_add(1, Ordering::Relaxed);
         }
     };
@@ -80,7 +80,7 @@ fn timed_partition_never_violates_safety() {
     let drops = Arc::new(AtomicU64::new(0));
     let counter = drops.clone();
     let tracer = move |r: hlock::sim::TraceRecord| {
-        if matches!(r.event, TraceEvent::Drop { .. }) {
+        if matches!(r.event, ProtocolEvent::Dropped { .. }) {
             counter.fetch_add(1, Ordering::Relaxed);
         }
     };
@@ -186,7 +186,7 @@ fn drops_are_traced() {
     let drops = Arc::new(AtomicU64::new(0));
     let counter = drops.clone();
     let tracer = move |r: hlock::sim::TraceRecord| {
-        if matches!(r.event, TraceEvent::Drop { .. }) {
+        if matches!(r.event, ProtocolEvent::Dropped { .. }) {
             counter.fetch_add(1, Ordering::Relaxed);
         }
     };
@@ -217,9 +217,9 @@ fn ring_tracer_captures_run_history() {
         assert!(w[0].at <= w[1].at);
     }
     // The trace contains both requests and grants.
-    assert!(records.iter().any(|r| matches!(r.event, TraceEvent::Request { .. })));
-    assert!(records.iter().any(|r| matches!(r.event, TraceEvent::Grant { .. })));
-    assert!(records.iter().any(|r| matches!(r.event, TraceEvent::Deliver { .. })));
+    assert!(records.iter().any(|r| matches!(r.event, ProtocolEvent::RequestIssued { .. })));
+    assert!(records.iter().any(|r| matches!(r.event, ProtocolEvent::Granted { .. })));
+    assert!(records.iter().any(|r| matches!(r.event, ProtocolEvent::Delivered { .. })));
 }
 
 /// A tiny stand-in for parking_lot to avoid a dev-dependency here.

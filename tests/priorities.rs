@@ -92,6 +92,7 @@ fn same_priority_is_fifo_by_stamp() {
                     mode: Mode::Write,
                     stamp: Stamp(stamp),
                     priority: Priority(3),
+                    span: Ticket(0),
                 },
             },
             &mut fx,
@@ -141,6 +142,7 @@ fn urgent_writer_jumps_reader_backlog() {
                     mode: Mode::Read,
                     stamp: Stamp(u64::from(n)),
                     priority: Priority::NORMAL,
+                    span: Ticket(0),
                 },
             },
             &mut fx,
@@ -155,6 +157,7 @@ fn urgent_writer_jumps_reader_backlog() {
                 mode: Mode::Write,
                 stamp: Stamp(99),
                 priority: Priority::URGENT,
+                span: Ticket(0),
             },
         },
         &mut fx,
