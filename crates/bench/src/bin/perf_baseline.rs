@@ -1,0 +1,384 @@
+//! **Sharded-runtime performance baseline**: a fixed-seed
+//! throughput/latency matrix over the real TCP transport, written to
+//! `BENCH_perf.json` for the CI perf gate (`scripts/perf_gate.py`).
+//!
+//! The matrix crosses shard counts (1, 2, 4, 8) with three operation
+//! mixes on [`hlock_net::ShardedCluster`]:
+//!
+//! * `read_heavy` — 90% `R` / 10% `W` over 64 entry locks,
+//! * `write_heavy` — 30% `R` / 70% `W` over 64 entry locks,
+//! * `hierarchical` — the paper's lock-set pattern: `IR`/`IW` on the
+//!   whole-table lock, then `R`/`W` on one entry,
+//!
+//! plus two single-lock exclusive baseline rows (Naimi–Trehel and
+//! Raymond on the unsharded [`hlock_net::Cluster`]) so shard scaling can
+//! be read against the classic token algorithms.
+//!
+//! Every run uses one fixed seed per (mix, thread) pair, so two
+//! invocations on the same machine do the identical operation sequence
+//! — the CI gate compares throughput and p99 request-to-grant latency
+//! against the committed `BENCH_perf.json`.
+//!
+//! ```text
+//! cargo run --release -p hlock-bench --bin perf_baseline [--quick] [--out PATH]
+//! ```
+
+use hlock_core::{LockId, Mode, ProtocolConfig};
+use hlock_net::{Cluster, ShardedCluster};
+use std::fmt::Write as _;
+use std::time::{Duration, Instant};
+
+/// Locks per node: the whole-table lock (id 0) plus 63 entry locks.
+const LOCKS: usize = 64;
+/// Concurrent driver threads, all on node 0 (the token home), so the
+/// measured bottleneck is the runtime, not the wire.
+const THREADS: usize = 8;
+const TIMEOUT: Duration = Duration::from_secs(30);
+
+/// Paper-style xorshift64*: tiny, seedable, good enough to pick lock
+/// ids and modes deterministically.
+struct Rng(u64);
+
+impl Rng {
+    fn next(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.0 = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+
+    /// Uniform draw in `0..n`.
+    fn below(&mut self, n: u64) -> u64 {
+        self.next() % n
+    }
+}
+
+#[derive(Clone, Copy, PartialEq)]
+enum Mix {
+    ReadHeavy,
+    WriteHeavy,
+    Hierarchical,
+}
+
+impl Mix {
+    fn name(self) -> &'static str {
+        match self {
+            Mix::ReadHeavy => "read_heavy",
+            Mix::WriteHeavy => "write_heavy",
+            Mix::Hierarchical => "hierarchical",
+        }
+    }
+}
+
+/// Latency percentiles over one run's per-op request-to-grant times.
+struct LatencySummary {
+    p50: u64,
+    p90: u64,
+    p99: u64,
+    mean: f64,
+    max: u64,
+}
+
+fn summarize(mut samples: Vec<u64>) -> LatencySummary {
+    assert!(!samples.is_empty());
+    samples.sort_unstable();
+    let pct = |p: f64| samples[((samples.len() - 1) as f64 * p) as usize];
+    LatencySummary {
+        p50: pct(0.50),
+        p90: pct(0.90),
+        p99: pct(0.99),
+        mean: samples.iter().sum::<u64>() as f64 / samples.len() as f64,
+        max: *samples.last().unwrap(),
+    }
+}
+
+/// One row of the matrix.
+struct Entry {
+    protocol: &'static str,
+    shards: usize,
+    mix: &'static str,
+    ops: u64,
+    elapsed_micros: u64,
+    throughput: f64,
+    latency: LatencySummary,
+}
+
+/// Outstanding requests a driver thread keeps in flight. Pipelining
+/// decouples driver threads from per-op wakeup latency so the measured
+/// bottleneck is the shard workers' dispatch throughput — the thing
+/// sharding scales — rather than condvar round trips.
+const PIPELINE: usize = 64;
+
+/// Drives `ops_per_thread` operations of `mix` from every thread and
+/// returns (total grants, elapsed, per-grant latencies in micros).
+///
+/// Each thread acquires entry locks only from its own partition
+/// (`lock % THREADS == t`), and the shared whole-table lock only in
+/// intent modes (which are mutually compatible), so pipelined holds can
+/// never form a cross-thread wait cycle: every ticket's blockers are the
+/// same thread's earlier tickets, whose releases are already enqueued.
+fn drive_sharded(
+    cluster: &ShardedCluster,
+    mix: Mix,
+    ops_per_thread: u64,
+) -> (u64, Duration, Vec<u64>) {
+    let node = cluster.node(0);
+    let started = Instant::now();
+    let lat: Vec<Vec<u64>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..THREADS)
+            .map(|t| {
+                scope.spawn(move || {
+                    // Seed fixed per (mix, thread): identical sequences
+                    // on every invocation.
+                    let mut rng =
+                        Rng(0x9E37_79B9 ^ ((t as u64 + 1) << 8) ^ mix.name().len() as u64);
+                    let mine: Vec<LockId> = (1..LOCKS as u32)
+                        .map(LockId)
+                        .filter(|l| l.0 as usize % THREADS == t)
+                        .collect();
+                    let mut lat = Vec::with_capacity(ops_per_thread as usize);
+                    let mut inflight: std::collections::VecDeque<(
+                        LockId,
+                        hlock_core::Ticket,
+                        Instant,
+                    )> = std::collections::VecDeque::with_capacity(PIPELINE + 1);
+                    let drain_one = |q: &mut std::collections::VecDeque<_>, lat: &mut Vec<u64>| {
+                        let (lock, ticket, t0): (LockId, hlock_core::Ticket, Instant) =
+                            q.pop_front().unwrap();
+                        node.wait(lock, ticket, TIMEOUT).expect("grant");
+                        lat.push(t0.elapsed().as_micros() as u64);
+                        node.release_async(lock, ticket).expect("release");
+                    };
+                    for _ in 0..ops_per_thread {
+                        match mix {
+                            Mix::ReadHeavy | Mix::WriteHeavy => {
+                                let lock = mine[rng.below(mine.len() as u64) as usize];
+                                let write_pct = if mix == Mix::ReadHeavy { 10 } else { 70 };
+                                let mode = if rng.below(100) < write_pct {
+                                    Mode::Write
+                                } else {
+                                    Mode::Read
+                                };
+                                let t0 = Instant::now();
+                                let ticket = node.request(lock, mode).expect("request");
+                                inflight.push_back((lock, ticket, t0));
+                            }
+                            Mix::Hierarchical => {
+                                // Table intent lock, then one entry: the
+                                // CCS lock-set pattern.
+                                let entry = mine[rng.below(mine.len() as u64) as usize];
+                                let write = rng.below(100) < 10;
+                                let (ti, te) = if write {
+                                    (Mode::IntentWrite, Mode::Write)
+                                } else {
+                                    (Mode::IntentRead, Mode::Read)
+                                };
+                                let t0 = Instant::now();
+                                let table = node.request(LockId(0), ti).expect("table");
+                                inflight.push_back((LockId(0), table, t0));
+                                let leaf = node.request(entry, te).expect("entry");
+                                inflight.push_back((entry, leaf, t0));
+                            }
+                        }
+                        while inflight.len() >= PIPELINE {
+                            drain_one(&mut inflight, &mut lat);
+                        }
+                    }
+                    while !inflight.is_empty() {
+                        drain_one(&mut inflight, &mut lat);
+                    }
+                    lat
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("driver thread")).collect()
+    });
+    let elapsed = started.elapsed();
+    let samples: Vec<u64> = lat.into_iter().flatten().collect();
+    (samples.len() as u64, elapsed, samples)
+}
+
+/// Exclusive-lock baseline on the unsharded event-loop cluster.
+fn drive_baseline<P>(
+    node: &hlock_net::NodeHandle<P>,
+    ops_per_thread: u64,
+) -> (u64, Duration, Vec<u64>)
+where
+    P: hlock_core::ConcurrencyProtocol + Send + 'static,
+    P::Message: hlock_wire::WireCodec + Send + 'static,
+{
+    let started = Instant::now();
+    let lat: Vec<Vec<u64>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..THREADS)
+            .map(|_| {
+                scope.spawn(move || {
+                    let mut lat = Vec::with_capacity(ops_per_thread as usize);
+                    for _ in 0..ops_per_thread {
+                        let t0 = Instant::now();
+                        let ticket = node.acquire(LockId(0), Mode::Write, TIMEOUT).expect("grant");
+                        lat.push(t0.elapsed().as_micros() as u64);
+                        node.release(LockId(0), ticket).expect("release");
+                    }
+                    lat
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("driver thread")).collect()
+    });
+    let elapsed = started.elapsed();
+    let samples: Vec<u64> = lat.into_iter().flatten().collect();
+    (samples.len() as u64, elapsed, samples)
+}
+
+fn entry(
+    protocol: &'static str,
+    shards: usize,
+    mix: &'static str,
+    ops: u64,
+    elapsed: Duration,
+    samples: Vec<u64>,
+) -> Entry {
+    let micros = elapsed.as_micros().max(1) as u64;
+    Entry {
+        protocol,
+        shards,
+        mix,
+        ops,
+        elapsed_micros: micros,
+        throughput: ops as f64 * 1e6 / micros as f64,
+        latency: summarize(samples),
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let out_path = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+        .unwrap_or_else(|| "BENCH_perf.json".to_string());
+    let ops_per_thread: u64 = if quick { 500 } else { 10_000 };
+
+    // Scheduling noise dominates tail latency on short runs; keep the
+    // best-throughput repetition of each cell (standard
+    // best-of-N benchmarking) so the committed baseline and the CI rerun
+    // both sit near the machine's actual capability.
+    let reps = if quick { 1 } else { 3 };
+    let mut entries: Vec<Entry> = Vec::new();
+    for shards in [1usize, 2, 4, 8] {
+        for mix in [Mix::ReadHeavy, Mix::WriteHeavy, Mix::Hierarchical] {
+            let mut best: Option<(u64, Duration, Vec<u64>)> = None;
+            for _ in 0..reps {
+                let cluster =
+                    ShardedCluster::spawn_hierarchical(2, LOCKS, shards, ProtocolConfig::default())
+                        .expect("spawn sharded cluster");
+                let run = drive_sharded(&cluster, mix, ops_per_thread);
+                cluster.shutdown();
+                let faster = best.as_ref().is_none_or(|(_, e, _)| run.1 < *e);
+                if faster {
+                    best = Some(run);
+                }
+            }
+            let (ops, elapsed, samples) = best.expect("at least one rep");
+            let e = entry("sharded-hierarchical", shards, mix.name(), ops, elapsed, samples);
+            println!(
+                "{:<22} shards={} mix={:<12} {:>9.0} ops/s  p50={}us p99={}us",
+                e.protocol, e.shards, e.mix, e.throughput, e.latency.p50, e.latency.p99
+            );
+            entries.push(e);
+        }
+    }
+
+    // Exclusive single-lock baselines for scale reference (same best-of-N
+    // policy: these calibration rows must not be noisier than the rows
+    // they contextualize).
+    {
+        let mut best: Option<(u64, Duration, Vec<u64>)> = None;
+        for _ in 0..reps {
+            let cluster = Cluster::spawn_naimi(2, 1).expect("spawn naimi");
+            let run = drive_baseline(cluster.node(0), ops_per_thread);
+            cluster.shutdown();
+            if best.as_ref().is_none_or(|(_, e, _)| run.1 < *e) {
+                best = Some(run);
+            }
+        }
+        let (ops, elapsed, samples) = best.expect("at least one rep");
+        let e = entry("naimi", 1, "write_only", ops, elapsed, samples);
+        println!(
+            "{:<22} shards={} mix={:<12} {:>9.0} ops/s  p50={}us p99={}us",
+            e.protocol, e.shards, e.mix, e.throughput, e.latency.p50, e.latency.p99
+        );
+        entries.push(e);
+    }
+    {
+        let mut best: Option<(u64, Duration, Vec<u64>)> = None;
+        for _ in 0..reps {
+            let cluster = Cluster::spawn_raymond(2, 1).expect("spawn raymond");
+            let run = drive_baseline(cluster.node(0), ops_per_thread);
+            cluster.shutdown();
+            if best.as_ref().is_none_or(|(_, e, _)| run.1 < *e) {
+                best = Some(run);
+            }
+        }
+        let (ops, elapsed, samples) = best.expect("at least one rep");
+        let e = entry("raymond", 1, "write_only", ops, elapsed, samples);
+        println!(
+            "{:<22} shards={} mix={:<12} {:>9.0} ops/s  p50={}us p99={}us",
+            e.protocol, e.shards, e.mix, e.throughput, e.latency.p50, e.latency.p99
+        );
+        entries.push(e);
+    }
+
+    let tput = |shards: usize, mix: &str| {
+        entries
+            .iter()
+            .find(|e| e.protocol == "sharded-hierarchical" && e.shards == shards && e.mix == mix)
+            .map(|e| e.throughput)
+            .unwrap_or(0.0)
+    };
+    let speedup = tput(4, "read_heavy") / tput(1, "read_heavy").max(1e-9);
+    println!("speedup read_heavy 4 shards vs 1: {speedup:.2}x");
+
+    // Hand-rolled JSON, matching the repo's no-serde-for-artifacts
+    // convention: the schema is documented in docs/PERFORMANCE.md.
+    let mut json = String::new();
+    json.push_str("{\n");
+    let _ = writeln!(json, "  \"schema\": \"hlock-perf-baseline/v1\",");
+    let _ = writeln!(json, "  \"quick\": {quick},");
+    let _ = writeln!(json, "  \"nodes\": 2,");
+    let _ = writeln!(json, "  \"locks\": {LOCKS},");
+    let _ = writeln!(json, "  \"threads\": {THREADS},");
+    let _ = writeln!(json, "  \"ops_per_thread\": {ops_per_thread},");
+    json.push_str("  \"entries\": [\n");
+    for (i, e) in entries.iter().enumerate() {
+        let comma = if i + 1 < entries.len() { "," } else { "" };
+        let _ = writeln!(
+            json,
+            "    {{\"protocol\": \"{}\", \"shards\": {}, \"mix\": \"{}\", \"ops\": {}, \
+             \"elapsed_micros\": {}, \"throughput_ops_per_sec\": {:.1}, \
+             \"latency_micros\": {{\"p50\": {}, \"p90\": {}, \"p99\": {}, \"mean\": {:.1}, \
+             \"max\": {}}}}}{}",
+            e.protocol,
+            e.shards,
+            e.mix,
+            e.ops,
+            e.elapsed_micros,
+            e.throughput,
+            e.latency.p50,
+            e.latency.p90,
+            e.latency.p99,
+            e.latency.mean,
+            e.latency.max,
+            comma
+        );
+    }
+    json.push_str("  ],\n");
+    let _ = writeln!(json, "  \"derived\": {{\"speedup_read_heavy_4_shards\": {speedup:.3}}}");
+    json.push_str("}\n");
+    std::fs::write(&out_path, json).expect("write BENCH_perf.json");
+    println!("wrote {out_path}");
+}

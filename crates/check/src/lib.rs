@@ -37,7 +37,8 @@
 
 use hlock_core::{
     BatchHost, Classify, ConcurrencyProtocol, EffectSink, HostRuntime, Inspect, LockId, LockSpace,
-    Mode, NodeId, Observer, Priority, ProtocolConfig, ProtocolEvent, Ticket,
+    Mode, NodeId, Observer, Priority, ProtocolConfig, ProtocolEvent, ShardSpec, ShardedSpace,
+    Ticket,
 };
 use hlock_naimi::NaimiSpace;
 use hlock_raymond::RaymondSpace;
@@ -301,6 +302,22 @@ impl Checker<LockSpace> {
     }
 }
 
+impl Checker<ShardedSpace> {
+    /// A checker for the hierarchical protocol partitioned into `shards`
+    /// shards per node — the deterministic twin of the threaded sharded
+    /// runtime. Exhaustively verifies that hashing locks onto shards and
+    /// round-robin shard draining never reorder one lock's messages or
+    /// break mutual exclusion.
+    pub fn hierarchical_sharded(config: ProtocolConfig, shards: usize) -> Checker<ShardedSpace> {
+        let spec = ShardSpec::new(shards);
+        Checker::with_factory(move |nodes, locks| {
+            (0..nodes)
+                .map(|i| ShardedSpace::new(NodeId(i as u32), locks, NodeId(0), config, spec))
+                .collect()
+        })
+    }
+}
+
 impl Checker<SessionSpace<LockSpace>> {
     /// A checker for the hierarchical protocol wrapped in the reliable
     /// session layer. Use [`SessionConfig::for_model_checking`] (retry
@@ -480,7 +497,11 @@ where
                 label = format!("deliver {} {}→{}", batch_label(&f.messages), f.from, f.to);
                 for m in &f.messages {
                     let kind = m.kind();
-                    self.observe_with(|| ProtocolEvent::Delivered { node: f.to, from: f.from, kind });
+                    self.observe_with(|| ProtocolEvent::Delivered {
+                        node: f.to,
+                        from: f.from,
+                        kind,
+                    });
                 }
                 s.nodes[f.to.index()].on_message_batch(f.from, f.messages, &mut fx);
                 self.absorb(s, f.to, fx)?;
@@ -868,9 +889,8 @@ mod tests {
 
     #[test]
     fn unobserved_exploration_is_unperturbed_by_observer() {
-        let plain = Checker::hierarchical(ProtocolConfig::default())
-            .run(&two_writers())
-            .expect("safe");
+        let plain =
+            Checker::hierarchical(ProtocolConfig::default()).run(&two_writers()).expect("safe");
         let observed = Checker::hierarchical(ProtocolConfig::default())
             .with_observer(|_: u64, _: &ProtocolEvent| {})
             .run(&two_writers())

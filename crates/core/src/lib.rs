@@ -70,6 +70,7 @@ mod observe;
 mod protocol;
 mod queue;
 mod runtime;
+mod shard;
 mod space;
 
 pub use audit::{audit_lock, mean_tree_depth, tree_depths, AuditFinding};
@@ -87,9 +88,11 @@ pub use mode::{
 pub use node::LockNode;
 pub use observe::{
     check_span_balance, ChromeTraceObserver, JsonlObserver, MetricsRegistry, NullObserver,
-    Observer, ProtocolEvent, Reservoir, SpanId, VecObserver, DEFAULT_RESERVOIR_CAPACITY,
+    Observer, ProtocolEvent, Reservoir, ShardGauges, SpanId, VecObserver,
+    DEFAULT_RESERVOIR_CAPACITY,
 };
 pub use protocol::{CancelOutcome, ConcurrencyProtocol, Inspect};
 pub use queue::{QueueEntry, RequestQueue, Waiter};
 pub use runtime::{BatchHost, HostRuntime, RuntimeCounters};
+pub use shard::{ShardCounters, ShardSpec, ShardedSpace};
 pub use space::LockSpace;

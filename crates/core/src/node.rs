@@ -894,7 +894,13 @@ impl LockNode {
     }
 
     /// Copy grant (Rules 3.1 / 3.2): the requester becomes our child.
-    fn grant_copy(&mut self, origin: NodeId, mode: Mode, span: Ticket, fx: &mut EffectSink<Payload>) {
+    fn grant_copy(
+        &mut self,
+        origin: NodeId,
+        mode: Mode,
+        span: Ticket,
+        fx: &mut EffectSink<Payload>,
+    ) {
         let entry = self.children.entry(origin).or_insert(mode);
         *entry = stronger(Some(*entry), Some(mode)).expect("nonempty");
         // The new child inherits the modes it must consider frozen.
@@ -1081,12 +1087,20 @@ impl LockNode {
         if changed || !self.config.suppress_releases {
             if let Some(parent) = self.parent {
                 fx.send(parent, Payload::Release { new_owned: owned });
-                fx.emit_with(|| ProtocolEvent::ReleaseSent { node: self.id, lock: self.lock, new_owned: owned });
+                fx.emit_with(|| ProtocolEvent::ReleaseSent {
+                    node: self.id,
+                    lock: self.lock,
+                    new_owned: owned,
+                });
             }
             self.reported_owned = owned;
         } else if self.parent.is_some() {
             // Rule 5.2: the parent's view is still accurate — suppressed.
-            fx.emit_with(|| ProtocolEvent::ReleaseSuppressed { node: self.id, lock: self.lock, owned });
+            fx.emit_with(|| ProtocolEvent::ReleaseSuppressed {
+                node: self.id,
+                lock: self.lock,
+                owned,
+            });
         }
         // Weakened ownership shrinks the set of modes we could act on;
         // drop frozen bits outside it (nobody tracks or unfreezes them).
@@ -1189,7 +1203,12 @@ impl LockNode {
                     } else {
                         self.queue.pop_head();
                         self.forward_request(
-                            origin, head.mode, head.stamp, head.priority, head.span, fx,
+                            origin,
+                            head.mode,
+                            head.stamp,
+                            head.priority,
+                            head.span,
+                            fx,
                         );
                     }
                 }
@@ -1678,7 +1697,13 @@ mod tests {
         {
             b.on_message(
                 origin,
-                Payload::Request { origin, mode, stamp: Stamp(5), priority: Priority::NORMAL, span: Ticket(5) },
+                Payload::Request {
+                    origin,
+                    mode,
+                    stamp: Stamp(5),
+                    priority: Priority::NORMAL,
+                    span: Ticket(5),
+                },
                 &mut fx,
             );
         }

@@ -373,7 +373,13 @@ impl ProtocolEvent {
     /// Appends this event as one flat JSON object (no trailing newline).
     pub fn write_json(&self, at_micros: u64, out: &mut String) {
         use fmt::Write as _;
-        let _ = write!(out, "{{\"at\":{},\"event\":\"{}\",\"node\":{}", at_micros, self.name(), self.node().0);
+        let _ = write!(
+            out,
+            "{{\"at\":{},\"event\":\"{}\",\"node\":{}",
+            at_micros,
+            self.name(),
+            self.node().0
+        );
         let span_json = |out: &mut String, lock: &LockId, span: &SpanId| {
             let _ = write!(
                 out,
@@ -829,6 +835,22 @@ struct OpenSpan {
     hops: u64,
 }
 
+/// Per-shard runtime gauges snapshotted by sharded hosts via
+/// [`MetricsRegistry::record_shard`].
+///
+/// `queue_depth` is a last-observed gauge; `routed` and `parks` are
+/// cumulative counters maintained by the host (the deterministic
+/// [`crate::ShardedSpace`] or a parallel shard worker thread).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ShardGauges {
+    /// Last observed depth of the shard's inbound queue.
+    pub queue_depth: u64,
+    /// Messages routed into the shard since start.
+    pub routed: u64,
+    /// Times the shard's worker parked on an empty queue.
+    pub parks: u64,
+}
+
 /// An [`Observer`] that aggregates the event stream into Prometheus-text
 /// metrics: counters (messages by kind, releases suppressed vs. sent,
 /// grants by mode), last-observed gauges (local queue depth and copyset
@@ -860,6 +882,7 @@ pub struct MetricsRegistry {
     open_spans: HashMap<SpanId, OpenSpan>,
     freeze_since: HashMap<u32, u64>,
     runtime: RuntimeCounters,
+    shard_gauges: Vec<ShardGauges>,
 }
 
 impl MetricsRegistry {
@@ -872,6 +895,21 @@ impl MetricsRegistry {
     /// the previous snapshot — [`RuntimeCounters`] are cumulative).
     pub fn record_runtime(&mut self, counters: &RuntimeCounters) {
         self.runtime = *counters;
+    }
+
+    /// Snapshots one shard's gauges (replaces the previous snapshot for
+    /// that shard index — the values are cumulative on the host side).
+    pub fn record_shard(&mut self, shard: usize, gauges: ShardGauges) {
+        if self.shard_gauges.len() <= shard {
+            self.shard_gauges.resize(shard + 1, ShardGauges::default());
+        }
+        self.shard_gauges[shard] = gauges;
+    }
+
+    /// The recorded per-shard gauges, indexed by shard (empty when the
+    /// host is unsharded).
+    pub fn shard_gauges(&self) -> &[ShardGauges] {
+        &self.shard_gauges
     }
 
     /// Messages sent, by kind (indexed per [`MessageKind::ALL`]).
@@ -939,12 +977,15 @@ impl MetricsRegistry {
         if let Some(theirs) = &other.token_hops {
             self.token_hops.get_or_insert_with(Reservoir::default).merge(theirs);
         }
-        self.runtime.steps += other.runtime.steps;
-        self.runtime.logical_messages += other.runtime.logical_messages;
-        self.runtime.frames += other.runtime.frames;
-        self.runtime.grants += other.runtime.grants;
-        self.runtime.timers += other.runtime.timers;
-        self.runtime.max_batch = self.runtime.max_batch.max(other.runtime.max_batch);
+        self.runtime.absorb(&other.runtime);
+        if self.shard_gauges.len() < other.shard_gauges.len() {
+            self.shard_gauges.resize(other.shard_gauges.len(), ShardGauges::default());
+        }
+        for (mine, theirs) in self.shard_gauges.iter_mut().zip(&other.shard_gauges) {
+            mine.queue_depth = mine.queue_depth.max(theirs.queue_depth);
+            mine.routed += theirs.routed;
+            mine.parks += theirs.parks;
+        }
     }
 
     /// Renders the registry in the Prometheus text exposition format.
@@ -960,8 +1001,12 @@ impl MetricsRegistry {
 
         counter(&mut out, "hlock_messages_total", "Protocol messages sent, by kind.");
         for (i, k) in MessageKind::ALL.iter().enumerate() {
-            let _ =
-                writeln!(out, "hlock_messages_total{{kind=\"{}\"}} {}", k.label(), self.messages_by_kind[i]);
+            let _ = writeln!(
+                out,
+                "hlock_messages_total{{kind=\"{}\"}} {}",
+                k.label(),
+                self.messages_by_kind[i]
+            );
         }
         counter(&mut out, "hlock_delivered_total", "Messages delivered, by kind.");
         for (i, k) in MessageKind::ALL.iter().enumerate() {
@@ -1007,7 +1052,8 @@ impl MetricsRegistry {
         counter(&mut out, "hlock_audit_violations_total", "Quiescence audit findings.");
         let _ = writeln!(out, "hlock_audit_violations_total {}", self.audit_violations);
 
-        let _ = writeln!(out, "# HELP hlock_queue_depth Local request queue depth (last observed).");
+        let _ =
+            writeln!(out, "# HELP hlock_queue_depth Local request queue depth (last observed).");
         let _ = writeln!(out, "# TYPE hlock_queue_depth gauge");
         let mut nodes: Vec<&u32> = self.queue_depth.keys().collect();
         nodes.sort_unstable();
@@ -1069,10 +1115,14 @@ impl MetricsRegistry {
             );
         }
 
-        let _ = writeln!(out, "# HELP hlock_runtime_steps_total Effectful protocol steps dispatched.");
+        let _ =
+            writeln!(out, "# HELP hlock_runtime_steps_total Effectful protocol steps dispatched.");
         let _ = writeln!(out, "# TYPE hlock_runtime_steps_total counter");
         let _ = writeln!(out, "hlock_runtime_steps_total {}", self.runtime.steps);
-        let _ = writeln!(out, "# HELP hlock_runtime_logical_messages_total Logical messages dispatched.");
+        let _ = writeln!(
+            out,
+            "# HELP hlock_runtime_logical_messages_total Logical messages dispatched."
+        );
         let _ = writeln!(out, "# TYPE hlock_runtime_logical_messages_total counter");
         let _ =
             writeln!(out, "hlock_runtime_logical_messages_total {}", self.runtime.logical_messages);
@@ -1085,6 +1135,24 @@ impl MetricsRegistry {
         let _ = writeln!(out, "# HELP hlock_coalesce_ratio Logical messages per frame.");
         let _ = writeln!(out, "# TYPE hlock_coalesce_ratio gauge");
         let _ = writeln!(out, "hlock_coalesce_ratio {}", self.runtime.coalesce_ratio());
+        if !self.shard_gauges.is_empty() {
+            let _ = writeln!(
+                out,
+                "# HELP hlock_shard_queue_depth Shard inbound queue depth (last observed)."
+            );
+            let _ = writeln!(out, "# TYPE hlock_shard_queue_depth gauge");
+            for (s, g) in self.shard_gauges.iter().enumerate() {
+                let _ = writeln!(out, "hlock_shard_queue_depth{{shard=\"{s}\"}} {}", g.queue_depth);
+            }
+            counter(&mut out, "hlock_shard_routed_total", "Messages routed to each shard.");
+            for (s, g) in self.shard_gauges.iter().enumerate() {
+                let _ = writeln!(out, "hlock_shard_routed_total{{shard=\"{s}\"}} {}", g.routed);
+            }
+            counter(&mut out, "hlock_shard_parks_total", "Shard worker parks on an empty queue.");
+            for (s, g) in self.shard_gauges.iter().enumerate() {
+                let _ = writeln!(out, "hlock_shard_parks_total{{shard=\"{s}\"}} {}", g.parks);
+            }
+        }
         out
     }
 }
@@ -1152,8 +1220,7 @@ impl Observer for MetricsRegistry {
                 self.dropped_by_kind[kind_index(*kind)] += 1;
             }
             ProtocolEvent::TimerFired { .. } => self.timers_fired += 1,
-            ProtocolEvent::TokenReceived { .. }
-            | ProtocolEvent::Released { .. } => {}
+            ProtocolEvent::TokenReceived { .. } | ProtocolEvent::Released { .. } => {}
         }
     }
 }
@@ -1358,7 +1425,11 @@ mod tests {
         let mut reg = MetricsRegistry::new();
         reg.on_event(
             0,
-            &ProtocolEvent::MessageSent { node: NodeId(0), to: NodeId(1), kind: MessageKind::Request },
+            &ProtocolEvent::MessageSent {
+                node: NodeId(0),
+                to: NodeId(1),
+                kind: MessageKind::Request,
+            },
         );
         reg.on_event(
             0,
@@ -1391,13 +1462,34 @@ mod tests {
     }
 
     #[test]
+    fn shard_gauges_render_and_merge() {
+        let mut a = MetricsRegistry::new();
+        assert!(!a.render().contains("hlock_shard_queue_depth"), "unsharded hosts emit nothing");
+        a.record_shard(0, ShardGauges { queue_depth: 3, routed: 10, parks: 2 });
+        a.record_shard(1, ShardGauges { queue_depth: 1, routed: 4, parks: 0 });
+        let mut b = MetricsRegistry::new();
+        b.record_shard(1, ShardGauges { queue_depth: 7, routed: 6, parks: 5 });
+        a.merge(&b);
+        assert_eq!(a.shard_gauges()[0], ShardGauges { queue_depth: 3, routed: 10, parks: 2 });
+        assert_eq!(a.shard_gauges()[1], ShardGauges { queue_depth: 7, routed: 10, parks: 5 });
+        let text = a.render();
+        assert!(text.contains("hlock_shard_queue_depth{shard=\"0\"} 3"));
+        assert!(text.contains("hlock_shard_routed_total{shard=\"1\"} 10"));
+        assert!(text.contains("hlock_shard_parks_total{shard=\"1\"} 5"));
+    }
+
+    #[test]
     fn freeze_duration_measured_between_freeze_and_empty_unfreeze() {
         let mut reg = MetricsRegistry::new();
         let modes = ModeSet::from_modes([Mode::Read]);
         reg.on_event(100, &ProtocolEvent::ModeFrozen { node: NodeId(2), lock: LockId(0), modes });
         reg.on_event(
             250,
-            &ProtocolEvent::ModeUnfrozen { node: NodeId(2), lock: LockId(0), modes: ModeSet::EMPTY },
+            &ProtocolEvent::ModeUnfrozen {
+                node: NodeId(2),
+                lock: LockId(0),
+                modes: ModeSet::EMPTY,
+            },
         );
         let r = reg.freeze_duration.as_ref().unwrap();
         assert_eq!(r.count(), 1);

@@ -74,6 +74,19 @@ pub struct RuntimeCounters {
 }
 
 impl RuntimeCounters {
+    /// Folds another snapshot in field-wise (sums, `max_batch` takes the
+    /// max). Sharded hosts run one [`HostRuntime`] per shard worker and
+    /// absorb the per-shard snapshots into one node- or cluster-level
+    /// total.
+    pub fn absorb(&mut self, other: &RuntimeCounters) {
+        self.steps += other.steps;
+        self.logical_messages += other.logical_messages;
+        self.frames += other.frames;
+        self.grants += other.grants;
+        self.timers += other.timers;
+        self.max_batch = self.max_batch.max(other.max_batch);
+    }
+
     /// Logical messages per frame — 1.0 when nothing coalesced, higher
     /// when multi-message steps shared destinations.
     pub fn coalesce_ratio(&self) -> f64 {

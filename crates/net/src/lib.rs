@@ -31,6 +31,9 @@
 #![warn(rust_2018_idioms)]
 
 pub mod ccs;
+pub mod sharded;
+
+pub use sharded::{ShardedCluster, ShardedNodeHandle};
 
 use bytes::BytesMut;
 use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
@@ -472,8 +475,15 @@ where
         if self.running.swap(false, Ordering::SeqCst) {
             let _ = self.events.send(LoopEvent::Stop);
         }
-        let mut threads = self.threads.lock();
-        for t in threads.drain(..) {
+        // Take the handles *out* of the mutex before joining: reader
+        // threads can block up to their socket read timeout, and joining
+        // them under the lock would stall any concurrent `stop` (or a
+        // future `threads.lock()` on another code path) for that long.
+        let threads: Vec<JoinHandle<()>> = {
+            let mut guard = self.threads.lock();
+            guard.drain(..).collect()
+        };
+        for t in threads {
             let _ = t.join();
         }
     }
@@ -704,7 +714,15 @@ where
                             let _ = stream.set_nonblocking(false);
                             let tx = tx.clone();
                             let running = running.clone();
-                            std::thread::spawn(move || reader_loop::<P>(stream, tx, running));
+                            std::thread::spawn(move || {
+                                reader_loop::<P::Message>(
+                                    stream,
+                                    move |from, messages| {
+                                        tx.send(LoopEvent::Incoming(from, messages)).is_ok()
+                                    },
+                                    running,
+                                )
+                            });
                         }
                         Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
                             std::thread::sleep(Duration::from_millis(25));
@@ -862,12 +880,7 @@ fn serve_scrape(
     let mut total = RuntimeCounters::default();
     for mirror in mirrors {
         let c = *mirror.lock();
-        total.steps += c.steps;
-        total.logical_messages += c.logical_messages;
-        total.frames += c.frames;
-        total.grants += c.grants;
-        total.timers += c.timers;
-        total.max_batch = total.max_batch.max(c.max_batch);
+        total.absorb(&c);
     }
     let body = metrics.with(|r| {
         r.record_runtime(&total);
@@ -882,13 +895,17 @@ fn serve_scrape(
     let _ = stream.shutdown(Shutdown::Both);
 }
 
-fn reader_loop<P>(
+/// Decodes handshake + frames off one inbound socket, handing every
+/// complete frame to `sink`. The sink returns `false` to stop the reader
+/// (its downstream channel closed). Shared by the single-event-loop
+/// transport (sink = send [`LoopEvent::Incoming`]) and the sharded
+/// runtime (sink = send to the shard router).
+fn reader_loop<M>(
     mut stream: TcpStream,
-    tx: Sender<LoopEvent<P::Message>>,
+    sink: impl Fn(NodeId, Vec<M>) -> bool,
     running: Arc<AtomicBool>,
 ) where
-    P: ConcurrencyProtocol,
-    P::Message: WireCodec,
+    M: WireCodec,
 {
     let _ = stream.set_read_timeout(Some(Duration::from_millis(200)));
     let mut buf = BytesMut::new();
@@ -927,10 +944,10 @@ fn reader_loop<P>(
                 }
                 continue;
             }
-            match frame::read::<P::Message>(&mut buf) {
+            match frame::read::<M>(&mut buf) {
                 Ok(Some((from, messages))) => {
                     debug_assert_eq!(Some(from), peer);
-                    if tx.send(LoopEvent::Incoming(from, messages)).is_err() {
+                    if !sink(from, messages) {
                         return;
                     }
                 }
@@ -1468,9 +1485,7 @@ mod tests {
         let mut response = String::new();
         stream.read_to_string(&mut response).unwrap();
         assert!(response.starts_with("HTTP/1.0 200 OK"), "{response}");
-        for metric in
-            ["hlock_messages_total", "hlock_grants_total", "hlock_runtime_steps_total"]
-        {
+        for metric in ["hlock_messages_total", "hlock_grants_total", "hlock_runtime_steps_total"] {
             assert!(response.contains(metric), "missing {metric} in:\n{response}");
         }
 

@@ -2,7 +2,9 @@
 
 use crate::drivers::{HierarchicalDriver, NaimiPureDriver, NaimiSameWorkDriver};
 use crate::mix::WorkloadConfig;
-use hlock_core::{ConcurrencyProtocol, Inspect, LockSpace, NodeId, ProtocolConfig};
+use hlock_core::{
+    ConcurrencyProtocol, Inspect, LockSpace, NodeId, ProtocolConfig, ShardSpec, ShardedSpace,
+};
 use hlock_naimi::NaimiSpace;
 use hlock_raymond::RaymondSpace;
 use hlock_session::{SessionConfig, SessionSpace, SessionStats};
@@ -26,6 +28,11 @@ fn wire_frame_size<M: WireCodec>(messages: &[M]) -> u64 {
 pub enum ProtocolKind {
     /// The paper's hierarchical protocol with the given configuration.
     Hierarchical(ProtocolConfig),
+    /// The hierarchical protocol with each node's lock space partitioned
+    /// into the given number of shards ([`hlock_core::ShardedSpace`]).
+    /// Deterministic round-robin shard draining under virtual time — the
+    /// model-checkable twin of the threaded sharded runtime.
+    ShardedHierarchical(ProtocolConfig, usize),
     /// Naimi–Trehel performing the same work (one lock per entry, table
     /// ops acquire all of them in order).
     NaimiSameWork,
@@ -45,6 +52,7 @@ impl ProtocolKind {
     pub fn label(&self) -> &'static str {
         match self {
             ProtocolKind::Hierarchical(_) => "Our Protocol",
+            ProtocolKind::ShardedHierarchical(..) => "Our Protocol (sharded)",
             ProtocolKind::NaimiSameWork => "Naimi - Same work",
             ProtocolKind::NaimiPure => "Naimi - Pure",
             ProtocolKind::RaymondPure => "Raymond - Pure",
@@ -143,6 +151,19 @@ pub fn run_observed_experiment(
             let homes = token_homes(workload, nodes, lock_count);
             let spaces =
                 (0..nodes).map(|i| LockSpace::with_homes(NodeId(i as u32), &homes, cfg)).collect();
+            let sim_cfg =
+                SimConfig { seed, latency, lock_count, check_every, ..SimConfig::default() };
+            let sim = Sim::new(spaces, HierarchicalDriver::new(workload, nodes), sim_cfg)
+                .with_frame_sizer(wire_frame_size);
+            finish(sim, observer)
+        }
+        ProtocolKind::ShardedHierarchical(cfg, shards) => {
+            let lock_count = workload.hierarchical_lock_count();
+            let homes = token_homes(workload, nodes, lock_count);
+            let spec = ShardSpec::new(shards);
+            let spaces = (0..nodes)
+                .map(|i| ShardedSpace::with_homes(NodeId(i as u32), &homes, cfg, spec))
+                .collect();
             let sim_cfg =
                 SimConfig { seed, latency, lock_count, check_every, ..SimConfig::default() };
             let sim = Sim::new(spaces, HierarchicalDriver::new(workload, nodes), sim_cfg)

@@ -1,0 +1,147 @@
+#!/usr/bin/env python3
+"""CI perf gate: compare a fresh perf_baseline run against the committed
+BENCH_perf.json and fail on regressions.
+
+Usage:
+    perf_gate.py --baseline BENCH_perf.json --current BENCH_perf.current.json
+                 [--throughput-drop 0.15] [--p99-inflate 0.20]
+                 [--max-cell-drop 0.40] [--normalize]
+
+Per-cell numbers from a 2-second matrix run are noisy (a single unlucky
+scheduler episode can inflate one cell's p99 by 50%), so the gate applies
+the documented thresholds to *noise-robust aggregates* across the whole
+sharded matrix rather than to individual cells:
+
+- The geometric mean of sharded-row throughput must not drop by more
+  than ``--throughput-drop`` (default 15%).
+- The geometric mean of sharded-row p99 request-to-grant latency must
+  not inflate by more than ``--p99-inflate`` (default 20%).
+- No single sharded cell may lose more than ``--max-cell-drop``
+  (default 40%) of its throughput — the catastrophic-regression
+  backstop that aggregates could otherwise average away.
+- The current run's own 4-shard read-heavy throughput must stay at
+  least 1.5x its 1-shard row (the committed baseline records >=2x; CI
+  allows slack for small runners).
+
+Comparisons are raw by default: CI always benches on the same runner
+class, and the committed baseline must be refreshed from the bench-perf
+CI artifact (docs/PERFORMANCE.md), never from a developer machine. Pass
+``--normalize`` to divide each run by its own Naimi calibration row
+first when comparing runs from different machines.
+"""
+
+import argparse
+import json
+import math
+import sys
+
+
+def load(path):
+    with open(path) as f:
+        doc = json.load(f)
+    assert doc.get("schema") == "hlock-perf-baseline/v1", f"{path}: unknown schema"
+    return doc
+
+
+def key(entry):
+    return (entry["protocol"], entry["shards"], entry["mix"])
+
+
+def calibration(doc):
+    for e in doc["entries"]:
+        if e["protocol"] == "naimi":
+            return e
+    raise SystemExit("no naimi calibration row in run")
+
+
+def geomean(xs):
+    assert xs
+    return math.exp(sum(math.log(x) for x in xs) / len(xs))
+
+
+def main() -> int:
+    ap = argparse.ArgumentParser()
+    ap.add_argument("--baseline", required=True)
+    ap.add_argument("--current", required=True)
+    ap.add_argument("--throughput-drop", type=float, default=0.15)
+    ap.add_argument("--p99-inflate", type=float, default=0.20)
+    ap.add_argument("--max-cell-drop", type=float, default=0.40)
+    ap.add_argument("--normalize", action="store_true")
+    args = ap.parse_args()
+
+    base = load(args.baseline)
+    cur = load(args.current)
+    base_by_key = {key(e): e for e in base["entries"]}
+    cur_by_key = {key(e): e for e in cur["entries"]}
+
+    if args.normalize:
+        base_cal, cur_cal = calibration(base), calibration(cur)
+        base_tput_ref = base_cal["throughput_ops_per_sec"]
+        cur_tput_ref = cur_cal["throughput_ops_per_sec"]
+        base_p99_ref = float(base_cal["latency_micros"]["p99"])
+        cur_p99_ref = float(cur_cal["latency_micros"]["p99"])
+    else:
+        base_tput_ref = cur_tput_ref = 1.0
+        base_p99_ref = cur_p99_ref = 1.0
+
+    failures = []
+    b_tputs, c_tputs, b_p99s, c_p99s = [], [], [], []
+    for k, b in sorted(base_by_key.items()):
+        c = cur_by_key.get(k)
+        if c is None:
+            failures.append(f"{k}: entry missing from current run")
+            continue
+        if b["protocol"] != "sharded-hierarchical":
+            continue  # naimi/raymond rows are scale references, not gated
+        b_tput = b["throughput_ops_per_sec"] / base_tput_ref
+        c_tput = c["throughput_ops_per_sec"] / cur_tput_ref
+        b_tputs.append(b_tput)
+        c_tputs.append(c_tput)
+        b_p99s.append(max(1.0, b["latency_micros"]["p99"] / base_p99_ref))
+        c_p99s.append(max(1.0, c["latency_micros"]["p99"] / cur_p99_ref))
+        if c_tput < b_tput * (1.0 - args.max_cell_drop):
+            failures.append(
+                f"{k}: cell throughput collapsed {100 * (1 - c_tput / b_tput):.1f}% "
+                f"({b_tput:.0f} -> {c_tput:.0f})"
+            )
+
+    if b_tputs:
+        b_gm, c_gm = geomean(b_tputs), geomean(c_tputs)
+        print(f"throughput geomean: {b_gm:.0f} -> {c_gm:.0f} ({100 * (c_gm / b_gm - 1):+.1f}%)")
+        if c_gm < b_gm * (1.0 - args.throughput_drop):
+            failures.append(
+                f"matrix throughput geomean regressed {100 * (1 - c_gm / b_gm):.1f}% "
+                f"({b_gm:.0f} -> {c_gm:.0f})"
+            )
+        b_gm, c_gm = geomean(b_p99s), geomean(c_p99s)
+        print(f"p99 geomean: {b_gm:.1f} -> {c_gm:.1f} ({100 * (c_gm / b_gm - 1):+.1f}%)")
+        if c_gm > b_gm * (1.0 + args.p99_inflate):
+            failures.append(
+                f"matrix p99 geomean inflated {100 * (c_gm / b_gm - 1):.1f}% "
+                f"({b_gm:.1f} -> {c_gm:.1f})"
+            )
+
+    def tput(doc, shards, mix):
+        for e in doc["entries"]:
+            if e["protocol"] == "sharded-hierarchical" and e["shards"] == shards and e["mix"] == mix:
+                return e["throughput_ops_per_sec"]
+        raise SystemExit(f"missing sharded-hierarchical shards={shards} mix={mix} row")
+
+    speedup = tput(cur, 4, "read_heavy") / tput(cur, 1, "read_heavy")
+    print(f"current 4-shard read_heavy speedup: {speedup:.2f}x")
+    if speedup < 1.5:
+        failures.append(f"4-shard read_heavy speedup {speedup:.2f}x < 1.5x")
+
+    if failures:
+        print(f"PERF GATE FAILED ({len(failures)} regressions):")
+        for f in failures:
+            print(f"  - {f}")
+        print("If this change intentionally trades performance, refresh the")
+        print("baseline per docs/PERFORMANCE.md or apply the perf-exempt label.")
+        return 1
+    print(f"perf gate passed: {len(b_tputs)} sharded cells within thresholds")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,38 @@
+#!/usr/bin/env python3
+"""Validate an observability JSONL export: every line parses, every
+request span opens exactly once and closes at most once.
+
+Usage: validate_obs.py [path/to/events.jsonl]
+
+Used by the obs-smoke CI job against the stream `obs_smoke` writes; run
+it locally the same way after `cargo run --release -p hlock-bench --bin
+obs_smoke`.
+"""
+
+import json
+import sys
+
+
+def main() -> int:
+    path = sys.argv[1] if len(sys.argv) > 1 else "target/experiments/obs_smoke.jsonl"
+    opened: dict = {}
+    closed: dict = {}
+    with open(path) as f:
+        events = [json.loads(line) for line in f]
+    assert events, "empty event stream"
+    for e in events:
+        assert {"at", "event", "node"} <= e.keys(), e
+        span = (e.get("span_origin"), e.get("span_ticket"))
+        if e["event"] == "request_issued":
+            opened[span] = opened.get(span, 0) + 1
+        elif e["event"] in ("granted", "request_cancelled"):
+            closed[span] = closed.get(span, 0) + 1
+    assert all(n == 1 for n in opened.values()), "span opened twice"
+    assert all(n == 1 for n in closed.values()), "span closed twice"
+    assert set(closed) <= set(opened), "closed a span that never opened"
+    print(f"{len(events)} events, {len(opened)} spans, balanced")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -81,6 +81,59 @@ fn reservation_app_end_to_end() {
 }
 
 #[test]
+fn shutdown_joins_all_threads_within_bound() {
+    // `Cluster::shutdown` must join every reader thread without holding the
+    // thread registry lock (a reader blocked in `accept`/`read` would
+    // otherwise deadlock the join). Run the whole teardown on a helper
+    // thread and require it to finish well under the test timeout.
+    let cluster = Cluster::spawn_hierarchical(3, 2, ProtocolConfig::default()).unwrap();
+    let t = cluster.node(1).acquire(LockId(0), Mode::Write, TIMEOUT).unwrap();
+    cluster.node(1).release(LockId(0), t).unwrap();
+    let (done_tx, done_rx) = std::sync::mpsc::channel();
+    std::thread::spawn(move || {
+        cluster.shutdown();
+        let _ = done_tx.send(());
+    });
+    done_rx
+        .recv_timeout(Duration::from_secs(10))
+        .expect("shutdown did not join its reader threads within 10s");
+}
+
+#[test]
+fn sharded_cross_shard_progress_across_seeds() {
+    // Stress: across repeated seeds, a lock whose shard is jammed by a
+    // blocked writer must never stall traffic on a different shard.
+    use hlock::core::ShardSpec;
+    use hlock::net::ShardedCluster;
+    const SHARDS: usize = 4;
+    let spec = ShardSpec::new(SHARDS);
+    let hot = LockId(1);
+    let cold = (2..64)
+        .map(LockId)
+        .find(|l| spec.shard_of(*l) != spec.shard_of(hot))
+        .expect("a lock on another shard");
+    for seed in 0..5u64 {
+        let cluster =
+            ShardedCluster::spawn_hierarchical(2, 64, SHARDS, ProtocolConfig::default()).unwrap();
+        let hold = cluster.node(0).acquire(hot, Mode::Write, TIMEOUT).unwrap();
+        let blocked = cluster.node(1).request(hot, Mode::Write).unwrap();
+        let mut x = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
+        for _ in 0..20 {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            let mode = if x % 4 == 0 { Mode::Write } else { Mode::Read };
+            let t = cluster.node(1).acquire(cold, mode, TIMEOUT).unwrap();
+            cluster.node(1).release(cold, t).unwrap();
+        }
+        cluster.node(0).release(hot, hold).unwrap();
+        cluster.node(1).wait(hot, blocked, TIMEOUT).unwrap();
+        cluster.node(1).release(hot, blocked).unwrap();
+        cluster.shutdown();
+    }
+}
+
+#[test]
 fn message_stats_reported_per_kind() {
     let cluster = Cluster::spawn_hierarchical(3, 1, ProtocolConfig::default()).unwrap();
     let t = cluster.node(2).acquire(LockId(0), Mode::Write, TIMEOUT).unwrap();
