@@ -18,6 +18,21 @@
 //! release or upgrade only becomes enabled once its ticket is granted,
 //! so hold durations interleave arbitrarily with message deliveries.
 //!
+//! ## Crash schedules
+//!
+//! With a non-empty [`Checker::crash_candidates`] the adversary may
+//! crash-stop each candidate at **every** reachable point: the node's
+//! pending timers die, frames addressed to it are lost, and survivors'
+//! failure detectors report the dead set (a `suspect` step per
+//! survivor, kept enabled so no terminal state precedes full
+//! detection). Deliveries route through [`HostRuntime::deliver`] so
+//! epoch fencing behaves exactly as in the simulator and the TCP
+//! transport. Safety then means *never two live tokens for one lock*
+//! in any reachable state, and progress means every **surviving**
+//! requester is granted after recovery — crashed nodes' scripts are
+//! exempt. Only recovery-capable protocols (see
+//! [`Checker::hierarchical_recovery`]) pass; raw protocols deadlock.
+//!
 //! ```
 //! use hlock_check::{Action, Checker, Scenario};
 //! use hlock_core::{LockId, LockSpace, Mode, NodeId, ProtocolConfig, Ticket};
@@ -37,8 +52,8 @@
 
 use hlock_core::{
     BatchHost, Classify, ConcurrencyProtocol, EffectSink, HostRuntime, Inspect, LockId, LockSpace,
-    Mode, NodeId, Observer, Priority, ProtocolConfig, ProtocolEvent, ShardSpec, ShardedSpace,
-    Ticket,
+    Mode, NodeId, Observer, Priority, ProtocolConfig, ProtocolEvent, RecoverySpace, ShardSpec,
+    ShardedSpace, Ticket,
 };
 use hlock_naimi::NaimiSpace;
 use hlock_raymond::RaymondSpace;
@@ -228,6 +243,11 @@ struct State<P: ConcurrencyProtocol> {
     timers: Vec<Vec<u64>>,
     /// Messages lost so far (bounded by [`Checker::max_drops`]).
     drops_used: u32,
+    /// Crash-stopped nodes (never processes anything again).
+    crashed: Vec<bool>,
+    /// Per-node: has this survivor's failure detector reported the
+    /// *current* dead set? Reset on every new crash.
+    suspected: Vec<bool>,
 }
 
 /// The model checker, parameterized by protocol factory.
@@ -247,6 +267,13 @@ pub struct Checker<P: ConcurrencyProtocol> {
     /// drops duplicates at the receiver), where delivering a clone twice
     /// is equivalent to delivering it once; unsound for raw protocols.
     pub collapse_duplicate_inflight: bool,
+    /// Nodes the adversary may crash-stop, each at most once, at any
+    /// reachable point. Empty (the default) disables crash steps. With
+    /// candidates present every explored path eventually crashes them
+    /// all and suspects them at every survivor, so the terminal-state
+    /// liveness check ("every surviving requester granted") covers
+    /// recovery on every path.
+    pub crash_candidates: Vec<NodeId>,
     /// Optional event sink: when attached, every explored transition
     /// emits the same [`ProtocolEvent`] vocabulary as the simulator and
     /// the TCP transport (see [`Checker::with_observer`]).
@@ -267,6 +294,7 @@ impl<P: ConcurrencyProtocol> Checker<P> {
             max_states: 5_000_000,
             max_drops: 0,
             collapse_duplicate_inflight: false,
+            crash_candidates: Vec::new(),
             observer: None,
             steps: Cell::new(0),
         }
@@ -313,6 +341,51 @@ impl Checker<ShardedSpace> {
         Checker::with_factory(move |nodes, locks| {
             (0..nodes)
                 .map(|i| ShardedSpace::new(NodeId(i as u32), locks, NodeId(0), config, spec))
+                .collect()
+        })
+    }
+}
+
+impl Checker<RecoverySpace<LockSpace>> {
+    /// A checker for the hierarchical protocol wrapped in the crash
+    /// recovery layer. Pair with [`Checker::crash_candidates`] to let
+    /// the adversary kill token homes at every reachable point; the
+    /// survivors' epoch election must then regenerate lost tokens
+    /// without ever producing two live ones, and every surviving
+    /// scripted request must still be granted.
+    ///
+    /// Keep the cluster large enough that one crash leaves a majority
+    /// (≥ 3 nodes): a minority remainder correctly stalls its election
+    /// rather than regenerate a token a majority side might also own.
+    pub fn hierarchical_recovery(config: ProtocolConfig) -> Checker<RecoverySpace<LockSpace>> {
+        Checker::with_factory(move |nodes, locks| {
+            (0..nodes)
+                .map(|i| {
+                    RecoverySpace::new(NodeId(i as u32), locks, NodeId(0), nodes as u32, config)
+                })
+                .collect()
+        })
+    }
+}
+
+impl Checker<RecoverySpace<ShardedSpace>> {
+    /// A checker for the *sharded* hierarchical runtime wrapped in the
+    /// crash recovery layer — proves that a crash (and the recovery
+    /// round it triggers) cannot reorder or drop another shard's
+    /// in-flight grants.
+    pub fn hierarchical_sharded_recovery(
+        config: ProtocolConfig,
+        shards: usize,
+    ) -> Checker<RecoverySpace<ShardedSpace>> {
+        let spec = ShardSpec::new(shards);
+        Checker::with_factory(move |nodes, locks| {
+            (0..nodes)
+                .map(|i| {
+                    RecoverySpace::wrap(
+                        ShardedSpace::new(NodeId(i as u32), locks, NodeId(0), config, spec),
+                        (0..nodes as u32).map(NodeId),
+                    )
+                })
                 .collect()
         })
     }
@@ -396,6 +469,8 @@ where
             link_seq: 0,
             timers: vec![Vec::new(); scenario.nodes],
             drops_used: 0,
+            crashed: vec![false; scenario.nodes],
+            suspected: vec![false; scenario.nodes],
         };
         let mut visited: HashSet<u64> = HashSet::new();
         visited.insert(fingerprint(&initial));
@@ -462,8 +537,29 @@ where
                 steps.push(Step::Timer { node: NodeId(n as u32), token });
             }
         }
-        // Script actions.
+        // Adversarial crash-stop failures: each candidate may die at any
+        // reachable point, at most once.
+        for &c in &self.crash_candidates {
+            if !s.crashed[c.index()] {
+                steps.push(Step::Crash(c));
+            }
+        }
+        // Failure detection: once anything has crashed, every survivor's
+        // watchdog eventually reports the full dead set. The step stays
+        // enabled until delivered, so no terminal state precedes
+        // complete detection — recovery is forced on every path.
+        if s.crashed.iter().any(|&c| c) {
+            for n in 0..scenario.nodes {
+                if !s.crashed[n] && !s.suspected[n] {
+                    steps.push(Step::Suspect(NodeId(n as u32)));
+                }
+            }
+        }
+        // Script actions (crashed nodes execute nothing further).
         for n in 0..scenario.nodes {
+            if s.crashed[n] {
+                continue;
+            }
             let Some(action) = scenario.scripts[n].get(s.pc[n]) else { continue };
             let enabled = match *action {
                 Action::Request { .. } | Action::RequestWithPriority { .. } => true,
@@ -503,7 +599,10 @@ where
                         kind,
                     });
                 }
-                s.nodes[f.to.index()].on_message_batch(f.from, f.messages, &mut fx);
+                // Route through the shared runtime so stale-epoch frames
+                // are fenced exactly as in the simulator and on TCP.
+                let mut fencer: HostRuntime<P::Message> = HostRuntime::new();
+                fencer.deliver(&mut s.nodes[f.to.index()], f.from, f.messages, &mut fx);
                 self.absorb(s, f.to, fx)?;
             }
             Step::Drop(i) => {
@@ -516,6 +615,30 @@ where
                     let kind = m.kind();
                     self.observe_with(|| ProtocolEvent::Dropped { node: f.to, from: f.from, kind });
                 }
+            }
+            Step::Crash(node) => {
+                label = format!("{node} crashes");
+                s.crashed[node.index()] = true;
+                // Crash-stop: nothing addressed to the dead node is ever
+                // processed — discarding those frames now is equivalent
+                // and keeps the state space smaller. Its timers die too.
+                s.inflight.retain(|f| f.to != node);
+                s.timers[node.index()].clear();
+                // A new failure means every survivor's detector must
+                // (re-)report before any terminal state is reachable.
+                for v in s.suspected.iter_mut() {
+                    *v = false;
+                }
+            }
+            Step::Suspect(node) => {
+                let dead: Vec<NodeId> = (0..s.crashed.len())
+                    .filter(|&i| s.crashed[i])
+                    .map(|i| NodeId(i as u32))
+                    .collect();
+                label = format!("{node} suspects {dead:?}");
+                s.suspected[node.index()] = true;
+                s.nodes[node.index()].on_suspect(&dead, &mut fx);
+                self.absorb(s, node, fx)?;
             }
             Step::Timer { node, token } => {
                 label = format!("{node} timer {token:#x}");
@@ -623,6 +746,11 @@ where
     /// Safety in every state: pairwise-compatible holders, ≤ 1 token per
     /// lock (in nodes; plus in-flight tokens must keep the total at 1 —
     /// checked approximately as "held tokens + in-flight token messages ≥ 1").
+    ///
+    /// Only **live** nodes count: a crashed node's frozen state is dead
+    /// by definition, and the whole point of epoch fencing is that the
+    /// regenerated token can never coexist with a *live* copy of the
+    /// old one.
     fn check_safety(
         &self,
         scenario: &Scenario,
@@ -634,7 +762,10 @@ where
             let lock = LockId(l as u32);
             let mut held: Vec<(NodeId, Mode)> = Vec::new();
             let mut tokens = 0usize;
-            for n in &s.nodes {
+            for (i, n) in s.nodes.iter().enumerate() {
+                if s.crashed[i] {
+                    continue;
+                }
                 for m in n.held_modes(lock) {
                     held.push((n.node_id(), m));
                 }
@@ -643,7 +774,11 @@ where
                 }
             }
             if tokens > 1 {
-                return Err(self.err(format!("{tokens} token holders for {lock}"), trace, label));
+                return Err(self.err(
+                    format!("{tokens} live token holders for {lock}"),
+                    trace,
+                    label,
+                ));
             }
             for i in 0..held.len() {
                 for j in i + 1..held.len() {
@@ -673,7 +808,13 @@ where
             // Unreachable: deliveries are always enabled.
             return Err(self.err("terminal state with in-flight messages".into(), trace, "end"));
         }
+        let any_crashed = s.crashed.iter().any(|&c| c);
         for n in 0..scenario.nodes {
+            // A crashed node's remaining script is exempt — liveness is
+            // owed to survivors only.
+            if s.crashed[n] {
+                continue;
+            }
             if s.pc[n] != scenario.scripts[n].len() {
                 return Err(self.err(
                     format!(
@@ -694,21 +835,28 @@ where
                 ));
             }
         }
-        // Exactly one token per lock must exist somewhere at quiescence.
+        // Exactly one live token per lock must exist at quiescence —
+        // after a recovery that is the regenerated (or surviving) one.
         for l in 0..scenario.locks {
             let lock = LockId(l as u32);
-            let tokens = s.nodes.iter().filter(|n| n.holds_token(lock)).count();
+            let tokens = s
+                .nodes
+                .iter()
+                .enumerate()
+                .filter(|&(i, n)| !s.crashed[i] && n.holds_token(lock))
+                .count();
             if tokens != 1 {
                 return Err(self.err(
-                    format!("{tokens} tokens for {lock} at quiescence"),
+                    format!("{tokens} live tokens for {lock} at quiescence"),
                     trace,
                     "end",
                 ));
             }
-            // Deep structural audit (hierarchical protocol only).
+            // Deep structural audit (hierarchical protocol only; skipped
+            // after a crash — the dead node's frozen tree is garbage).
             let states: Vec<&hlock_core::LockNode> =
                 s.nodes.iter().filter_map(|n| n.lock_node(lock)).collect();
-            if states.len() == s.nodes.len() {
+            if !any_crashed && states.len() == s.nodes.len() {
                 let findings = hlock_core::audit_lock(states);
                 if let Some(first) = findings.first() {
                     // Surface every finding on the event stream before
@@ -750,6 +898,12 @@ where
 {
     fn on_batch(&mut self, to: NodeId, messages: Vec<P::Message>) {
         let node = self.node;
+        // A crash-stopped destination never processes anything: the
+        // frame would sit in a dead socket buffer, so it never enters
+        // the in-flight set at all.
+        if self.s.crashed[to.index()] {
+            return;
+        }
         if self.collapse_duplicate_inflight
             && self
                 .s
@@ -792,8 +946,15 @@ fn batch_label<M: Classify>(messages: &[M]) -> String {
 enum Step {
     Deliver(usize),
     Drop(usize),
-    Timer { node: NodeId, token: u64 },
+    Timer {
+        node: NodeId,
+        token: u64,
+    },
     Script(NodeId),
+    /// Crash-stop `node` permanently (adversarial schedule point).
+    Crash(NodeId),
+    /// `node`'s failure detector reports the current dead set.
+    Suspect(NodeId),
 }
 
 fn fingerprint<P>(s: &State<P>) -> u64
@@ -809,6 +970,8 @@ where
     s.cancelled.hash(&mut h);
     s.timers.hash(&mut h);
     s.drops_used.hash(&mut h);
+    s.crashed.hash(&mut h);
+    s.suspected.hash(&mut h);
     // In-flight frames as an (unordered) multiset: combine per-frame
     // hashes commutatively, keeping per-link order via seq normalization.
     let mut flight_hash: u64 = 0;
@@ -1060,6 +1223,8 @@ mod tests {
             link_seq: 0,
             timers: vec![Vec::new(); 2],
             drops_used: 0,
+            crashed: vec![false; 2],
+            suspected: vec![false; 2],
         };
         let mut fx = EffectSink::new();
         s.nodes[1]
@@ -1094,6 +1259,105 @@ mod tests {
             .run(&scenario)
             .expect("batched frames keep every interleaving safe and live");
         assert!(stats.terminals > 0);
+    }
+
+    #[test]
+    fn recovery_flat_crash_token_home_every_point() {
+        // Flat topology: one lock homed at n0, two surviving writers.
+        // The adversary kills n0 at every reachable point; in every
+        // state at most one live token may exist, and in every terminal
+        // state both survivors' scripts completed post-recovery.
+        use std::rc::Rc;
+        let scenario = two_writers();
+        let names: Rc<RefCell<Vec<&'static str>>> = Rc::default();
+        let sink = Rc::clone(&names);
+        let mut checker = Checker::hierarchical_recovery(ProtocolConfig::default())
+            .with_observer(move |_: u64, e: &ProtocolEvent| sink.borrow_mut().push(e.name()));
+        checker.crash_candidates = vec![NodeId(0)];
+        let stats = checker.run(&scenario).expect("recovery keeps every crash schedule safe");
+        assert!(stats.terminals > 0, "every path must reach a recovered terminal");
+        // Inverse assertions: the crash schedules actually exercised
+        // the election and at least one schedule lost the token.
+        let names = names.borrow();
+        for expected in ["recovery_started", "recovery_completed", "token_regenerated"] {
+            assert!(names.iter().any(|n| n == &expected), "missing {expected}");
+        }
+    }
+
+    #[test]
+    fn recovery_hierarchical_crash_token_home_every_point() {
+        // Hierarchical topology: intention locking on a parent/child
+        // pair, token home n0 crashed at every reachable point.
+        let scenario = Scenario::new(3, 2)
+            .script(
+                NodeId(1),
+                vec![
+                    Action::request(LockId(0), Mode::IntentWrite, Ticket(1)),
+                    Action::request(LockId(1), Mode::Write, Ticket(2)),
+                    Action::release(LockId(1), Ticket(2)),
+                    Action::release(LockId(0), Ticket(1)),
+                ],
+            )
+            .script(
+                NodeId(2),
+                vec![
+                    Action::request(LockId(0), Mode::IntentRead, Ticket(3)),
+                    Action::release(LockId(0), Ticket(3)),
+                ],
+            );
+        let mut checker = Checker::hierarchical_recovery(ProtocolConfig::default());
+        checker.crash_candidates = vec![NodeId(0)];
+        let stats =
+            checker.run(&scenario).expect("hierarchical scripts survive every crash schedule");
+        assert!(stats.terminals > 0);
+    }
+
+    #[test]
+    fn recovery_sharded_crash_preserves_other_shards() {
+        // Sharded topology: two locks hashed onto two shards; a crash
+        // during one shard's recovery must not drop or reorder the
+        // other shard's in-flight grants.
+        let scenario = Scenario::new(3, 2)
+            .script(
+                NodeId(1),
+                vec![
+                    Action::request(LockId(0), Mode::Write, Ticket(1)),
+                    Action::release(LockId(0), Ticket(1)),
+                ],
+            )
+            .script(
+                NodeId(2),
+                vec![
+                    Action::request(LockId(1), Mode::Write, Ticket(2)),
+                    Action::release(LockId(1), Ticket(2)),
+                ],
+            );
+        let mut checker = Checker::hierarchical_sharded_recovery(ProtocolConfig::default(), 2);
+        checker.crash_candidates = vec![NodeId(0)];
+        let stats = checker.run(&scenario).expect("sharded recovery safe on every schedule");
+        assert!(stats.terminals > 0);
+    }
+
+    #[test]
+    fn raw_protocol_deadlocks_under_crash() {
+        // The inverse: without the recovery wrapper the same crash
+        // schedule must produce a progress violation — the token dies
+        // with n0 and a survivor's request is never granted.
+        let scenario = Scenario::new(3, 1).script(
+            NodeId(1),
+            vec![
+                Action::request(LockId(0), Mode::Write, Ticket(1)),
+                Action::release(LockId(0), Ticket(1)),
+            ],
+        );
+        let mut checker = Checker::hierarchical(ProtocolConfig::default());
+        checker.crash_candidates = vec![NodeId(0)];
+        let err = checker.run(&scenario).expect_err("a dead token home must wedge raw protocols");
+        assert!(
+            err.message.contains("deadlock") || err.message.contains("token"),
+            "unexpected violation: {}",
+            err.message
+        );
     }
 
     #[test]

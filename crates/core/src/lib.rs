@@ -69,6 +69,7 @@ mod node;
 mod observe;
 mod protocol;
 mod queue;
+mod recovery;
 mod runtime;
 mod shard;
 mod space;
@@ -79,7 +80,9 @@ pub use effect::{Effect, EffectSink, StepEffect};
 pub use error::ProtocolError;
 pub use hierarchy::{HierarchyStep, LockPlan, PlanTracker};
 pub use ids::{LockId, NodeId, Priority, Stamp, Ticket};
-pub use message::{Classify, Envelope, MessageKind, Payload};
+pub use message::{
+    Classify, Envelope, LockReport, MessageKind, Payload, RecoveryBody, RecoveryEnvelope,
+};
 pub use mode::{
     can_downgrade, child_grant_table, compatibility_table, compatible_owned, freeze_table,
     frozen_modes, grantable, grantable_set, owned_strength, queue_forward_table, queue_or_forward,
@@ -93,6 +96,7 @@ pub use observe::{
 };
 pub use protocol::{CancelOutcome, ConcurrencyProtocol, Inspect};
 pub use queue::{QueueEntry, RequestQueue, Waiter};
+pub use recovery::{Recoverable, RecoverySpace, PROBE_TIMER_TOKEN};
 pub use runtime::{BatchHost, HostRuntime, RuntimeCounters};
 pub use shard::{ShardCounters, ShardSpec, ShardedSpace};
 pub use space::LockSpace;

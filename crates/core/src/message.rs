@@ -28,11 +28,14 @@ pub enum MessageKind {
     /// A standalone cumulative acknowledgement from the reliable session
     /// layer (`hlock-session`); carries no protocol payload.
     Ack,
+    /// A crash-recovery control message (`hlock-core`'s recovery layer):
+    /// survivor state reports, epoch installs, and stale-epoch nacks.
+    Recovery,
 }
 
 impl MessageKind {
     /// All kinds, in the order used by the Figure 7 breakdown.
-    pub const ALL: [MessageKind; 7] = [
+    pub const ALL: [MessageKind; 8] = [
         MessageKind::Request,
         MessageKind::Grant,
         MessageKind::Token,
@@ -40,6 +43,7 @@ impl MessageKind {
         MessageKind::Freeze,
         MessageKind::Update,
         MessageKind::Ack,
+        MessageKind::Recovery,
     ];
 
     /// Stable label used in benchmark output.
@@ -52,6 +56,7 @@ impl MessageKind {
             MessageKind::Freeze => "freeze",
             MessageKind::Update => "update",
             MessageKind::Ack => "ack",
+            MessageKind::Recovery => "recovery",
         }
     }
 }
@@ -66,6 +71,16 @@ impl fmt::Display for MessageKind {
 pub trait Classify {
     /// The kind of this message, for metrics.
     fn kind(&self) -> MessageKind;
+
+    /// The recovery epoch this message was sent at, if the protocol
+    /// stamps its traffic with epochs. [`crate::HostRuntime::deliver`]
+    /// fences messages whose epoch is older than the receiver's
+    /// [`crate::ConcurrencyProtocol::fence_epoch`], which is what makes
+    /// "never two live tokens" an invariant across recoveries rather
+    /// than luck. `None` (the default) disables fencing.
+    fn epoch(&self) -> Option<u64> {
+        None
+    }
 }
 
 /// One protocol message about a single lock.
@@ -163,6 +178,88 @@ impl fmt::Display for Envelope {
     }
 }
 
+/// One node's per-lock survivor state, reported to the recovery
+/// coordinator during an epoch election (`crate::RecoverySpace`).
+///
+/// Reports are indexed by dense [`LockId`]: the `i`-th entry of a
+/// report vector describes `LockId(i)`.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct LockReport {
+    /// Whether the reporter possesses this lock's token.
+    pub holds_token: bool,
+    /// The strongest mode the reporter currently holds (its post-recovery
+    /// owned mode as a direct child of the new token home), if any.
+    pub owned: Option<Mode>,
+}
+
+/// Body of a [`RecoveryEnvelope`].
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum RecoveryBody {
+    /// An ordinary protocol message, stamped with the sender's epoch so
+    /// stale traffic from before a recovery can be fenced at dispatch.
+    App(Envelope),
+    /// A survivor's state report to the election coordinator. The
+    /// envelope epoch is the *target* epoch being elected.
+    Report {
+        /// The suspected-dead set this report responds to.
+        dead: Vec<NodeId>,
+        /// Per-lock survivor state, indexed by dense lock id.
+        state: Vec<LockReport>,
+    },
+    /// The coordinator's decision, broadcast to all survivors: rebuild
+    /// at the envelope's (new) epoch. Trees flatten to depth one: every
+    /// survivor with an owned mode becomes a direct child of the lock's
+    /// new home.
+    Install {
+        /// Nodes considered live at the new epoch.
+        live: Vec<NodeId>,
+        /// Token home per lock, indexed by dense lock id.
+        homes: Vec<NodeId>,
+        /// Copyset per lock: surviving `(child, owned)` pairs.
+        copysets: Vec<Vec<(NodeId, Mode)>>,
+    },
+    /// "You are ahead of me" — sent by a node that received traffic from
+    /// a *newer* epoch than its own. The envelope carries the sender's
+    /// (stale) epoch, so the receiver fences it and re-teaches the
+    /// cached install, pulling the straggler into the current epoch.
+    Nack,
+}
+
+/// An epoch-stamped message: either wrapped application traffic or a
+/// recovery-control message. The message type of [`crate::RecoverySpace`].
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct RecoveryEnvelope {
+    /// The sender's epoch (for `App`/`Nack`) or the epoch being
+    /// elected/installed (for `Report`/`Install`).
+    pub epoch: u64,
+    /// The actual content.
+    pub body: RecoveryBody,
+}
+
+impl Classify for RecoveryEnvelope {
+    fn kind(&self) -> MessageKind {
+        match &self.body {
+            RecoveryBody::App(env) => env.kind(),
+            RecoveryBody::Report { .. } | RecoveryBody::Install { .. } | RecoveryBody::Nack => {
+                MessageKind::Recovery
+            }
+        }
+    }
+
+    fn epoch(&self) -> Option<u64> {
+        Some(self.epoch)
+    }
+}
+
+impl fmt::Display for RecoveryEnvelope {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.body {
+            RecoveryBody::App(env) => write!(f, "e{} {env}", self.epoch),
+            body => write!(f, "e{} {body:?}", self.epoch),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -200,6 +297,26 @@ mod tests {
         };
         assert_eq!(env.kind(), MessageKind::Release);
         assert!(env.to_string().contains("L2"));
+    }
+
+    #[test]
+    fn recovery_envelope_classifies_and_stamps_epoch() {
+        let app = RecoveryEnvelope {
+            epoch: 3,
+            body: RecoveryBody::App(Envelope {
+                lock: LockId(0),
+                payload: Payload::Release { new_owned: None },
+            }),
+        };
+        // App traffic keeps its inner kind so per-kind metrics still work.
+        assert_eq!(app.kind(), MessageKind::Release);
+        assert_eq!(app.epoch(), Some(3));
+        let ctl = RecoveryEnvelope { epoch: 4, body: RecoveryBody::Nack };
+        assert_eq!(ctl.kind(), MessageKind::Recovery);
+        assert_eq!(ctl.epoch(), Some(4));
+        // Plain envelopes are not epoch-stamped: fencing stays off.
+        let plain = Envelope { lock: LockId(0), payload: Payload::Release { new_owned: None } };
+        assert_eq!(plain.epoch(), None);
     }
 
     #[test]

@@ -125,6 +125,101 @@ impl LockNode {
         }
     }
 
+    /// Rebuilds the state machine from a recovery install (the
+    /// authoritative post-crash state computed by the epoch coordinator).
+    ///
+    /// The logical tree flattens to depth one: `home` is the token node
+    /// and every survivor with an owned mode is a direct child. `held`
+    /// is this node's surviving critical-section entries (empty for a
+    /// false-positive rejoiner whose grants were voided); `copyset` is
+    /// only consulted when this node *is* the new home. Queues, pending
+    /// requests and frozen sets start empty — outstanding requests are
+    /// re-issued by their origins after the rebuild. The Lamport `clock`
+    /// is preserved so stamps never move backwards across an epoch.
+    pub(crate) fn recovered(
+        id: NodeId,
+        lock: LockId,
+        config: ProtocolConfig,
+        home: NodeId,
+        copyset: &[(NodeId, Mode)],
+        held: Vec<(Ticket, Mode)>,
+        clock: Stamp,
+    ) -> Self {
+        let is_token = id == home;
+        let mut children = BTreeMap::new();
+        if is_token {
+            for &(child, mode) in copyset {
+                if child != id {
+                    children.insert(child, mode);
+                }
+            }
+        }
+        let reported_owned = if is_token {
+            None
+        } else {
+            held.iter().map(|&(_, m)| m).fold(None, |acc, m| stronger(acc, Some(m)))
+        };
+        LockNode {
+            id,
+            lock,
+            config,
+            is_token,
+            parent: if is_token { None } else { Some(home) },
+            children,
+            held,
+            pending: Vec::new(),
+            queue: RequestQueue::new(),
+            frozen: ModeSet::EMPTY,
+            child_frozen: BTreeMap::new(),
+            reported_owned,
+            cancelled: BTreeSet::new(),
+            clock,
+        }
+    }
+
+    /// This lock's survivor state as reported to a recovery coordinator:
+    /// token possession plus the strongest locally *held* mode. Children
+    /// are deliberately excluded — every survivor reports for itself, and
+    /// the rebuilt tree is flat.
+    pub(crate) fn survivor_report(&self) -> crate::message::LockReport {
+        let owned = self.held.iter().map(|&(_, m)| m).fold(None, |acc, m| stronger(acc, Some(m)));
+        crate::message::LockReport { holds_token: self.is_token, owned }
+    }
+
+    /// Outstanding work to re-issue after a rebuild: not-yet-granted
+    /// plain requests (in-flight or locally queued) as
+    /// `(ticket, mode, priority)`, plus tickets with a pending Rule-7
+    /// upgrade (they keep holding `U` while the `W` entry waits).
+    /// Cancelled in-flight requests are omitted: their spans are closed,
+    /// nobody awaits their grants, and their stale grants are fenced.
+    pub(crate) fn outstanding_snapshot(&self) -> (Vec<(Ticket, Mode, Priority)>, Vec<Ticket>) {
+        let mut requests: Vec<(Ticket, Mode, Priority)> = self
+            .pending
+            .iter()
+            .filter(|p| !self.cancelled.contains(&p.ticket))
+            .map(|p| (p.ticket, p.mode, p.priority))
+            .collect();
+        let mut upgrades = Vec::new();
+        for entry in self.queue.iter() {
+            match entry.waiter {
+                Waiter::Local(t) => requests.push((t, entry.mode, entry.priority)),
+                Waiter::LocalUpgrade(t) => upgrades.push(t),
+                Waiter::Remote(_) => {}
+            }
+        }
+        (requests, upgrades)
+    }
+
+    /// The current Lamport clock (preserved across recovery rebuilds).
+    pub(crate) fn clock(&self) -> Stamp {
+        self.clock
+    }
+
+    /// The protocol configuration this state machine was built with.
+    pub(crate) fn config(&self) -> ProtocolConfig {
+        self.config
+    }
+
     // ------------------------------------------------------------------
     // Introspection (used by hosts, invariant checkers and tests)
     // ------------------------------------------------------------------

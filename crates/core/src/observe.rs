@@ -289,6 +289,43 @@ pub enum ProtocolEvent {
         /// The protocol's correlation token.
         token: u64,
     },
+    /// The observing node started (or joined) a recovery round targeting
+    /// `epoch`, suspecting `dead` nodes of having crashed.
+    RecoveryStarted {
+        /// Observing node.
+        node: NodeId,
+        /// The epoch being elected.
+        epoch: u64,
+        /// How many nodes are suspected dead.
+        dead: usize,
+    },
+    /// The observing node installed the new epoch and resumed service.
+    RecoveryCompleted {
+        /// Observing node.
+        node: NodeId,
+        /// The installed epoch.
+        epoch: u64,
+    },
+    /// The recovery coordinator regenerated a token whose holder died
+    /// (no survivor reported holding it).
+    TokenRegenerated {
+        /// The coordinator (= the new token home).
+        node: NodeId,
+        /// The lock whose token was regenerated.
+        lock: LockId,
+        /// The epoch the regenerated token belongs to.
+        epoch: u64,
+    },
+    /// An incoming message carrying a stale epoch was fenced at dispatch
+    /// (emitted by [`crate::HostRuntime::deliver`]).
+    StaleEpochFenced {
+        /// Receiving (fencing) node.
+        node: NodeId,
+        /// The straggling sender.
+        from: NodeId,
+        /// The stale epoch the message carried.
+        epoch: u64,
+    },
 }
 
 impl ProtocolEvent {
@@ -316,6 +353,10 @@ impl ProtocolEvent {
             ProtocolEvent::Delivered { .. } => "delivered",
             ProtocolEvent::Dropped { .. } => "dropped",
             ProtocolEvent::TimerFired { .. } => "timer_fired",
+            ProtocolEvent::RecoveryStarted { .. } => "recovery_started",
+            ProtocolEvent::RecoveryCompleted { .. } => "recovery_completed",
+            ProtocolEvent::TokenRegenerated { .. } => "token_regenerated",
+            ProtocolEvent::StaleEpochFenced { .. } => "stale_epoch_fenced",
         }
     }
 
@@ -341,7 +382,11 @@ impl ProtocolEvent {
             | ProtocolEvent::MessageSent { node, .. }
             | ProtocolEvent::Delivered { node, .. }
             | ProtocolEvent::Dropped { node, .. }
-            | ProtocolEvent::TimerFired { node, .. } => *node,
+            | ProtocolEvent::TimerFired { node, .. }
+            | ProtocolEvent::RecoveryStarted { node, .. }
+            | ProtocolEvent::RecoveryCompleted { node, .. }
+            | ProtocolEvent::TokenRegenerated { node, .. }
+            | ProtocolEvent::StaleEpochFenced { node, .. } => *node,
         }
     }
 
@@ -478,6 +523,18 @@ impl ProtocolEvent {
             }
             ProtocolEvent::TimerFired { token, .. } => {
                 let _ = write!(out, ",\"token\":{token}");
+            }
+            ProtocolEvent::RecoveryStarted { epoch, dead, .. } => {
+                let _ = write!(out, ",\"epoch\":{epoch},\"dead\":{dead}");
+            }
+            ProtocolEvent::RecoveryCompleted { epoch, .. } => {
+                let _ = write!(out, ",\"epoch\":{epoch}");
+            }
+            ProtocolEvent::TokenRegenerated { lock, epoch, .. } => {
+                let _ = write!(out, ",\"lock\":{},\"epoch\":{epoch}", lock.0);
+            }
+            ProtocolEvent::StaleEpochFenced { from, epoch, .. } => {
+                let _ = write!(out, ",\"from\":{},\"epoch\":{epoch}", from.0);
             }
         }
         out.push('}');
@@ -820,6 +877,9 @@ impl Reservoir {
     }
 }
 
+/// Number of message kinds — sizes the per-kind counter arrays.
+const KIND_COUNT: usize = MessageKind::ALL.len();
+
 fn kind_index(kind: MessageKind) -> usize {
     MessageKind::ALL.iter().position(|k| *k == kind).unwrap_or(0)
 }
@@ -864,9 +924,9 @@ pub struct ShardGauges {
 /// combine with [`MetricsRegistry::merge`].
 #[derive(Debug, Clone, Default)]
 pub struct MetricsRegistry {
-    messages_by_kind: [u64; 7],
-    delivered_by_kind: [u64; 7],
-    dropped_by_kind: [u64; 7],
+    messages_by_kind: [u64; KIND_COUNT],
+    delivered_by_kind: [u64; KIND_COUNT],
+    dropped_by_kind: [u64; KIND_COUNT],
     releases_sent: u64,
     releases_suppressed: u64,
     grants_by_mode: [u64; 5],
@@ -874,13 +934,20 @@ pub struct MetricsRegistry {
     path_reversals: u64,
     timers_fired: u64,
     audit_violations: u64,
+    recoveries_started: u64,
+    recoveries_completed: u64,
+    recovery_epoch: u64,
+    token_regenerations: u64,
+    fenced: u64,
     queue_depth: HashMap<u32, u64>,
     copyset_size: HashMap<u32, u64>,
     latency_by_mode: [Option<Reservoir>; 5],
     freeze_duration: Option<Reservoir>,
     token_hops: Option<Reservoir>,
+    recovery_latency: Option<Reservoir>,
     open_spans: HashMap<SpanId, OpenSpan>,
     freeze_since: HashMap<u32, u64>,
+    recovery_since: HashMap<u32, u64>,
     runtime: RuntimeCounters,
     shard_gauges: Vec<ShardGauges>,
 }
@@ -913,8 +980,23 @@ impl MetricsRegistry {
     }
 
     /// Messages sent, by kind (indexed per [`MessageKind::ALL`]).
-    pub fn messages_by_kind(&self) -> &[u64; 7] {
+    pub fn messages_by_kind(&self) -> &[u64; KIND_COUNT] {
         &self.messages_by_kind
+    }
+
+    /// Recovery rounds started / completed, as observed across nodes.
+    pub fn recoveries(&self) -> (u64, u64) {
+        (self.recoveries_started, self.recoveries_completed)
+    }
+
+    /// The highest installed recovery epoch observed.
+    pub fn recovery_epoch(&self) -> u64 {
+        self.recovery_epoch
+    }
+
+    /// Messages fenced for carrying a stale epoch.
+    pub fn fenced_total(&self) -> u64 {
+        self.fenced
     }
 
     /// Releases suppressed by Rule 5.2.
@@ -946,7 +1028,7 @@ impl MetricsRegistry {
     /// Folds another registry in (counters add, gauges union by node,
     /// reservoirs merge, runtime counters add field-wise).
     pub fn merge(&mut self, other: &MetricsRegistry) {
-        for i in 0..7 {
+        for i in 0..KIND_COUNT {
             self.messages_by_kind[i] += other.messages_by_kind[i];
             self.delivered_by_kind[i] += other.delivered_by_kind[i];
             self.dropped_by_kind[i] += other.dropped_by_kind[i];
@@ -960,6 +1042,14 @@ impl MetricsRegistry {
         self.path_reversals += other.path_reversals;
         self.timers_fired += other.timers_fired;
         self.audit_violations += other.audit_violations;
+        self.recoveries_started += other.recoveries_started;
+        self.recoveries_completed += other.recoveries_completed;
+        self.recovery_epoch = self.recovery_epoch.max(other.recovery_epoch);
+        self.token_regenerations += other.token_regenerations;
+        self.fenced += other.fenced;
+        if let Some(theirs) = &other.recovery_latency {
+            self.recovery_latency.get_or_insert_with(Reservoir::default).merge(theirs);
+        }
         for (&n, &v) in &other.queue_depth {
             self.queue_depth.insert(n, v);
         }
@@ -1051,6 +1141,25 @@ impl MetricsRegistry {
         let _ = writeln!(out, "hlock_timers_fired_total {}", self.timers_fired);
         counter(&mut out, "hlock_audit_violations_total", "Quiescence audit findings.");
         let _ = writeln!(out, "hlock_audit_violations_total {}", self.audit_violations);
+        counter(&mut out, "hlock_recoveries_started_total", "Recovery rounds started.");
+        let _ = writeln!(out, "hlock_recoveries_started_total {}", self.recoveries_started);
+        counter(
+            &mut out,
+            "hlock_recoveries_completed_total",
+            "Recovery installs applied (epoch rebuilds completed).",
+        );
+        let _ = writeln!(out, "hlock_recoveries_completed_total {}", self.recoveries_completed);
+        counter(
+            &mut out,
+            "hlock_token_regenerations_total",
+            "Tokens regenerated because their holder died.",
+        );
+        let _ = writeln!(out, "hlock_token_regenerations_total {}", self.token_regenerations);
+        counter(&mut out, "hlock_fenced_total", "Incoming messages fenced for a stale epoch.");
+        let _ = writeln!(out, "hlock_fenced_total {}", self.fenced);
+        let _ = writeln!(out, "# HELP hlock_recovery_epoch Highest installed recovery epoch.");
+        let _ = writeln!(out, "# TYPE hlock_recovery_epoch gauge");
+        let _ = writeln!(out, "hlock_recovery_epoch {}", self.recovery_epoch);
 
         let _ =
             writeln!(out, "# HELP hlock_queue_depth Local request queue depth (last observed).");
@@ -1110,6 +1219,15 @@ impl MetricsRegistry {
                 &mut out,
                 "hlock_token_hops",
                 "Forward/transfer messages observed per granted request.",
+                "",
+                r,
+            );
+        }
+        if let Some(r) = &self.recovery_latency {
+            summary(
+                &mut out,
+                "hlock_recovery_latency_micros",
+                "Suspicion-to-install latency per node per recovery round.",
                 "",
                 r,
             );
@@ -1220,6 +1338,24 @@ impl Observer for MetricsRegistry {
                 self.dropped_by_kind[kind_index(*kind)] += 1;
             }
             ProtocolEvent::TimerFired { .. } => self.timers_fired += 1,
+            ProtocolEvent::RecoveryStarted { node, .. } => {
+                self.recoveries_started += 1;
+                self.recovery_since.entry(node.0).or_insert(at_micros);
+            }
+            ProtocolEvent::RecoveryCompleted { node, epoch } => {
+                self.recoveries_completed += 1;
+                self.recovery_epoch = self.recovery_epoch.max(*epoch);
+                if let Some(since) = self.recovery_since.remove(&node.0) {
+                    self.recovery_latency
+                        .get_or_insert_with(Reservoir::default)
+                        .record(at_micros.saturating_sub(since));
+                }
+            }
+            ProtocolEvent::TokenRegenerated { epoch, .. } => {
+                self.token_regenerations += 1;
+                self.recovery_epoch = self.recovery_epoch.max(*epoch);
+            }
+            ProtocolEvent::StaleEpochFenced { .. } => self.fenced += 1,
             ProtocolEvent::TokenReceived { .. } | ProtocolEvent::Released { .. } => {}
         }
     }
@@ -1494,6 +1630,32 @@ mod tests {
         let r = reg.freeze_duration.as_ref().unwrap();
         assert_eq!(r.count(), 1);
         assert_eq!(r.percentile(0.5), Some(150));
+    }
+
+    #[test]
+    fn registry_tracks_recovery_lifecycle() {
+        let mut reg = MetricsRegistry::new();
+        reg.on_event(100, &ProtocolEvent::RecoveryStarted { node: NodeId(1), epoch: 1, dead: 1 });
+        reg.on_event(
+            130,
+            &ProtocolEvent::TokenRegenerated { node: NodeId(1), lock: LockId(0), epoch: 1 },
+        );
+        reg.on_event(250, &ProtocolEvent::RecoveryCompleted { node: NodeId(1), epoch: 1 });
+        reg.on_event(
+            300,
+            &ProtocolEvent::StaleEpochFenced { node: NodeId(1), from: NodeId(2), epoch: 0 },
+        );
+        assert_eq!(reg.recoveries(), (1, 1));
+        assert_eq!(reg.recovery_epoch(), 1);
+        assert_eq!(reg.fenced_total(), 1);
+        let text = reg.render();
+        assert!(text.contains("hlock_recoveries_started_total 1"));
+        assert!(text.contains("hlock_recoveries_completed_total 1"));
+        assert!(text.contains("hlock_token_regenerations_total 1"));
+        assert!(text.contains("hlock_fenced_total 1"));
+        assert!(text.contains("hlock_recovery_epoch 1"));
+        assert!(text.contains("hlock_recovery_latency_micros_count 1"));
+        assert!(text.contains("hlock_recovery_latency_micros_sum 150"));
     }
 
     #[test]

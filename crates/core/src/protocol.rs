@@ -190,6 +190,32 @@ pub trait ConcurrencyProtocol {
     /// Whether this node has no protocol work in flight (no pending or
     /// queued requests). Used by hosts to detect system quiescence.
     fn is_quiescent(&self) -> bool;
+
+    /// The minimum epoch this node accepts: [`crate::HostRuntime::deliver`]
+    /// drops ("fences") any incoming message whose
+    /// [`Classify::epoch`](crate::Classify::epoch) is older. `None` (the
+    /// default) disables fencing — plain protocols are epoch-free.
+    fn fence_epoch(&self) -> Option<u64> {
+        None
+    }
+
+    /// A host's failure detector suspects `dead` of having crashed.
+    ///
+    /// Recovery-capable protocols start (or join) an epoch election and
+    /// return `true`; the default ignores the suspicion and returns
+    /// `false`, telling the host that a lost token stays lost.
+    fn on_suspect(&mut self, dead: &[NodeId], fx: &mut EffectSink<Self::Message>) -> bool {
+        let _ = (dead, fx);
+        false
+    }
+
+    /// A message from `from` stamped with stale `epoch` was fenced at
+    /// dispatch. Recovery-capable protocols re-teach the sender the
+    /// current epoch's install so stragglers (false-positive suspects,
+    /// healed pauses) rejoin instead of spinning on dead state.
+    fn on_stale_message(&mut self, from: NodeId, epoch: u64, fx: &mut EffectSink<Self::Message>) {
+        let _ = (from, epoch, fx);
+    }
 }
 
 /// Read-only introspection for invariant checking.
@@ -211,5 +237,13 @@ pub trait Inspect {
     fn lock_node(&self, lock: LockId) -> Option<&crate::LockNode> {
         let _ = lock;
         None
+    }
+
+    /// The recovery epoch this node's state belongs to (0 for epoch-free
+    /// protocols). Hosts compare states only within the newest live
+    /// epoch: a straggler still rebuilding from an older epoch carries
+    /// state the current epoch has already superseded.
+    fn epoch(&self) -> u64 {
+        0
     }
 }

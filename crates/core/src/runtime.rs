@@ -71,6 +71,9 @@ pub struct RuntimeCounters {
     pub timers: u64,
     /// Largest single batch seen, in messages.
     pub max_batch: u64,
+    /// Incoming messages dropped by epoch fencing in
+    /// [`HostRuntime::deliver`] (stale traffic from before a recovery).
+    pub fenced: u64,
 }
 
 impl RuntimeCounters {
@@ -85,6 +88,7 @@ impl RuntimeCounters {
         self.grants += other.grants;
         self.timers += other.timers;
         self.max_batch = self.max_batch.max(other.max_batch);
+        self.fenced += other.fenced;
     }
 
     /// Logical messages per frame — 1.0 when nothing coalesced, higher
@@ -207,6 +211,51 @@ impl<M> HostRuntime<M> {
                     host.on_set_timer(token, delay_micros);
                 }
             }
+        }
+    }
+
+    /// Delivers an incoming batch to `protocol`, fencing stale epochs.
+    ///
+    /// When the protocol exposes a
+    /// [`fence_epoch`](crate::ConcurrencyProtocol::fence_epoch), every
+    /// message stamped with an older [`Classify::epoch`] is dropped
+    /// before the protocol sees it: a [`ProtocolEvent::StaleEpochFenced`]
+    /// is emitted, [`RuntimeCounters::fenced`] is bumped, and the
+    /// protocol's `on_stale_message` hook runs (so it can re-teach the
+    /// straggler). The surviving messages are forwarded as one batch.
+    /// Epoch-free protocols (no fence) take a zero-copy fast path.
+    ///
+    /// All hosts route incoming traffic through this method so fencing
+    /// behaves identically in the simulator, the model checker and the
+    /// TCP transport.
+    pub fn deliver<P>(
+        &mut self,
+        protocol: &mut P,
+        from: NodeId,
+        messages: Vec<M>,
+        fx: &mut EffectSink<M>,
+    ) where
+        P: crate::ConcurrencyProtocol<Message = M>,
+        M: Classify + Clone,
+    {
+        let Some(fence) = protocol.fence_epoch() else {
+            protocol.on_message_batch(from, messages, fx);
+            return;
+        };
+        let mut live = Vec::with_capacity(messages.len());
+        for message in messages {
+            match message.epoch() {
+                Some(epoch) if epoch < fence => {
+                    self.counters.fenced += 1;
+                    let node = protocol.node_id();
+                    fx.emit_with(|| ProtocolEvent::StaleEpochFenced { node, from, epoch });
+                    protocol.on_stale_message(from, epoch, fx);
+                }
+                _ => live.push(message),
+            }
+        }
+        if !live.is_empty() {
+            protocol.on_message_batch(from, live, fx);
         }
     }
 

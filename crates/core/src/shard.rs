@@ -154,6 +154,28 @@ impl ShardedSpace {
         self.spec
     }
 
+    /// Number of locks managed (same across all shards).
+    pub fn lock_count(&self) -> usize {
+        self.shards[0].lock_count()
+    }
+
+    /// Rebuilds every shard from a recovery install, mirroring
+    /// [`LockSpace::rebuild_from_install`]. All shards rebuild their
+    /// full-width spaces; each shard only ever touches the locks that
+    /// hash to it, so the off-shard copies merely return to a clean
+    /// baseline consistent with the new epoch.
+    pub(crate) fn rebuild_from_install(
+        &mut self,
+        homes: &[NodeId],
+        copysets: &[Vec<(NodeId, Mode)>],
+        keep_held: bool,
+    ) {
+        debug_assert!(self.inboxes.iter().all(VecDeque::is_empty), "rebuild between steps only");
+        for shard in &mut self.shards {
+            shard.rebuild_from_install(homes, copysets, keep_held);
+        }
+    }
+
     /// Per-shard routing statistics, indexed by shard.
     pub fn shard_counters(&self) -> &[ShardCounters] {
         &self.counters

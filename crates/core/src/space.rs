@@ -104,6 +104,32 @@ impl LockSpace {
         Ok(())
     }
 
+    /// Replaces every per-lock state machine with its post-recovery
+    /// rebuild ([`LockNode::recovered`]): `homes[l]` is lock `l`'s new
+    /// token home and `copysets[l]` its surviving children. Local
+    /// critical-section entries survive when `keep_held` is true (this
+    /// node is in the install's live set) and are voided otherwise.
+    /// Lamport clocks carry over so stamps never regress across epochs.
+    pub(crate) fn rebuild_from_install(
+        &mut self,
+        homes: &[NodeId],
+        copysets: &[Vec<(NodeId, Mode)>],
+        keep_held: bool,
+    ) {
+        for (l, node) in self.locks.iter_mut().enumerate() {
+            let held = if keep_held { node.held().to_vec() } else { Vec::new() };
+            *node = LockNode::recovered(
+                self.id,
+                LockId(l as u32),
+                node.config(),
+                homes[l],
+                &copysets[l],
+                held,
+                node.clock(),
+            );
+        }
+    }
+
     /// Takes the scratch sink for one per-lock call, mirroring the outer
     /// sink's observing flag so [`crate::ProtocolEvent`]s are collected
     /// exactly when the host asked for them.

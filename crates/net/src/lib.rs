@@ -40,7 +40,7 @@ use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
 use hlock_core::{
     BatchHost, Classify, ConcurrencyProtocol, EffectSink, HostRuntime, LockId, LockSpace,
     MessageKind, MetricsRegistry, Mode, NodeId, Observer, Priority, ProtocolConfig, ProtocolEvent,
-    RuntimeCounters, Ticket,
+    RecoverySpace, RuntimeCounters, Ticket,
 };
 use hlock_naimi::NaimiSpace;
 use hlock_raymond::RaymondSpace;
@@ -142,6 +142,13 @@ enum LoopEvent<M> {
     },
     /// The outgoing link to `peer` was re-established after a failure.
     LinkUp(NodeId),
+    /// Failure detection: `dead` are suspected crashed. Recovery-capable
+    /// protocols start an epoch election; others ignore it. `done` is
+    /// `None` for transport-internal suspicion (repeated redial failure).
+    Suspect {
+        dead: Vec<NodeId>,
+        done: Option<Sender<()>>,
+    },
     /// Fault injection: shut down the outgoing socket to `peer`.
     Sever {
         peer: NodeId,
@@ -262,6 +269,9 @@ pub struct NodeHandle<P: ConcurrencyProtocol> {
     next_ticket: AtomicU64,
     running: Arc<AtomicBool>,
     threads: Mutex<Vec<JoinHandle<()>>>,
+    /// Outgoing sockets, shared with the event loop (used by
+    /// [`NodeHandle::kill`] to sever every link at once).
+    writers: Writers,
 }
 
 impl<P: ConcurrencyProtocol> fmt::Debug for NodeHandle<P> {
@@ -440,6 +450,38 @@ where
         rx.recv().map_err(|_| NetError::Closed)
     }
 
+    /// Reports `dead` to this node's protocol as suspected crashed, as a
+    /// failure detector would. Recovery-capable protocols (see
+    /// [`Cluster::spawn_hierarchical_recovery`]) start an epoch election
+    /// and rebuild without the dead nodes; plain protocols ignore it.
+    /// The transport also raises this signal itself when redialing a
+    /// peer keeps failing, so calling it manually is only needed to
+    /// accelerate tests or inject false suspicions.
+    ///
+    /// # Errors
+    ///
+    /// [`NetError::Closed`] if the node has shut down.
+    pub fn suspect(&self, dead: &[NodeId]) -> Result<(), NetError> {
+        let (tx, rx) = unbounded();
+        self.events
+            .send(LoopEvent::Suspect { dead: dead.to_vec(), done: Some(tx) })
+            .map_err(|_| NetError::Closed)?;
+        rx.recv().map_err(|_| NetError::Closed)
+    }
+
+    /// Fault injection: crash-stops this node. Every outgoing socket is
+    /// shut down first (so nothing half-written escapes and peers see a
+    /// dead link at once), then the event loop and reader threads halt.
+    /// Unlike a graceful shutdown, nothing is flushed or handed over —
+    /// the node's protocol state dies with it, which is exactly what a
+    /// recovery epoch election must tolerate.
+    pub fn kill(&self) {
+        for stream in self.writers.lock().values() {
+            let _ = stream.shutdown(Shutdown::Both);
+        }
+        self.stop();
+    }
+
     /// Whether this node's protocol has no work in flight (no pending or
     /// queued requests). Note: in-flight *messages* between nodes are not
     /// visible here; poll all nodes repeatedly for a stable answer.
@@ -571,6 +613,37 @@ impl Cluster<SessionSpace<LockSpace>> {
     ) -> Result<Cluster<SessionSpace<LockSpace>>, NetError> {
         Cluster::spawn(n, move |i| {
             SessionSpace::new(LockSpace::new(NodeId(i as u32), locks, NodeId(0), config), session)
+        })
+    }
+}
+
+impl Cluster<RecoverySpace<LockSpace>> {
+    /// Spawns `n` hierarchical nodes wrapped in the crash-recovery
+    /// layer: every frame is epoch-stamped, survivors of a crash elect a
+    /// new epoch (majority quorum) and regenerate lost tokens, and
+    /// stale traffic from before the recovery is fenced at dispatch.
+    ///
+    /// `probe_interval` arms the keepalive probe: while a node has
+    /// requests outstanding it periodically pings a peer with its
+    /// epoch, which (a) turns a dead token home into repeated redial
+    /// failures — the transport's failure detector — and (b) lets a
+    /// falsely-suspected straggler discover the new epoch and rejoin.
+    /// Keep it well above the mesh round-trip; ~250 ms is plenty for
+    /// localhost tests.
+    ///
+    /// # Errors
+    ///
+    /// Any socket error during setup.
+    pub fn spawn_hierarchical_recovery(
+        n: usize,
+        locks: usize,
+        config: ProtocolConfig,
+        probe_interval: Duration,
+    ) -> Result<Cluster<RecoverySpace<LockSpace>>, NetError> {
+        let micros = probe_interval.as_micros() as u64;
+        Cluster::spawn(n, move |i| {
+            RecoverySpace::new(NodeId(i as u32), locks, NodeId(0), n as u32, config)
+                .with_probe_interval(micros)
         })
     }
 }
@@ -768,6 +841,7 @@ where
             next_ticket: AtomicU64::new(1),
             running,
             threads: Mutex::new(threads),
+            writers,
         }))
     }
 
@@ -778,6 +852,17 @@ where
     /// Panics if `i` is out of range.
     pub fn node(&self, i: usize) -> &NodeHandle<P> {
         &self.nodes[i]
+    }
+
+    /// Fault injection: crash-stops node `i` (see [`NodeHandle::kill`]).
+    /// The rest of the cluster keeps running; on a recovery-wrapped
+    /// cluster the survivors elect a new epoch and finish their work.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn kill(&self, i: usize) {
+        self.nodes[i].kill();
     }
 
     /// Number of nodes.
@@ -1027,7 +1112,11 @@ fn event_loop<P>(
                         fx.emit_with(|| ProtocolEvent::Delivered { node: me, from, kind });
                     }
                 }
-                protocol.on_message_batch(from, messages, &mut fx);
+                // Route through the shared runtime so frames carrying a
+                // stale recovery epoch are fenced before the protocol
+                // sees them — identical semantics to the simulator and
+                // the model checker.
+                runtime.deliver(&mut protocol, from, messages, &mut fx);
             }
             Some(LoopEvent::Request { lock, mode, ticket, priority }) => {
                 let r = protocol.request_with_priority(lock, mode, ticket, priority, &mut fx);
@@ -1069,6 +1158,12 @@ fn event_loop<P>(
             }
             Some(LoopEvent::LinkUp(peer)) => {
                 protocol.on_link_reset(peer, &mut fx);
+            }
+            Some(LoopEvent::Suspect { dead, done }) => {
+                protocol.on_suspect(&dead, &mut fx);
+                if let Some(done) = done {
+                    let _ = done.send(());
+                }
             }
             Some(LoopEvent::Sever { peer, done }) => {
                 if let Some(stream) = writers.lock().get(&peer) {
@@ -1196,10 +1291,23 @@ fn write_frame(stream: &mut TcpStream, frame: &[u8]) -> std::io::Result<()> {
     Ok(())
 }
 
+/// Redial failures before the transport suspects the peer crashed (the
+/// doubling backoff makes this ≈ 0.6 s of continuous refusal). A severed
+/// link to a *live* peer reconnects on the first or second attempt; only
+/// a dead listener keeps refusing this long.
+const SUSPECT_AFTER_FAILURES: u32 = 5;
+
 /// Redials `peer` with exponential backoff (10 ms doubling to 1 s) until
 /// the node shuts down or the link is re-established, then replays the
 /// handshake, publishes the fresh socket and notifies the event loop so
 /// the protocol can resend anything unacknowledged.
+///
+/// This doubles as the transport's failure detector: after
+/// [`SUSPECT_AFTER_FAILURES`] consecutive failures the event loop is
+/// told to suspect the peer (once), which on recovery-wrapped clusters
+/// triggers the epoch election. Redialing continues regardless — a
+/// false suspicion heals when the peer comes back and is taught the new
+/// epoch via stale-traffic fencing.
 fn spawn_reconnect<M: Send + 'static>(
     me: NodeId,
     peer: NodeId,
@@ -1210,6 +1318,7 @@ fn spawn_reconnect<M: Send + 'static>(
 ) {
     std::thread::spawn(move || {
         let mut delay = Duration::from_millis(10);
+        let mut failures = 0u32;
         while running.load(Ordering::SeqCst) {
             std::thread::sleep(delay);
             match TcpStream::connect(addr) {
@@ -1228,7 +1337,13 @@ fn spawn_reconnect<M: Send + 'static>(
                     let _ = tx.send(LoopEvent::LinkUp(peer));
                     return;
                 }
-                Err(_) => delay = (delay * 2).min(Duration::from_secs(1)),
+                Err(_) => {
+                    failures += 1;
+                    if failures == SUSPECT_AFTER_FAILURES {
+                        let _ = tx.send(LoopEvent::Suspect { dead: vec![peer], done: None });
+                    }
+                    delay = (delay * 2).min(Duration::from_secs(1));
+                }
             }
         }
     });

@@ -94,11 +94,16 @@ impl<M: Classify> Classify for SessionFrame<M> {
 pub struct SessionConfig {
     /// Base retransmission timeout, in host microseconds.
     pub rto_micros: u64,
-    /// Ceiling of the exponential backoff, in host microseconds.
+    /// Ceiling of the exponential backoff, in host microseconds. No
+    /// armed retransmission delay ever exceeds this plus `jitter_micros`,
+    /// so backoff growth can never silently outlast a liveness-watchdog
+    /// window and mimic a crash.
     pub max_backoff_micros: u64,
     /// Uniform jitter added to every (re)transmission timer, in
     /// `[0, jitter_micros]` host microseconds. Zero disables jitter and
     /// makes the layer fully deterministic (required for model checking).
+    /// Must be at most `rto_micros`: jitter wider than the base RTO makes
+    /// the effective timeout distribution meaningless.
     pub jitter_micros: u64,
     /// Retransmission rounds without ack progress before a link is
     /// declared failed (`None` = retry forever).
@@ -148,6 +153,12 @@ impl SessionConfig {
             return Err(format!(
                 "max_backoff_micros ({}) must be >= rto_micros ({})",
                 self.max_backoff_micros, self.rto_micros
+            ));
+        }
+        if self.jitter_micros > self.rto_micros {
+            return Err(format!(
+                "jitter_micros ({}) must be <= rto_micros ({})",
+                self.jitter_micros, self.rto_micros
             ));
         }
         if self.recv_window == 0 {
@@ -767,6 +778,34 @@ mod tests {
         assert!(bad_backoff.validate().unwrap_err().contains("max_backoff"));
         let zero_window = SessionConfig { recv_window: 0, ..SessionConfig::default() };
         assert!(zero_window.validate().unwrap_err().contains("recv_window"));
+        let wild_jitter =
+            SessionConfig { rto_micros: 100, jitter_micros: 101, ..SessionConfig::default() };
+        assert!(wild_jitter.validate().unwrap_err().contains("jitter"));
+    }
+
+    #[test]
+    fn backoff_is_capped_with_bounded_jitter() {
+        // Regression: backoff growth must saturate at the configured
+        // ceiling (plus at most one jitter quantum) no matter how many
+        // retransmission rounds have elapsed — unbounded growth would
+        // eventually exceed a recovery watchdog window and make a slow
+        // link indistinguishable from a crash.
+        let cfg = SessionConfig::default();
+        let ceiling = cfg.max_backoff_micros + cfg.jitter_micros;
+        let mut s = SessionSpace::new(
+            LockSpace::new(NodeId(0), 1, NodeId(0), ProtocolConfig::default()),
+            cfg,
+        );
+        let mut prev = 0;
+        for attempts in 0..64 {
+            let d = s.backoff_delay(attempts);
+            assert!(d <= ceiling, "attempt {attempts}: delay {d} exceeds cap {ceiling}");
+            if attempts <= 4 {
+                // Early rounds genuinely back off (modulo jitter width).
+                assert!(d + s.config().jitter_micros >= prev, "backoff shrank early");
+            }
+            prev = d;
+        }
     }
 
     #[test]

@@ -22,7 +22,7 @@ use hlock_core::{
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::cmp::Reverse;
-use std::collections::{BinaryHeap, HashMap};
+use std::collections::{BTreeSet, BinaryHeap, HashMap};
 
 /// Simulation parameters.
 #[derive(Debug, Clone)]
@@ -63,6 +63,13 @@ pub struct SimConfig {
     /// Messages arriving at a paused node are lost; the node's timers
     /// freeze and fire after resume with their remaining delay intact.
     pub pauses: Vec<NodePause>,
+    /// Fault injection: permanent crash-stop schedules. From its crash
+    /// time on, a node receives nothing (arriving frames are dropped on
+    /// the floor), its timers are discarded, and it is excluded from the
+    /// watchdog, the end-of-run safety invariants and the quiescence
+    /// check. Messages it sent *before* crashing stay in flight — the
+    /// network does not retract them.
+    pub crashes: Vec<NodeCrash>,
     /// Liveness watchdog: if set, the run fails with a stuck-state
     /// report when requests are outstanding but no request or grant has
     /// happened for this long — instead of spinning silently until
@@ -85,6 +92,7 @@ impl Default for SimConfig {
             reorder_max_skew: Duration::ZERO,
             partitions: Vec::new(),
             pauses: Vec::new(),
+            crashes: Vec::new(),
             watchdog: None,
         }
     }
@@ -130,6 +138,13 @@ impl SimConfig {
                 ));
             }
         }
+        let mut crashed: Vec<NodeId> = Vec::new();
+        for c in &self.crashes {
+            if crashed.contains(&c.node) {
+                return Err(format!("node {} has more than one crash scheduled", c.node));
+            }
+            crashed.push(c.node);
+        }
         Ok(())
     }
 }
@@ -167,6 +182,22 @@ impl NodePause {
     /// Whether `node` is paused at `at`.
     pub fn covers(&self, node: NodeId, at: SimTime) -> bool {
         node == self.node && at >= self.from && at < self.until
+    }
+}
+
+/// A permanent crash-stop of one node (never resumes).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NodeCrash {
+    /// The crashing node.
+    pub node: NodeId,
+    /// Virtual time at which the node dies (inclusive).
+    pub at: SimTime,
+}
+
+impl NodeCrash {
+    /// Whether `node` is dead at `at`.
+    pub fn covers(&self, node: NodeId, at: SimTime) -> bool {
+        node == self.node && at >= self.at
     }
 }
 
@@ -342,6 +373,10 @@ pub struct Sim<P: ConcurrencyProtocol, D> {
     host_events: Vec<ProtocolEvent>,
     /// Virtual time of the last request or grant, for the watchdog.
     last_progress: SimTime,
+    /// The suspect set the watchdog last reported via
+    /// [`ConcurrencyProtocol::on_suspect`]; a wedged run fails only once
+    /// suspicion has been raised and a full window passed without progress.
+    last_suspects: BTreeSet<NodeId>,
 }
 
 impl<P, D> Sim<P, D>
@@ -385,6 +420,7 @@ where
             observing: false,
             host_events: Vec::new(),
             last_progress: SimTime::ZERO,
+            last_suspects: BTreeSet::new(),
         }
     }
 
@@ -466,7 +502,18 @@ where
             self.driver.start(node, &mut api);
             self.execute(node, api.commands)?;
         }
-        while let Some(Reverse(ev)) = self.events.pop() {
+        loop {
+            let Some(Reverse(ev)) = self.events.pop() else {
+                // Queue drained. If live requests are wedged behind a
+                // dead or paused node, raise suspicion — the recovery
+                // traffic refills the queue and the run continues.
+                if let Some(window) = self.config.watchdog {
+                    if self.has_live_outstanding() && self.raise_suspicion(window)? {
+                        continue;
+                    }
+                }
+                break;
+            };
             debug_assert!(ev.time >= self.now, "time must not go backwards");
             self.now = ev.time;
             if self.now > self.config.max_virtual_time {
@@ -476,13 +523,24 @@ where
                 )));
             }
             self.check_watchdog()?;
-            // Node pauses: a paused node loses arriving messages
-            // (crash-stop) but keeps its timers frozen — they fire after
-            // resume with their remaining delay intact.
             let event_node = match &ev.kind {
                 EventKind::Deliver { to, .. } => *to,
                 EventKind::Timer { node, .. } | EventKind::ProtocolTimer { node, .. } => *node,
             };
+            // Crash-stop: a dead node loses arriving messages and its
+            // timers are discarded outright — it never runs again.
+            if self.is_crashed(event_node, ev.time) {
+                if let EventKind::Deliver { from, to, messages } = ev.kind {
+                    for message in &messages {
+                        let kind = message.kind();
+                        self.observe_with(|| ProtocolEvent::Dropped { node: to, from, kind });
+                    }
+                }
+                continue;
+            }
+            // Node pauses: a paused node loses arriving messages
+            // (crash-stop) but keeps its timers frozen — they fire after
+            // resume with their remaining delay intact.
             if let Some(pause) =
                 self.config.pauses.iter().find(|p| p.covers(event_node, ev.time)).copied()
             {
@@ -508,7 +566,9 @@ where
                     }
                     let before = self.delivered;
                     self.delivered += messages.len() as u64;
-                    self.nodes[to.index()].on_message_batch(from, messages, &mut self.fx);
+                    // Delivery goes through the runtime so stale-epoch
+                    // messages are fenced before the protocol sees them.
+                    self.runtime.deliver(&mut self.nodes[to.index()], from, messages, &mut self.fx);
                     self.process_effects(to)?;
                     // `delivered` counts logical messages; a batch checks
                     // once when it crosses a `check_every` boundary.
@@ -543,7 +603,13 @@ where
             self.check_invariants()?;
             self.audit_quiescent()?;
         }
-        let quiescent = self.nodes.iter().all(|n| n.is_quiescent());
+        // A crashed node is out of the system; only survivors owe
+        // quiescence.
+        let quiescent = self
+            .nodes
+            .iter()
+            .filter(|n| !self.is_crashed(n.node_id(), self.now))
+            .all(|n| n.is_quiescent());
         Ok((
             SimReport {
                 metrics: self.metrics,
@@ -653,14 +719,33 @@ where
         self.events.push(Reverse(Event { time, seq: self.seq, kind }));
     }
 
-    /// Describes every wedged request (node, lock, ticket, mode, age),
-    /// or `None` when nothing is outstanding.
+    /// Whether `node` has crash-stopped at or before `at`.
+    fn is_crashed(&self, node: NodeId, at: SimTime) -> bool {
+        self.config.crashes.iter().any(|c| c.covers(node, at))
+    }
+
+    /// Whether `node` is currently inside a pause window.
+    fn is_paused(&self, node: NodeId) -> bool {
+        self.config.pauses.iter().any(|p| p.covers(node, self.now))
+    }
+
+    /// Whether any still-live node has a request outstanding.
+    fn has_live_outstanding(&self) -> bool {
+        self.outstanding.keys().any(|&(n, _, _)| !self.is_crashed(n, self.now))
+    }
+
+    /// Describes every wedged request from a still-live node (node, lock,
+    /// ticket, mode, age), or `None` when nothing live is outstanding.
+    /// A crashed node's requests die with it and are not wedged.
     fn stuck_report(&self) -> Option<String> {
-        if self.outstanding.is_empty() {
+        let mut entries: Vec<(&(NodeId, LockId, Ticket), &(SimTime, Mode))> = self
+            .outstanding
+            .iter()
+            .filter(|((n, _, _), _)| !self.is_crashed(*n, self.now))
+            .collect();
+        if entries.is_empty() {
             return None;
         }
-        let mut entries: Vec<(&(NodeId, LockId, Ticket), &(SimTime, Mode))> =
-            self.outstanding.iter().collect();
         entries.sort_by_key(|((n, l, t), _)| (n.0, l.0, t.0));
         let listed = entries
             .iter()
@@ -672,11 +757,19 @@ where
         Some(format!("{} outstanding: {listed}", entries.len()))
     }
 
-    /// Fails the run if the watchdog is armed, requests are outstanding,
-    /// and nothing has progressed for longer than the watchdog window.
-    fn check_watchdog(&self) -> Result<(), InvariantViolation> {
+    /// Acts when the watchdog window elapses with live requests
+    /// outstanding and no progress. If some node is dead or paused, the
+    /// watchdog first *suspects* it (via [`Sim::raise_suspicion`]) and
+    /// re-arms, giving a recovery-capable protocol one full window to
+    /// regenerate state and grant the survivors. Only when suspicion has
+    /// already been raised (or there is nobody to suspect) does the run
+    /// fail with a stuck-state report.
+    fn check_watchdog(&mut self) -> Result<(), InvariantViolation> {
         let Some(window) = self.config.watchdog else { return Ok(()) };
-        if self.outstanding.is_empty() || self.now - self.last_progress <= window {
+        if !self.has_live_outstanding() || self.now - self.last_progress <= window {
+            return Ok(());
+        }
+        if self.raise_suspicion(window)? {
             return Ok(());
         }
         let report = self.stuck_report().unwrap_or_default();
@@ -686,10 +779,58 @@ where
         )))
     }
 
+    /// Reports every node that was dead or paused at the virtual moment
+    /// the watchdog would have fired (`last_progress + window`) to the
+    /// live nodes via [`ConcurrencyProtocol::on_suspect`]. Evaluating
+    /// fault coverage at the *deadline* rather than the current event
+    /// time matters when virtual time jumps over a long fault window:
+    /// the watchdog of a real deployment would have fired inside it.
+    ///
+    /// Returns `true` if any node started recovering — the watchdog then
+    /// re-arms for a full window of recovery traffic. A suspect set that
+    /// was already reported is not reported again: if recovery itself
+    /// stalls, the run must fail rather than spin.
+    fn raise_suspicion(&mut self, window: Duration) -> Result<bool, InvariantViolation> {
+        let deadline = self.last_progress + window;
+        let suspects: BTreeSet<NodeId> = (0..self.nodes.len() as u32)
+            .map(NodeId)
+            .filter(|&n| {
+                self.is_crashed(n, deadline)
+                    || self.is_crashed(n, self.now)
+                    || self.config.pauses.iter().any(|p| p.covers(n, deadline))
+            })
+            .collect();
+        if suspects.is_empty() || suspects == self.last_suspects {
+            return Ok(false);
+        }
+        self.last_suspects = suspects.clone();
+        let dead: Vec<NodeId> = suspects.iter().copied().collect();
+        let mut recovering = false;
+        for i in 0..self.nodes.len() {
+            let node = NodeId(i as u32);
+            if suspects.contains(&node) || self.is_crashed(node, self.now) || self.is_paused(node) {
+                continue;
+            }
+            recovering |= self.nodes[i].on_suspect(&dead, &mut self.fx);
+            self.process_effects(node)?;
+        }
+        if recovering {
+            // Recovery traffic is in flight; give it a full window.
+            self.last_progress = self.now;
+        }
+        Ok(recovering)
+    }
+
     /// Global audit at quiescence: copyset/parent agreement, single
     /// accounting, acyclicity, dominance and drained frozen state (only
     /// for protocols exposing their lock nodes; see `hlock_core::audit`).
     fn audit_quiescent(&mut self) -> Result<(), InvariantViolation> {
+        if !self.config.crashes.is_empty() {
+            // A crashed node's frozen pre-crash state would trip the
+            // cross-node agreement checks; the epoch-scoped safety
+            // invariants in `check_invariants` cover crashed runs.
+            return Ok(());
+        }
         if !self.nodes.iter().all(|n| n.is_quiescent()) {
             return Ok(()); // a faulted run may legitimately be wedged
         }
@@ -726,12 +867,29 @@ where
 
     /// Global safety: for every lock, all concurrently held modes must be
     /// pairwise compatible and at most one node may hold the token.
+    ///
+    /// Safety is claimed over live nodes at the newest recovery epoch any
+    /// live node has installed: a crashed node is out of the system, and
+    /// a live node still at an older epoch is logically fenced — its
+    /// holds are expired leases that every current-epoch node will refuse
+    /// to honor (see `hlock_core::RecoverySpace`). Without recovery all
+    /// nodes report epoch 0 and this reduces to the plain global check.
     fn check_invariants(&self) -> Result<(), InvariantViolation> {
+        let max_epoch = self
+            .nodes
+            .iter()
+            .filter(|n| !self.is_crashed(n.node_id(), self.now))
+            .map(Inspect::epoch)
+            .max()
+            .unwrap_or(0);
         for l in 0..self.config.lock_count {
             let lock = LockId(l as u32);
             let mut held: Vec<(NodeId, Mode)> = Vec::new();
             let mut tokens = 0usize;
             for n in &self.nodes {
+                if self.is_crashed(n.node_id(), self.now) || n.epoch() != max_epoch {
+                    continue;
+                }
                 for m in n.held_modes(lock) {
                     held.push((n.node_id(), m));
                 }
@@ -915,6 +1073,35 @@ mod tests {
             ..SimConfig::default()
         };
         assert!(cfg.validate().unwrap_err().contains("island"));
+    }
+
+    #[test]
+    fn validate_rejects_double_crash() {
+        let cfg = SimConfig {
+            crashes: vec![
+                NodeCrash { node: NodeId(2), at: SimTime(5) },
+                NodeCrash { node: NodeId(2), at: SimTime(9) },
+            ],
+            ..SimConfig::default()
+        };
+        assert!(cfg.validate().unwrap_err().contains("more than one crash"));
+        let cfg = SimConfig {
+            crashes: vec![
+                NodeCrash { node: NodeId(2), at: SimTime(5) },
+                NodeCrash { node: NodeId(3), at: SimTime(5) },
+            ],
+            ..SimConfig::default()
+        };
+        assert!(cfg.validate().is_ok(), "distinct nodes may share a crash time");
+    }
+
+    #[test]
+    fn crash_covers_everything_after_its_time() {
+        let c = NodeCrash { node: NodeId(1), at: SimTime(10) };
+        assert!(!c.covers(NodeId(1), SimTime(9)));
+        assert!(c.covers(NodeId(1), SimTime(10)));
+        assert!(c.covers(NodeId(1), SimTime(u64::MAX)));
+        assert!(!c.covers(NodeId(0), SimTime(50)));
     }
 
     #[test]

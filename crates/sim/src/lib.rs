@@ -51,7 +51,7 @@ mod time;
 mod trace;
 
 pub use engine::{
-    Driver, InvariantViolation, NodePause, Partition, Sim, SimApi, SimConfig, SimReport,
+    Driver, InvariantViolation, NodeCrash, NodePause, Partition, Sim, SimApi, SimConfig, SimReport,
 };
 pub use latency::{sample_exponential, LatencyModel};
 pub use metrics::Metrics;
@@ -200,8 +200,7 @@ mod tests {
         let events: Rc<RefCell<Vec<(u64, ProtocolEvent)>>> = Rc::default();
         let sink = Rc::clone(&events);
         let cfg = ProtocolConfig::default();
-        let spaces =
-            (0..4).map(|i| LockSpace::new(NodeId(i), 1, NodeId(0), cfg)).collect();
+        let spaces = (0..4).map(|i| LockSpace::new(NodeId(i), 1, NodeId(0), cfg)).collect();
         let sim_cfg = SimConfig { seed: 5, check_every: 1, ..SimConfig::default() };
         let report = Sim::new(spaces, ExclusiveLoop::new(4, 3), sim_cfg)
             .with_observer(move |at: u64, e: &ProtocolEvent| {
@@ -231,8 +230,7 @@ mod tests {
         // Attaching an observer must not perturb the simulation itself.
         let plain = run_ours(5, 4, 21);
         let cfg = ProtocolConfig::default();
-        let spaces =
-            (0..5).map(|i| LockSpace::new(NodeId(i), 1, NodeId(0), cfg)).collect();
+        let spaces = (0..5).map(|i| LockSpace::new(NodeId(i), 1, NodeId(0), cfg)).collect();
         let sim_cfg = SimConfig { seed: 21, check_every: 1, ..SimConfig::default() };
         let observed = Sim::new(spaces, ExclusiveLoop::new(5, 4), sim_cfg)
             .with_observer(|_: u64, _: &ProtocolEvent| {})

@@ -234,9 +234,8 @@ impl Metrics {
             .into_iter()
             .filter_map(|m| {
                 self.latency.get(&m).and_then(|a| {
-                    (!a.is_empty()).then(|| {
-                        (m, Duration((a.sum() / u128::from(a.count())) as u64), a.count())
-                    })
+                    (!a.is_empty())
+                        .then(|| (m, Duration((a.sum() / u128::from(a.count())) as u64), a.count()))
                 })
             })
             .collect()

@@ -37,7 +37,8 @@ use bytes::{Buf, BufMut};
 // `bytes` dependency.
 pub use bytes::{Bytes, BytesMut};
 use hlock_core::{
-    Envelope, LockId, Mode, ModeSet, NodeId, Payload, Priority, QueueEntry, Stamp, Ticket, Waiter,
+    Envelope, LockId, LockReport, Mode, ModeSet, NodeId, Payload, Priority, QueueEntry,
+    RecoveryBody, RecoveryEnvelope, Stamp, Ticket, Waiter,
 };
 use hlock_naimi::{NaimiEnvelope, NaimiPayload};
 use hlock_raymond::{RaymondEnvelope, RaymondPayload};
@@ -302,6 +303,114 @@ impl WireCodec for Envelope {
             other => return Err(WireError::InvalidTag(other)),
         };
         Ok(Envelope { lock, payload })
+    }
+}
+
+const TAG_REC_APP: u8 = 0;
+const TAG_REC_REPORT: u8 = 1;
+const TAG_REC_INSTALL: u8 = 2;
+const TAG_REC_NACK: u8 = 3;
+
+/// Recovery envelopes prepend a varint epoch and one body tag to the
+/// existing [`Envelope`] codec, so fail-free traffic pays 2 extra bytes
+/// per message until the first recovery bumps the epoch past 127.
+impl WireCodec for RecoveryEnvelope {
+    fn encode(&self, buf: &mut BytesMut) {
+        put_varint(buf, self.epoch);
+        match &self.body {
+            RecoveryBody::App(envelope) => {
+                buf.put_u8(TAG_REC_APP);
+                envelope.encode(buf);
+            }
+            RecoveryBody::Report { dead, state } => {
+                buf.put_u8(TAG_REC_REPORT);
+                put_varint(buf, dead.len() as u64);
+                for n in dead {
+                    put_varint(buf, u64::from(n.0));
+                }
+                put_varint(buf, state.len() as u64);
+                for report in state {
+                    buf.put_u8(u8::from(report.holds_token));
+                    put_opt_mode(buf, report.owned);
+                }
+            }
+            RecoveryBody::Install { live, homes, copysets } => {
+                buf.put_u8(TAG_REC_INSTALL);
+                put_varint(buf, live.len() as u64);
+                for n in live {
+                    put_varint(buf, u64::from(n.0));
+                }
+                put_varint(buf, homes.len() as u64);
+                for n in homes {
+                    put_varint(buf, u64::from(n.0));
+                }
+                put_varint(buf, copysets.len() as u64);
+                for copyset in copysets {
+                    put_varint(buf, copyset.len() as u64);
+                    for &(n, m) in copyset {
+                        put_varint(buf, u64::from(n.0));
+                        put_mode(buf, m);
+                    }
+                }
+            }
+            RecoveryBody::Nack => buf.put_u8(TAG_REC_NACK),
+        }
+    }
+
+    fn decode(buf: &mut Bytes) -> Result<Self, WireError> {
+        let epoch = get_varint(buf)?;
+        if !buf.has_remaining() {
+            return Err(WireError::UnexpectedEof);
+        }
+        let body = match buf.get_u8() {
+            TAG_REC_APP => RecoveryBody::App(Envelope::decode(buf)?),
+            TAG_REC_REPORT => {
+                let n = get_varint(buf)? as usize;
+                let mut dead = Vec::with_capacity(n.min(4096));
+                for _ in 0..n {
+                    dead.push(NodeId(get_varint(buf)? as u32));
+                }
+                let n = get_varint(buf)? as usize;
+                let mut state = Vec::with_capacity(n.min(4096));
+                for _ in 0..n {
+                    if !buf.has_remaining() {
+                        return Err(WireError::UnexpectedEof);
+                    }
+                    let holds_token = buf.get_u8() != 0;
+                    let owned = get_opt_mode(buf)?;
+                    state.push(LockReport { holds_token, owned });
+                }
+                RecoveryBody::Report { dead, state }
+            }
+            TAG_REC_INSTALL => {
+                let n = get_varint(buf)? as usize;
+                let mut live = Vec::with_capacity(n.min(4096));
+                for _ in 0..n {
+                    live.push(NodeId(get_varint(buf)? as u32));
+                }
+                let n = get_varint(buf)? as usize;
+                let mut homes = Vec::with_capacity(n.min(4096));
+                for _ in 0..n {
+                    homes.push(NodeId(get_varint(buf)? as u32));
+                }
+                let n = get_varint(buf)? as usize;
+                let mut copysets = Vec::with_capacity(n.min(4096));
+                for _ in 0..n {
+                    let len = get_varint(buf)? as usize;
+                    let mut copyset = Vec::with_capacity(len.min(4096));
+                    for _ in 0..len {
+                        let node = NodeId(get_varint(buf)? as u32);
+                        let mode = get_mode(buf)?;
+                        copyset.push((node, mode));
+                    }
+                    copysets.push(copyset);
+                }
+                RecoveryBody::Install { live, homes, copysets }
+            }
+            TAG_REC_NACK => RecoveryBody::Nack,
+            other => return Err(WireError::InvalidTag(other)),
+        };
+        Ok(RecoveryEnvelope { epoch, body })
     }
 }
 
@@ -598,6 +707,63 @@ mod tests {
         for p in samples {
             roundtrip(&Envelope { lock: LockId(12), payload: p });
         }
+    }
+
+    #[test]
+    fn recovery_variants_roundtrip() {
+        let inner = Envelope {
+            lock: LockId(4),
+            payload: Payload::Request {
+                origin: NodeId(2),
+                mode: Mode::Upgrade,
+                stamp: Stamp(31),
+                priority: Priority::NORMAL,
+                span: Ticket(31),
+            },
+        };
+        roundtrip(&RecoveryEnvelope { epoch: 0, body: RecoveryBody::App(inner) });
+        roundtrip(&RecoveryEnvelope {
+            epoch: 7,
+            body: RecoveryBody::Report {
+                dead: vec![NodeId(0), NodeId(5)],
+                state: vec![
+                    LockReport { holds_token: true, owned: Some(Mode::Write) },
+                    LockReport { holds_token: false, owned: None },
+                    LockReport { holds_token: false, owned: Some(Mode::IntentRead) },
+                ],
+            },
+        });
+        roundtrip(&RecoveryEnvelope {
+            epoch: u64::MAX,
+            body: RecoveryBody::Install {
+                live: vec![NodeId(1), NodeId(2), NodeId(3)],
+                homes: vec![NodeId(1), NodeId(3)],
+                copysets: vec![
+                    vec![(NodeId(2), Mode::Read), (NodeId(3), Mode::IntentWrite)],
+                    vec![],
+                ],
+            },
+        });
+        roundtrip(&RecoveryEnvelope { epoch: 300, body: RecoveryBody::Nack });
+    }
+
+    #[test]
+    fn recovery_invalid_bytes_error_not_panic() {
+        let mut b = Bytes::from_static(&[0x00, 0x09]); // epoch 0, tag 9
+        assert_eq!(RecoveryEnvelope::decode(&mut b), Err(WireError::InvalidTag(9)));
+        let mut b = Bytes::from_static(&[0x00]); // epoch only, no tag
+        assert_eq!(RecoveryEnvelope::decode(&mut b), Err(WireError::UnexpectedEof));
+        // Report claiming one dead node but with no id bytes.
+        let mut b = Bytes::from_static(&[0x00, TAG_REC_REPORT, 0x01]);
+        assert_eq!(RecoveryEnvelope::decode(&mut b), Err(WireError::UnexpectedEof));
+        // Report with a lock state carrying an invalid owned mode.
+        let mut b = Bytes::from_static(&[0x02, TAG_REC_REPORT, 0x00, 0x01, 0x01, 0x09]);
+        assert_eq!(RecoveryEnvelope::decode(&mut b), Err(WireError::InvalidMode(9)));
+        // Install truncated inside the copyset list.
+        let mut b = Bytes::from_static(&[0x01, TAG_REC_INSTALL, 0x01, 0x02, 0x01, 0x00, 0x01]);
+        assert_eq!(RecoveryEnvelope::decode(&mut b), Err(WireError::UnexpectedEof));
+        let mut b = Bytes::from_static(&[]);
+        assert_eq!(RecoveryEnvelope::decode(&mut b), Err(WireError::UnexpectedEof));
     }
 
     #[test]

@@ -3,7 +3,8 @@
 use crate::drivers::{HierarchicalDriver, NaimiPureDriver, NaimiSameWorkDriver};
 use crate::mix::WorkloadConfig;
 use hlock_core::{
-    ConcurrencyProtocol, Inspect, LockSpace, NodeId, ProtocolConfig, ShardSpec, ShardedSpace,
+    ConcurrencyProtocol, Inspect, LockSpace, NodeId, ProtocolConfig, Recoverable, RecoverySpace,
+    ShardSpec, ShardedSpace,
 };
 use hlock_naimi::NaimiSpace;
 use hlock_raymond::RaymondSpace;
@@ -258,6 +259,115 @@ pub fn run_session_experiment(
         stats.merge(&space.stats());
     }
     Ok(SessionExperimentReport { report, session: stats })
+}
+
+/// Result of [`run_recovery_experiment`] (flat, the default `P`) or
+/// [`run_sharded_recovery_experiment`] (`P = ShardedSpace`): the
+/// simulator report plus the final recovery epoch and the surviving
+/// protocol states.
+#[derive(Debug)]
+pub struct RecoveryExperimentReport<P: Recoverable = LockSpace> {
+    /// Metrics, end time and quiescence from the simulator.
+    pub report: SimReport,
+    /// The highest recovery epoch any surviving node installed (0 means
+    /// no recovery round ran).
+    pub max_epoch: u64,
+    /// Final per-node states, for post-mortem inspection.
+    pub spaces: Vec<RecoverySpace<P>>,
+}
+
+/// Runs the airline workload on the hierarchical protocol wrapped in the
+/// crash-recovery layer, under the fault model carried by `sim` —
+/// typically with [`hlock_sim::NodeCrash`] schedules and the liveness
+/// watchdog armed, so that crash-stops of token homes are detected,
+/// survivors elect and install a new epoch, and every surviving request
+/// is still granted.
+///
+/// Like [`run_session_experiment`], the `seed` and `lock_count` fields
+/// of `sim` are overwritten; every other field is honoured.
+///
+/// # Errors
+///
+/// Propagates [`InvariantViolation`] from the simulator — either a
+/// protocol bug or, with `sim.watchdog` set, a liveness stall that
+/// recovery failed to clear.
+pub fn run_recovery_experiment(
+    cfg: ProtocolConfig,
+    nodes: usize,
+    workload: &WorkloadConfig,
+    sim: SimConfig,
+) -> Result<RecoveryExperimentReport, InvariantViolation> {
+    // Keepalive probes let a falsely-suspected node announce itself
+    // after resuming, so it gets fenced, taught the new epoch, and its
+    // outstanding requests are re-issued.
+    const PROBE_INTERVAL_MICROS: u64 = 5_000_000;
+    let lock_count = workload.hierarchical_lock_count();
+    let homes = token_homes(workload, nodes, lock_count);
+    let spaces: Vec<RecoverySpace<LockSpace>> = (0..nodes)
+        .map(|i| {
+            RecoverySpace::with_homes(NodeId(i as u32), &homes, nodes as u32, cfg)
+                .with_probe_interval(PROBE_INTERVAL_MICROS)
+        })
+        .collect();
+    let crashed: Vec<NodeId> = sim.crashes.iter().map(|c| c.node).collect();
+    let sim_cfg = SimConfig { seed: derive_seed(workload, nodes), lock_count, ..sim };
+    let (report, spaces) = Sim::new(spaces, HierarchicalDriver::new(workload, nodes), sim_cfg)
+        .with_frame_sizer(wire_frame_size)
+        .run_with_nodes()?;
+    let max_epoch = spaces
+        .iter()
+        .filter(|s| !crashed.contains(&s.node_id()))
+        .map(RecoverySpace::epoch)
+        .max()
+        .unwrap_or(0);
+    Ok(RecoveryExperimentReport { report, max_epoch, spaces })
+}
+
+/// Like [`run_recovery_experiment`], but on the sharded lock-space
+/// runtime: every node runs a [`ShardedSpace`] split into `shards`
+/// shards, wrapped in the crash-recovery layer. A crash (and the
+/// recovery round it triggers) lands on *one* epoch for the whole node,
+/// but grants on shards that never lost a token must neither be dropped
+/// nor reordered — the simulator's per-step invariant checks and the
+/// live-scoped quiescence audit enforce exactly that.
+///
+/// # Errors
+///
+/// Propagates [`InvariantViolation`] from the simulator — either a
+/// protocol bug or, with `sim.watchdog` set, a liveness stall that
+/// recovery failed to clear.
+pub fn run_sharded_recovery_experiment(
+    cfg: ProtocolConfig,
+    nodes: usize,
+    shards: usize,
+    workload: &WorkloadConfig,
+    sim: SimConfig,
+) -> Result<RecoveryExperimentReport<ShardedSpace>, InvariantViolation> {
+    const PROBE_INTERVAL_MICROS: u64 = 5_000_000;
+    let lock_count = workload.hierarchical_lock_count();
+    let homes = token_homes(workload, nodes, lock_count);
+    let spec = ShardSpec::new(shards);
+    let spaces: Vec<RecoverySpace<ShardedSpace>> = (0..nodes)
+        .map(|i| {
+            RecoverySpace::wrap(
+                ShardedSpace::with_homes(NodeId(i as u32), &homes, cfg, spec),
+                (0..nodes as u32).map(NodeId),
+            )
+            .with_probe_interval(PROBE_INTERVAL_MICROS)
+        })
+        .collect();
+    let crashed: Vec<NodeId> = sim.crashes.iter().map(|c| c.node).collect();
+    let sim_cfg = SimConfig { seed: derive_seed(workload, nodes), lock_count, ..sim };
+    let (report, spaces) = Sim::new(spaces, HierarchicalDriver::new(workload, nodes), sim_cfg)
+        .with_frame_sizer(wire_frame_size)
+        .run_with_nodes()?;
+    let max_epoch = spaces
+        .iter()
+        .filter(|s| !crashed.contains(&s.node_id()))
+        .map(RecoverySpace::epoch)
+        .max()
+        .unwrap_or(0);
+    Ok(RecoveryExperimentReport { report, max_epoch, spaces })
 }
 
 #[cfg(test)]

@@ -41,6 +41,10 @@ const VOCABULARY: &[&str] = &[
     "delivered",
     "dropped",
     "timer_fired",
+    "recovery_started",
+    "recovery_completed",
+    "token_regenerated",
+    "stale_epoch_fenced",
 ];
 
 /// One exclusive acquire→hold→release per node.
@@ -59,8 +63,9 @@ impl Driver for OneShotEach {
 fn sim_event_names() -> BTreeSet<String> {
     let names: Rc<RefCell<BTreeSet<String>>> = Rc::default();
     let sink = Rc::clone(&names);
-    let spaces =
-        (0..3).map(|i| LockSpace::new(NodeId(i), 1, NodeId(0), ProtocolConfig::default())).collect();
+    let spaces = (0..3)
+        .map(|i| LockSpace::new(NodeId(i), 1, NodeId(0), ProtocolConfig::default()))
+        .collect();
     let cfg = SimConfig { seed: 9, check_every: 1, ..SimConfig::default() };
     Sim::new(spaces, OneShotEach, cfg)
         .with_observer(move |_at: u64, e: &ProtocolEvent| {
@@ -75,8 +80,14 @@ fn checker_event_names() -> BTreeSet<String> {
     let names: Rc<RefCell<BTreeSet<String>>> = Rc::default();
     let sink = Rc::clone(&names);
     let scenario = Scenario::new(2, 1)
-        .script(NodeId(0), vec![Action::request(L, Mode::Write, Ticket(1)), Action::release(L, Ticket(1))])
-        .script(NodeId(1), vec![Action::request(L, Mode::Write, Ticket(2)), Action::release(L, Ticket(2))]);
+        .script(
+            NodeId(0),
+            vec![Action::request(L, Mode::Write, Ticket(1)), Action::release(L, Ticket(1))],
+        )
+        .script(
+            NodeId(1),
+            vec![Action::request(L, Mode::Write, Ticket(2)), Action::release(L, Ticket(2))],
+        );
     Checker::hierarchical(ProtocolConfig::default())
         .with_observer(move |_at: u64, e: &ProtocolEvent| {
             sink.borrow_mut().insert(e.name().to_string());
@@ -130,8 +141,9 @@ fn all_components_share_one_event_vocabulary() {
 fn spans_open_once_close_once_and_grants_match_requests() {
     let events: Rc<RefCell<Vec<ProtocolEvent>>> = Rc::default();
     let sink = Rc::clone(&events);
-    let spaces =
-        (0..4).map(|i| LockSpace::new(NodeId(i), 1, NodeId(0), ProtocolConfig::default())).collect();
+    let spaces = (0..4)
+        .map(|i| LockSpace::new(NodeId(i), 1, NodeId(0), ProtocolConfig::default()))
+        .collect();
     let cfg = SimConfig { seed: 3, check_every: 1, ..SimConfig::default() };
     let report = Sim::new(spaces, OneShotEach, cfg)
         .with_observer(move |_at: u64, e: &ProtocolEvent| sink.borrow_mut().push(e.clone()))

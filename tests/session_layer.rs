@@ -25,6 +25,9 @@ fn session_config_validation_rejects_nonsense() {
     assert!(backoff_below_rto.validate().unwrap_err().contains("max_backoff_micros"));
     let zero_window = SessionConfig { recv_window: 0, ..SessionConfig::default() };
     assert!(zero_window.validate().unwrap_err().contains("recv_window"));
+    let jitter_above_rto =
+        SessionConfig { rto_micros: 500, jitter_micros: 501, ..SessionConfig::default() };
+    assert!(jitter_above_rto.validate().unwrap_err().contains("jitter_micros"));
 }
 
 #[test]

@@ -144,3 +144,63 @@ fn message_stats_reported_per_kind() {
     assert!(stats[&MessageKind::Token] >= 1);
     cluster.shutdown();
 }
+
+#[test]
+fn recovery_cluster_survives_token_home_kill_mid_workload() {
+    use hlock::core::NodeId;
+    // Crash-stop the token home while survivors have requests in flight:
+    // the epoch election must regenerate the lost tokens and every
+    // surviving request must still complete.
+    let cluster = Cluster::spawn_hierarchical_recovery(
+        3,
+        2,
+        ProtocolConfig::default(),
+        Duration::from_millis(200),
+    )
+    .unwrap();
+    // Warm up: traffic flows through the original home (node 0).
+    let t = cluster.node(1).acquire(LockId(0), Mode::Write, TIMEOUT).unwrap();
+    cluster.node(1).release(LockId(0), t).unwrap();
+    // Both survivors have work outstanding when the home dies.
+    let r1 = cluster.node(1).request(LockId(0), Mode::Write).unwrap();
+    let r2 = cluster.node(2).request(LockId(1), Mode::Write).unwrap();
+    cluster.kill(0);
+    // The transport's redial failure detector would raise this on its
+    // own after a few backoff rounds; raising it directly keeps the
+    // test fast and deterministic.
+    cluster.node(1).suspect(&[NodeId(0)]).unwrap();
+    cluster.node(2).suspect(&[NodeId(0)]).unwrap();
+    // Survivors elect a new epoch, rebuild, and replay: both requests
+    // issued before the crash must be granted.
+    cluster.node(1).wait(r1, TIMEOUT).unwrap();
+    cluster.node(1).release(LockId(0), r1).unwrap();
+    cluster.node(2).wait(r2, TIMEOUT).unwrap();
+    cluster.node(2).release(LockId(1), r2).unwrap();
+    // Post-recovery the cluster keeps serializing conflicting traffic.
+    for i in [1usize, 2, 1, 2] {
+        let t = cluster.node(i).acquire(LockId(0), Mode::Write, TIMEOUT).unwrap();
+        cluster.node(i).release(LockId(0), t).unwrap();
+    }
+    cluster.shutdown();
+}
+
+#[test]
+fn recovery_transport_detects_dead_home_unaided() {
+    // Same crash, but nobody is told: the keepalive probes and the
+    // redial failure detector must discover the dead home by themselves.
+    let cluster = Cluster::spawn_hierarchical_recovery(
+        3,
+        1,
+        ProtocolConfig::default(),
+        Duration::from_millis(100),
+    )
+    .unwrap();
+    let t = cluster.node(1).acquire(LockId(0), Mode::Write, TIMEOUT).unwrap();
+    cluster.node(1).release(LockId(0), t).unwrap();
+    cluster.kill(0);
+    // The token died with node 0, so this acquire can only succeed once
+    // probing drives a full suspicion -> election -> regeneration round.
+    let t = cluster.node(2).acquire(LockId(0), Mode::Write, TIMEOUT).unwrap();
+    cluster.node(2).release(LockId(0), t).unwrap();
+    cluster.shutdown();
+}
