@@ -33,6 +33,14 @@
 //! exempt. Only recovery-capable protocols (see
 //! [`Checker::hierarchical_recovery`]) pass; raw protocols deadlock.
 //!
+//! [`Checker::false_suspect_candidates`] additionally lets the
+//! adversary's detectors name **live** nodes dead — the false-positive
+//! scenario epoch fencing exists for, including schedules where a
+//! coordinator that already installed an epoch is recovered around.
+//! Safety is then asserted per epoch (see
+//! [`Checker::max_false_suspects`]): never two live tokens for one
+//! lock *at the same epoch*.
+//!
 //! ```
 //! use hlock_check::{Action, Checker, Scenario};
 //! use hlock_core::{LockId, LockSpace, Mode, NodeId, ProtocolConfig, Ticket};
@@ -248,6 +256,9 @@ struct State<P: ConcurrencyProtocol> {
     /// Per-node: has this survivor's failure detector reported the
     /// *current* dead set? Reset on every new crash.
     suspected: Vec<bool>,
+    /// False suspicions spent so far (bounded by
+    /// [`Checker::max_false_suspects`]).
+    false_suspects_used: u32,
 }
 
 /// The model checker, parameterized by protocol factory.
@@ -274,6 +285,25 @@ pub struct Checker<P: ConcurrencyProtocol> {
     /// liveness check ("every surviving requester granted") covers
     /// recovery on every path.
     pub crash_candidates: Vec<NodeId>,
+    /// **Live** nodes the adversary's failure detectors may *falsely*
+    /// suspect (modelling a severed link or a pause past the watchdog
+    /// timeout), in addition to the actually-crashed set. A false
+    /// suspicion at one survivor spreads to the rest through report
+    /// merging, so a single step explores full recovered-around
+    /// schedules — including the one where a coordinator that already
+    /// installed an epoch is then suspected before its install lands.
+    /// Each suspicion spends one unit of [`Checker::max_false_suspects`].
+    pub false_suspect_candidates: Vec<NodeId>,
+    /// Budget of false suspicions per explored path (`0`, the default,
+    /// disables the step). With a positive budget the safety predicate
+    /// becomes **epoch-scoped**: a falsely-suspected node keeps running
+    /// at its stale epoch until fenced on contact, so its token and
+    /// grants are voided leases that may transiently coexist with the
+    /// new epoch's (the documented fencing model). The checker then
+    /// asserts "never two live tokens for one lock *at the same
+    /// epoch*" and compares held-mode compatibility within an epoch,
+    /// instead of the global counts used for crash-only schedules.
+    pub max_false_suspects: u32,
     /// Optional event sink: when attached, every explored transition
     /// emits the same [`ProtocolEvent`] vocabulary as the simulator and
     /// the TCP transport (see [`Checker::with_observer`]).
@@ -295,6 +325,8 @@ impl<P: ConcurrencyProtocol> Checker<P> {
             max_drops: 0,
             collapse_duplicate_inflight: false,
             crash_candidates: Vec::new(),
+            false_suspect_candidates: Vec::new(),
+            max_false_suspects: 0,
             observer: None,
             steps: Cell::new(0),
         }
@@ -471,6 +503,7 @@ where
             drops_used: 0,
             crashed: vec![false; scenario.nodes],
             suspected: vec![false; scenario.nodes],
+            false_suspects_used: 0,
         };
         let mut visited: HashSet<u64> = HashSet::new();
         visited.insert(fingerprint(&initial));
@@ -545,13 +578,40 @@ where
             }
         }
         // Failure detection: once anything has crashed, every survivor's
-        // watchdog eventually reports the full dead set. The step stays
-        // enabled until delivered, so no terminal state precedes
-        // complete detection — recovery is forced on every path.
+        // watchdog eventually reports the full dead set. For protocols
+        // with a failure detector the step stays enabled until the
+        // node's own dead view covers every crashed peer — so a heal
+        // triggered by a pre-crash in-flight message re-arms it, exactly
+        // as a real watchdog re-fires while requests stay outstanding.
+        // No terminal state precedes complete detection: recovery is
+        // forced on every path. Detector-less protocols fall back to
+        // the one-shot `suspected` flag (their on_suspect is a no-op,
+        // so introspection would re-enable the step forever).
         if s.crashed.iter().any(|&c| c) {
             for n in 0..scenario.nodes {
-                if !s.crashed[n] && !s.suspected[n] {
+                if s.crashed[n] || s.suspected[n] {
+                    continue;
+                }
+                let undetected = (0..scenario.nodes)
+                    .any(|c| s.crashed[c] && !s.nodes[n].suspects(NodeId(c as u32)));
+                if undetected {
                     steps.push(Step::Suspect(NodeId(n as u32)));
+                }
+            }
+        }
+        // Adversarial false suspicion: any live detector may, within the
+        // budget, name a live candidate dead alongside the real crashed
+        // set — the trigger for epoch fencing and for the
+        // concurrent-coordinator election schedules.
+        if s.false_suspects_used < self.max_false_suspects {
+            for &victim in &self.false_suspect_candidates {
+                if s.crashed[victim.index()] {
+                    continue;
+                }
+                for n in 0..scenario.nodes {
+                    if !s.crashed[n] && NodeId(n as u32) != victim {
+                        steps.push(Step::FalseSuspect { at: NodeId(n as u32), victim });
+                    }
                 }
             }
         }
@@ -636,9 +696,24 @@ where
                     .map(|i| NodeId(i as u32))
                     .collect();
                 label = format!("{node} suspects {dead:?}");
-                s.suspected[node.index()] = true;
-                s.nodes[node.index()].on_suspect(&dead, &mut fx);
+                // A detector-backed protocol (on_suspect handled) is
+                // re-armed through `Inspect::suspects` introspection in
+                // `enabled_steps`; only detector-less protocols latch
+                // the one-shot flag here.
+                let handled = s.nodes[node.index()].on_suspect(&dead, &mut fx);
+                s.suspected[node.index()] = !handled;
                 self.absorb(s, node, fx)?;
+            }
+            Step::FalseSuspect { at, victim } => {
+                let mut dead: Vec<NodeId> = (0..s.crashed.len())
+                    .filter(|&i| s.crashed[i])
+                    .map(|i| NodeId(i as u32))
+                    .collect();
+                dead.push(victim);
+                label = format!("{at} falsely suspects {victim}");
+                s.false_suspects_used += 1;
+                s.nodes[at.index()].on_suspect(&dead, &mut fx);
+                self.absorb(s, at, fx)?;
             }
             Step::Timer { node, token } => {
                 label = format!("{node} timer {token:#x}");
@@ -758,32 +833,48 @@ where
         trace: &[String],
         label: &str,
     ) -> Result<(), CheckError> {
+        // With false suspicion enabled, a recovered-around node keeps
+        // running at its stale epoch until fenced on contact: its token
+        // and grants are voided leases that may transiently coexist
+        // with the new epoch's, so uniqueness and compatibility are
+        // asserted per epoch (installs are totally ordered, one per
+        // epoch). Crash-only schedules keep the stricter global counts.
+        let epoch_scoped = self.max_false_suspects > 0;
         for l in 0..scenario.locks {
             let lock = LockId(l as u32);
-            let mut held: Vec<(NodeId, Mode)> = Vec::new();
-            let mut tokens = 0usize;
+            let mut held: Vec<(NodeId, Mode, u64)> = Vec::new();
+            let mut token_epochs: Vec<u64> = Vec::new();
             for (i, n) in s.nodes.iter().enumerate() {
                 if s.crashed[i] {
                     continue;
                 }
+                let epoch = n.epoch();
                 for m in n.held_modes(lock) {
-                    held.push((n.node_id(), m));
+                    held.push((n.node_id(), m, epoch));
                 }
                 if n.holds_token(lock) {
-                    tokens += 1;
+                    token_epochs.push(epoch);
                 }
             }
-            if tokens > 1 {
+            token_epochs.sort_unstable();
+            let same_epoch_tokens = token_epochs.windows(2).any(|w| w[0] == w[1]);
+            if same_epoch_tokens || (!epoch_scoped && token_epochs.len() > 1) {
                 return Err(self.err(
-                    format!("{tokens} live token holders for {lock}"),
+                    format!(
+                        "{} live token holders for {lock} (epochs {token_epochs:?})",
+                        token_epochs.len()
+                    ),
                     trace,
                     label,
                 ));
             }
             for i in 0..held.len() {
                 for j in i + 1..held.len() {
-                    let (na, ma) = held[i];
-                    let (nb, mb) = held[j];
+                    let (na, ma, ea) = held[i];
+                    let (nb, mb, eb) = held[j];
+                    if epoch_scoped && ea != eb {
+                        continue; // a stale-epoch grant is a voided lease
+                    }
                     if na != nb && !ma.compatible(mb) {
                         return Err(self.err(
                             format!("incompatible holders on {lock}: {na}:{ma} vs {nb}:{mb}"),
@@ -809,6 +900,32 @@ where
             return Err(self.err("terminal state with in-flight messages".into(), trace, "end"));
         }
         let any_crashed = s.crashed.iter().any(|&c| c);
+        // Per-node failure-detector/epoch summary, appended to liveness
+        // failures so stuck-election states are diagnosable from the
+        // error alone.
+        let diag = || {
+            (0..scenario.nodes)
+                .map(|n| {
+                    if s.crashed[n] {
+                        return format!("n{n}: crashed");
+                    }
+                    let node = &s.nodes[n];
+                    let suspects: Vec<u32> =
+                        (0..scenario.nodes as u32).filter(|&p| node.suspects(NodeId(p))).collect();
+                    format!(
+                        "n{n}: epoch {}{}{}",
+                        node.epoch(),
+                        if node.frozen() { ", frozen" } else { "" },
+                        if suspects.is_empty() {
+                            String::new()
+                        } else {
+                            format!(", suspects {suspects:?}")
+                        }
+                    )
+                })
+                .collect::<Vec<_>>()
+                .join("; ")
+        };
         for n in 0..scenario.nodes {
             // A crashed node's remaining script is exempt — liveness is
             // owed to survivors only.
@@ -819,9 +936,10 @@ where
                 return Err(self.err(
                     format!(
                         "deadlock: node n{n} stuck at script step {} of {} \
-                         (a request was never granted)",
+                         (a request was never granted) [{}]",
                         s.pc[n],
-                        scenario.scripts[n].len()
+                        scenario.scripts[n].len(),
+                        diag()
                     ),
                     trace,
                     "end",
@@ -829,7 +947,7 @@ where
             }
             if !s.nodes[n].is_quiescent() {
                 return Err(self.err(
-                    format!("node n{n} not quiescent in terminal state"),
+                    format!("node n{n} not quiescent in terminal state [{}]", diag()),
                     trace,
                     "end",
                 ));
@@ -837,13 +955,29 @@ where
         }
         // Exactly one live token per lock must exist at quiescence —
         // after a recovery that is the regenerated (or surviving) one.
+        // Under false suspicion, only the newest live epoch counts: a
+        // recovered-around node that never re-contacted the cluster may
+        // quiesce still holding its voided stale-epoch token.
+        let max_epoch = s
+            .nodes
+            .iter()
+            .enumerate()
+            .filter(|&(i, _)| !s.crashed[i])
+            .map(|(_, n)| n.epoch())
+            .max()
+            .unwrap_or(0);
+        let epoch_scoped = self.max_false_suspects > 0;
         for l in 0..scenario.locks {
             let lock = LockId(l as u32);
             let tokens = s
                 .nodes
                 .iter()
                 .enumerate()
-                .filter(|&(i, n)| !s.crashed[i] && n.holds_token(lock))
+                .filter(|&(i, n)| {
+                    !s.crashed[i]
+                        && n.holds_token(lock)
+                        && (!epoch_scoped || n.epoch() == max_epoch)
+                })
                 .count();
             if tokens != 1 {
                 return Err(self.err(
@@ -853,10 +987,12 @@ where
                 ));
             }
             // Deep structural audit (hierarchical protocol only; skipped
-            // after a crash — the dead node's frozen tree is garbage).
+            // after a crash or false suspicion — a dead node's frozen
+            // tree and a recovered-around straggler's stale one are
+            // garbage).
             let states: Vec<&hlock_core::LockNode> =
                 s.nodes.iter().filter_map(|n| n.lock_node(lock)).collect();
-            if !any_crashed && states.len() == s.nodes.len() {
+            if !any_crashed && s.false_suspects_used == 0 && states.len() == s.nodes.len() {
                 let findings = hlock_core::audit_lock(states);
                 if let Some(first) = findings.first() {
                     // Surface every finding on the event stream before
@@ -955,6 +1091,12 @@ enum Step {
     Crash(NodeId),
     /// `node`'s failure detector reports the current dead set.
     Suspect(NodeId),
+    /// `at`'s failure detector falsely names the live `victim` dead
+    /// (alongside the real crashed set).
+    FalseSuspect {
+        at: NodeId,
+        victim: NodeId,
+    },
 }
 
 fn fingerprint<P>(s: &State<P>) -> u64
@@ -972,6 +1114,7 @@ where
     s.drops_used.hash(&mut h);
     s.crashed.hash(&mut h);
     s.suspected.hash(&mut h);
+    s.false_suspects_used.hash(&mut h);
     // In-flight frames as an (unordered) multiset: combine per-frame
     // hashes commutatively, keeping per-link order via seq normalization.
     let mut flight_hash: u64 = 0;
@@ -1225,6 +1368,7 @@ mod tests {
             drops_used: 0,
             crashed: vec![false; 2],
             suspected: vec![false; 2],
+            false_suspects_used: 0,
         };
         let mut fx = EffectSink::new();
         s.nodes[1]
@@ -1335,6 +1479,39 @@ mod tests {
         let mut checker = Checker::hierarchical_sharded_recovery(ProtocolConfig::default(), 2);
         checker.crash_candidates = vec![NodeId(0)];
         let stats = checker.run(&scenario).expect("sharded recovery safe on every schedule");
+        assert!(stats.terminals > 0);
+    }
+
+    #[test]
+    fn recovery_survives_adversarial_false_suspicion() {
+        // The adversary may once, at every reachable point and from
+        // either survivor's detector, falsely suspect the live token
+        // home n0. The others recover around it; n0's stale-epoch token
+        // is a voided lease fenced on contact, so safety is epoch-scoped
+        // (never two live tokens at the SAME epoch) and every live
+        // node's script must still drain to a quiescent terminal.
+        let scenario = two_writers();
+        let mut checker = Checker::hierarchical_recovery(ProtocolConfig::default());
+        checker.false_suspect_candidates = vec![NodeId(0)];
+        checker.max_false_suspects = 1;
+        let stats = checker.run(&scenario).expect("false suspicion keeps every schedule safe");
+        assert!(stats.terminals > 0, "every path must still reach a quiescent terminal");
+    }
+
+    #[test]
+    fn recovery_crash_plus_false_suspicion_converges() {
+        // The compound schedule behind the same-epoch double-install
+        // bug: n0 really crashes AND one survivor may falsely suspect
+        // the other (including the election coordinator, possibly after
+        // it has already installed). Total install ordering plus
+        // teach-back must keep every interleaving safe and drain both
+        // scripts.
+        let scenario = two_writers();
+        let mut checker = Checker::hierarchical_recovery(ProtocolConfig::default());
+        checker.crash_candidates = vec![NodeId(0)];
+        checker.false_suspect_candidates = vec![NodeId(1), NodeId(2)];
+        checker.max_false_suspects = 1;
+        let stats = checker.run(&scenario).expect("crash + false suspicion must converge");
         assert!(stats.terminals > 0);
     }
 

@@ -203,6 +203,15 @@ pub enum RecoveryBody {
     Report {
         /// The suspected-dead set this report responds to.
         dead: Vec<NodeId>,
+        /// The epoch the reported state belongs to (the reporter's
+        /// current epoch). Reporters can be split across epochs — e.g.
+        /// a falsely-suspected node recovered around at an older epoch
+        /// joining a later election — and their grants may then overlap
+        /// legitimately. The coordinator reconstructs token/ownership
+        /// state only from the highest base among its reporters; older
+        /// bases were superseded by the install that created the newer
+        /// one, so their grants are void.
+        base: u64,
         /// Per-lock survivor state, indexed by dense lock id.
         state: Vec<LockReport>,
     },
@@ -213,6 +222,11 @@ pub enum RecoveryBody {
     Install {
         /// Nodes considered live at the new epoch.
         live: Vec<NodeId>,
+        /// The base epoch the install's state was reconstructed from
+        /// (the highest reporter base). A receiver whose own epoch is
+        /// older than this voids its held grants: they were superseded
+        /// by the base install it never saw.
+        base: u64,
         /// Token home per lock, indexed by dense lock id.
         homes: Vec<NodeId>,
         /// Copyset per lock: surviving `(child, owned)` pairs.

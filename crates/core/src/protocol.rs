@@ -246,4 +246,22 @@ pub trait Inspect {
     fn epoch(&self) -> u64 {
         0
     }
+
+    /// Whether this node's failure detector currently considers `peer`
+    /// dead (always `false` for protocols without one). Checkers use
+    /// this to re-arm the modeled watchdog: a survivor whose suspicion
+    /// of a crashed peer was healed by a pre-crash in-flight message
+    /// must be able to suspect it again, exactly as a real watchdog
+    /// re-fires while requests stay outstanding.
+    fn suspects(&self, peer: NodeId) -> bool {
+        let _ = peer;
+        false
+    }
+
+    /// Whether this node is frozen mid-recovery (always `false` for
+    /// protocols without a recovery layer). A terminal state with a
+    /// live node still frozen is a liveness violation in itself.
+    fn frozen(&self) -> bool {
+        false
+    }
 }

@@ -23,7 +23,14 @@
 //!    requires that view to be a **majority** of the cluster. Dead-set
 //!    disagreements merge monotonically: any report naming new suspects
 //!    restarts the round with the union, so all survivors converge on
-//!    one view.
+//!    one view. Restarting after a view change always moves to a target
+//!    **strictly above** any this node has reported under: a node never
+//!    reports two different views at the same target, so a coordinator
+//!    can only complete an election whose entire majority view agreed on
+//!    that exact (target, view) pair — two conflicting elections (e.g. a
+//!    coordinator that installed and was then falsely suspected before
+//!    its install propagated) can never install the same epoch, making
+//!    installs totally ordered.
 //! 4. **Install.** Per lock, the unique live reporter holding the token
 //!    stays its home; if none survives the token is **regenerated** at
 //!    the coordinator ([`crate::ProtocolEvent::TokenRegenerated`]). The
@@ -168,8 +175,10 @@ pub struct RecoverySpace<P = LockSpace> {
     /// Peers this node currently believes dead.
     dead: BTreeSet<NodeId>,
     /// Survivor reports collected by the coordinator for the current
-    /// target epoch (cleared whenever the dead view changes).
-    reports: BTreeMap<NodeId, Vec<LockReport>>,
+    /// target epoch (cleared whenever the dead view changes), keyed by
+    /// reporter and carrying each reporter's base epoch — only the
+    /// highest base contributes token/ownership state to the install.
+    reports: BTreeMap<NodeId, (u64, Vec<LockReport>)>,
     /// API calls accepted while frozen, in order.
     deferred: Vec<DeferredOp>,
     /// Grants voided by an install that excluded this node: the caller
@@ -178,6 +187,14 @@ pub struct RecoverySpace<P = LockSpace> {
     voided: BTreeSet<(LockId, Ticket)>,
     /// The newest install applied here, re-sent to teach stale peers.
     last_install: Option<RecoveryEnvelope>,
+    /// App traffic this node cannot process yet — from an epoch ahead
+    /// of ours (we are the straggler) or from the current epoch while
+    /// frozen. Held instead of dropped: a dropped current-epoch request
+    /// is never re-issued by anyone (the sender only re-issues when *it*
+    /// applies a newer install), so dropping here loses it forever.
+    /// Replayed — or answered with a teach if superseded — when the
+    /// next install lands.
+    future: Vec<(NodeId, u64, Envelope)>,
     /// Keepalive probing (see [`RecoverySpace::with_probe_interval`]):
     /// while requests are outstanding, an epoch-stamped probe goes to one
     /// cluster peer per interval. `None` disables probing.
@@ -231,6 +248,7 @@ impl<P: Recoverable> RecoverySpace<P> {
             deferred: Vec::new(),
             voided: BTreeSet::new(),
             last_install: None,
+            future: Vec::new(),
             probe_interval_micros: None,
             probe_armed: false,
             probe_cursor: 0,
@@ -345,6 +363,31 @@ impl<P: Recoverable> RecoverySpace<P> {
         fx.set_timer(PROBE_TIMER_TOKEN, interval);
     }
 
+    /// Whether evidence of a suspected peer's life may heal the
+    /// suspicion right now. Always when idle; while frozen, only if the
+    /// live view has lost its cluster majority (a stalled minority
+    /// election *needs* the heal to regain quorum). A majority election
+    /// completes without the suspect, and the install's teach-back
+    /// re-admits it at the new epoch — healing mid-election instead
+    /// would let life/death evidence arriving in alternation flip the
+    /// view (and bump the target) without bound.
+    fn may_heal(&self) -> bool {
+        match self.phase {
+            Phase::Idle => true,
+            Phase::Recovering { .. } => self.live().len() * 2 <= self.cluster.len(),
+        }
+    }
+
+    /// Buffers app traffic that cannot be processed yet, keeping a
+    /// canonical (sender, epoch) order — arrival order across senders
+    /// carries no meaning (only per-link FIFO does, which the stable
+    /// sort preserves), and a canonical form keeps the model checker's
+    /// state space small.
+    fn buffer_future(&mut self, from: NodeId, epoch: u64, envelope: Envelope) {
+        self.future.push((from, epoch, envelope));
+        self.future.sort_by_key(|&(f, e, _)| (f, e));
+    }
+
     /// (Re)starts the election for `target`: freeze, clear collected
     /// reports, broadcast this node's survivor report to the live view.
     fn enter_election(&mut self, target: u64, fx: &mut EffectSink<RecoveryEnvelope>) {
@@ -359,19 +402,32 @@ impl<P: Recoverable> RecoverySpace<P> {
             .map(|l| self.inner.survivor_report(LockId(l as u32)))
             .collect();
         let dead_vec: Vec<NodeId> = self.dead.iter().copied().collect();
-        for peer in self.live() {
+        // A majority election involves only the live view. A minority-
+        // stalled one cannot complete as-is — its only hope is that a
+        // suspected peer is actually alive — so it solicits the whole
+        // cluster: a report reaching a live "dead" peer prompts a reply
+        // whose life evidence heals the suspicion (crashed peers simply
+        // never answer).
+        let live = self.live();
+        let recipients: Vec<NodeId> =
+            if live.len() * 2 <= self.cluster.len() { self.cluster.clone() } else { live };
+        for peer in recipients {
             if peer != me {
                 fx.send(
                     peer,
                     RecoveryEnvelope {
                         epoch: target,
-                        body: RecoveryBody::Report { dead: dead_vec.clone(), state: state.clone() },
+                        body: RecoveryBody::Report {
+                            dead: dead_vec.clone(),
+                            base: self.epoch,
+                            state: state.clone(),
+                        },
                     },
                 );
             }
         }
         if self.coordinator() == me {
-            self.reports.insert(me, state);
+            self.reports.insert(me, (self.epoch, state));
         }
     }
 
@@ -393,13 +449,22 @@ impl<P: Recoverable> RecoverySpace<P> {
         if !live.iter().all(|n| self.reports.contains_key(n)) {
             return;
         }
+        // Reports may come from nodes at different epochs (a falsely
+        // suspected node recovered around at an older epoch can join a
+        // later election). Only the newest base epoch's state is real:
+        // every older base was superseded by an install its reporter
+        // never saw, so fusing it in could resurrect a voided grant
+        // alongside the newer epoch's regenerated token.
+        let max_base = live.iter().map(|n| self.reports[n].0).max().unwrap_or(0);
+        let current: Vec<NodeId> =
+            live.iter().copied().filter(|n| self.reports[n].0 == max_base).collect();
         let lock_count = self.inner.lock_count();
         let mut homes = Vec::with_capacity(lock_count);
         let mut copysets: Vec<Vec<(NodeId, Mode)>> = Vec::with_capacity(lock_count);
         for l in 0..lock_count {
             let lock = LockId(l as u32);
             let holders: Vec<NodeId> =
-                live.iter().copied().filter(|n| self.reports[n][l].holds_token).collect();
+                current.iter().copied().filter(|n| self.reports[n].1[l].holds_token).collect();
             let home = match holders[..] {
                 [h] => h,
                 [] => {
@@ -421,10 +486,11 @@ impl<P: Recoverable> RecoverySpace<P> {
             };
             homes.push(home);
             copysets.push(
-                live.iter()
+                current
+                    .iter()
                     .copied()
                     .filter(|&n| n != home)
-                    .filter_map(|n| self.reports[&n][l].owned.map(|m| (n, m)))
+                    .filter_map(|n| self.reports[&n].1[l].owned.map(|m| (n, m)))
                     .collect(),
             );
         }
@@ -432,6 +498,7 @@ impl<P: Recoverable> RecoverySpace<P> {
             epoch: target,
             body: RecoveryBody::Install {
                 live: live.clone(),
+                base: max_base,
                 homes: homes.clone(),
                 copysets: copysets.clone(),
             },
@@ -441,7 +508,7 @@ impl<P: Recoverable> RecoverySpace<P> {
                 fx.send(peer, install.clone());
             }
         }
-        self.apply_install(target, live, homes, copysets, fx);
+        self.apply_install(target, max_base, live, homes, copysets, fx);
     }
 
     /// Rebuilds at `target` from the coordinator's install, re-issues
@@ -450,6 +517,7 @@ impl<P: Recoverable> RecoverySpace<P> {
     fn apply_install(
         &mut self,
         target: u64,
+        base: u64,
         live: Vec<NodeId>,
         homes: Vec<NodeId>,
         copysets: Vec<Vec<(NodeId, Mode)>>,
@@ -457,12 +525,16 @@ impl<P: Recoverable> RecoverySpace<P> {
     ) {
         debug_assert!(target > self.epoch);
         let me = self.me();
-        let me_live = live.contains(&me);
+        // Our grants survive only if we are in the live view *and* our
+        // state was part of the epoch the install was built from: an
+        // older base means some install we never saw already superseded
+        // (voided) us, even though we are live again now.
+        let fresh = live.contains(&me) && self.epoch >= base;
         let lock_count = self.inner.lock_count();
         // Snapshot outstanding work before the rebuild wipes it.
         let outstanding: Vec<_> =
             (0..lock_count).map(|l| self.inner.outstanding(LockId(l as u32))).collect();
-        if !me_live {
+        if !fresh {
             // Recovered around (false-positive suspicion): our grants
             // were voided by the survivors. Remember the tickets so the
             // caller's eventual release/cancel succeeds silently.
@@ -475,7 +547,7 @@ impl<P: Recoverable> RecoverySpace<P> {
                 }
             }
         }
-        self.inner.rebuild(&homes, &copysets, me_live);
+        self.inner.rebuild(&homes, &copysets, fresh);
         self.epoch = target;
         self.phase = Phase::Idle;
         self.dead =
@@ -483,7 +555,7 @@ impl<P: Recoverable> RecoverySpace<P> {
         self.reports.clear();
         self.last_install = Some(RecoveryEnvelope {
             epoch: target,
-            body: RecoveryBody::Install { live, homes, copysets },
+            body: RecoveryBody::Install { live, base, homes, copysets },
         });
         // Re-issue everything not yet granted, under the original
         // tickets so waiting callers are served transparently. Pending
@@ -498,7 +570,7 @@ impl<P: Recoverable> RecoverySpace<P> {
                     self.inner.request_with_priority(lock, mode, ticket, priority, &mut scratch);
             }
             for ticket in upgrades {
-                if me_live {
+                if fresh {
                     let _ = self.inner.upgrade(lock, ticket, &mut scratch);
                 } else {
                     self.voided.remove(&(lock, ticket));
@@ -528,6 +600,24 @@ impl<P: Recoverable> RecoverySpace<P> {
                 }
             }
         }
+        // Replay app traffic held while this node was behind or frozen.
+        // Messages from the epoch just installed feed the rebuilt state;
+        // superseded ones instead teach their (now stale) sender so it
+        // rejoins and re-issues; anything still ahead stays buffered.
+        for (from, e, envelope) in std::mem::take(&mut self.future) {
+            use std::cmp::Ordering;
+            match e.cmp(&self.epoch) {
+                Ordering::Less => self.teach(from, fx),
+                Ordering::Greater => self.future.push((from, e, envelope)),
+                Ordering::Equal => {
+                    self.dead.remove(&from);
+                    let mut scratch = self.take_scratch(fx);
+                    self.inner.on_message(from, envelope, &mut scratch);
+                    self.scratch = scratch;
+                    self.flush(fx);
+                }
+            }
+        }
         self.maybe_arm_probe(fx);
         fx.emit_with(|| ProtocolEvent::RecoveryCompleted { node: me, epoch: target });
     }
@@ -548,15 +638,29 @@ impl<P: Recoverable> RecoverySpace<P> {
                 self.teach(from, fx);
             }
             Ordering::Greater => {
-                // We are the straggler: surface our stale epoch so the
-                // sender fences it and teaches us the current install.
+                // We are the straggler: hold the message (the sender
+                // will not re-issue it until *it* applies a newer
+                // install, so dropping would lose it) and surface our
+                // stale epoch so the sender fences it and teaches us
+                // the current install, which replays the buffer.
+                self.buffer_future(from, epoch, envelope);
                 fx.send(from, RecoveryEnvelope { epoch: self.epoch, body: RecoveryBody::Nack });
             }
             Ordering::Equal => {
-                if self.is_recovering() {
-                    // Frozen: drop. The sender froze too (or will), and
-                    // its report reflects the state *after* sending this
-                    // message, so the install subsumes it.
+                if let Phase::Recovering { target } = self.phase {
+                    // Frozen: hold the message until the install lands
+                    // (mutating now would break the freeze invariant
+                    // behind our survivor report; dropping could lose a
+                    // request from an already-installed peer outside
+                    // this election). It is also proof of life: heal
+                    // any suspicion of the sender, and if that revives
+                    // a stalled minority election, restart it at a
+                    // fresh target so the regained majority completes.
+                    self.buffer_future(from, epoch, envelope);
+                    if self.may_heal() && self.dead.remove(&from) {
+                        self.enter_election(target + 1, fx);
+                        self.check_completion(fx);
+                    }
                     return;
                 }
                 // Current-epoch traffic from a suspected peer proves the
@@ -575,21 +679,44 @@ impl<P: Recoverable> RecoverySpace<P> {
         from: NodeId,
         target: u64,
         dead: Vec<NodeId>,
+        base: u64,
         state: Vec<LockReport>,
         fx: &mut EffectSink<RecoveryEnvelope>,
     ) {
-        if target <= self.epoch || state.len() != self.inner.lock_count() {
-            return; // relic of an election this node already completed
+        if target <= self.epoch {
+            // The sender is frozen in an election this node already
+            // completed (it was excluded from that install's live set,
+            // say): teach it the install so it rejoins instead of
+            // resending stale reports forever, mirroring the stale-App
+            // and stale-Nack paths.
+            self.teach(from, fx);
+            // The report is also proof the sender is alive: heal any
+            // suspicion of it, and if that revives a stalled minority
+            // election, restart at a fresh target so the regained
+            // majority can complete it.
+            if self.may_heal() && self.dead.remove(&from) {
+                if let Phase::Recovering { target: t } = self.phase {
+                    self.enter_election(t + 1, fx);
+                    self.check_completion(fx);
+                }
+            }
+            return;
+        }
+        if state.len() != self.inner.lock_count() {
+            return;
         }
         let me = self.me();
         // A report is evidence of both life (the sender) and death (its
-        // suspects): merge monotonically.
-        let mut changed = self.dead.remove(&from);
+        // suspects). Deaths merge monotonically; life heals only when
+        // [`Self::may_heal`] allows, so a majority election's view can
+        // only grow and its target stays bounded.
+        let mut changed = self.may_heal() && self.dead.remove(&from);
         for d in &dead {
             if *d != me && *d != from && self.cluster.contains(d) {
                 changed |= self.dead.insert(*d);
             }
         }
+        let view_changed = changed;
         let my_target = match self.phase {
             Phase::Idle => {
                 changed = true;
@@ -599,7 +726,18 @@ impl<P: Recoverable> RecoverySpace<P> {
                 if target > t {
                     changed = true;
                 }
-                target.max(t)
+                // A view change at an unchanged target must move to a
+                // fresh epoch: this node already reported the old view
+                // under `t`, and a coordinator elsewhere may complete
+                // (or have completed) `t` with it — reporting a second
+                // view at `t` could let two conflicting elections
+                // install the same epoch.
+                let adopted = target.max(t);
+                if view_changed && adopted == t {
+                    adopted + 1
+                } else {
+                    adopted
+                }
             }
         };
         if changed {
@@ -612,26 +750,54 @@ impl<P: Recoverable> RecoverySpace<P> {
             && dead.len() == self.dead.len()
             && dead.iter().all(|d| self.dead.contains(d));
         if self.coordinator() == me && matches_view {
-            self.reports.insert(from, state);
+            self.reports.insert(from, (base, state));
         }
         self.check_completion(fx);
     }
 
     fn handle_install(
         &mut self,
+        from: NodeId,
         target: u64,
         live: Vec<NodeId>,
+        base: u64,
         homes: Vec<NodeId>,
         copysets: Vec<Vec<(NodeId, Mode)>>,
         fx: &mut EffectSink<RecoveryEnvelope>,
     ) {
-        if target <= self.epoch
-            || homes.len() != self.inner.lock_count()
-            || copysets.len() != self.inner.lock_count()
-        {
-            return; // duplicate or superseded install
+        if target < self.epoch {
+            // Superseded: the sender is a straggler (e.g. a coordinator
+            // whose install the cluster moved past) — teach it the
+            // newer install. Strictly-older only: installs are unique
+            // per epoch, so `target == epoch` is a duplicate of our own
+            // install and teaching back would ping-pong forever.
+            self.teach(from, fx);
+            return;
         }
-        self.apply_install(target, live, homes, copysets, fx);
+        if target == self.epoch {
+            return; // duplicate of the install already applied here
+        }
+        if homes.len() != self.inner.lock_count() || copysets.len() != self.inner.lock_count() {
+            return;
+        }
+        if let Phase::Recovering { target: t } = self.phase {
+            if target < t {
+                // Superseded by the election in progress: applying it
+                // would unfreeze (and mutate) state this node already
+                // reported under `t`, breaking the freeze invariant the
+                // coordinator of `t` relies on. The install is evidence
+                // its coordinator is alive, though — if this election
+                // has stalled in a minority, heal the suspicion and
+                // restart at a fresh target so the converged election
+                // counts it.
+                if self.may_heal() && self.dead.remove(&from) {
+                    self.enter_election(t + 1, fx);
+                    self.check_completion(fx);
+                }
+                return;
+            }
+        }
+        self.apply_install(target, base, live, homes, copysets, fx);
     }
 }
 
@@ -796,11 +962,11 @@ impl<P: Recoverable> ConcurrencyProtocol for RecoverySpace<P> {
         let RecoveryEnvelope { epoch, body } = message;
         match body {
             RecoveryBody::App(envelope) => self.handle_app(from, epoch, envelope, fx),
-            RecoveryBody::Report { dead, state } => {
-                self.handle_report(from, epoch, dead, state, fx)
+            RecoveryBody::Report { dead, base, state } => {
+                self.handle_report(from, epoch, dead, base, state, fx)
             }
-            RecoveryBody::Install { live, homes, copysets } => {
-                self.handle_install(epoch, live, homes, copysets, fx)
+            RecoveryBody::Install { live, base, homes, copysets } => {
+                self.handle_install(from, epoch, live, base, homes, copysets, fx)
             }
             // A Nack doubles as straggler signal and keepalive probe.
             // Stale ones are converted to `on_stale_message` → teach by
@@ -855,7 +1021,10 @@ impl<P: Recoverable> ConcurrencyProtocol for RecoverySpace<P> {
     }
 
     fn is_quiescent(&self) -> bool {
-        self.phase == Phase::Idle && self.deferred.is_empty() && self.inner.is_quiescent()
+        self.phase == Phase::Idle
+            && self.deferred.is_empty()
+            && self.future.is_empty()
+            && self.inner.is_quiescent()
     }
 
     fn fence_epoch(&self) -> Option<u64> {
@@ -872,7 +1041,14 @@ impl<P: Recoverable> ConcurrencyProtocol for RecoverySpace<P> {
         }
         if changed {
             let target = match self.phase {
-                Phase::Recovering { target } => target,
+                // A new suspect mid-election: the current target may
+                // already have been installed under the old view — e.g.
+                // by a coordinator that completed and was then falsely
+                // suspected before its install reached us. Re-electing
+                // the same target under the shrunk view could install
+                // that epoch a second time with conflicting token
+                // assignments, so restart strictly above it.
+                Phase::Recovering { target } => target + 1,
                 Phase::Idle => self.epoch + 1,
             };
             self.enter_election(target, fx);
@@ -907,6 +1083,14 @@ impl<P: Recoverable> Inspect for RecoverySpace<P> {
     fn epoch(&self) -> u64 {
         self.epoch
     }
+
+    fn suspects(&self, peer: NodeId) -> bool {
+        self.dead.contains(&peer)
+    }
+
+    fn frozen(&self) -> bool {
+        self.is_recovering()
+    }
 }
 
 /// Equality and hashing over recovery-relevant state (the scratch sink
@@ -923,6 +1107,7 @@ impl<P: Recoverable + PartialEq> PartialEq for RecoverySpace<P> {
             && self.deferred == other.deferred
             && self.voided == other.voided
             && self.last_install == other.last_install
+            && self.future == other.future
             && self.probe_armed == other.probe_armed
             && self.probe_cursor == other.probe_cursor
     }
@@ -940,6 +1125,7 @@ impl<P: Recoverable + std::hash::Hash> std::hash::Hash for RecoverySpace<P> {
         self.deferred.hash(state);
         self.voided.hash(state);
         self.last_install.hash(state);
+        self.future.hash(state);
         self.probe_armed.hash(state);
         self.probe_cursor.hash(state);
     }
@@ -993,6 +1179,35 @@ mod tests {
             runtimes[to.index()].deliver(&mut spaces[to.index()], from, vec![message], &mut fx);
             drain_into(to, &mut fx, net, granted);
         }
+    }
+
+    /// Like [`pump`], but only delivers frames `deliver` approves; the
+    /// rest stay queued (in order) for a later pump.
+    fn pump_filtered(
+        spaces: &mut [RecoverySpace],
+        runtimes: &mut [HostRuntime<RecoveryEnvelope>],
+        crashed: &[NodeId],
+        net: &mut Net,
+        granted: &mut Vec<(NodeId, LockId, Ticket)>,
+        deliver: impl Fn(NodeId, NodeId) -> bool,
+    ) {
+        let mut held = Net::new();
+        let mut hops = 0;
+        while let Some((from, to, message)) = net.pop_front() {
+            hops += 1;
+            assert!(hops < 10_000, "recovery message storm");
+            if crashed.contains(&to) {
+                continue;
+            }
+            if !deliver(from, to) {
+                held.push_back((from, to, message));
+                continue;
+            }
+            let mut fx = EffectSink::new();
+            runtimes[to.index()].deliver(&mut spaces[to.index()], from, vec![message], &mut fx);
+            drain_into(to, &mut fx, net, granted);
+        }
+        *net = held;
     }
 
     fn suspect(
@@ -1119,15 +1334,107 @@ mod tests {
         suspect(&mut spaces, NodeId(2), &crashed, &mut net, &mut granted);
         suspect(&mut spaces, NodeId(3), &crashed, &mut net, &mut granted);
         pump(&mut spaces, &mut rts, &crashed, &mut net, &mut granted);
-        // Reports merged the views; the install excludes both dead.
+        // Reports merged the views; the install excludes both dead. The
+        // mid-election view merge restarts at a fresh target (installs
+        // are totally ordered), so the final epoch may exceed 1 — what
+        // matters is that every survivor converged on the same one.
+        let epoch = spaces[1].epoch();
+        assert!(epoch >= 1);
         for i in 1..=3 {
-            assert_eq!(spaces[i].epoch(), 1, "node {i}");
+            assert_eq!(spaces[i].epoch(), epoch, "node {i}");
             assert!(!spaces[i].is_recovering(), "node {i}");
             assert_eq!(spaces[i].suspected(), vec![NodeId(0), NodeId(4)], "node {i}");
         }
         // Exactly one live token.
         let tokens = (1..=3).filter(|&i| spaces[i].holds_token(LockId(0))).count();
         assert_eq!(tokens, 1);
+    }
+
+    #[test]
+    fn reelection_around_installed_coordinator_uses_fresh_epoch() {
+        // Regression for the same-epoch double install: coordinator n1
+        // completes the install for epoch 1 (n0 crashed) and is then
+        // falsely suspected — e.g. across a severed link — before that
+        // install reaches n2..n4. The survivors {2,3,4} (a majority of
+        // 5) re-elect around it; their install must land on a FRESH
+        // epoch, never epoch 1 again, or n1 and the new coordinator
+        // would both hold a live token at the same unfenced epoch.
+        let mut spaces = cluster(5, 1);
+        let mut rts: Vec<_> = (0..5).map(|_| HostRuntime::new()).collect();
+        let mut net = Net::new();
+        let mut granted = Vec::new();
+        let crashed = [NodeId(0)];
+        for i in 1..5 {
+            suspect(&mut spaces, NodeId(i), &crashed, &mut net, &mut granted);
+        }
+        // Deliver only traffic TO the coordinator: n1 collects every
+        // report and installs epoch 1 locally; the install frames to
+        // n2..n4 stay in flight.
+        pump_filtered(&mut spaces, &mut rts, &crashed, &mut net, &mut granted, |_, to| {
+            to == NodeId(1)
+        });
+        assert_eq!(spaces[1].epoch(), 1, "coordinator installed epoch 1");
+        assert!(spaces[1].holds_token(LockId(0)), "token regenerated at n1");
+        assert!(spaces[2].is_recovering(), "survivors have not seen the install");
+        // n2's detector falsely names n1 dead; the suspicion spreads to
+        // n3/n4 through report merging. Nothing flows to or from n1 (the
+        // severed link), so it cannot teach them out of the re-election.
+        suspect(&mut spaces, NodeId(2), &[NodeId(0), NodeId(1)], &mut net, &mut granted);
+        pump_filtered(&mut spaces, &mut rts, &crashed, &mut net, &mut granted, |from, to| {
+            from != NodeId(1) && to != NodeId(1)
+        });
+        let reelected = spaces[2].epoch();
+        assert!(!spaces[2].is_recovering() && !spaces[3].is_recovering());
+        assert!(reelected > 1, "conflicting election must install a fresh epoch, got {reelected}");
+        // Both tokens exist transiently, but at different epochs — n1's
+        // is fenced on any contact, so never two live at one epoch.
+        assert!(spaces[1].holds_token(LockId(0)));
+        let holders: Vec<usize> = (2..5).filter(|&i| spaces[i].holds_token(LockId(0))).collect();
+        assert_eq!(holders, vec![2], "new coordinator holds the regenerated token");
+        // Release everything held back (including the stale epoch-1
+        // installs): n1 is taught, voids its token, and exactly one
+        // live token remains cluster-wide.
+        pump(&mut spaces, &mut rts, &crashed, &mut net, &mut granted);
+        assert_eq!(spaces[1].epoch(), reelected, "n1 rejoined at the superseding epoch");
+        let tokens = (1..5).filter(|&i| spaces[i].holds_token(LockId(0))).count();
+        assert_eq!(tokens, 1, "exactly one live token once epochs converge");
+    }
+
+    #[test]
+    fn straggler_report_is_taught_not_dropped() {
+        // Regression: a node frozen in an election the cluster already
+        // completed (it was excluded from that install's live set)
+        // keeps resending Reports at the installed epoch. Receivers
+        // must answer with the cached install instead of silently
+        // dropping them, or the straggler stays frozen forever.
+        let mut spaces = cluster(5, 1);
+        let mut rts: Vec<_> = (0..5).map(|_| HostRuntime::new()).collect();
+        let mut net = Net::new();
+        let mut granted = Vec::new();
+        let crashed = [NodeId(0)];
+        // n4's detector saw only the real crash; its reports are delayed.
+        suspect(&mut spaces, NodeId(4), &[NodeId(0)], &mut net, &mut granted);
+        let mut delayed = std::mem::take(&mut net);
+        // n1..n3 — a majority — falsely suspect n4 as well and complete
+        // the install without it.
+        for i in 1..4 {
+            suspect(&mut spaces, NodeId(i), &[NodeId(0), NodeId(4)], &mut net, &mut granted);
+        }
+        pump(&mut spaces, &mut rts, &crashed, &mut net, &mut granted);
+        assert_eq!(spaces[1].epoch(), 1);
+        assert!(spaces[4].is_recovering(), "the straggler is still frozen in its election");
+        // The delayed reports arrive at nodes already at epoch 1.
+        net.append(&mut delayed);
+        pump(&mut spaces, &mut rts, &crashed, &mut net, &mut granted);
+        assert!(!spaces[4].is_recovering(), "the straggler must be taught and unfrozen");
+        assert_eq!(spaces[4].epoch(), spaces[1].epoch(), "straggler rejoined the installed epoch");
+        // And it is a full participant again.
+        granted.clear();
+        let mut fx = EffectSink::new();
+        spaces[4].request(LockId(0), Mode::Write, Ticket(7), &mut fx).unwrap();
+        drain_into(NodeId(4), &mut fx, &mut net, &mut granted);
+        pump(&mut spaces, &mut rts, &crashed, &mut net, &mut granted);
+        assert_eq!(granted, vec![(NodeId(4), LockId(0), Ticket(7))]);
     }
 
     #[test]

@@ -686,6 +686,18 @@ impl<P: ConcurrencyProtocol + Inspect> Inspect for SessionSpace<P> {
     fn lock_node(&self, lock: LockId) -> Option<&hlock_core::LockNode> {
         self.inner.lock_node(lock)
     }
+
+    fn epoch(&self) -> u64 {
+        self.inner.epoch()
+    }
+
+    fn suspects(&self, peer: NodeId) -> bool {
+        self.inner.suspects(peer)
+    }
+
+    fn frozen(&self) -> bool {
+        self.inner.frozen()
+    }
 }
 
 /// Fingerprint support for the model checker.

@@ -322,24 +322,26 @@ impl WireCodec for RecoveryEnvelope {
                 buf.put_u8(TAG_REC_APP);
                 envelope.encode(buf);
             }
-            RecoveryBody::Report { dead, state } => {
+            RecoveryBody::Report { dead, base, state } => {
                 buf.put_u8(TAG_REC_REPORT);
                 put_varint(buf, dead.len() as u64);
                 for n in dead {
                     put_varint(buf, u64::from(n.0));
                 }
+                put_varint(buf, *base);
                 put_varint(buf, state.len() as u64);
                 for report in state {
                     buf.put_u8(u8::from(report.holds_token));
                     put_opt_mode(buf, report.owned);
                 }
             }
-            RecoveryBody::Install { live, homes, copysets } => {
+            RecoveryBody::Install { live, base, homes, copysets } => {
                 buf.put_u8(TAG_REC_INSTALL);
                 put_varint(buf, live.len() as u64);
                 for n in live {
                     put_varint(buf, u64::from(n.0));
                 }
+                put_varint(buf, *base);
                 put_varint(buf, homes.len() as u64);
                 for n in homes {
                     put_varint(buf, u64::from(n.0));
@@ -370,6 +372,7 @@ impl WireCodec for RecoveryEnvelope {
                 for _ in 0..n {
                     dead.push(NodeId(get_varint(buf)? as u32));
                 }
+                let base = get_varint(buf)?;
                 let n = get_varint(buf)? as usize;
                 let mut state = Vec::with_capacity(n.min(4096));
                 for _ in 0..n {
@@ -380,7 +383,7 @@ impl WireCodec for RecoveryEnvelope {
                     let owned = get_opt_mode(buf)?;
                     state.push(LockReport { holds_token, owned });
                 }
-                RecoveryBody::Report { dead, state }
+                RecoveryBody::Report { dead, base, state }
             }
             TAG_REC_INSTALL => {
                 let n = get_varint(buf)? as usize;
@@ -388,6 +391,7 @@ impl WireCodec for RecoveryEnvelope {
                 for _ in 0..n {
                     live.push(NodeId(get_varint(buf)? as u32));
                 }
+                let base = get_varint(buf)?;
                 let n = get_varint(buf)? as usize;
                 let mut homes = Vec::with_capacity(n.min(4096));
                 for _ in 0..n {
@@ -405,7 +409,7 @@ impl WireCodec for RecoveryEnvelope {
                     }
                     copysets.push(copyset);
                 }
-                RecoveryBody::Install { live, homes, copysets }
+                RecoveryBody::Install { live, base, homes, copysets }
             }
             TAG_REC_NACK => RecoveryBody::Nack,
             other => return Err(WireError::InvalidTag(other)),
@@ -726,6 +730,7 @@ mod tests {
             epoch: 7,
             body: RecoveryBody::Report {
                 dead: vec![NodeId(0), NodeId(5)],
+                base: 6,
                 state: vec![
                     LockReport { holds_token: true, owned: Some(Mode::Write) },
                     LockReport { holds_token: false, owned: None },
@@ -737,6 +742,7 @@ mod tests {
             epoch: u64::MAX,
             body: RecoveryBody::Install {
                 live: vec![NodeId(1), NodeId(2), NodeId(3)],
+                base: u64::MAX - 1,
                 homes: vec![NodeId(1), NodeId(3)],
                 copysets: vec![
                     vec![(NodeId(2), Mode::Read), (NodeId(3), Mode::IntentWrite)],
@@ -757,10 +763,11 @@ mod tests {
         let mut b = Bytes::from_static(&[0x00, TAG_REC_REPORT, 0x01]);
         assert_eq!(RecoveryEnvelope::decode(&mut b), Err(WireError::UnexpectedEof));
         // Report with a lock state carrying an invalid owned mode.
-        let mut b = Bytes::from_static(&[0x02, TAG_REC_REPORT, 0x00, 0x01, 0x01, 0x09]);
+        let mut b = Bytes::from_static(&[0x02, TAG_REC_REPORT, 0x00, 0x00, 0x01, 0x01, 0x09]);
         assert_eq!(RecoveryEnvelope::decode(&mut b), Err(WireError::InvalidMode(9)));
         // Install truncated inside the copyset list.
-        let mut b = Bytes::from_static(&[0x01, TAG_REC_INSTALL, 0x01, 0x02, 0x01, 0x00, 0x01]);
+        let mut b =
+            Bytes::from_static(&[0x01, TAG_REC_INSTALL, 0x01, 0x02, 0x00, 0x01, 0x00, 0x01]);
         assert_eq!(RecoveryEnvelope::decode(&mut b), Err(WireError::UnexpectedEof));
         let mut b = Bytes::from_static(&[]);
         assert_eq!(RecoveryEnvelope::decode(&mut b), Err(WireError::UnexpectedEof));
