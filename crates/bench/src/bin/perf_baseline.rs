@@ -200,6 +200,39 @@ fn drive_sharded(
     (samples.len() as u64, elapsed, samples)
 }
 
+/// Nodes in the connection-scaling cell: enough that the mux serves
+/// hundreds of links from its fixed worker pool, small enough that the
+/// cell stays sub-second even on stingy CI runners.
+const CONN_NODES: usize = 256;
+
+/// Connection-scaling cell: one grant per node on a `CONN_NODES`-node
+/// mux mesh — the `mux_smoke` sweep, measured. Every node dials the
+/// token home at once, so the row tracks the event loop's cold-connect
+/// and dispatch throughput at mesh scale rather than single-link
+/// runtime speed (what the sharded rows measure).
+fn drive_conn_scaling() -> (u64, Duration, Vec<u64>) {
+    let cluster = Cluster::spawn_hierarchical(CONN_NODES, CONN_NODES, ProtocolConfig::default())
+        .expect("spawn mux mesh");
+    let started = Instant::now();
+    let mut tickets = Vec::with_capacity(CONN_NODES);
+    for i in 1..CONN_NODES {
+        let t0 = Instant::now();
+        let ticket = cluster.node(i).request(LockId(i as u32), Mode::Write).expect("request");
+        tickets.push((i, ticket, t0));
+    }
+    let mut samples = Vec::with_capacity(CONN_NODES);
+    for &(i, ticket, t0) in &tickets {
+        cluster.node(i).wait(ticket, TIMEOUT).expect("grant");
+        samples.push(t0.elapsed().as_micros() as u64);
+    }
+    for &(i, ticket, _) in &tickets {
+        cluster.node(i).release(LockId(i as u32), ticket).expect("release");
+    }
+    let elapsed = started.elapsed();
+    cluster.shutdown();
+    (samples.len() as u64, elapsed, samples)
+}
+
 /// Exclusive-lock baseline on the unsharded event-loop cluster.
 fn drive_baseline<P>(
     node: &hlock_net::NodeHandle<P>,
@@ -291,6 +324,26 @@ fn main() {
             );
             entries.push(e);
         }
+    }
+
+    // Connection-scaling cell on the mux transport: spawn cost is part
+    // of what the cell guards (cold dials ride the measured path), so
+    // the whole spawn-sweep-shutdown cycle repeats per rep.
+    {
+        let mut best: Option<(u64, Duration, Vec<u64>)> = None;
+        for _ in 0..reps {
+            let run = drive_conn_scaling();
+            if best.as_ref().is_none_or(|(_, e, _)| run.1 < *e) {
+                best = Some(run);
+            }
+        }
+        let (ops, elapsed, samples) = best.expect("at least one rep");
+        let e = entry("mux-hierarchical", 1, "conn_scaling_256", ops, elapsed, samples);
+        println!(
+            "{:<22} shards={} mix={:<12} {:>9.0} ops/s  p50={}us p99={}us",
+            e.protocol, e.shards, e.mix, e.throughput, e.latency.p50, e.latency.p99
+        );
+        entries.push(e);
     }
 
     // Exclusive single-lock baselines for scale reference (same best-of-N

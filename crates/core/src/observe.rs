@@ -326,6 +326,17 @@ pub enum ProtocolEvent {
         /// The stale epoch the message carried.
         epoch: u64,
     },
+    /// A transport outbox for `peer` hit its byte bound and dropped the
+    /// newest frame instead of queueing it (emitted by readiness-driven
+    /// hosts; the session layer recovers the loss by retransmission).
+    Backpressure {
+        /// The node whose outbox overflowed.
+        node: NodeId,
+        /// The slow peer the frame was destined for.
+        peer: NodeId,
+        /// Bytes of the frame that was dropped.
+        dropped: u64,
+    },
 }
 
 impl ProtocolEvent {
@@ -357,6 +368,7 @@ impl ProtocolEvent {
             ProtocolEvent::RecoveryCompleted { .. } => "recovery_completed",
             ProtocolEvent::TokenRegenerated { .. } => "token_regenerated",
             ProtocolEvent::StaleEpochFenced { .. } => "stale_epoch_fenced",
+            ProtocolEvent::Backpressure { .. } => "backpressure",
         }
     }
 
@@ -386,7 +398,8 @@ impl ProtocolEvent {
             | ProtocolEvent::RecoveryStarted { node, .. }
             | ProtocolEvent::RecoveryCompleted { node, .. }
             | ProtocolEvent::TokenRegenerated { node, .. }
-            | ProtocolEvent::StaleEpochFenced { node, .. } => *node,
+            | ProtocolEvent::StaleEpochFenced { node, .. }
+            | ProtocolEvent::Backpressure { node, .. } => *node,
         }
     }
 
@@ -535,6 +548,9 @@ impl ProtocolEvent {
             }
             ProtocolEvent::StaleEpochFenced { from, epoch, .. } => {
                 let _ = write!(out, ",\"from\":{},\"epoch\":{epoch}", from.0);
+            }
+            ProtocolEvent::Backpressure { peer, dropped, .. } => {
+                let _ = write!(out, ",\"peer\":{},\"dropped\":{dropped}", peer.0);
             }
         }
         out.push('}');
@@ -939,6 +955,8 @@ pub struct MetricsRegistry {
     recovery_epoch: u64,
     token_regenerations: u64,
     fenced: u64,
+    backpressure_drops: u64,
+    backpressure_bytes: u64,
     queue_depth: HashMap<u32, u64>,
     copyset_size: HashMap<u32, u64>,
     latency_by_mode: [Option<Reservoir>; 5],
@@ -999,6 +1017,12 @@ impl MetricsRegistry {
         self.fenced
     }
 
+    /// Frames dropped (and their total bytes) because a transport
+    /// outbox hit its bound.
+    pub fn backpressure(&self) -> (u64, u64) {
+        (self.backpressure_drops, self.backpressure_bytes)
+    }
+
     /// Releases suppressed by Rule 5.2.
     pub fn releases_suppressed(&self) -> u64 {
         self.releases_suppressed
@@ -1047,6 +1071,8 @@ impl MetricsRegistry {
         self.recovery_epoch = self.recovery_epoch.max(other.recovery_epoch);
         self.token_regenerations += other.token_regenerations;
         self.fenced += other.fenced;
+        self.backpressure_drops += other.backpressure_drops;
+        self.backpressure_bytes += other.backpressure_bytes;
         if let Some(theirs) = &other.recovery_latency {
             self.recovery_latency.get_or_insert_with(Reservoir::default).merge(theirs);
         }
@@ -1157,6 +1183,18 @@ impl MetricsRegistry {
         let _ = writeln!(out, "hlock_token_regenerations_total {}", self.token_regenerations);
         counter(&mut out, "hlock_fenced_total", "Incoming messages fenced for a stale epoch.");
         let _ = writeln!(out, "hlock_fenced_total {}", self.fenced);
+        counter(
+            &mut out,
+            "hlock_backpressure_drops_total",
+            "Frames dropped because a transport outbox hit its bound.",
+        );
+        let _ = writeln!(out, "hlock_backpressure_drops_total {}", self.backpressure_drops);
+        counter(
+            &mut out,
+            "hlock_backpressure_bytes_total",
+            "Bytes of frames dropped to outbox backpressure.",
+        );
+        let _ = writeln!(out, "hlock_backpressure_bytes_total {}", self.backpressure_bytes);
         let _ = writeln!(out, "# HELP hlock_recovery_epoch Highest installed recovery epoch.");
         let _ = writeln!(out, "# TYPE hlock_recovery_epoch gauge");
         let _ = writeln!(out, "hlock_recovery_epoch {}", self.recovery_epoch);
@@ -1356,6 +1394,10 @@ impl Observer for MetricsRegistry {
                 self.recovery_epoch = self.recovery_epoch.max(*epoch);
             }
             ProtocolEvent::StaleEpochFenced { .. } => self.fenced += 1,
+            ProtocolEvent::Backpressure { dropped, .. } => {
+                self.backpressure_drops += 1;
+                self.backpressure_bytes += *dropped;
+            }
             ProtocolEvent::TokenReceived { .. } | ProtocolEvent::Released { .. } => {}
         }
     }
@@ -1656,6 +1698,36 @@ mod tests {
         assert!(text.contains("hlock_recovery_epoch 1"));
         assert!(text.contains("hlock_recovery_latency_micros_count 1"));
         assert!(text.contains("hlock_recovery_latency_micros_sum 150"));
+    }
+
+    #[test]
+    fn registry_tracks_backpressure() {
+        let mut reg = MetricsRegistry::new();
+        reg.on_event(
+            10,
+            &ProtocolEvent::Backpressure { node: NodeId(0), peer: NodeId(3), dropped: 64 },
+        );
+        reg.on_event(
+            20,
+            &ProtocolEvent::Backpressure { node: NodeId(0), peer: NodeId(3), dropped: 36 },
+        );
+        assert_eq!(reg.backpressure(), (2, 100));
+        let mut other = MetricsRegistry::new();
+        other.on_event(
+            30,
+            &ProtocolEvent::Backpressure { node: NodeId(1), peer: NodeId(0), dropped: 1 },
+        );
+        reg.merge(&other);
+        assert_eq!(reg.backpressure(), (3, 101));
+        let text = reg.render();
+        assert!(text.contains("hlock_backpressure_drops_total 3"));
+        assert!(text.contains("hlock_backpressure_bytes_total 101"));
+        let mut json = String::new();
+        ProtocolEvent::Backpressure { node: NodeId(0), peer: NodeId(3), dropped: 64 }
+            .write_json(10, &mut json);
+        assert!(json.contains("\"event\":\"backpressure\""));
+        assert!(json.contains("\"peer\":3"));
+        assert!(json.contains("\"dropped\":64"));
     }
 
     #[test]

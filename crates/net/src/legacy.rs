@@ -1,0 +1,455 @@
+//! The original thread-per-peer blocking transport, kept behind the
+//! `legacy-threads` feature as a differential-testing oracle for the
+//! readiness mux ([`crate::mux`]): same [`LoopEvent`] vocabulary, same
+//! [`crate::transport::apply_event`] protocol semantics, same wire
+//! format — only the I/O strategy differs (one listener thread + one
+//! reader thread per peer + one event-loop thread per node, blocking
+//! writes under a shared socket map).
+
+use crate::transport::{
+    apply_event, encode_hello, reader_loop, Counters, GrantTable, LoopEvent, PostEvent,
+    SUSPECT_AFTER_FAILURES,
+};
+use crate::{NetError, NodeHandle, Port};
+use bytes::BytesMut;
+use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
+use hlock_core::{
+    BatchHost, Classify, ConcurrencyProtocol, EffectSink, HostRuntime, LockId, Mode, NodeId,
+    Observer, ProtocolEvent, RuntimeCounters, Ticket,
+};
+use hlock_wire::{frame, WireCodec};
+use parking_lot::Mutex;
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap};
+use std::io::Write;
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Shared writer map: peer id → socket for outgoing frames.
+pub(crate) type Writers = Arc<Mutex<HashMap<NodeId, TcpStream>>>;
+
+/// The legacy transport's per-node plumbing, held by [`NodeHandle`].
+pub(crate) struct LegacyPort<M> {
+    pub(crate) events: Sender<LoopEvent<M>>,
+    pub(crate) threads: Mutex<Vec<JoinHandle<()>>>,
+    /// Outgoing sockets, shared with the event loop (used by
+    /// [`NodeHandle::kill`] to sever every link at once).
+    pub(crate) writers: Writers,
+    pub(crate) redialer: Arc<Redialer>,
+}
+
+/// Owns the redial threads so they can be joined at shutdown and so a
+/// peer never accumulates more than one live redialer. The original
+/// implementation detached a fresh thread on every failed write; under a
+/// flappy link that leaked an unbounded pile of sleeping threads all
+/// racing to publish the same socket.
+pub(crate) struct Redialer {
+    threads: Mutex<HashMap<NodeId, JoinHandle<()>>>,
+}
+
+impl Redialer {
+    pub(crate) fn new() -> Arc<Redialer> {
+        Arc::new(Redialer { threads: Mutex::new(HashMap::new()) })
+    }
+
+    /// Redials `peer` with exponential backoff (10 ms doubling to 1 s)
+    /// until the node shuts down or the link is re-established, then
+    /// replays the handshake, publishes the fresh socket and notifies
+    /// the event loop so the protocol can resend anything
+    /// unacknowledged. At most one redialer runs per peer: if a live one
+    /// is already at it, this call is a no-op; a finished one is joined
+    /// and replaced.
+    ///
+    /// This doubles as the transport's failure detector: after
+    /// [`SUSPECT_AFTER_FAILURES`] consecutive failures the event loop is
+    /// told to suspect the peer (once), which on recovery-wrapped
+    /// clusters triggers the epoch election. Redialing continues
+    /// regardless — a false suspicion heals when the peer comes back and
+    /// is taught the new epoch via stale-traffic fencing.
+    pub(crate) fn spawn<M: Send + 'static>(
+        &self,
+        me: NodeId,
+        peer: NodeId,
+        addr: SocketAddr,
+        writers: Writers,
+        tx: Sender<LoopEvent<M>>,
+        running: Arc<AtomicBool>,
+    ) {
+        let mut map = self.threads.lock();
+        if let Some(handle) = map.get(&peer) {
+            if !handle.is_finished() {
+                return;
+            }
+            if let Some(done) = map.remove(&peer) {
+                let _ = done.join();
+            }
+        }
+        let handle = std::thread::spawn(move || {
+            let mut delay = Duration::from_millis(10);
+            let mut failures = 0u32;
+            while running.load(Ordering::SeqCst) {
+                std::thread::sleep(delay);
+                match TcpStream::connect(addr) {
+                    Ok(mut stream) => {
+                        let _ = stream.set_nodelay(true);
+                        let mut hello = BytesMut::new();
+                        encode_hello(&mut hello, me);
+                        if stream.write_all(&hello).is_err() {
+                            delay = (delay * 2).min(Duration::from_secs(1));
+                            continue;
+                        }
+                        writers.lock().insert(peer, stream);
+                        let _ = tx.send(LoopEvent::LinkUp(peer));
+                        return;
+                    }
+                    Err(_) => {
+                        failures += 1;
+                        if failures == SUSPECT_AFTER_FAILURES {
+                            let _ = tx.send(LoopEvent::Suspect { dead: vec![peer], done: None });
+                        }
+                        delay = (delay * 2).min(Duration::from_secs(1));
+                    }
+                }
+            }
+        });
+        map.insert(peer, handle);
+    }
+
+    /// Joins every redial thread (they exit once `running` is false and
+    /// their current backoff sleep elapses). Called from
+    /// [`NodeHandle::stop`] so shutdown leaks nothing.
+    pub(crate) fn join_all(&self) {
+        let handles: Vec<JoinHandle<()>> = {
+            let mut map = self.threads.lock();
+            map.drain().map(|(_, h)| h).collect()
+        };
+        for h in handles {
+            let _ = h.join();
+        }
+    }
+}
+
+/// Spawns one node on the legacy transport: eager blocking dials to
+/// every peer, a listener thread feeding per-connection reader threads,
+/// and one event-loop thread owning the protocol.
+pub(crate) fn spawn_node<P>(
+    id: NodeId,
+    protocol: P,
+    listener: TcpListener,
+    addrs: &[SocketAddr],
+    observer: Option<Box<dyn Observer + Send>>,
+) -> Result<Arc<NodeHandle<P>>, NetError>
+where
+    P: ConcurrencyProtocol + Send + 'static,
+    P::Message: WireCodec + Send + 'static,
+{
+    let (tx, rx) = unbounded::<LoopEvent<P::Message>>();
+    let grants = Arc::new(GrantTable::default());
+    let counters = Arc::new(Counters::default());
+    let runtime_mirror = Arc::new(Mutex::new(RuntimeCounters::default()));
+    let running = Arc::new(AtomicBool::new(true));
+    let writers: Writers = Arc::new(Mutex::new(HashMap::new()));
+    let redialer = Redialer::new();
+    let mut threads = Vec::new();
+
+    // Dial every peer; our dialed sockets are our write channels.
+    for (j, addr) in addrs.iter().enumerate() {
+        if j == id.index() {
+            continue;
+        }
+        let mut stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        // Handshake: announce who we are (a single varint frame body).
+        let mut hello = BytesMut::new();
+        encode_hello(&mut hello, id);
+        stream.write_all(&hello)?;
+        writers.lock().insert(NodeId(j as u32), stream);
+    }
+
+    // Listener thread: accepts inbound links and spawns readers. It
+    // keeps accepting until shutdown so that peers whose outgoing
+    // socket died can dial back in at any time.
+    {
+        let tx = tx.clone();
+        let running = running.clone();
+        listener.set_nonblocking(true)?;
+        threads.push(std::thread::spawn(move || {
+            while running.load(Ordering::SeqCst) {
+                match listener.accept() {
+                    Ok((stream, _)) => {
+                        let _ = stream.set_nodelay(true);
+                        let _ = stream.set_nonblocking(false);
+                        let tx = tx.clone();
+                        let running = running.clone();
+                        std::thread::spawn(move || {
+                            reader_loop::<P::Message>(
+                                stream,
+                                move |from, messages| {
+                                    tx.send(LoopEvent::Incoming(from, messages)).is_ok()
+                                },
+                                running,
+                            )
+                        });
+                    }
+                    Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                        std::thread::sleep(Duration::from_millis(25));
+                    }
+                    Err(_) => break,
+                }
+            }
+        }));
+    }
+
+    // Event loop thread: owns the protocol (and the observer, so no
+    // lock is ever held around a dispatch).
+    {
+        let grants = grants.clone();
+        let counters = counters.clone();
+        let runtime_mirror = runtime_mirror.clone();
+        let writers = writers.clone();
+        let running = running.clone();
+        let redialer = redialer.clone();
+        let tx = tx.clone();
+        let addrs: Arc<Vec<SocketAddr>> = Arc::new(addrs.to_vec());
+        threads.push(std::thread::spawn(move || {
+            event_loop(
+                protocol,
+                rx,
+                tx,
+                grants,
+                counters,
+                runtime_mirror,
+                writers,
+                redialer,
+                addrs,
+                running,
+                observer,
+            );
+        }));
+    }
+
+    Ok(Arc::new(NodeHandle {
+        id,
+        grants,
+        counters,
+        runtime: runtime_mirror,
+        next_ticket: AtomicU64::new(1),
+        running,
+        port: Port::Legacy(LegacyPort {
+            events: tx,
+            threads: Mutex::new(threads),
+            writers,
+            redialer,
+        }),
+    }))
+}
+
+#[allow(clippy::too_many_arguments)]
+fn event_loop<P>(
+    mut protocol: P,
+    rx: Receiver<LoopEvent<P::Message>>,
+    tx: Sender<LoopEvent<P::Message>>,
+    grants: Arc<GrantTable>,
+    counters: Arc<Counters>,
+    runtime_mirror: Arc<Mutex<RuntimeCounters>>,
+    writers: Writers,
+    redialer: Arc<Redialer>,
+    addrs: Arc<Vec<SocketAddr>>,
+    running: Arc<AtomicBool>,
+    mut observer: Option<Box<dyn Observer + Send>>,
+) where
+    P: ConcurrencyProtocol,
+    P::Message: WireCodec + Send + 'static,
+{
+    let me = protocol.node_id();
+    let mut fx = EffectSink::new();
+    // With an observer attached the node emits the full protocol-event
+    // stream (the same vocabulary as the simulator and model checker);
+    // without one, `emit_with` closures never run and the loop is the
+    // plain fast path.
+    fx.set_observing(observer.is_some());
+    // Observer timestamps: microseconds since this node started.
+    let epoch = Instant::now();
+    let mut runtime: HostRuntime<P::Message> = HostRuntime::new();
+    // Reusable encode buffer: one frame per (step, destination).
+    let mut out = BytesMut::new();
+    // Protocol timers (retransmission deadlines) as a min-heap of
+    // (deadline, token); duplicates are harmless — the session layer
+    // treats a stale fire of a re-armed token as a no-op retransmit
+    // opportunity check.
+    let mut timers: BinaryHeap<Reverse<(Instant, u64)>> = BinaryHeap::new();
+    loop {
+        // Fire every due timer before blocking on the channel again.
+        let now = Instant::now();
+        let mut fired = false;
+        while let Some(&Reverse((deadline, token))) = timers.peek() {
+            if deadline > now {
+                break;
+            }
+            timers.pop();
+            fx.emit_with(|| ProtocolEvent::TimerFired { node: me, token });
+            protocol.on_timer(token, &mut fx);
+            fired = true;
+        }
+        let event = if fired {
+            None // flush the retransmissions before waiting
+        } else if let Some(&Reverse((deadline, _))) = timers.peek() {
+            match rx.recv_timeout(deadline.saturating_duration_since(Instant::now())) {
+                Ok(e) => Some(e),
+                Err(RecvTimeoutError::Timeout) => continue,
+                Err(RecvTimeoutError::Disconnected) => return,
+            }
+        } else {
+            match rx.recv() {
+                Ok(e) => Some(e),
+                Err(_) => return,
+            }
+        };
+        if let Some(event) = event {
+            match apply_event(&mut protocol, &mut runtime, &mut fx, &grants, event) {
+                PostEvent::Handled => {}
+                PostEvent::Sever { peer, done } => {
+                    if let Some(stream) = writers.lock().get(&peer) {
+                        let _ = stream.shutdown(Shutdown::Both);
+                    }
+                    let _ = done.send(());
+                }
+                PostEvent::Kill { done } => {
+                    for stream in writers.lock().values() {
+                        let _ = stream.shutdown(Shutdown::Both);
+                    }
+                    let _ = done.send(());
+                    return;
+                }
+                PostEvent::Stop => return,
+            }
+        }
+        let mut host = NetHost {
+            me,
+            grants: &grants,
+            counters: &counters,
+            writers: &writers,
+            redialer: &redialer,
+            addrs: addrs.as_slice(),
+            tx: &tx,
+            running: &running,
+            timers: &mut timers,
+            out: &mut out,
+        };
+        match observer.as_deref_mut() {
+            Some(obs) => {
+                let now = epoch.elapsed().as_micros() as u64;
+                runtime.dispatch_observed(&mut fx, &mut host, me, obs, now);
+            }
+            None => runtime.dispatch(&mut fx, &mut host),
+        }
+        *runtime_mirror.lock() = *runtime.counters();
+    }
+}
+
+/// The legacy transport's [`BatchHost`]: one step effect batch becomes
+/// one encoded wire frame and one blocking socket write per destination,
+/// so the flush boundary of the shared runtime is also the TCP flush
+/// boundary.
+struct NetHost<'a, M> {
+    me: NodeId,
+    grants: &'a GrantTable,
+    counters: &'a Counters,
+    writers: &'a Writers,
+    redialer: &'a Arc<Redialer>,
+    addrs: &'a [SocketAddr],
+    tx: &'a Sender<LoopEvent<M>>,
+    running: &'a Arc<AtomicBool>,
+    timers: &'a mut BinaryHeap<Reverse<(Instant, u64)>>,
+    out: &'a mut BytesMut,
+}
+
+impl<M> BatchHost<M> for NetHost<'_, M>
+where
+    M: WireCodec + Classify + Send + 'static,
+{
+    fn on_batch(&mut self, to: NodeId, messages: Vec<M>) {
+        for message in &messages {
+            self.counters.bump(message.kind());
+        }
+        self.out.clear();
+        frame::write_batch(self.out, self.me, &messages);
+        self.counters.add_bytes(self.out.len() as u64);
+        // A failed write evicts the dead socket and starts a background
+        // redial; while the map has no entry for `to`, frames are dropped
+        // on the floor — exactly the lossy-link regime the session layer
+        // recovers from.
+        let mut map = self.writers.lock();
+        let write_failed = match map.get_mut(&to) {
+            Some(stream) => write_frame(stream, self.out).is_err(),
+            None => false,
+        };
+        if write_failed {
+            map.remove(&to);
+            drop(map);
+            self.redialer.spawn(
+                self.me,
+                to,
+                self.addrs[to.index()],
+                self.writers.clone(),
+                self.tx.clone(),
+                self.running.clone(),
+            );
+        }
+    }
+
+    fn on_granted(&mut self, lock: LockId, ticket: Ticket, mode: Mode) {
+        self.grants.deliver(ticket, lock, mode);
+    }
+
+    fn on_set_timer(&mut self, token: u64, delay_micros: u64) {
+        let deadline = Instant::now() + Duration::from_micros(delay_micros);
+        self.timers.push(Reverse((deadline, token)));
+    }
+}
+
+/// Writes one whole frame, riding out partial writes, `Interrupted`, and
+/// transient `WouldBlock`/`TimedOut` conditions (for up to five seconds)
+/// instead of declaring the peer dead on the first incomplete write.
+///
+/// This blocking-with-deadline policy is the legacy transport's known
+/// soft spot: the event loop holds the writer map's mutex for the whole
+/// ride, so one slow peer can wedge a node's egress for seconds. The
+/// readiness mux replaces it with a bounded queue-and-flush
+/// ([`crate::conn::Outbox`]).
+///
+/// # Errors
+///
+/// Any other I/O error, a zero-byte write (closed socket), or a transient
+/// condition persisting past the deadline — all of which the caller
+/// treats as a dead link.
+fn write_frame(stream: &mut TcpStream, frame: &[u8]) -> std::io::Result<()> {
+    let deadline = Instant::now() + Duration::from_secs(5);
+    let mut written = 0;
+    while written < frame.len() {
+        match stream.write(&frame[written..]) {
+            Ok(0) => {
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::WriteZero,
+                    "socket accepted no bytes",
+                ));
+            }
+            Ok(n) => written += n,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                if Instant::now() >= deadline {
+                    return Err(e);
+                }
+                std::thread::sleep(Duration::from_millis(1));
+            }
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(())
+}

@@ -1,16 +1,26 @@
 //! # hlock-net
 //!
 //! A real-socket transport for the sans-I/O protocols: every node is a
-//! thread-backed runtime speaking length-prefixed [`hlock_wire`] frames
-//! over TCP. This demonstrates the exact same protocol state machines
-//! that run in the simulator working over a real network stack (the
-//! paper's testbed used switched TCP/IP; a localhost mesh exercises the
-//! same code paths).
+//! runtime speaking length-prefixed [`hlock_wire`] frames over TCP.
+//! This demonstrates the exact same protocol state machines that run in
+//! the simulator working over a real network stack (the paper's testbed
+//! used switched TCP/IP; a localhost mesh exercises the same code
+//! paths).
 //!
-//! The design is deliberately simple and dependency-light (no async
-//! runtime): one listener thread plus one reader thread per peer feed a
-//! per-node event loop that owns the protocol state machine; writes go
-//! directly over per-peer sockets guarded by mutexes.
+//! The crate is layered (see `docs/TRANSPORT.md`):
+//!
+//! - [`transport`](crate) — the shared machinery: the per-node command
+//!   vocabulary, the single definition of protocol-event semantics both
+//!   engines apply, grant mailboxes, counters, the `/metrics` endpoint.
+//! - `conn` — sans-I/O connection state: bounded outboxes with
+//!   partial-write cursors, redial/failure-detector backoff.
+//! - `mux` — the default engine: a small worker pool drives every
+//!   node's sockets and timers from an epoll-style readiness loop, so a
+//!   cluster of a thousand nodes needs a handful of threads, not
+//!   thousands.
+//! - `legacy` (feature `legacy-threads`, on by default) — the original
+//!   thread-per-peer blocking transport, kept as a differential-testing
+//!   oracle. Select it with [`Transport::LegacyThreads`].
 //!
 //! Use [`Cluster::spawn_hierarchical`] / [`Cluster::spawn_naimi`] to
 //! bring up an in-process mesh:
@@ -31,32 +41,35 @@
 #![warn(rust_2018_idioms)]
 
 pub mod ccs;
+mod conn;
+#[cfg(feature = "legacy-threads")]
+mod legacy;
+mod mux;
 pub mod sharded;
+mod transport;
 
 pub use sharded::{ShardedCluster, ShardedNodeHandle};
 
-use bytes::BytesMut;
-use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
+use crossbeam::channel::unbounded;
 use hlock_core::{
-    BatchHost, Classify, ConcurrencyProtocol, EffectSink, HostRuntime, LockId, LockSpace,
-    MessageKind, MetricsRegistry, Mode, NodeId, Observer, Priority, ProtocolConfig, ProtocolEvent,
-    RecoverySpace, RuntimeCounters, Ticket,
+    ConcurrencyProtocol, LockId, LockSpace, MessageKind, MetricsRegistry, Mode, NodeId, Observer,
+    Priority, ProtocolConfig, ProtocolEvent, RecoverySpace, RuntimeCounters, Ticket,
 };
 use hlock_naimi::NaimiSpace;
 use hlock_raymond::RaymondSpace;
 use hlock_session::{SessionConfig, SessionSpace};
 use hlock_suzuki::SuzukiSpace;
-use hlock_wire::{frame, WireCodec};
-use parking_lot::{Condvar, Mutex};
-use std::cmp::Reverse;
-use std::collections::{BinaryHeap, HashMap};
+use hlock_wire::WireCodec;
+use parking_lot::Mutex;
+use std::collections::HashMap;
 use std::fmt;
-use std::io::{Read, Write};
-use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+#[cfg(feature = "legacy-threads")]
+use std::net::Shutdown;
+use std::net::{SocketAddr, TcpListener};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
-use std::thread::JoinHandle;
-use std::time::{Duration, Instant};
+use std::time::Duration;
+use transport::{serve_scrape, Counters, GrantTable, LoopEvent, MetricsServer};
 
 /// Transport-level failures.
 #[derive(Debug)]
@@ -101,119 +114,25 @@ impl From<std::io::Error> for NetError {
     }
 }
 
-enum LoopEvent<M> {
-    /// One decoded wire frame: a whole batch from one peer, in order.
-    Incoming(NodeId, Vec<M>),
-    Request {
-        lock: LockId,
-        mode: Mode,
-        ticket: Ticket,
-        priority: Priority,
-    },
-    Release {
-        lock: LockId,
-        ticket: Ticket,
-        done: Sender<Result<(), NetError>>,
-    },
-    Upgrade {
-        lock: LockId,
-        ticket: Ticket,
-        done: Sender<Result<(), NetError>>,
-    },
-    Cancel {
-        lock: LockId,
-        ticket: Ticket,
-        done: Sender<Result<(), NetError>>,
-    },
-    IsQuiescent {
-        done: Sender<bool>,
-    },
-    Downgrade {
-        lock: LockId,
-        ticket: Ticket,
-        mode: Mode,
-        done: Sender<Result<(), NetError>>,
-    },
-    TryRequest {
-        lock: LockId,
-        mode: Mode,
-        ticket: Ticket,
-        done: Sender<Result<bool, NetError>>,
-    },
-    /// The outgoing link to `peer` was re-established after a failure.
-    LinkUp(NodeId),
-    /// Failure detection: `dead` are suspected crashed. Recovery-capable
-    /// protocols start an epoch election; others ignore it. `done` is
-    /// `None` for transport-internal suspicion (repeated redial failure).
-    Suspect {
-        dead: Vec<NodeId>,
-        done: Option<Sender<()>>,
-    },
-    /// Fault injection: shut down the outgoing socket to `peer`.
-    Sever {
-        peer: NodeId,
-        done: Sender<()>,
-    },
-    Stop,
+/// Which I/O engine drives a cluster's sockets and timers.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum Transport {
+    /// The readiness-driven multiplexed event loop (`net::mux`): a
+    /// small worker pool, nonblocking sockets, lazy dialing, bounded
+    /// per-link outboxes. The default.
+    #[default]
+    Mux,
+    /// The original blocking thread-per-peer transport, kept as a
+    /// differential-testing oracle.
+    #[cfg(feature = "legacy-threads")]
+    LegacyThreads,
 }
 
-/// Grant mailbox shared between the event loop and API callers.
-#[derive(Default)]
-struct GrantTable {
-    granted: Mutex<HashMap<Ticket, (LockId, Mode)>>,
-    signal: Condvar,
-}
-
-impl GrantTable {
-    fn deliver(&self, ticket: Ticket, lock: LockId, mode: Mode) {
-        self.granted.lock().insert(ticket, (lock, mode));
-        self.signal.notify_all();
-    }
-
-    /// Drops an unclaimed grant (after a cancellation), avoiding a leak.
-    fn discard(&self, ticket: Ticket) {
-        self.granted.lock().remove(&ticket);
-    }
-
-    fn wait(&self, ticket: Ticket, timeout: Duration) -> Option<(LockId, Mode)> {
-        let deadline = Instant::now() + timeout;
-        let mut table = self.granted.lock();
-        loop {
-            if let Some(v) = table.remove(&ticket) {
-                return Some(v);
-            }
-            let now = Instant::now();
-            if now >= deadline {
-                return None;
-            }
-            let _ = self.signal.wait_for(&mut table, deadline - now);
-        }
-    }
-}
-
-/// Per-kind message counters (sent messages) plus total wire bytes.
-#[derive(Default)]
-struct Counters {
-    by_kind: [AtomicU64; MessageKind::ALL.len()],
-    bytes: AtomicU64,
-}
-
-impl Counters {
-    fn index(kind: MessageKind) -> usize {
-        MessageKind::ALL.iter().position(|k| *k == kind).expect("known kind")
-    }
-    fn bump(&self, kind: MessageKind) {
-        self.by_kind[Self::index(kind)].fetch_add(1, Ordering::Relaxed);
-    }
-    fn add_bytes(&self, n: u64) {
-        self.bytes.fetch_add(n, Ordering::Relaxed);
-    }
-    fn snapshot(&self) -> HashMap<MessageKind, u64> {
-        MessageKind::ALL
-            .iter()
-            .map(|k| (*k, self.by_kind[Self::index(*k)].load(Ordering::Relaxed)))
-            .collect()
-    }
+/// How a [`NodeHandle`] reaches its protocol loop, per engine.
+enum Port<M> {
+    #[cfg(feature = "legacy-threads")]
+    Legacy(legacy::LegacyPort<M>),
+    Mux(mux::MuxPort<M>),
 }
 
 /// A cluster-wide [`MetricsRegistry`] shared by every node's event loop.
@@ -257,21 +176,17 @@ impl Observer for ClusterMetrics {
     }
 }
 
-/// One running node: protocol event loop + sockets.
+/// One running node: protocol loop + sockets, on either transport.
 pub struct NodeHandle<P: ConcurrencyProtocol> {
     id: NodeId,
-    events: Sender<LoopEvent<P::Message>>,
     grants: Arc<GrantTable>,
     counters: Arc<Counters>,
-    /// Snapshot of the event loop's [`HostRuntime`] counters, refreshed
+    /// Snapshot of the protocol loop's runtime counters, refreshed
     /// after every dispatch.
     runtime: Arc<Mutex<RuntimeCounters>>,
     next_ticket: AtomicU64,
     running: Arc<AtomicBool>,
-    threads: Mutex<Vec<JoinHandle<()>>>,
-    /// Outgoing sockets, shared with the event loop (used by
-    /// [`NodeHandle::kill`] to sever every link at once).
-    writers: Writers,
+    port: Port<P::Message>,
 }
 
 impl<P: ConcurrencyProtocol> fmt::Debug for NodeHandle<P> {
@@ -288,6 +203,15 @@ where
     /// This node's id.
     pub fn id(&self) -> NodeId {
         self.id
+    }
+
+    /// Hands one event to the protocol loop, waking it if needed.
+    fn send(&self, event: LoopEvent<P::Message>) -> Result<(), NetError> {
+        match &self.port {
+            #[cfg(feature = "legacy-threads")]
+            Port::Legacy(p) => p.events.send(event).map_err(|_| NetError::Closed),
+            Port::Mux(p) => p.send(event),
+        }
     }
 
     /// Issues an asynchronous lock request; the grant can be awaited with
@@ -312,9 +236,7 @@ where
         priority: Priority,
     ) -> Result<Ticket, NetError> {
         let ticket = Ticket(self.next_ticket.fetch_add(1, Ordering::Relaxed));
-        self.events
-            .send(LoopEvent::Request { lock, mode, ticket, priority })
-            .map_err(|_| NetError::Closed)?;
+        self.send(LoopEvent::Request { lock, mode, ticket, priority })?;
         Ok(ticket)
     }
 
@@ -355,9 +277,7 @@ where
     pub fn try_acquire(&self, lock: LockId, mode: Mode) -> Result<Option<Ticket>, NetError> {
         let ticket = Ticket(self.next_ticket.fetch_add(1, Ordering::Relaxed));
         let (tx, rx) = unbounded();
-        self.events
-            .send(LoopEvent::TryRequest { lock, mode, ticket, done: tx })
-            .map_err(|_| NetError::Closed)?;
+        self.send(LoopEvent::TryRequest { lock, mode, ticket, done: tx })?;
         let granted = rx.recv().map_err(|_| NetError::Closed)??;
         if granted {
             // Consume the grant notification eagerly.
@@ -376,9 +296,7 @@ where
     /// [`NetError::Protocol`] on an illegal downgrade or unknown ticket.
     pub fn downgrade(&self, lock: LockId, ticket: Ticket, mode: Mode) -> Result<(), NetError> {
         let (tx, rx) = unbounded();
-        self.events
-            .send(LoopEvent::Downgrade { lock, ticket, mode, done: tx })
-            .map_err(|_| NetError::Closed)?;
+        self.send(LoopEvent::Downgrade { lock, ticket, mode, done: tx })?;
         rx.recv().map_err(|_| NetError::Closed)?
     }
 
@@ -390,9 +308,7 @@ where
     /// [`NetError::Closed`] if the node has shut down.
     pub fn cancel(&self, lock: LockId, ticket: Ticket) -> Result<(), NetError> {
         let (tx, rx) = unbounded();
-        self.events
-            .send(LoopEvent::Cancel { lock, ticket, done: tx })
-            .map_err(|_| NetError::Closed)?;
+        self.send(LoopEvent::Cancel { lock, ticket, done: tx })?;
         rx.recv().map_err(|_| NetError::Closed)?
     }
 
@@ -403,9 +319,7 @@ where
     /// [`NetError::Protocol`] if `ticket` holds nothing.
     pub fn release(&self, lock: LockId, ticket: Ticket) -> Result<(), NetError> {
         let (tx, rx) = unbounded();
-        self.events
-            .send(LoopEvent::Release { lock, ticket, done: tx })
-            .map_err(|_| NetError::Closed)?;
+        self.send(LoopEvent::Release { lock, ticket, done: tx })?;
         rx.recv().map_err(|_| NetError::Closed)?
     }
 
@@ -422,9 +336,7 @@ where
     /// holders do not drain in time.
     pub fn upgrade(&self, lock: LockId, ticket: Ticket, timeout: Duration) -> Result<(), NetError> {
         let (tx, rx) = unbounded();
-        self.events
-            .send(LoopEvent::Upgrade { lock, ticket, done: tx })
-            .map_err(|_| NetError::Closed)?;
+        self.send(LoopEvent::Upgrade { lock, ticket, done: tx })?;
         rx.recv().map_err(|_| NetError::Closed)??;
         match self.wait(ticket, timeout) {
             Ok(_) => Ok(()),
@@ -446,7 +358,7 @@ where
     /// [`NetError::Closed`] if the node has shut down.
     pub fn sever_link(&self, peer: NodeId) -> Result<(), NetError> {
         let (tx, rx) = unbounded();
-        self.events.send(LoopEvent::Sever { peer, done: tx }).map_err(|_| NetError::Closed)?;
+        self.send(LoopEvent::Sever { peer, done: tx })?;
         rx.recv().map_err(|_| NetError::Closed)
     }
 
@@ -463,9 +375,7 @@ where
     /// [`NetError::Closed`] if the node has shut down.
     pub fn suspect(&self, dead: &[NodeId]) -> Result<(), NetError> {
         let (tx, rx) = unbounded();
-        self.events
-            .send(LoopEvent::Suspect { dead: dead.to_vec(), done: Some(tx) })
-            .map_err(|_| NetError::Closed)?;
+        self.send(LoopEvent::Suspect { dead: dead.to_vec(), done: Some(tx) })?;
         rx.recv().map_err(|_| NetError::Closed)
     }
 
@@ -476,10 +386,23 @@ where
     /// the node's protocol state dies with it, which is exactly what a
     /// recovery epoch election must tolerate.
     pub fn kill(&self) {
-        for stream in self.writers.lock().values() {
-            let _ = stream.shutdown(Shutdown::Both);
+        match &self.port {
+            #[cfg(feature = "legacy-threads")]
+            Port::Legacy(p) => {
+                for stream in p.writers.lock().values() {
+                    let _ = stream.shutdown(Shutdown::Both);
+                }
+                self.stop();
+            }
+            Port::Mux(p) => {
+                if self.running.swap(false, Ordering::SeqCst) {
+                    let (tx, rx) = unbounded();
+                    if p.send(LoopEvent::Kill { done: tx }).is_ok() {
+                        let _ = rx.recv();
+                    }
+                }
+            }
         }
-        self.stop();
     }
 
     /// Whether this node's protocol has no work in flight (no pending or
@@ -491,7 +414,7 @@ where
     /// [`NetError::Closed`] if the node has shut down.
     pub fn is_quiescent(&self) -> Result<bool, NetError> {
         let (tx, rx) = unbounded();
-        self.events.send(LoopEvent::IsQuiescent { done: tx }).map_err(|_| NetError::Closed)?;
+        self.send(LoopEvent::IsQuiescent { done: tx })?;
         rx.recv().map_err(|_| NetError::Closed)
     }
 
@@ -506,7 +429,7 @@ where
         self.counters.bytes.load(Ordering::Relaxed)
     }
 
-    /// A snapshot of this node's [`HostRuntime`] counters (steps,
+    /// A snapshot of this node's host-runtime counters (steps,
     /// logical messages, frames, grants, timers, max batch), refreshed
     /// after every dispatch of the event loop.
     pub fn runtime_counters(&self) -> RuntimeCounters {
@@ -514,38 +437,32 @@ where
     }
 
     fn stop(&self) {
-        if self.running.swap(false, Ordering::SeqCst) {
-            let _ = self.events.send(LoopEvent::Stop);
-        }
-        // Take the handles *out* of the mutex before joining: reader
-        // threads can block up to their socket read timeout, and joining
-        // them under the lock would stall any concurrent `stop` (or a
-        // future `threads.lock()` on another code path) for that long.
-        let threads: Vec<JoinHandle<()>> = {
-            let mut guard = self.threads.lock();
-            guard.drain(..).collect()
-        };
-        for t in threads {
-            let _ = t.join();
-        }
-    }
-}
-
-/// Shared writer map: peer id → socket for outgoing frames.
-type Writers = Arc<Mutex<HashMap<NodeId, TcpStream>>>;
-
-/// A running `/metrics` HTTP listener (see [`Cluster::serve_metrics`]).
-struct MetricsServer {
-    addr: SocketAddr,
-    running: Arc<AtomicBool>,
-    thread: Option<JoinHandle<()>>,
-}
-
-impl MetricsServer {
-    fn stop(&mut self) {
-        self.running.store(false, Ordering::SeqCst);
-        if let Some(t) = self.thread.take() {
-            let _ = t.join();
+        match &self.port {
+            #[cfg(feature = "legacy-threads")]
+            Port::Legacy(p) => {
+                if self.running.swap(false, Ordering::SeqCst) {
+                    let _ = p.events.send(LoopEvent::Stop);
+                }
+                // Take the handles *out* of the mutex before joining:
+                // reader threads can block up to their socket read
+                // timeout, and joining them under the lock would stall
+                // any concurrent `stop` for that long.
+                let threads: Vec<std::thread::JoinHandle<()>> = {
+                    let mut guard = p.threads.lock();
+                    guard.drain(..).collect()
+                };
+                for t in threads {
+                    let _ = t.join();
+                }
+                p.redialer.join_all();
+            }
+            Port::Mux(p) => {
+                // The slot is removed by the worker; the worker threads
+                // themselves are joined by `Cluster::shutdown`.
+                if self.running.swap(false, Ordering::SeqCst) {
+                    let _ = p.send(LoopEvent::Stop);
+                }
+            }
         }
     }
 }
@@ -554,6 +471,9 @@ impl MetricsServer {
 pub struct Cluster<P: ConcurrencyProtocol> {
     nodes: Vec<Arc<NodeHandle<P>>>,
     metrics_server: Option<MetricsServer>,
+    /// The mux worker pool, when the cluster runs on [`Transport::Mux`];
+    /// joined at [`Cluster::shutdown`].
+    mux: Option<mux::MuxHandle>,
 }
 
 impl Cluster<LockSpace> {
@@ -723,126 +643,71 @@ where
         make: impl Fn(usize) -> P,
         observe: impl Fn(NodeId) -> Option<Box<dyn Observer + Send>>,
     ) -> Result<Cluster<P>, NetError> {
-        assert!(n >= 1, "need at least one node");
-        // Bind all listeners first so every address is known.
-        let listeners: Vec<TcpListener> =
-            (0..n).map(|_| TcpListener::bind(("127.0.0.1", 0))).collect::<Result<_, _>>()?;
-        let addrs: Vec<SocketAddr> =
-            listeners.iter().map(TcpListener::local_addr).collect::<Result<_, _>>()?;
-
-        let mut nodes = Vec::with_capacity(n);
-        for (i, listener) in listeners.into_iter().enumerate() {
-            let id = NodeId(i as u32);
-            let protocol = make(i);
-            assert_eq!(protocol.node_id(), id, "factory must honour node ids");
-            nodes.push(Self::spawn_node(id, protocol, listener, &addrs, observe(id))?);
-        }
-        Ok(Cluster { nodes, metrics_server: None })
+        Self::spawn_observed_on(Transport::default(), n, make, observe)
     }
 
-    fn spawn_node(
-        id: NodeId,
-        protocol: P,
-        listener: TcpListener,
-        addrs: &[SocketAddr],
-        observer: Option<Box<dyn Observer + Send>>,
-    ) -> Result<Arc<NodeHandle<P>>, NetError> {
-        let (tx, rx) = unbounded::<LoopEvent<P::Message>>();
-        let grants = Arc::new(GrantTable::default());
-        let counters = Arc::new(Counters::default());
-        let runtime_mirror = Arc::new(Mutex::new(RuntimeCounters::default()));
-        let running = Arc::new(AtomicBool::new(true));
-        let writers: Writers = Arc::new(Mutex::new(HashMap::new()));
-        let mut threads = Vec::new();
+    /// Like [`Cluster::spawn`], on an explicitly chosen [`Transport`].
+    ///
+    /// # Errors
+    ///
+    /// Any socket error during setup.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero or `make` returns a protocol whose node id
+    /// does not match its index.
+    pub fn spawn_on(
+        transport: Transport,
+        n: usize,
+        make: impl Fn(usize) -> P,
+    ) -> Result<Cluster<P>, NetError> {
+        Self::spawn_observed_on(transport, n, make, |_| None)
+    }
 
-        // Dial every peer; our dialed sockets are our write channels.
-        for (j, addr) in addrs.iter().enumerate() {
-            if j == id.index() {
-                continue;
+    /// The fully general constructor: an explicit [`Transport`] plus a
+    /// per-node [`Observer`] factory. Both engines feed the observer the
+    /// same [`ProtocolEvent`] stream, which is what the differential
+    /// transport tests compare.
+    ///
+    /// # Errors
+    ///
+    /// Any socket error during setup.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero or `make` returns a protocol whose node id
+    /// does not match its index.
+    pub fn spawn_observed_on(
+        transport: Transport,
+        n: usize,
+        make: impl Fn(usize) -> P,
+        observe: impl Fn(NodeId) -> Option<Box<dyn Observer + Send>>,
+    ) -> Result<Cluster<P>, NetError> {
+        match transport {
+            Transport::Mux => {
+                let (nodes, handle) = mux::spawn_cluster(n, make, observe)?;
+                Ok(Cluster { nodes, metrics_server: None, mux: Some(handle) })
             }
-            let mut stream = TcpStream::connect(addr)?;
-            stream.set_nodelay(true)?;
-            // Handshake: announce who we are (a single varint frame body).
-            let mut hello = BytesMut::new();
-            hlock_wire::put_varint(&mut hello, u64::from(id.0));
-            let mut framed = BytesMut::new();
-            framed.extend_from_slice(&(hello.len() as u32).to_le_bytes());
-            framed.extend_from_slice(&hello);
-            stream.write_all(&framed)?;
-            writers.lock().insert(NodeId(j as u32), stream);
-        }
+            #[cfg(feature = "legacy-threads")]
+            Transport::LegacyThreads => {
+                assert!(n >= 1, "need at least one node");
+                // Bind all listeners first so every address is known.
+                let listeners: Vec<TcpListener> = (0..n)
+                    .map(|_| TcpListener::bind(("127.0.0.1", 0)))
+                    .collect::<Result<_, _>>()?;
+                let addrs: Vec<SocketAddr> =
+                    listeners.iter().map(TcpListener::local_addr).collect::<Result<_, _>>()?;
 
-        // Listener thread: accepts inbound links and spawns readers. It
-        // keeps accepting until shutdown so that peers whose outgoing
-        // socket died can dial back in at any time.
-        {
-            let tx = tx.clone();
-            let running = running.clone();
-            listener.set_nonblocking(true)?;
-            threads.push(std::thread::spawn(move || {
-                while running.load(Ordering::SeqCst) {
-                    match listener.accept() {
-                        Ok((stream, _)) => {
-                            let _ = stream.set_nodelay(true);
-                            let _ = stream.set_nonblocking(false);
-                            let tx = tx.clone();
-                            let running = running.clone();
-                            std::thread::spawn(move || {
-                                reader_loop::<P::Message>(
-                                    stream,
-                                    move |from, messages| {
-                                        tx.send(LoopEvent::Incoming(from, messages)).is_ok()
-                                    },
-                                    running,
-                                )
-                            });
-                        }
-                        Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
-                            std::thread::sleep(Duration::from_millis(25));
-                        }
-                        Err(_) => break,
-                    }
+                let mut nodes = Vec::with_capacity(n);
+                for (i, listener) in listeners.into_iter().enumerate() {
+                    let id = NodeId(i as u32);
+                    let protocol = make(i);
+                    assert_eq!(protocol.node_id(), id, "factory must honour node ids");
+                    nodes.push(legacy::spawn_node(id, protocol, listener, &addrs, observe(id))?);
                 }
-            }));
+                Ok(Cluster { nodes, metrics_server: None, mux: None })
+            }
         }
-
-        // Event loop thread: owns the protocol (and the observer, so no
-        // lock is ever held around a dispatch).
-        {
-            let grants = grants.clone();
-            let counters = counters.clone();
-            let runtime_mirror = runtime_mirror.clone();
-            let writers = writers.clone();
-            let running = running.clone();
-            let tx = tx.clone();
-            let addrs: Arc<Vec<SocketAddr>> = Arc::new(addrs.to_vec());
-            threads.push(std::thread::spawn(move || {
-                event_loop(
-                    protocol,
-                    rx,
-                    tx,
-                    grants,
-                    counters,
-                    runtime_mirror,
-                    writers,
-                    addrs,
-                    running,
-                    observer,
-                );
-            }));
-        }
-
-        Ok(Arc::new(NodeHandle {
-            id,
-            events: tx,
-            grants,
-            counters,
-            runtime: runtime_mirror,
-            next_ticket: AtomicU64::new(1),
-            running,
-            threads: Mutex::new(threads),
-            writers,
-        }))
     }
 
     /// Handle of node `i`.
@@ -937,8 +802,8 @@ where
         self.metrics_server.as_ref().map(|s| s.addr)
     }
 
-    /// Stops every node and joins their threads (plus the `/metrics`
-    /// listener, if one was started).
+    /// Stops every node and joins every transport thread (plus the
+    /// `/metrics` listener, if one was started).
     pub fn shutdown(mut self) {
         if let Some(server) = &mut self.metrics_server {
             server.stop();
@@ -946,412 +811,17 @@ where
         for n in &self.nodes {
             n.stop();
         }
-    }
-}
-
-/// Answers one `/metrics` scrape: folds the summed per-node runtime
-/// counters into the registry, renders it, and writes a minimal HTTP/1.0
-/// response. Best-effort — scrape failures never disturb the cluster.
-fn serve_scrape(
-    mut stream: TcpStream,
-    metrics: &ClusterMetrics,
-    mirrors: &[Arc<Mutex<RuntimeCounters>>],
-) {
-    // Drain (and ignore) the request line + headers, briefly.
-    let _ = stream.set_read_timeout(Some(Duration::from_millis(100)));
-    let mut scratch = [0u8; 1024];
-    let _ = stream.read(&mut scratch);
-
-    let mut total = RuntimeCounters::default();
-    for mirror in mirrors {
-        let c = *mirror.lock();
-        total.absorb(&c);
-    }
-    let body = metrics.with(|r| {
-        r.record_runtime(&total);
-        r.render()
-    });
-    let response = format!(
-        "HTTP/1.0 200 OK\r\nContent-Type: text/plain; version=0.0.4\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{}",
-        body.len(),
-        body
-    );
-    let _ = stream.write_all(response.as_bytes());
-    let _ = stream.shutdown(Shutdown::Both);
-}
-
-/// Decodes handshake + frames off one inbound socket, handing every
-/// complete frame to `sink`. The sink returns `false` to stop the reader
-/// (its downstream channel closed). Shared by the single-event-loop
-/// transport (sink = send [`LoopEvent::Incoming`]) and the sharded
-/// runtime (sink = send to the shard router).
-fn reader_loop<M>(
-    mut stream: TcpStream,
-    sink: impl Fn(NodeId, Vec<M>) -> bool,
-    running: Arc<AtomicBool>,
-) where
-    M: WireCodec,
-{
-    let _ = stream.set_read_timeout(Some(Duration::from_millis(200)));
-    let mut buf = BytesMut::new();
-    let mut peer: Option<NodeId> = None;
-    let mut chunk = [0u8; 16 * 1024];
-    loop {
-        if !running.load(Ordering::SeqCst) {
-            return;
-        }
-        match stream.read(&mut chunk) {
-            Ok(0) => return,
-            Ok(n) => buf.extend_from_slice(&chunk[..n]),
-            Err(e)
-                if e.kind() == std::io::ErrorKind::WouldBlock
-                    || e.kind() == std::io::ErrorKind::TimedOut =>
-            {
-                continue;
-            }
-            Err(_) => return,
-        }
-        loop {
-            if peer.is_none() {
-                // First frame is the handshake: a bare varint node id.
-                if buf.len() < 4 {
-                    break;
-                }
-                let len = u32::from_le_bytes([buf[0], buf[1], buf[2], buf[3]]) as usize;
-                if buf.len() < 4 + len {
-                    break;
-                }
-                let _ = buf.split_to(4);
-                let mut body = buf.split_to(len).freeze();
-                match hlock_wire::get_varint(&mut body) {
-                    Ok(v) => peer = Some(NodeId(v as u32)),
-                    Err(_) => return,
-                }
-                continue;
-            }
-            match frame::read::<M>(&mut buf) {
-                Ok(Some((from, messages))) => {
-                    debug_assert_eq!(Some(from), peer);
-                    if !sink(from, messages) {
-                        return;
-                    }
-                }
-                Ok(None) => break,
-                Err(_) => return,
-            }
+        if let Some(mux) = self.mux.take() {
+            mux.shutdown();
         }
     }
-}
-
-#[allow(clippy::too_many_arguments)]
-fn event_loop<P>(
-    mut protocol: P,
-    rx: Receiver<LoopEvent<P::Message>>,
-    tx: Sender<LoopEvent<P::Message>>,
-    grants: Arc<GrantTable>,
-    counters: Arc<Counters>,
-    runtime_mirror: Arc<Mutex<RuntimeCounters>>,
-    writers: Writers,
-    addrs: Arc<Vec<SocketAddr>>,
-    running: Arc<AtomicBool>,
-    mut observer: Option<Box<dyn Observer + Send>>,
-) where
-    P: ConcurrencyProtocol,
-    P::Message: WireCodec + Send + 'static,
-{
-    let me = protocol.node_id();
-    let mut fx = EffectSink::new();
-    // With an observer attached the node emits the full protocol-event
-    // stream (the same vocabulary as the simulator and model checker);
-    // without one, `emit_with` closures never run and the loop is the
-    // plain fast path.
-    fx.set_observing(observer.is_some());
-    // Observer timestamps: microseconds since this node started.
-    let epoch = Instant::now();
-    let mut runtime: HostRuntime<P::Message> = HostRuntime::new();
-    // Reusable encode buffer: one frame per (step, destination).
-    let mut out = BytesMut::new();
-    // Protocol timers (retransmission deadlines) as a min-heap of
-    // (deadline, token); duplicates are harmless — the session layer
-    // treats a stale fire of a re-armed token as a no-op retransmit
-    // opportunity check.
-    let mut timers: BinaryHeap<Reverse<(Instant, u64)>> = BinaryHeap::new();
-    loop {
-        // Fire every due timer before blocking on the channel again.
-        let now = Instant::now();
-        let mut fired = false;
-        while let Some(&Reverse((deadline, token))) = timers.peek() {
-            if deadline > now {
-                break;
-            }
-            timers.pop();
-            fx.emit_with(|| ProtocolEvent::TimerFired { node: me, token });
-            protocol.on_timer(token, &mut fx);
-            fired = true;
-        }
-        let event = if fired {
-            None // flush the retransmissions before waiting
-        } else if let Some(&Reverse((deadline, _))) = timers.peek() {
-            match rx.recv_timeout(deadline.saturating_duration_since(Instant::now())) {
-                Ok(e) => Some(e),
-                Err(RecvTimeoutError::Timeout) => continue,
-                Err(RecvTimeoutError::Disconnected) => return,
-            }
-        } else {
-            match rx.recv() {
-                Ok(e) => Some(e),
-                Err(_) => return,
-            }
-        };
-        match event {
-            None => {}
-            Some(LoopEvent::Incoming(from, messages)) => {
-                if fx.observing() {
-                    for message in &messages {
-                        let kind = message.kind();
-                        fx.emit_with(|| ProtocolEvent::Delivered { node: me, from, kind });
-                    }
-                }
-                // Route through the shared runtime so frames carrying a
-                // stale recovery epoch are fenced before the protocol
-                // sees them — identical semantics to the simulator and
-                // the model checker.
-                runtime.deliver(&mut protocol, from, messages, &mut fx);
-            }
-            Some(LoopEvent::Request { lock, mode, ticket, priority }) => {
-                let r = protocol.request_with_priority(lock, mode, ticket, priority, &mut fx);
-                // Duplicate tickets cannot happen (monotonic counter).
-                debug_assert!(r.is_ok(), "request rejected: {r:?}");
-            }
-            Some(LoopEvent::Release { lock, ticket, done }) => {
-                let r = protocol.release(lock, ticket, &mut fx).map_err(NetError::Protocol);
-                let _ = done.send(r);
-            }
-            Some(LoopEvent::Upgrade { lock, ticket, done }) => {
-                let r = protocol.upgrade(lock, ticket, &mut fx).map_err(NetError::Protocol);
-                let _ = done.send(r);
-            }
-            Some(LoopEvent::Cancel { lock, ticket, done }) => {
-                // A grant may have raced ahead of the cancel: release it
-                // and drop its unclaimed mailbox entry.
-                let r = match protocol.cancel(lock, ticket, &mut fx) {
-                    Ok(_) => Ok(()),
-                    Err(hlock_core::ProtocolError::NotCancellable { .. }) => {
-                        grants.discard(ticket);
-                        protocol.release(lock, ticket, &mut fx).map_err(NetError::Protocol)
-                    }
-                    Err(e) => Err(NetError::Protocol(e)),
-                };
-                let _ = done.send(r);
-            }
-            Some(LoopEvent::Downgrade { lock, ticket, mode, done }) => {
-                let r = protocol.downgrade(lock, ticket, mode, &mut fx).map_err(NetError::Protocol);
-                let _ = done.send(r);
-            }
-            Some(LoopEvent::TryRequest { lock, mode, ticket, done }) => {
-                let r =
-                    protocol.try_request(lock, mode, ticket, &mut fx).map_err(NetError::Protocol);
-                let _ = done.send(r);
-            }
-            Some(LoopEvent::IsQuiescent { done }) => {
-                let _ = done.send(protocol.is_quiescent());
-            }
-            Some(LoopEvent::LinkUp(peer)) => {
-                protocol.on_link_reset(peer, &mut fx);
-            }
-            Some(LoopEvent::Suspect { dead, done }) => {
-                protocol.on_suspect(&dead, &mut fx);
-                if let Some(done) = done {
-                    let _ = done.send(());
-                }
-            }
-            Some(LoopEvent::Sever { peer, done }) => {
-                if let Some(stream) = writers.lock().get(&peer) {
-                    let _ = stream.shutdown(Shutdown::Both);
-                }
-                let _ = done.send(());
-            }
-            Some(LoopEvent::Stop) => return,
-        }
-        let mut host = NetHost {
-            me,
-            grants: &grants,
-            counters: &counters,
-            writers: &writers,
-            addrs: addrs.as_slice(),
-            tx: &tx,
-            running: &running,
-            timers: &mut timers,
-            out: &mut out,
-        };
-        match observer.as_deref_mut() {
-            Some(obs) => {
-                let now = epoch.elapsed().as_micros() as u64;
-                runtime.dispatch_observed(&mut fx, &mut host, me, obs, now);
-            }
-            None => runtime.dispatch(&mut fx, &mut host),
-        }
-        *runtime_mirror.lock() = *runtime.counters();
-    }
-}
-
-/// The TCP transport's [`BatchHost`]: one step effect batch becomes one
-/// encoded wire frame and one socket write per destination, so the flush
-/// boundary of the shared runtime is also the TCP flush boundary.
-struct NetHost<'a, M> {
-    me: NodeId,
-    grants: &'a GrantTable,
-    counters: &'a Counters,
-    writers: &'a Writers,
-    addrs: &'a [SocketAddr],
-    tx: &'a Sender<LoopEvent<M>>,
-    running: &'a Arc<AtomicBool>,
-    timers: &'a mut BinaryHeap<Reverse<(Instant, u64)>>,
-    out: &'a mut BytesMut,
-}
-
-impl<M> BatchHost<M> for NetHost<'_, M>
-where
-    M: WireCodec + Classify + Send + 'static,
-{
-    fn on_batch(&mut self, to: NodeId, messages: Vec<M>) {
-        for message in &messages {
-            self.counters.bump(message.kind());
-        }
-        self.out.clear();
-        frame::write_batch(self.out, self.me, &messages);
-        self.counters.add_bytes(self.out.len() as u64);
-        // A failed write evicts the dead socket and starts a background
-        // redial; while the map has no entry for `to`, frames are dropped
-        // on the floor — exactly the lossy-link regime the session layer
-        // recovers from.
-        let mut map = self.writers.lock();
-        let write_failed = match map.get_mut(&to) {
-            Some(stream) => write_frame(stream, self.out).is_err(),
-            None => false,
-        };
-        if write_failed {
-            map.remove(&to);
-            drop(map);
-            spawn_reconnect(
-                self.me,
-                to,
-                self.addrs[to.index()],
-                self.writers.clone(),
-                self.tx.clone(),
-                self.running.clone(),
-            );
-        }
-    }
-
-    fn on_granted(&mut self, lock: LockId, ticket: Ticket, mode: Mode) {
-        self.grants.deliver(ticket, lock, mode);
-    }
-
-    fn on_set_timer(&mut self, token: u64, delay_micros: u64) {
-        let deadline = Instant::now() + Duration::from_micros(delay_micros);
-        self.timers.push(Reverse((deadline, token)));
-    }
-}
-
-/// Writes one whole frame, riding out partial writes, `Interrupted`, and
-/// transient `WouldBlock`/`TimedOut` conditions (for up to five seconds)
-/// instead of declaring the peer dead on the first incomplete write.
-///
-/// # Errors
-///
-/// Any other I/O error, a zero-byte write (closed socket), or a transient
-/// condition persisting past the deadline — all of which the caller
-/// treats as a dead link.
-fn write_frame(stream: &mut TcpStream, frame: &[u8]) -> std::io::Result<()> {
-    let deadline = Instant::now() + Duration::from_secs(5);
-    let mut written = 0;
-    while written < frame.len() {
-        match stream.write(&frame[written..]) {
-            Ok(0) => {
-                return Err(std::io::Error::new(
-                    std::io::ErrorKind::WriteZero,
-                    "socket accepted no bytes",
-                ));
-            }
-            Ok(n) => written += n,
-            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
-            Err(e)
-                if e.kind() == std::io::ErrorKind::WouldBlock
-                    || e.kind() == std::io::ErrorKind::TimedOut =>
-            {
-                if Instant::now() >= deadline {
-                    return Err(e);
-                }
-                std::thread::sleep(Duration::from_millis(1));
-            }
-            Err(e) => return Err(e),
-        }
-    }
-    Ok(())
-}
-
-/// Redial failures before the transport suspects the peer crashed (the
-/// doubling backoff makes this ≈ 0.6 s of continuous refusal). A severed
-/// link to a *live* peer reconnects on the first or second attempt; only
-/// a dead listener keeps refusing this long.
-const SUSPECT_AFTER_FAILURES: u32 = 5;
-
-/// Redials `peer` with exponential backoff (10 ms doubling to 1 s) until
-/// the node shuts down or the link is re-established, then replays the
-/// handshake, publishes the fresh socket and notifies the event loop so
-/// the protocol can resend anything unacknowledged.
-///
-/// This doubles as the transport's failure detector: after
-/// [`SUSPECT_AFTER_FAILURES`] consecutive failures the event loop is
-/// told to suspect the peer (once), which on recovery-wrapped clusters
-/// triggers the epoch election. Redialing continues regardless — a
-/// false suspicion heals when the peer comes back and is taught the new
-/// epoch via stale-traffic fencing.
-fn spawn_reconnect<M: Send + 'static>(
-    me: NodeId,
-    peer: NodeId,
-    addr: SocketAddr,
-    writers: Writers,
-    tx: Sender<LoopEvent<M>>,
-    running: Arc<AtomicBool>,
-) {
-    std::thread::spawn(move || {
-        let mut delay = Duration::from_millis(10);
-        let mut failures = 0u32;
-        while running.load(Ordering::SeqCst) {
-            std::thread::sleep(delay);
-            match TcpStream::connect(addr) {
-                Ok(mut stream) => {
-                    let _ = stream.set_nodelay(true);
-                    let mut hello = BytesMut::new();
-                    hlock_wire::put_varint(&mut hello, u64::from(me.0));
-                    let mut framed = BytesMut::new();
-                    framed.extend_from_slice(&(hello.len() as u32).to_le_bytes());
-                    framed.extend_from_slice(&hello);
-                    if stream.write_all(&framed).is_err() {
-                        delay = (delay * 2).min(Duration::from_secs(1));
-                        continue;
-                    }
-                    writers.lock().insert(peer, stream);
-                    let _ = tx.send(LoopEvent::LinkUp(peer));
-                    return;
-                }
-                Err(_) => {
-                    failures += 1;
-                    if failures == SUSPECT_AFTER_FAILURES {
-                        let _ = tx.send(LoopEvent::Suspect { dead: vec![peer], done: None });
-                    }
-                    delay = (delay * 2).min(Duration::from_secs(1));
-                }
-            }
-        }
-    });
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::io::{Read, Write};
+    use std::net::TcpStream;
 
     #[test]
     fn hierarchical_cluster_read_write_cycle() {
@@ -1607,6 +1077,24 @@ mod tests {
         // Runtime counters flowed from the event loops into the scrape.
         let steps: u64 = cluster.nodes.iter().map(|n| n.runtime_counters().steps).sum();
         assert!(steps > 0, "event loops dispatched steps");
+        cluster.shutdown();
+    }
+
+    #[cfg(feature = "legacy-threads")]
+    #[test]
+    fn legacy_transport_oracle_still_works() {
+        let cluster = Cluster::spawn_on(Transport::LegacyThreads, 3, |i| {
+            LockSpace::new(NodeId(i as u32), 2, NodeId(0), ProtocolConfig::default())
+        })
+        .unwrap();
+        let timeout = Duration::from_secs(10);
+        let t1 = cluster.node(1).acquire(LockId(0), Mode::Read, timeout).unwrap();
+        let t2 = cluster.node(2).acquire(LockId(0), Mode::Read, timeout).unwrap();
+        cluster.node(1).release(LockId(0), t1).unwrap();
+        cluster.node(2).release(LockId(0), t2).unwrap();
+        let t3 = cluster.node(2).acquire(LockId(1), Mode::Write, timeout).unwrap();
+        cluster.node(2).release(LockId(1), t3).unwrap();
+        assert!(cluster.message_stats().values().sum::<u64>() > 0);
         cluster.shutdown();
     }
 

@@ -1,0 +1,1257 @@
+//! The readiness-driven multiplexed transport: a small worker pool
+//! drives every node's sockets, timers and protocol loop from
+//! epoll-style readiness events, multiplexing thousands of peer links
+//! over nonblocking sockets without a thread per peer.
+//!
+//! Each worker owns a [`Poller`], a deadline wheel (a min-heap of
+//! `(Instant, seq)` keys) and a set of node slots. A node's protocol
+//! state machine, its listener, its inbound connections and its
+//! outgoing links all live in one slot and are only ever touched by
+//! that worker thread — no locks around protocol state. API calls reach
+//! the worker through a command channel plus a pipe-based [`Waker`].
+//!
+//! Outgoing links are dialed lazily on first send and carry a bounded
+//! [`Outbox`] (queue-and-flush with partial-write cursors); when the
+//! bound is hit the newest frame is shed and a
+//! [`ProtocolEvent::Backpressure`] event is emitted — a slow peer can
+//! no longer wedge a node's egress the way the legacy blocking
+//! `write_frame` could. Redial backoff and the failure detector run as
+//! deadline-wheel entries with the same schedule as the legacy
+//! transport ([`DialBackoff`]), so recovery elections fire identically
+//! on both.
+
+use crate::conn::{DialBackoff, Outbox, Push, DEFAULT_OUTBOX_BYTES};
+use crate::transport::{apply_event, encode_hello, Counters, GrantTable, LoopEvent, PostEvent};
+use crate::{NetError, NodeHandle, Port};
+use bytes::BytesMut;
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use hlock_core::{
+    BatchHost, Classify, ConcurrencyProtocol, EffectSink, HostRuntime, LockId, Mode, NodeId,
+    Observer, ProtocolEvent, RuntimeCounters, Ticket,
+};
+use hlock_wire::{frame, WireCodec};
+use parking_lot::Mutex;
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+#[cfg(not(unix))]
+compile_error!("the hlock-net readiness mux needs a unix platform (epoll or poll)");
+
+use std::os::unix::io::{AsRawFd, FromRawFd, RawFd};
+
+// ---------------------------------------------------------------------
+// Raw syscall surface (no libc crate: the build is dependency-frozen).
+// ---------------------------------------------------------------------
+
+mod sys {
+    #[allow(non_camel_case_types)]
+    pub type c_int = i32;
+
+    extern "C" {
+        pub fn pipe(fds: *mut c_int) -> c_int;
+        pub fn fcntl(fd: c_int, cmd: c_int, arg: c_int) -> c_int;
+        pub fn read(fd: c_int, buf: *mut u8, count: usize) -> isize;
+        pub fn write(fd: c_int, buf: *const u8, count: usize) -> isize;
+        pub fn close(fd: c_int) -> c_int;
+        pub fn socket(domain: c_int, ty: c_int, protocol: c_int) -> c_int;
+        pub fn connect(fd: c_int, addr: *const u8, len: u32) -> c_int;
+        pub fn listen(fd: c_int, backlog: c_int) -> c_int;
+    }
+
+    pub const F_GETFL: c_int = 3;
+    pub const F_SETFL: c_int = 4;
+    pub const O_NONBLOCK: c_int = 2048;
+    pub const AF_INET: c_int = 2;
+    pub const SOCK_STREAM: c_int = 1;
+    pub const EINPROGRESS: i32 = 115;
+
+    #[cfg(target_os = "linux")]
+    pub mod epoll {
+        use super::c_int;
+
+        #[repr(C)]
+        #[cfg_attr(target_arch = "x86_64", repr(packed))]
+        #[derive(Clone, Copy)]
+        pub struct EpollEvent {
+            pub events: u32,
+            pub data: u64,
+        }
+
+        extern "C" {
+            pub fn epoll_create1(flags: c_int) -> c_int;
+            pub fn epoll_ctl(epfd: c_int, op: c_int, fd: c_int, event: *mut EpollEvent) -> c_int;
+            pub fn epoll_wait(
+                epfd: c_int,
+                events: *mut EpollEvent,
+                maxevents: c_int,
+                timeout_ms: c_int,
+            ) -> c_int;
+        }
+
+        pub const EPOLL_CTL_ADD: c_int = 1;
+        pub const EPOLL_CTL_DEL: c_int = 2;
+        pub const EPOLL_CTL_MOD: c_int = 3;
+        pub const EPOLLIN: u32 = 0x1;
+        pub const EPOLLOUT: u32 = 0x4;
+        pub const EPOLLERR: u32 = 0x8;
+        pub const EPOLLHUP: u32 = 0x10;
+    }
+
+    #[cfg(all(unix, not(target_os = "linux")))]
+    pub mod pollsys {
+        use super::c_int;
+
+        #[repr(C)]
+        #[derive(Clone, Copy)]
+        pub struct PollFd {
+            pub fd: c_int,
+            pub events: i16,
+            pub revents: i16,
+        }
+
+        extern "C" {
+            pub fn poll(fds: *mut PollFd, nfds: u64, timeout_ms: c_int) -> c_int;
+        }
+
+        pub const POLLIN: i16 = 0x1;
+        pub const POLLOUT: i16 = 0x4;
+        pub const POLLERR: i16 = 0x8;
+        pub const POLLHUP: i16 = 0x10;
+    }
+}
+
+/// Whether `HLOCK_MUX_DEBUG` is set: link-teardown paths then log a
+/// one-line reason to stderr. Cached so hot paths pay an atomic load.
+fn mux_debug() -> bool {
+    use std::sync::OnceLock;
+    static ON: OnceLock<bool> = OnceLock::new();
+    *ON.get_or_init(|| std::env::var_os("HLOCK_MUX_DEBUG").is_some())
+}
+
+fn set_nonblocking_fd(fd: RawFd) -> std::io::Result<()> {
+    unsafe {
+        let flags = sys::fcntl(fd, sys::F_GETFL, 0);
+        if flags < 0 {
+            return Err(std::io::Error::last_os_error());
+        }
+        if sys::fcntl(fd, sys::F_SETFL, flags | sys::O_NONBLOCK) < 0 {
+            return Err(std::io::Error::last_os_error());
+        }
+    }
+    Ok(())
+}
+
+/// One readiness notification: a registration token plus what happened.
+#[derive(Clone, Copy)]
+struct Readiness {
+    token: u64,
+    readable: bool,
+    writable: bool,
+    /// Error or hangup — the registered fd is dead or dying.
+    failed: bool,
+}
+
+/// A level-triggered readiness selector keyed by caller-chosen `u64`
+/// tokens (monotonic, never reused — so a recycled fd number can never
+/// alias a stale registration). epoll on Linux, `poll(2)` elsewhere.
+struct Poller {
+    #[cfg(target_os = "linux")]
+    epfd: RawFd,
+    #[cfg(all(unix, not(target_os = "linux")))]
+    fds: HashMap<RawFd, (u64, bool, bool)>,
+}
+
+#[cfg(target_os = "linux")]
+impl Poller {
+    fn new() -> std::io::Result<Poller> {
+        let epfd = unsafe { sys::epoll::epoll_create1(0) };
+        if epfd < 0 {
+            return Err(std::io::Error::last_os_error());
+        }
+        Ok(Poller { epfd })
+    }
+
+    fn events_bits(readable: bool, writable: bool) -> u32 {
+        let mut bits = 0;
+        if readable {
+            bits |= sys::epoll::EPOLLIN;
+        }
+        if writable {
+            bits |= sys::epoll::EPOLLOUT;
+        }
+        bits
+    }
+
+    fn ctl(&mut self, op: sys::c_int, fd: RawFd, token: u64, r: bool, w: bool) {
+        let mut ev = sys::epoll::EpollEvent { events: Self::events_bits(r, w), data: token };
+        unsafe {
+            let _ = sys::epoll::epoll_ctl(self.epfd, op, fd, &mut ev);
+        }
+    }
+
+    fn add(&mut self, fd: RawFd, token: u64, readable: bool, writable: bool) {
+        self.ctl(sys::epoll::EPOLL_CTL_ADD, fd, token, readable, writable);
+    }
+
+    fn modify(&mut self, fd: RawFd, token: u64, readable: bool, writable: bool) {
+        self.ctl(sys::epoll::EPOLL_CTL_MOD, fd, token, readable, writable);
+    }
+
+    fn remove(&mut self, fd: RawFd) {
+        self.ctl(sys::epoll::EPOLL_CTL_DEL, fd, 0, false, false);
+    }
+
+    fn wait(&mut self, out: &mut Vec<Readiness>, timeout: Duration) {
+        out.clear();
+        let mut raw = [sys::epoll::EpollEvent { events: 0, data: 0 }; 256];
+        let ms = timeout.as_millis().min(200) as sys::c_int;
+        // Round sub-millisecond waits up so a near deadline never spins.
+        let ms = if ms == 0 && !timeout.is_zero() { 1 } else { ms };
+        let n = unsafe { sys::epoll::epoll_wait(self.epfd, raw.as_mut_ptr(), 256, ms) };
+        for ev in raw.iter().take(n.max(0) as usize) {
+            let bits = ev.events;
+            out.push(Readiness {
+                token: ev.data,
+                readable: bits & sys::epoll::EPOLLIN != 0,
+                writable: bits & sys::epoll::EPOLLOUT != 0,
+                failed: bits & (sys::epoll::EPOLLERR | sys::epoll::EPOLLHUP) != 0,
+            });
+        }
+    }
+}
+
+#[cfg(target_os = "linux")]
+impl Drop for Poller {
+    fn drop(&mut self) {
+        unsafe {
+            let _ = sys::close(self.epfd);
+        }
+    }
+}
+
+#[cfg(all(unix, not(target_os = "linux")))]
+impl Poller {
+    fn new() -> std::io::Result<Poller> {
+        Ok(Poller { fds: HashMap::new() })
+    }
+
+    fn add(&mut self, fd: RawFd, token: u64, readable: bool, writable: bool) {
+        self.fds.insert(fd, (token, readable, writable));
+    }
+
+    fn modify(&mut self, fd: RawFd, token: u64, readable: bool, writable: bool) {
+        self.fds.insert(fd, (token, readable, writable));
+    }
+
+    fn remove(&mut self, fd: RawFd) {
+        self.fds.remove(&fd);
+    }
+
+    fn wait(&mut self, out: &mut Vec<Readiness>, timeout: Duration) {
+        use sys::pollsys as p;
+        out.clear();
+        let order: Vec<(RawFd, (u64, bool, bool))> =
+            self.fds.iter().map(|(fd, reg)| (*fd, *reg)).collect();
+        let mut raw: Vec<p::PollFd> = order
+            .iter()
+            .map(|(fd, (_, r, w))| p::PollFd {
+                fd: *fd,
+                events: if *r { p::POLLIN } else { 0 } | if *w { p::POLLOUT } else { 0 },
+                revents: 0,
+            })
+            .collect();
+        let ms = timeout.as_millis().min(200) as sys::c_int;
+        let ms = if ms == 0 && !timeout.is_zero() { 1 } else { ms };
+        let n = unsafe { p::poll(raw.as_mut_ptr(), raw.len() as u64, ms) };
+        if n <= 0 {
+            return;
+        }
+        for (pfd, (_, (token, _, _))) in raw.iter().zip(order.iter()) {
+            if pfd.revents == 0 {
+                continue;
+            }
+            out.push(Readiness {
+                token: *token,
+                readable: pfd.revents & p::POLLIN != 0,
+                writable: pfd.revents & p::POLLOUT != 0,
+                failed: pfd.revents & (p::POLLERR | p::POLLHUP) != 0,
+            });
+        }
+    }
+}
+
+/// Wakes a worker blocked in [`Poller::wait`] from another thread: a
+/// self-pipe whose read end is registered at [`WAKER_TOKEN`].
+pub(crate) struct Waker {
+    write_fd: RawFd,
+}
+
+impl Waker {
+    /// Returns the waker plus the nonblocking read end to register.
+    fn new() -> std::io::Result<(Waker, RawFd)> {
+        let mut fds = [0 as sys::c_int; 2];
+        if unsafe { sys::pipe(fds.as_mut_ptr()) } < 0 {
+            return Err(std::io::Error::last_os_error());
+        }
+        set_nonblocking_fd(fds[0])?;
+        set_nonblocking_fd(fds[1])?;
+        Ok((Waker { write_fd: fds[1] }, fds[0]))
+    }
+
+    pub(crate) fn wake(&self) {
+        let byte = [1u8];
+        // A full pipe already guarantees a pending wakeup.
+        unsafe {
+            let _ = sys::write(self.write_fd, byte.as_ptr(), 1);
+        }
+    }
+}
+
+impl Drop for Waker {
+    fn drop(&mut self) {
+        unsafe {
+            let _ = sys::close(self.write_fd);
+        }
+    }
+}
+
+const WAKER_TOKEN: u64 = 0;
+
+/// Starts a nonblocking TCP connect. For IPv4 this goes through raw
+/// `socket(2)`/`connect(2)` so the three-way handshake overlaps with
+/// everything else the worker does; completion (or refusal) arrives as
+/// a readiness event on the returned socket.
+fn connect_nonblocking(addr: SocketAddr) -> std::io::Result<TcpStream> {
+    match addr {
+        SocketAddr::V4(v4) => {
+            let fd = unsafe { sys::socket(sys::AF_INET, sys::SOCK_STREAM, 0) };
+            if fd < 0 {
+                return Err(std::io::Error::last_os_error());
+            }
+            // Wrap immediately so the fd is closed on any early return.
+            let stream = unsafe { TcpStream::from_raw_fd(fd) };
+            stream.set_nonblocking(true)?;
+            #[repr(C)]
+            struct SockaddrIn {
+                family: u16,
+                port: u16,
+                addr: u32,
+                zero: [u8; 8],
+            }
+            let sin = SockaddrIn {
+                family: sys::AF_INET as u16,
+                port: v4.port().to_be(),
+                addr: u32::from(*v4.ip()).to_be(),
+                zero: [0; 8],
+            };
+            let rc = unsafe {
+                sys::connect(
+                    fd,
+                    &sin as *const SockaddrIn as *const u8,
+                    std::mem::size_of::<SockaddrIn>() as u32,
+                )
+            };
+            if rc == 0 {
+                return Ok(stream);
+            }
+            let err = std::io::Error::last_os_error();
+            if err.raw_os_error() == Some(sys::EINPROGRESS) {
+                Ok(stream)
+            } else {
+                Err(err)
+            }
+        }
+        // V6 is not used by the localhost mesh; a brief blocking connect
+        // keeps the code path honest without more sockaddr plumbing.
+        SocketAddr::V6(_) => {
+            let stream = TcpStream::connect(addr)?;
+            stream.set_nonblocking(true)?;
+            Ok(stream)
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Per-node slot state.
+// ---------------------------------------------------------------------
+
+/// The protocol half of a slot: everything `apply_event` + dispatch need.
+struct NodeCore<P: ConcurrencyProtocol> {
+    protocol: P,
+    runtime: HostRuntime<P::Message>,
+    fx: EffectSink<P::Message>,
+    observer: Option<Box<dyn Observer + Send>>,
+    /// Observer timestamps: microseconds since this node started.
+    epoch: Instant,
+}
+
+/// The transport half of a slot.
+struct NodeIo<M> {
+    me: NodeId,
+    cmds: Receiver<LoopEvent<M>>,
+    /// Loopback sender: transport-raised events (`LinkUp`, `Suspect`)
+    /// are queued like any other command so they flow through
+    /// `apply_event` exactly as on the legacy transport.
+    self_tx: Sender<LoopEvent<M>>,
+    grants: Arc<GrantTable>,
+    counters: Arc<Counters>,
+    runtime_mirror: Arc<Mutex<RuntimeCounters>>,
+    addrs: Arc<Vec<SocketAddr>>,
+    listener: TcpListener,
+    listener_token: u64,
+    inbound: HashMap<u64, InConn>,
+    links: HashMap<NodeId, Link>,
+    /// Reusable encode buffer: one frame per (step, destination).
+    out: BytesMut,
+    /// Backpressure drops recorded during a dispatch: `(peer, bytes)`.
+    backpressured: Vec<(NodeId, u64)>,
+}
+
+struct InConn {
+    stream: TcpStream,
+    dec: frame::Decoder,
+    peer: Option<NodeId>,
+}
+
+/// One outgoing (write-only) link to a peer.
+struct Link {
+    state: LinkState,
+    outbox: Outbox,
+    backoff: DialBackoff,
+    /// Whether the next establishment is a REconnect (emits `LinkUp`,
+    /// as the legacy redial thread did) rather than the first lazy dial.
+    redial: bool,
+}
+
+enum LinkState {
+    /// Dial in flight; readiness (writable or failed) decides.
+    Connecting { stream: TcpStream, token: u64 },
+    /// Connected; frames flush from the outbox on writability.
+    Established { stream: TcpStream, token: u64 },
+    /// Between a failure and the next backoff-scheduled dial attempt.
+    /// Frames sent now are dropped — the legacy lossy-link regime the
+    /// session layer recovers from.
+    Waiting,
+}
+
+impl Link {
+    fn new() -> Link {
+        Link {
+            state: LinkState::Waiting,
+            outbox: Outbox::new(DEFAULT_OUTBOX_BYTES),
+            backoff: DialBackoff::new(),
+            redial: false,
+        }
+    }
+}
+
+struct NodeState<P: ConcurrencyProtocol> {
+    core: NodeCore<P>,
+    io: NodeIo<P::Message>,
+}
+
+/// What a registered token points at.
+enum Tok {
+    Listener(usize),
+    Inbound(usize),
+    Outbound(usize, NodeId),
+}
+
+/// Deadline-wheel payloads.
+enum Dl {
+    /// A protocol timer (retransmission deadline).
+    Timer { slot: usize, token: u64 },
+    /// The next dial attempt for a failed link.
+    Redial { slot: usize, peer: NodeId },
+}
+
+// ---------------------------------------------------------------------
+// The BatchHost driving sends from inside a dispatch.
+// ---------------------------------------------------------------------
+
+struct MuxHost<'a, M> {
+    slot: usize,
+    io: &'a mut NodeIo<M>,
+    poller: &'a mut Poller,
+    tokens: &'a mut HashMap<u64, Tok>,
+    next_token: &'a mut u64,
+    deadlines: &'a mut BinaryHeap<Reverse<(Instant, u64)>>,
+    payloads: &'a mut HashMap<u64, Dl>,
+    seq: &'a mut u64,
+}
+
+impl<M> MuxHost<'_, M> {
+    fn schedule(&mut self, at: Instant, payload: Dl) {
+        *self.seq += 1;
+        self.payloads.insert(*self.seq, payload);
+        self.deadlines.push(Reverse((at, *self.seq)));
+    }
+}
+
+impl<M> BatchHost<M> for MuxHost<'_, M>
+where
+    M: WireCodec + Classify + Send + 'static,
+{
+    fn on_batch(&mut self, to: NodeId, messages: Vec<M>) {
+        for message in &messages {
+            self.io.counters.bump(message.kind());
+        }
+        self.io.out.clear();
+        frame::write_batch(&mut self.io.out, self.io.me, &messages);
+        self.io.counters.add_bytes(self.io.out.len() as u64);
+
+        let slot = self.slot;
+        let link = self.io.links.entry(to).or_insert_with(Link::new);
+        let frame_len = self.io.out.len() as u64;
+        match &mut link.state {
+            LinkState::Waiting if link.redial => {
+                // A failed link waiting out its backoff: frames are shed
+                // (lossy parity with the legacy transport, whose writer
+                // map has no entry while the redial thread sleeps).
+            }
+            LinkState::Waiting => {
+                // First use: dial lazily. The handshake goes first and
+                // is never shed; the triggering frame rides behind it.
+                match connect_nonblocking(self.io.addrs[to.index()]) {
+                    Ok(stream) => {
+                        let mut hello = BytesMut::new();
+                        encode_hello(&mut hello, self.io.me);
+                        link.outbox.push_unbounded(&hello);
+                        if link.outbox.push(&self.io.out) == Push::Dropped {
+                            self.io.counters.bump_backpressure();
+                            self.io.backpressured.push((to, frame_len));
+                        }
+                        // Inline token/deadline bookkeeping below: a
+                        // `&mut self` method call here would conflict
+                        // with the live borrow of the link entry.
+                        *self.next_token += 1;
+                        let token = *self.next_token;
+                        self.tokens.insert(token, Tok::Outbound(slot, to));
+                        self.poller.add(stream.as_raw_fd(), token, false, true);
+                        link.state = LinkState::Connecting { stream, token };
+                    }
+                    Err(_) => {
+                        // Immediate refusal: count it and back off like
+                        // any other failed attempt.
+                        link.redial = true;
+                        if link.backoff.failure() {
+                            let _ = self
+                                .io
+                                .self_tx
+                                .send(LoopEvent::Suspect { dead: vec![to], done: None });
+                        }
+                        let at = Instant::now() + link.backoff.delay();
+                        *self.seq += 1;
+                        self.payloads.insert(*self.seq, Dl::Redial { slot, peer: to });
+                        self.deadlines.push(Reverse((at, *self.seq)));
+                    }
+                }
+            }
+            LinkState::Connecting { .. } => {
+                if link.outbox.push(&self.io.out) == Push::Dropped {
+                    self.io.counters.bump_backpressure();
+                    self.io.backpressured.push((to, frame_len));
+                }
+            }
+            LinkState::Established { stream, token } => {
+                if link.outbox.push(&self.io.out) == Push::Dropped {
+                    self.io.counters.bump_backpressure();
+                    self.io.backpressured.push((to, frame_len));
+                    return;
+                }
+                // Fast path: most frames drain inline without ever
+                // arming EPOLLOUT.
+                match link.outbox.write_to(stream) {
+                    Ok(true) => {}
+                    Ok(false) => {
+                        let (fd, tok) = (stream.as_raw_fd(), *token);
+                        self.poller.modify(fd, tok, false, true);
+                    }
+                    Err(e) => {
+                        // Dead socket: tear down and schedule a redial,
+                        // exactly like a failed legacy write evicting the
+                        // writer-map entry.
+                        if mux_debug() {
+                            eprintln!("mux-debug: inline write to {to:?} failed: {e}");
+                        }
+                        let (fd, tok) = (stream.as_raw_fd(), *token);
+                        let _ = stream.shutdown(Shutdown::Both);
+                        self.poller.remove(fd);
+                        self.tokens.remove(&tok);
+                        link.state = LinkState::Waiting;
+                        link.outbox.clear();
+                        link.backoff = DialBackoff::new();
+                        link.redial = true;
+                        let at = Instant::now() + link.backoff.delay();
+                        *self.seq += 1;
+                        self.payloads.insert(*self.seq, Dl::Redial { slot, peer: to });
+                        self.deadlines.push(Reverse((at, *self.seq)));
+                    }
+                }
+            }
+        }
+    }
+
+    fn on_granted(&mut self, lock: LockId, ticket: Ticket, mode: Mode) {
+        self.io.grants.deliver(ticket, lock, mode);
+    }
+
+    fn on_set_timer(&mut self, token: u64, delay_micros: u64) {
+        let at = Instant::now() + Duration::from_micros(delay_micros);
+        let slot = self.slot;
+        self.schedule(at, Dl::Timer { slot, token });
+    }
+}
+
+// ---------------------------------------------------------------------
+// The worker.
+// ---------------------------------------------------------------------
+
+struct Worker<P: ConcurrencyProtocol> {
+    poller: Poller,
+    waker_rx: RawFd,
+    slots: Vec<Option<NodeState<P>>>,
+    tokens: HashMap<u64, Tok>,
+    next_token: u64,
+    deadlines: BinaryHeap<Reverse<(Instant, u64)>>,
+    payloads: HashMap<u64, Dl>,
+    seq: u64,
+    running: Arc<AtomicBool>,
+}
+
+impl<P> Worker<P>
+where
+    P: ConcurrencyProtocol + Send + 'static,
+    P::Message: WireCodec + Send + 'static,
+{
+    fn run(mut self) {
+        let mut ready: Vec<Readiness> = Vec::with_capacity(256);
+        while self.running.load(Ordering::SeqCst) {
+            let timeout = match self.deadlines.peek() {
+                Some(&Reverse((at, _))) => {
+                    at.saturating_duration_since(Instant::now()).min(Duration::from_millis(200))
+                }
+                None => Duration::from_millis(200),
+            };
+            self.poller.wait(&mut ready, timeout);
+            if !self.running.load(Ordering::SeqCst) {
+                break;
+            }
+            let batch: Vec<Readiness> = ready.drain(..).collect();
+            for ev in batch {
+                if ev.token == WAKER_TOKEN {
+                    let mut sink = [0u8; 64];
+                    while unsafe { sys::read(self.waker_rx, sink.as_mut_ptr(), sink.len()) } > 0 {}
+                    continue;
+                }
+                self.handle_readiness(ev);
+            }
+            self.fire_deadlines();
+            self.drain_commands();
+        }
+        unsafe {
+            let _ = sys::close(self.waker_rx);
+        }
+        // Slots (and their observers) drop here, before the thread is
+        // joined — `Cluster::shutdown` leaves no live observer clones.
+    }
+
+    /// Runs `f` with slot `i` temporarily taken out of the table (so the
+    /// closure can borrow the worker mutably alongside the node). If `f`
+    /// returns `false` the slot stays removed — the node is gone.
+    fn with_slot(&mut self, i: usize, f: impl FnOnce(&mut Self, &mut NodeState<P>) -> bool) {
+        if let Some(mut node) = self.slots.get_mut(i).and_then(Option::take) {
+            if f(self, &mut node) {
+                self.slots[i] = Some(node);
+            }
+        }
+    }
+
+    fn handle_readiness(&mut self, ev: Readiness) {
+        match self.tokens.get(&ev.token) {
+            Some(&Tok::Listener(slot)) => self.with_slot(slot, |w, node| {
+                w.accept_inbound(slot, node);
+                true
+            }),
+            Some(&Tok::Inbound(slot)) => {
+                self.with_slot(slot, |w, node| w.service_inbound(slot, node, ev))
+            }
+            Some(&Tok::Outbound(slot, peer)) => self.with_slot(slot, |w, node| {
+                w.service_outbound(slot, node, peer, ev);
+                true
+            }),
+            None => {} // stale token: registration already torn down
+        }
+    }
+
+    fn accept_inbound(&mut self, slot: usize, node: &mut NodeState<P>) {
+        loop {
+            match node.io.listener.accept() {
+                Ok((stream, _)) => {
+                    let _ = stream.set_nodelay(true);
+                    if stream.set_nonblocking(true).is_err() {
+                        continue;
+                    }
+                    self.next_token += 1;
+                    let token = self.next_token;
+                    self.tokens.insert(token, Tok::Inbound(slot));
+                    self.poller.add(stream.as_raw_fd(), token, true, false);
+                    node.io
+                        .inbound
+                        .insert(token, InConn { stream, dec: frame::Decoder::new(), peer: None });
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => return,
+                Err(_) => return,
+            }
+        }
+    }
+
+    /// Reads an inbound connection dry and delivers every complete frame
+    /// through `apply_event` + a dispatch step, one frame at a time —
+    /// the same cadence as the legacy event loop. Returns whether the
+    /// node slot survives (it always does here; only commands kill it).
+    fn service_inbound(&mut self, slot: usize, node: &mut NodeState<P>, ev: Readiness) -> bool {
+        use std::io::Read;
+        let mut conn = match node.io.inbound.remove(&ev.token) {
+            Some(c) => c,
+            None => return true,
+        };
+        // A failed event with data still readable (EPOLLIN|EPOLLHUP —
+        // peer closed after sending) must drain the tail frames first,
+        // like the legacy reader running to EOF; read() then reports the
+        // close. Only a pure error event skips straight to teardown.
+        let dbg = mux_debug();
+        let mut dead = ev.failed && !ev.readable;
+        if dead && dbg {
+            eprintln!("mux-debug: inbound at {:?} pure-failed event", node.io.me);
+        }
+        let mut chunk = [0u8; 16 * 1024];
+        while !dead {
+            match conn.stream.read(&mut chunk) {
+                Ok(0) => {
+                    dead = true;
+                    if dbg {
+                        eprintln!(
+                            "mux-debug: inbound at {:?} from {:?} EOF",
+                            node.io.me, conn.peer
+                        );
+                    }
+                }
+                Ok(n) => conn.dec.extend(&chunk[..n]),
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                Err(e) => {
+                    dead = true;
+                    if dbg {
+                        eprintln!(
+                            "mux-debug: inbound at {:?} from {:?} read err {e}",
+                            node.io.me, conn.peer
+                        );
+                    }
+                }
+            }
+        }
+        let mut keep_node = true;
+        loop {
+            if conn.peer.is_none() {
+                match conn.dec.next_hello() {
+                    Ok(Some(id)) => conn.peer = Some(id),
+                    Ok(None) => break,
+                    Err(e) => {
+                        dead = true;
+                        if dbg {
+                            eprintln!("mux-debug: inbound at {:?} hello err {e:?}", node.io.me);
+                        }
+                        break;
+                    }
+                }
+            }
+            match conn.dec.next::<P::Message>() {
+                Ok(Some((from, messages))) => {
+                    debug_assert_eq!(Some(from), conn.peer);
+                    keep_node =
+                        self.protocol_event(slot, node, LoopEvent::Incoming(from, messages));
+                    if !keep_node {
+                        break;
+                    }
+                }
+                Ok(None) => break,
+                Err(e) => {
+                    dead = true;
+                    if dbg {
+                        eprintln!(
+                            "mux-debug: inbound at {:?} from {:?} decode err {e:?}",
+                            node.io.me, conn.peer
+                        );
+                    }
+                    break;
+                }
+            }
+        }
+        if dead || !keep_node {
+            self.poller.remove(conn.stream.as_raw_fd());
+            self.tokens.remove(&ev.token);
+        } else {
+            node.io.inbound.insert(ev.token, conn);
+        }
+        keep_node
+    }
+
+    fn service_outbound(
+        &mut self,
+        slot: usize,
+        node: &mut NodeState<P>,
+        peer: NodeId,
+        ev: Readiness,
+    ) {
+        let link = match node.io.links.get_mut(&peer) {
+            Some(l) => l,
+            None => return,
+        };
+        match &mut link.state {
+            LinkState::Connecting { stream, token } => {
+                let so_err = stream.take_error();
+                let hard_error = ev.failed || !matches!(so_err, Ok(None));
+                if hard_error {
+                    if mux_debug() {
+                        eprintln!(
+                            "mux-debug: dial {:?} failed (ev.failed={} so_err={so_err:?})",
+                            peer, ev.failed
+                        );
+                    }
+                    let fd = stream.as_raw_fd();
+                    let tok = *token;
+                    self.poller.remove(fd);
+                    self.tokens.remove(&tok);
+                    link.state = LinkState::Waiting;
+                    link.outbox.clear();
+                    link.redial = true;
+                    let suspect = link.backoff.failure();
+                    let at = Instant::now() + link.backoff.delay();
+                    self.schedule(at, Dl::Redial { slot, peer });
+                    if suspect {
+                        let _ = node
+                            .io
+                            .self_tx
+                            .send(LoopEvent::Suspect { dead: vec![peer], done: None });
+                    }
+                    return;
+                }
+                if !ev.writable {
+                    return;
+                }
+                // Connected: flush the handshake (+ anything queued) and
+                // settle interest.
+                let _ = stream.set_nodelay(true);
+                let was_redial = link.redial;
+                link.redial = false;
+                link.backoff = DialBackoff::new();
+                let fd = stream.as_raw_fd();
+                let tok = *token;
+                match link.outbox.write_to(stream) {
+                    Ok(drained) => {
+                        // Moving out of Connecting: rebuild as Established.
+                        let stream = match std::mem::replace(&mut link.state, LinkState::Waiting) {
+                            LinkState::Connecting { stream, .. } => stream,
+                            _ => unreachable!(),
+                        };
+                        link.state = LinkState::Established { stream, token: tok };
+                        self.poller.modify(fd, tok, false, !drained);
+                        if was_redial {
+                            let _ = node.io.self_tx.send(LoopEvent::LinkUp(peer));
+                        }
+                    }
+                    Err(_) => {
+                        self.poller.remove(fd);
+                        self.tokens.remove(&tok);
+                        link.state = LinkState::Waiting;
+                        link.outbox.clear();
+                        link.redial = true;
+                        let suspect = link.backoff.failure();
+                        let at = Instant::now() + link.backoff.delay();
+                        self.schedule(at, Dl::Redial { slot, peer });
+                        if suspect {
+                            let _ = node
+                                .io
+                                .self_tx
+                                .send(LoopEvent::Suspect { dead: vec![peer], done: None });
+                        }
+                    }
+                }
+            }
+            LinkState::Established { stream, token } => {
+                let flush_failed = ev.failed || matches!(link.outbox.write_to(stream), Err(_));
+                if flush_failed {
+                    if mux_debug() {
+                        eprintln!(
+                            "mux-debug: established link to {peer:?} failed (ev.failed={})",
+                            ev.failed
+                        );
+                    }
+                    let fd = stream.as_raw_fd();
+                    let tok = *token;
+                    let _ = stream.shutdown(Shutdown::Both);
+                    self.poller.remove(fd);
+                    self.tokens.remove(&tok);
+                    link.state = LinkState::Waiting;
+                    link.outbox.clear();
+                    link.backoff = DialBackoff::new();
+                    link.redial = true;
+                    let at = Instant::now() + link.backoff.delay();
+                    self.schedule(at, Dl::Redial { slot, peer });
+                } else if link.outbox.is_empty() {
+                    let (fd, tok) = (stream.as_raw_fd(), *token);
+                    self.poller.modify(fd, tok, false, false);
+                }
+            }
+            LinkState::Waiting => {}
+        }
+    }
+
+    fn fire_deadlines(&mut self) {
+        loop {
+            let due = match self.deadlines.peek() {
+                Some(&Reverse((at, _))) if at <= Instant::now() => true,
+                _ => false,
+            };
+            if !due {
+                return;
+            }
+            let Reverse((_, seq)) = self.deadlines.pop().expect("peeked");
+            match self.payloads.remove(&seq) {
+                Some(Dl::Timer { slot, token }) => self.with_slot(slot, |w, node| {
+                    let me = node.io.me;
+                    node.core.fx.emit_with(|| ProtocolEvent::TimerFired { node: me, token });
+                    node.core.protocol.on_timer(token, &mut node.core.fx);
+                    w.step(slot, node);
+                    true
+                }),
+                Some(Dl::Redial { slot, peer }) => self.with_slot(slot, |w, node| {
+                    w.redial(slot, node, peer);
+                    true
+                }),
+                None => {}
+            }
+        }
+    }
+
+    /// The backoff-scheduled dial attempt for a failed link.
+    fn redial(&mut self, slot: usize, node: &mut NodeState<P>, peer: NodeId) {
+        let addr = node.io.addrs[peer.index()];
+        let me = node.io.me;
+        let link = match node.io.links.get_mut(&peer) {
+            Some(l) => l,
+            None => return,
+        };
+        if !matches!(link.state, LinkState::Waiting) {
+            return; // a send already restarted the dial
+        }
+        match connect_nonblocking(addr) {
+            Ok(stream) => {
+                let mut hello = BytesMut::new();
+                encode_hello(&mut hello, me);
+                link.outbox.clear();
+                link.outbox.push_unbounded(&hello);
+                self.next_token += 1;
+                let token = self.next_token;
+                self.tokens.insert(token, Tok::Outbound(slot, peer));
+                self.poller.add(stream.as_raw_fd(), token, false, true);
+                link.state = LinkState::Connecting { stream, token };
+            }
+            Err(_) => {
+                let suspect = link.backoff.failure();
+                let at = Instant::now() + link.backoff.delay();
+                self.schedule(at, Dl::Redial { slot, peer });
+                if suspect {
+                    let _ =
+                        node.io.self_tx.send(LoopEvent::Suspect { dead: vec![peer], done: None });
+                }
+            }
+        }
+    }
+
+    fn schedule(&mut self, at: Instant, payload: Dl) {
+        self.seq += 1;
+        self.payloads.insert(self.seq, payload);
+        self.deadlines.push(Reverse((at, self.seq)));
+    }
+
+    fn drain_commands(&mut self) {
+        for i in 0..self.slots.len() {
+            self.with_slot(i, |w, node| loop {
+                match node.io.cmds.try_recv() {
+                    Ok(ev) => {
+                        if !w.protocol_event(i, node, ev) {
+                            return false;
+                        }
+                    }
+                    Err(_) => return true,
+                }
+            });
+        }
+    }
+
+    /// Routes one [`LoopEvent`] through the shared `apply_event`
+    /// semantics, handles the transport-owned leftovers, then runs a
+    /// dispatch step. Returns whether the slot survives.
+    fn protocol_event(
+        &mut self,
+        slot: usize,
+        node: &mut NodeState<P>,
+        ev: LoopEvent<P::Message>,
+    ) -> bool {
+        let NodeState { core, io } = node;
+        match apply_event(&mut core.protocol, &mut core.runtime, &mut core.fx, &io.grants, ev) {
+            PostEvent::Handled => {}
+            PostEvent::Sever { peer, done } => {
+                if let Some(link) = io.links.get(&peer) {
+                    if let LinkState::Established { stream, .. }
+                    | LinkState::Connecting { stream, .. } = &link.state
+                    {
+                        let _ = stream.shutdown(Shutdown::Both);
+                    }
+                }
+                let _ = done.send(());
+            }
+            PostEvent::Kill { done } => {
+                for link in io.links.values() {
+                    if let LinkState::Established { stream, .. }
+                    | LinkState::Connecting { stream, .. } = &link.state
+                    {
+                        let _ = stream.shutdown(Shutdown::Both);
+                    }
+                }
+                self.cleanup_node(node);
+                let _ = done.send(());
+                return false;
+            }
+            PostEvent::Stop => {
+                self.cleanup_node(node);
+                return false;
+            }
+        }
+        self.step(slot, node);
+        true
+    }
+
+    /// Deregisters every fd a dying node owns so its tokens go stale
+    /// before the sockets close (fd numbers get recycled; tokens don't).
+    fn cleanup_node(&mut self, node: &mut NodeState<P>) {
+        self.poller.remove(node.io.listener.as_raw_fd());
+        self.tokens.remove(&node.io.listener_token);
+        for (token, conn) in node.io.inbound.drain() {
+            self.poller.remove(conn.stream.as_raw_fd());
+            self.tokens.remove(&token);
+        }
+        for link in node.io.links.values_mut() {
+            if let LinkState::Established { stream, token }
+            | LinkState::Connecting { stream, token } = &link.state
+            {
+                self.poller.remove(stream.as_raw_fd());
+                self.tokens.remove(token);
+            }
+            link.state = LinkState::Waiting;
+        }
+    }
+
+    /// One dispatch step after a protocol interaction: flush effects to
+    /// the wire, mirror runtime counters, surface backpressure events.
+    fn step(&mut self, slot: usize, node: &mut NodeState<P>) {
+        let NodeState { core, io } = node;
+        let me = io.me;
+        let mut host = MuxHost {
+            slot,
+            io,
+            poller: &mut self.poller,
+            tokens: &mut self.tokens,
+            next_token: &mut self.next_token,
+            deadlines: &mut self.deadlines,
+            payloads: &mut self.payloads,
+            seq: &mut self.seq,
+        };
+        match core.observer.as_deref_mut() {
+            Some(obs) => {
+                let now = core.epoch.elapsed().as_micros() as u64;
+                core.runtime.dispatch_observed(&mut core.fx, &mut host, me, obs, now);
+            }
+            None => core.runtime.dispatch(&mut core.fx, &mut host),
+        }
+        *io.runtime_mirror.lock() = *core.runtime.counters();
+        if !io.backpressured.is_empty() {
+            if let Some(obs) = core.observer.as_deref_mut() {
+                let now = core.epoch.elapsed().as_micros() as u64;
+                let me = io.me;
+                for (peer, dropped) in io.backpressured.drain(..) {
+                    obs.on_event(now, &ProtocolEvent::Backpressure { node: me, peer, dropped });
+                }
+            } else {
+                io.backpressured.clear();
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Public-ish surface: port, handle, spawn.
+// ---------------------------------------------------------------------
+
+/// The mux transport's per-node plumbing, held by [`NodeHandle`].
+pub(crate) struct MuxPort<M> {
+    pub(crate) cmds: Sender<LoopEvent<M>>,
+    pub(crate) waker: Arc<Waker>,
+}
+
+impl<M> MuxPort<M> {
+    pub(crate) fn send(&self, ev: LoopEvent<M>) -> Result<(), NetError> {
+        self.cmds.send(ev).map_err(|_| NetError::Closed)?;
+        self.waker.wake();
+        Ok(())
+    }
+}
+
+/// Owns the mux worker pool; joined by [`crate::Cluster::shutdown`].
+pub(crate) struct MuxHandle {
+    running: Arc<AtomicBool>,
+    wakers: Vec<Arc<Waker>>,
+    threads: Vec<JoinHandle<()>>,
+}
+
+impl MuxHandle {
+    pub(crate) fn shutdown(mut self) {
+        self.running.store(false, Ordering::SeqCst);
+        for w in &self.wakers {
+            w.wake();
+        }
+        for t in self.threads.drain(..) {
+            let _ = t.join();
+        }
+    }
+}
+
+/// Worker-pool width: enough parallelism to keep localhost meshes busy
+/// without spawning a thread per core for a 2-node test cluster.
+fn pool_width(n: usize) -> usize {
+    let cores = std::thread::available_parallelism().map(|p| p.get()).unwrap_or(4);
+    n.min(cores.saturating_sub(1).max(1)).min(8)
+}
+
+/// Spawns `n` nodes on the readiness mux: node `i` lives in slot
+/// `i / width` of worker `i % width`.
+pub(crate) fn spawn_cluster<P>(
+    n: usize,
+    make: impl Fn(usize) -> P,
+    observe: impl Fn(NodeId) -> Option<Box<dyn Observer + Send>>,
+) -> Result<(Vec<Arc<NodeHandle<P>>>, MuxHandle), NetError>
+where
+    P: ConcurrencyProtocol + Send + 'static,
+    P::Message: WireCodec + Send + 'static,
+{
+    assert!(n >= 1, "need at least one node");
+    let listeners: Vec<TcpListener> = (0..n)
+        .map(|_| {
+            let l = TcpListener::bind(("127.0.0.1", 0))?;
+            // Deepen the accept backlog past std's hardwired 128. Lazy
+            // dialing means a cold broadcast storms a hub node with
+            // hundreds of simultaneous connects; overflowed connections
+            // complete the client-side handshake but are reset by the
+            // kernel before the hub ever accepts them, silently eating
+            // the first frames. A second listen(2) on the bound fd just
+            // resizes the queue (clamped to net.core.somaxconn).
+            unsafe { sys::listen(l.as_raw_fd(), 4096) };
+            Ok(l)
+        })
+        .collect::<Result<_, std::io::Error>>()?;
+    let addrs: Arc<Vec<SocketAddr>> =
+        Arc::new(listeners.iter().map(TcpListener::local_addr).collect::<Result<Vec<_>, _>>()?);
+
+    let width = pool_width(n);
+    let running = Arc::new(AtomicBool::new(true));
+    let mut workers = Vec::with_capacity(width);
+    let mut wakers = Vec::with_capacity(width);
+    for _ in 0..width {
+        let mut poller = Poller::new()?;
+        let (waker, waker_rx) = Waker::new()?;
+        poller.add(waker_rx, WAKER_TOKEN, true, false);
+        wakers.push(Arc::new(waker));
+        workers.push(Worker::<P> {
+            poller,
+            waker_rx,
+            slots: Vec::new(),
+            tokens: HashMap::new(),
+            next_token: WAKER_TOKEN,
+            deadlines: BinaryHeap::new(),
+            payloads: HashMap::new(),
+            seq: 0,
+            running: running.clone(),
+        });
+    }
+
+    let mut handles = Vec::with_capacity(n);
+    for (i, listener) in listeners.into_iter().enumerate() {
+        let id = NodeId(i as u32);
+        let protocol = make(i);
+        assert_eq!(protocol.node_id(), id, "factory must honour node ids");
+        let observer = observe(id);
+
+        let w = i % width;
+        let worker = &mut workers[w];
+        let slot = worker.slots.len();
+
+        listener.set_nonblocking(true)?;
+        worker.next_token += 1;
+        let listener_token = worker.next_token;
+        worker.tokens.insert(listener_token, Tok::Listener(slot));
+        worker.poller.add(listener.as_raw_fd(), listener_token, true, false);
+
+        let (tx, rx) = unbounded::<LoopEvent<P::Message>>();
+        let grants = Arc::new(GrantTable::default());
+        let counters = Arc::new(Counters::default());
+        let runtime_mirror = Arc::new(Mutex::new(RuntimeCounters::default()));
+        let mut fx = EffectSink::new();
+        fx.set_observing(observer.is_some());
+
+        worker.slots.push(Some(NodeState {
+            core: NodeCore {
+                protocol,
+                runtime: HostRuntime::new(),
+                fx,
+                observer,
+                epoch: Instant::now(),
+            },
+            io: NodeIo {
+                me: id,
+                cmds: rx,
+                self_tx: tx.clone(),
+                grants: grants.clone(),
+                counters: counters.clone(),
+                runtime_mirror: runtime_mirror.clone(),
+                addrs: addrs.clone(),
+                listener,
+                listener_token,
+                inbound: HashMap::new(),
+                links: HashMap::new(),
+                out: BytesMut::new(),
+                backpressured: Vec::new(),
+            },
+        }));
+
+        handles.push(Arc::new(NodeHandle {
+            id,
+            grants,
+            counters,
+            runtime: runtime_mirror,
+            next_ticket: AtomicU64::new(1),
+            running: Arc::new(AtomicBool::new(true)),
+            port: Port::Mux(MuxPort { cmds: tx, waker: wakers[w].clone() }),
+        }));
+    }
+
+    let threads =
+        workers.into_iter().map(|worker| std::thread::spawn(move || worker.run())).collect();
+    Ok((handles, MuxHandle { running, wakers, threads }))
+}

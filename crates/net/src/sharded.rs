@@ -28,6 +28,11 @@
 //! * A single **egress** thread merges the per-shard batched sends and
 //!   owns every outgoing socket, so frames to one peer are written by
 //!   exactly one thread — per-link FIFO is preserved by construction.
+//!   The sockets are nonblocking and each link buffers through a bounded
+//!   [`crate::conn::Outbox`], so one slow peer sheds its own newest
+//!   frames (surfaced as a backpressure counter) instead of wedging the
+//!   writes to every other peer; dead links redial on the shared
+//!   [`crate::conn::DialBackoff`] schedule from the same thread.
 //!
 //! Per-shard queue depth, routed-message and park counts surface as
 //! [`ShardGauges`] for the Prometheus registry
@@ -38,7 +43,9 @@
 //! contradicts per-lock partitioning (TCP already provides the in-order
 //! reliable links the raw protocol assumes).
 
-use crate::{reader_loop, write_frame, ClusterMetrics, Counters, GrantTable, NetError, Writers};
+use crate::conn::{DialBackoff, Outbox, Push, DEFAULT_OUTBOX_BYTES};
+use crate::transport::{encode_hello, reader_loop, Counters, GrantTable};
+use crate::{ClusterMetrics, NetError};
 use bytes::BytesMut;
 use crossbeam::channel::{unbounded, Receiver, Sender};
 use hlock_core::{
@@ -55,7 +62,7 @@ use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// Capacity of each shard's inbound queue and of the shared egress
 /// queue. Bounded so a slow shard exerts backpressure on the router
@@ -110,6 +117,21 @@ impl<T> BoundedQueue<T> {
         drop(q);
         self.not_full.notify_one();
         item
+    }
+
+    /// Like [`BoundedQueue::pop`], but gives up after `timeout` — for a
+    /// consumer that also has non-queue work pending (the egress thread
+    /// with queued socket bytes or a redial deadline).
+    fn pop_timeout(&self, timeout: Duration) -> Option<T> {
+        let mut q = self.inner.lock();
+        if q.is_empty() {
+            self.parks.fetch_add(1, Ordering::Relaxed);
+            self.not_empty.wait_for(&mut q, timeout);
+        }
+        let item = q.pop_front()?;
+        drop(q);
+        self.not_full.notify_one();
+        Some(item)
     }
 
     fn depth(&self) -> usize {
@@ -541,10 +563,12 @@ fn spawn_node(
     let (tx, rx) = unbounded::<RouterEvent>();
     let counters = Arc::new(Counters::default());
     let running = Arc::new(AtomicBool::new(true));
-    let writers: Writers = Arc::new(Mutex::new(HashMap::new()));
+    let mut links: HashMap<NodeId, EgressLink> = HashMap::new();
     let mut threads = Vec::new();
 
-    // Dial every peer; our dialed sockets are our write channels.
+    // Dial every peer eagerly (so setup errors surface here); the
+    // sockets then go nonblocking and move into the egress thread, which
+    // is their only writer from now on.
     for (j, addr) in addrs.iter().enumerate() {
         if j == id.index() {
             continue;
@@ -552,12 +576,19 @@ fn spawn_node(
         let mut stream = TcpStream::connect(addr)?;
         stream.set_nodelay(true)?;
         let mut hello = BytesMut::new();
-        hlock_wire::put_varint(&mut hello, u64::from(id.0));
-        let mut framed = BytesMut::new();
-        framed.extend_from_slice(&(hello.len() as u32).to_le_bytes());
-        framed.extend_from_slice(&hello);
-        stream.write_all(&framed)?;
-        writers.lock().insert(NodeId(j as u32), stream);
+        encode_hello(&mut hello, id);
+        stream.write_all(&hello)?;
+        stream.set_nonblocking(true)?;
+        links.insert(
+            NodeId(j as u32),
+            EgressLink {
+                addr: *addr,
+                stream: Some(stream),
+                outbox: Outbox::new(DEFAULT_OUTBOX_BYTES),
+                backoff: DialBackoff::new(),
+                redial_at: None,
+            },
+        );
     }
 
     // Listener thread: accepts inbound links; each reader feeds the
@@ -623,12 +654,10 @@ fn spawn_node(
     {
         let egress = egress.clone();
         let counters = counters.clone();
-        let writers = writers.clone();
         let running = running.clone();
-        let addrs: Vec<SocketAddr> = addrs.to_vec();
         let shards = spec.shards();
         threads.push(std::thread::spawn(move || {
-            egress_loop(id, &egress, shards, &writers, &addrs, &counters, &running)
+            egress_loop(id, &egress, shards, links, &counters, &running)
         }));
     }
 
@@ -771,86 +800,119 @@ impl BatchHost<Envelope> for ShardHost<'_> {
     }
 }
 
+/// One outgoing socket owned by the egress thread: a nonblocking stream
+/// (or `None` while the link is down), a bounded outbox of encoded
+/// frames, and the redial schedule. No lock, no reconnect thread — the
+/// egress loop itself flushes, detects death and redials.
+struct EgressLink {
+    addr: SocketAddr,
+    stream: Option<TcpStream>,
+    outbox: Outbox,
+    backoff: DialBackoff,
+    redial_at: Option<Instant>,
+}
+
 /// The single egress thread: encodes each per-shard batch into one wire
-/// frame and writes it. Being the only writer of every socket, frames to
-/// one peer go out in the exact order they were queued — per-link FIFO
-/// by construction. Exits after collecting one `Stop` per shard.
+/// frame and queues it on the peer's bounded outbox. Being the only
+/// writer of every socket, frames to one peer go out in the exact order
+/// they were queued — per-link FIFO by construction. Nonblocking writes
+/// mean a slow peer fills only its own outbox (newest frames shed as
+/// backpressure) while every other link keeps flushing; a dead peer is
+/// redialled inline on the shared backoff schedule. Exits after
+/// collecting one `Stop` per shard.
 fn egress_loop(
     me: NodeId,
     egress: &BoundedQueue<EgressItem>,
     shards: usize,
-    writers: &Writers,
-    addrs: &[SocketAddr],
+    mut links: HashMap<NodeId, EgressLink>,
     counters: &Counters,
     running: &Arc<AtomicBool>,
 ) {
     let mut stops = 0;
     let mut out = BytesMut::new();
     loop {
-        match egress.pop() {
-            EgressItem::Stop => {
-                stops += 1;
-                if stops == shards {
-                    return;
+        // With queued socket bytes or a pending redial we must keep
+        // servicing the links, so only nap on the queue; otherwise park
+        // until a shard hands us work.
+        let busy = links
+            .values()
+            .any(|l| (l.stream.is_some() && !l.outbox.is_empty()) || l.redial_at.is_some());
+        let item =
+            if busy { egress.pop_timeout(Duration::from_millis(1)) } else { Some(egress.pop()) };
+        if let Some(item) = item {
+            match item {
+                EgressItem::Stop => {
+                    stops += 1;
+                    if stops == shards {
+                        return;
+                    }
+                }
+                EgressItem::Frame(to, messages) => {
+                    for message in &messages {
+                        counters.bump(message.kind());
+                    }
+                    out.clear();
+                    frame::write_batch(&mut out, me, &messages);
+                    if let Some(link) = links.get_mut(&to) {
+                        match link.outbox.push(&out) {
+                            Push::Queued => counters.add_bytes(out.len() as u64),
+                            Push::Dropped => counters.bump_backpressure(),
+                        }
+                    }
                 }
             }
-            EgressItem::Frame(to, messages) => {
-                for message in &messages {
-                    counters.bump(message.kind());
+        }
+        service_links(me, &mut links, running);
+    }
+}
+
+/// Flushes every link's outbox as far as its socket allows and redials
+/// any link whose backoff deadline has passed. A write failure tears the
+/// link down (clearing stale queued frames — the raw protocol tolerates
+/// a lossy outage) and schedules the redial.
+fn service_links(me: NodeId, links: &mut HashMap<NodeId, EgressLink>, running: &Arc<AtomicBool>) {
+    let now = Instant::now();
+    for link in links.values_mut() {
+        if let Some(due) = link.redial_at {
+            if !running.load(Ordering::SeqCst) {
+                link.redial_at = None;
+            } else if now >= due {
+                match redial(me, link.addr) {
+                    Ok(stream) => {
+                        link.stream = Some(stream);
+                        link.redial_at = None;
+                        link.backoff = DialBackoff::new();
+                    }
+                    Err(_) => {
+                        link.backoff.failure();
+                        link.redial_at = Some(now + link.backoff.delay());
+                    }
                 }
-                out.clear();
-                frame::write_batch(&mut out, me, &messages);
-                counters.add_bytes(out.len() as u64);
-                let mut map = writers.lock();
-                let write_failed = match map.get_mut(&to) {
-                    Some(stream) => write_frame(stream, &out).is_err(),
-                    None => false,
-                };
-                if write_failed {
-                    map.remove(&to);
-                    drop(map);
-                    respawn_link(me, to, addrs[to.index()], writers.clone(), running.clone());
-                }
+            }
+        }
+        if let Some(stream) = link.stream.as_mut() {
+            if !link.outbox.is_empty() && link.outbox.write_to(stream).is_err() {
+                link.stream = None;
+                link.outbox.clear();
+                link.backoff = DialBackoff::new();
+                link.redial_at = Some(now + link.backoff.delay());
             }
         }
     }
 }
 
-/// Redials `peer` with exponential backoff until the node shuts down or
-/// the link is back, then replays the handshake and republishes the
-/// socket. Unlike [`crate::Cluster`]'s reconnect, no link-reset
+/// One blocking reconnect attempt: dial, replay the handshake, go
+/// nonblocking. Unlike [`crate::Cluster`]'s reconnect, no link-reset
 /// notification is needed: the raw protocol assumes reliable links and
 /// the sharded runtime carries no session state to resync.
-fn respawn_link(
-    me: NodeId,
-    peer: NodeId,
-    addr: SocketAddr,
-    writers: Writers,
-    running: Arc<AtomicBool>,
-) {
-    std::thread::spawn(move || {
-        let mut delay = Duration::from_millis(10);
-        while running.load(Ordering::SeqCst) {
-            std::thread::sleep(delay);
-            match TcpStream::connect(addr) {
-                Ok(mut stream) => {
-                    let _ = stream.set_nodelay(true);
-                    let mut hello = BytesMut::new();
-                    hlock_wire::put_varint(&mut hello, u64::from(me.0));
-                    let mut framed = BytesMut::new();
-                    framed.extend_from_slice(&(hello.len() as u32).to_le_bytes());
-                    framed.extend_from_slice(&hello);
-                    if stream.write_all(&framed).is_err() {
-                        delay = (delay * 2).min(Duration::from_secs(1));
-                        continue;
-                    }
-                    writers.lock().insert(peer, stream);
-                    return;
-                }
-                Err(_) => delay = (delay * 2).min(Duration::from_secs(1)),
-            }
-        }
-    });
+fn redial(me: NodeId, addr: SocketAddr) -> std::io::Result<TcpStream> {
+    let mut stream = TcpStream::connect(addr)?;
+    stream.set_nodelay(true)?;
+    let mut hello = BytesMut::new();
+    encode_hello(&mut hello, me);
+    stream.write_all(&hello)?;
+    stream.set_nonblocking(true)?;
+    Ok(stream)
 }
 
 #[cfg(test)]

@@ -1,0 +1,358 @@
+//! Transport plumbing shared by every host in this crate: the event
+//! vocabulary the per-node loops consume ([`LoopEvent`]), the grant
+//! mailbox API callers block on ([`GrantTable`]), wire-level counters,
+//! the protocol-side event application shared by the readiness mux and
+//! the legacy thread-per-peer loop ([`apply_event`]), the blocking
+//! reader used by the legacy and sharded paths ([`reader_loop`]), and
+//! the `/metrics` scrape endpoint.
+
+use crate::NetError;
+use crossbeam::channel::Sender;
+use hlock_core::{
+    Classify, ConcurrencyProtocol, EffectSink, HostRuntime, LockId, MessageKind, Mode, NodeId,
+    Priority, ProtocolEvent, RuntimeCounters, Ticket,
+};
+use hlock_wire::frame;
+use parking_lot::{Condvar, Mutex};
+use std::collections::HashMap;
+use std::io::{Read, Write};
+use std::net::{Shutdown, SocketAddr, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Redial failures before the transport suspects the peer crashed (the
+/// doubling backoff makes this ≈ 0.6 s of continuous refusal). A severed
+/// link to a *live* peer reconnects on the first or second attempt; only
+/// a dead listener keeps refusing this long.
+pub(crate) const SUSPECT_AFTER_FAILURES: u32 = 5;
+
+/// One unit of work for a node's protocol loop, whichever transport
+/// drives it.
+pub(crate) enum LoopEvent<M> {
+    /// One decoded wire frame: a whole batch from one peer, in order.
+    Incoming(NodeId, Vec<M>),
+    Request {
+        lock: LockId,
+        mode: Mode,
+        ticket: Ticket,
+        priority: Priority,
+    },
+    Release {
+        lock: LockId,
+        ticket: Ticket,
+        done: Sender<Result<(), NetError>>,
+    },
+    Upgrade {
+        lock: LockId,
+        ticket: Ticket,
+        done: Sender<Result<(), NetError>>,
+    },
+    Cancel {
+        lock: LockId,
+        ticket: Ticket,
+        done: Sender<Result<(), NetError>>,
+    },
+    IsQuiescent {
+        done: Sender<bool>,
+    },
+    Downgrade {
+        lock: LockId,
+        ticket: Ticket,
+        mode: Mode,
+        done: Sender<Result<(), NetError>>,
+    },
+    TryRequest {
+        lock: LockId,
+        mode: Mode,
+        ticket: Ticket,
+        done: Sender<Result<bool, NetError>>,
+    },
+    /// The outgoing link to `peer` was re-established after a failure.
+    LinkUp(NodeId),
+    /// Failure detection: `dead` are suspected crashed. Recovery-capable
+    /// protocols start an epoch election; others ignore it. `done` is
+    /// `None` for transport-internal suspicion (repeated redial failure).
+    Suspect {
+        dead: Vec<NodeId>,
+        done: Option<Sender<()>>,
+    },
+    /// Fault injection: shut down the outgoing socket to `peer`.
+    Sever {
+        peer: NodeId,
+        done: Sender<()>,
+    },
+    /// Fault injection: crash-stop the node (sever everything at once,
+    /// then halt; acknowledged so callers observe the crash happening
+    /// before their next step).
+    Kill {
+        done: Sender<()>,
+    },
+    Stop,
+}
+
+/// What [`apply_event`] could not finish on its own because it needs
+/// transport state (sockets, the event loop's lifecycle) the protocol
+/// layer does not own.
+pub(crate) enum PostEvent {
+    Handled,
+    Sever { peer: NodeId, done: Sender<()> },
+    Kill { done: Sender<()> },
+    Stop,
+}
+
+/// Applies one [`LoopEvent`] to a node's protocol state. This is the
+/// single definition of the API/incoming-frame semantics — the legacy
+/// thread-per-peer loop and the readiness mux both call it, so the two
+/// transports cannot drift. Transport-owned events (`Sever`, `Kill`,
+/// `Stop`) are handed back untouched.
+pub(crate) fn apply_event<P>(
+    protocol: &mut P,
+    runtime: &mut HostRuntime<P::Message>,
+    fx: &mut EffectSink<P::Message>,
+    grants: &GrantTable,
+    event: LoopEvent<P::Message>,
+) -> PostEvent
+where
+    P: ConcurrencyProtocol,
+{
+    let me = protocol.node_id();
+    match event {
+        LoopEvent::Incoming(from, messages) => {
+            if fx.observing() {
+                for message in &messages {
+                    let kind = message.kind();
+                    fx.emit_with(|| ProtocolEvent::Delivered { node: me, from, kind });
+                }
+            }
+            // Route through the shared runtime so frames carrying a
+            // stale recovery epoch are fenced before the protocol sees
+            // them — identical semantics to the simulator and the model
+            // checker.
+            runtime.deliver(protocol, from, messages, fx);
+        }
+        LoopEvent::Request { lock, mode, ticket, priority } => {
+            let r = protocol.request_with_priority(lock, mode, ticket, priority, fx);
+            // Duplicate tickets cannot happen (monotonic counter).
+            debug_assert!(r.is_ok(), "request rejected: {r:?}");
+        }
+        LoopEvent::Release { lock, ticket, done } => {
+            let r = protocol.release(lock, ticket, fx).map_err(NetError::Protocol);
+            let _ = done.send(r);
+        }
+        LoopEvent::Upgrade { lock, ticket, done } => {
+            let r = protocol.upgrade(lock, ticket, fx).map_err(NetError::Protocol);
+            let _ = done.send(r);
+        }
+        LoopEvent::Cancel { lock, ticket, done } => {
+            // A grant may have raced ahead of the cancel: release it and
+            // drop its unclaimed mailbox entry.
+            let r = match protocol.cancel(lock, ticket, fx) {
+                Ok(_) => Ok(()),
+                Err(hlock_core::ProtocolError::NotCancellable { .. }) => {
+                    grants.discard(ticket);
+                    protocol.release(lock, ticket, fx).map_err(NetError::Protocol)
+                }
+                Err(e) => Err(NetError::Protocol(e)),
+            };
+            let _ = done.send(r);
+        }
+        LoopEvent::Downgrade { lock, ticket, mode, done } => {
+            let r = protocol.downgrade(lock, ticket, mode, fx).map_err(NetError::Protocol);
+            let _ = done.send(r);
+        }
+        LoopEvent::TryRequest { lock, mode, ticket, done } => {
+            let r = protocol.try_request(lock, mode, ticket, fx).map_err(NetError::Protocol);
+            let _ = done.send(r);
+        }
+        LoopEvent::IsQuiescent { done } => {
+            let _ = done.send(protocol.is_quiescent());
+        }
+        LoopEvent::LinkUp(peer) => {
+            protocol.on_link_reset(peer, fx);
+        }
+        LoopEvent::Suspect { dead, done } => {
+            protocol.on_suspect(&dead, fx);
+            if let Some(done) = done {
+                let _ = done.send(());
+            }
+        }
+        LoopEvent::Sever { peer, done } => return PostEvent::Sever { peer, done },
+        LoopEvent::Kill { done } => return PostEvent::Kill { done },
+        LoopEvent::Stop => return PostEvent::Stop,
+    }
+    PostEvent::Handled
+}
+
+/// Grant mailbox shared between a node's protocol loop and API callers.
+#[derive(Default)]
+pub(crate) struct GrantTable {
+    pub(crate) granted: Mutex<HashMap<Ticket, (LockId, Mode)>>,
+    pub(crate) signal: Condvar,
+}
+
+impl GrantTable {
+    pub(crate) fn deliver(&self, ticket: Ticket, lock: LockId, mode: Mode) {
+        self.granted.lock().insert(ticket, (lock, mode));
+        self.signal.notify_all();
+    }
+
+    /// Drops an unclaimed grant (after a cancellation), avoiding a leak.
+    pub(crate) fn discard(&self, ticket: Ticket) {
+        self.granted.lock().remove(&ticket);
+    }
+
+    pub(crate) fn wait(&self, ticket: Ticket, timeout: Duration) -> Option<(LockId, Mode)> {
+        let deadline = Instant::now() + timeout;
+        let mut table = self.granted.lock();
+        loop {
+            if let Some(v) = table.remove(&ticket) {
+                return Some(v);
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return None;
+            }
+            let _ = self.signal.wait_for(&mut table, deadline - now);
+        }
+    }
+}
+
+/// Per-kind message counters (sent messages) plus total wire bytes and
+/// frames dropped to outbox backpressure.
+#[derive(Default)]
+pub(crate) struct Counters {
+    pub(crate) by_kind: [AtomicU64; MessageKind::ALL.len()],
+    pub(crate) bytes: AtomicU64,
+    pub(crate) backpressure: AtomicU64,
+}
+
+impl Counters {
+    fn index(kind: MessageKind) -> usize {
+        MessageKind::ALL.iter().position(|k| *k == kind).expect("known kind")
+    }
+    pub(crate) fn bump(&self, kind: MessageKind) {
+        self.by_kind[Self::index(kind)].fetch_add(1, Ordering::Relaxed);
+    }
+    pub(crate) fn add_bytes(&self, n: u64) {
+        self.bytes.fetch_add(n, Ordering::Relaxed);
+    }
+    pub(crate) fn bump_backpressure(&self) {
+        self.backpressure.fetch_add(1, Ordering::Relaxed);
+    }
+    pub(crate) fn snapshot(&self) -> HashMap<MessageKind, u64> {
+        MessageKind::ALL
+            .iter()
+            .map(|k| (*k, self.by_kind[Self::index(*k)].load(Ordering::Relaxed)))
+            .collect()
+    }
+}
+
+/// Appends the link handshake frame announcing `me` to `buf`.
+pub(crate) fn encode_hello(buf: &mut bytes::BytesMut, me: NodeId) {
+    frame::write_hello(buf, me);
+}
+
+/// Decodes handshake + frames off one inbound socket, handing every
+/// complete frame to `sink`. The sink returns `false` to stop the reader
+/// (its downstream channel closed). Shared by the legacy
+/// single-event-loop transport (sink = send [`LoopEvent::Incoming`]) and
+/// the sharded runtime (sink = send to the shard router); the readiness
+/// mux drives the same [`frame::Decoder`] from its event loop instead.
+pub(crate) fn reader_loop<M>(
+    mut stream: TcpStream,
+    sink: impl Fn(NodeId, Vec<M>) -> bool,
+    running: Arc<AtomicBool>,
+) where
+    M: hlock_wire::WireCodec,
+{
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(200)));
+    let mut dec = frame::Decoder::new();
+    let mut peer: Option<NodeId> = None;
+    let mut chunk = [0u8; 16 * 1024];
+    loop {
+        if !running.load(Ordering::SeqCst) {
+            return;
+        }
+        match stream.read(&mut chunk) {
+            Ok(0) => return,
+            Ok(n) => dec.extend(&chunk[..n]),
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                continue;
+            }
+            Err(_) => return,
+        }
+        if peer.is_none() {
+            // First frame is the handshake: a bare varint node id.
+            match dec.next_hello() {
+                Ok(Some(id)) => peer = Some(id),
+                Ok(None) => continue,
+                Err(_) => return,
+            }
+        }
+        loop {
+            match dec.next::<M>() {
+                Ok(Some((from, messages))) => {
+                    debug_assert_eq!(Some(from), peer);
+                    if !sink(from, messages) {
+                        return;
+                    }
+                }
+                Ok(None) => break,
+                Err(_) => return,
+            }
+        }
+    }
+}
+
+/// A running `/metrics` HTTP listener (see
+/// [`crate::Cluster::serve_metrics`]).
+pub(crate) struct MetricsServer {
+    pub(crate) addr: SocketAddr,
+    pub(crate) running: Arc<AtomicBool>,
+    pub(crate) thread: Option<JoinHandle<()>>,
+}
+
+impl MetricsServer {
+    pub(crate) fn stop(&mut self) {
+        self.running.store(false, Ordering::SeqCst);
+        if let Some(t) = self.thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+/// Answers one `/metrics` scrape: folds the summed per-node runtime
+/// counters into the registry, renders it, and writes a minimal HTTP/1.0
+/// response. Best-effort — scrape failures never disturb the cluster.
+pub(crate) fn serve_scrape(
+    mut stream: TcpStream,
+    metrics: &crate::ClusterMetrics,
+    mirrors: &[Arc<Mutex<RuntimeCounters>>],
+) {
+    // Drain (and ignore) the request line + headers, briefly.
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(100)));
+    let mut scratch = [0u8; 1024];
+    let _ = stream.read(&mut scratch);
+
+    let mut total = RuntimeCounters::default();
+    for mirror in mirrors {
+        let c = *mirror.lock();
+        total.absorb(&c);
+    }
+    let body = metrics.with(|r| {
+        r.record_runtime(&total);
+        r.render()
+    });
+    let response = format!(
+        "HTTP/1.0 200 OK\r\nContent-Type: text/plain; version=0.0.4\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{}",
+        body.len(),
+        body
+    );
+    let _ = stream.write_all(response.as_bytes());
+    let _ = stream.shutdown(Shutdown::Both);
+}

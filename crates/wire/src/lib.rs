@@ -637,6 +637,76 @@ pub mod frame {
         }
         Ok(Some((sender, messages)))
     }
+
+    /// Appends the link handshake — a frame whose body is a bare varint
+    /// node id, sent once by the dialing side before any batch frame.
+    pub fn write_hello(buf: &mut BytesMut, me: NodeId) {
+        let mut hello = BytesMut::new();
+        put_varint(&mut hello, u64::from(me.0));
+        buf.put_u32_le(hello.len() as u32);
+        buf.extend_from_slice(&hello);
+    }
+
+    /// An incremental frame decoder for nonblocking transports.
+    ///
+    /// Bytes arrive in arbitrary slices (whatever one readiness-driven
+    /// `read` returned) via [`Decoder::extend`]; complete frames are
+    /// popped with [`Decoder::next`] / [`Decoder::next_hello`], which
+    /// return `Ok(None)` while the buffer holds only a partial frame —
+    /// including a partial length prefix, a varint split mid-byte, or a
+    /// sub-message cut anywhere inside a batch body. The decode result
+    /// is byte-identical to running [`read`] over the concatenated
+    /// stream, which the fuzz-style split tests assert at every byte
+    /// boundary.
+    #[derive(Debug, Default)]
+    pub struct Decoder {
+        buf: BytesMut,
+    }
+
+    impl Decoder {
+        /// An empty decoder.
+        pub fn new() -> Decoder {
+            Decoder::default()
+        }
+
+        /// Feeds `bytes` into the decode buffer.
+        pub fn extend(&mut self, bytes: &[u8]) {
+            self.buf.extend_from_slice(bytes);
+        }
+
+        /// Bytes buffered but not yet consumed by a complete frame.
+        pub fn buffered(&self) -> usize {
+            self.buf.len()
+        }
+
+        /// Pops the next complete batch frame, if one is buffered.
+        ///
+        /// # Errors
+        ///
+        /// Any [`WireError`] from a complete but malformed frame.
+        pub fn next<M: WireCodec>(&mut self) -> Result<Option<(NodeId, Vec<M>)>, WireError> {
+            read(&mut self.buf)
+        }
+
+        /// Pops the handshake frame (see [`write_hello`]), if complete.
+        ///
+        /// # Errors
+        ///
+        /// Any [`WireError`] from a complete but malformed handshake.
+        pub fn next_hello(&mut self) -> Result<Option<NodeId>, WireError> {
+            if self.buf.len() < 4 {
+                return Ok(None);
+            }
+            let len =
+                u32::from_le_bytes([self.buf[0], self.buf[1], self.buf[2], self.buf[3]]) as usize;
+            if self.buf.len() < 4 + len {
+                return Ok(None);
+            }
+            let _ = self.buf.split_to(4);
+            let mut body = self.buf.split_to(len).freeze();
+            Ok(Some(NodeId(get_varint(&mut body)? as u32)))
+        }
+    }
 }
 
 #[cfg(test)]
@@ -884,6 +954,168 @@ mod tests {
         }
         assert_eq!(decoded, 2);
         assert!(partial.is_empty());
+    }
+
+    /// One-shot decode of a whole stream via `frame::read`, as the
+    /// oracle for the incremental [`frame::Decoder`] split tests.
+    fn one_shot<M: WireCodec>(stream: &[u8]) -> Vec<(NodeId, Vec<M>)> {
+        let mut buf = BytesMut::new();
+        buf.extend_from_slice(stream);
+        let mut out = Vec::new();
+        while let Some(frame) = frame::read::<M>(&mut buf).expect("oracle decodes") {
+            out.push(frame);
+        }
+        assert!(buf.is_empty(), "oracle left trailing bytes");
+        out
+    }
+
+    /// Feeds `stream` to a fresh decoder split into two slices at
+    /// `split`, draining complete frames after each feed.
+    fn decode_split_at<M: WireCodec>(stream: &[u8], split: usize) -> Vec<(NodeId, Vec<M>)> {
+        let mut dec = frame::Decoder::new();
+        let mut out = Vec::new();
+        for chunk in [&stream[..split], &stream[split..]] {
+            dec.extend(chunk);
+            while let Some(frame) = dec.next::<M>().expect("incremental decodes") {
+                out.push(frame);
+            }
+        }
+        assert_eq!(dec.buffered(), 0, "decoder left trailing bytes");
+        out
+    }
+
+    #[test]
+    fn incremental_decoder_matches_one_shot_at_every_split() {
+        // A stream whose batch headers exercise multi-byte varints:
+        // sender 300 (two bytes) and a 130-message batch (two-byte
+        // count), so some splits land mid-varint inside the header.
+        let small = NaimiEnvelope { lock: LockId(200), payload: NaimiPayload::Token };
+        let mut stream = BytesMut::new();
+        frame::write_batch(&mut stream, NodeId(300), &vec![small.clone(); 130]);
+        frame::write(&mut stream, NodeId(1), &small);
+        frame::write_batch(&mut stream, NodeId(300), &[small.clone(), small.clone()]);
+        let stream = stream.freeze();
+
+        let oracle = one_shot::<NaimiEnvelope>(&stream);
+        assert_eq!(oracle.len(), 3);
+        assert_eq!(oracle[0].0, NodeId(300));
+        assert_eq!(oracle[0].1.len(), 130);
+        for split in 0..=stream.len() {
+            assert_eq!(
+                decode_split_at::<NaimiEnvelope>(&stream, split),
+                oracle,
+                "split at byte {split} diverged from one-shot decode"
+            );
+        }
+    }
+
+    #[test]
+    fn incremental_decoder_matches_one_shot_mid_recovery_envelope() {
+        // Recovery envelopes are the largest messages on the wire
+        // (Install carries live sets, homes and per-lock copysets), so
+        // most split points land inside a sub-message body.
+        let install = RecoveryEnvelope {
+            epoch: 300, // multi-byte epoch varint
+            body: RecoveryBody::Install {
+                live: vec![NodeId(1), NodeId(2), NodeId(300)],
+                base: 299,
+                homes: vec![NodeId(1), NodeId(300)],
+                copysets: vec![
+                    vec![(NodeId(2), Mode::Read), (NodeId(300), Mode::IntentWrite)],
+                    vec![(NodeId(1), Mode::Write)],
+                ],
+            },
+        };
+        let report = RecoveryEnvelope {
+            epoch: 300,
+            body: RecoveryBody::Report {
+                dead: vec![NodeId(0)],
+                base: 299,
+                state: vec![
+                    LockReport { holds_token: true, owned: Some(Mode::Write) },
+                    LockReport { holds_token: false, owned: None },
+                ],
+            },
+        };
+        let mut stream = BytesMut::new();
+        frame::write_batch(&mut stream, NodeId(2), &[report, install]);
+        frame::write(
+            &mut stream,
+            NodeId(2),
+            &RecoveryEnvelope { epoch: 301, body: RecoveryBody::Nack },
+        );
+        let stream = stream.freeze();
+
+        let oracle = one_shot::<RecoveryEnvelope>(&stream);
+        assert_eq!(oracle.len(), 2);
+        for split in 0..=stream.len() {
+            assert_eq!(
+                decode_split_at::<RecoveryEnvelope>(&stream, split),
+                oracle,
+                "split at byte {split} diverged from one-shot decode"
+            );
+        }
+    }
+
+    #[test]
+    fn incremental_decoder_byte_by_byte_with_hello() {
+        // The full link preamble: hello frame, then batches — fed one
+        // byte at a time, the worst case a readiness loop can see.
+        let msg = Envelope {
+            lock: LockId(2),
+            payload: Payload::Request {
+                origin: NodeId(300),
+                mode: Mode::Write,
+                stamp: Stamp(8),
+                priority: Priority::NORMAL,
+                span: Ticket(8),
+            },
+        };
+        let mut stream = BytesMut::new();
+        frame::write_hello(&mut stream, NodeId(300));
+        frame::write(&mut stream, NodeId(300), &msg);
+        frame::write(&mut stream, NodeId(300), &msg);
+
+        let mut dec = frame::Decoder::new();
+        let mut hello = None;
+        let mut frames = Vec::new();
+        for byte in stream.iter() {
+            dec.extend(&[*byte]);
+            if hello.is_none() {
+                hello = dec.next_hello().expect("hello decodes");
+                if hello.is_none() {
+                    continue;
+                }
+            }
+            while let Some(frame) = dec.next::<Envelope>().expect("frame decodes") {
+                frames.push(frame);
+            }
+        }
+        assert_eq!(hello, Some(NodeId(300)));
+        assert_eq!(frames, vec![(NodeId(300), vec![msg.clone()]); 2]);
+        assert_eq!(dec.buffered(), 0);
+    }
+
+    #[test]
+    fn incremental_decoder_surfaces_errors_once_frame_completes() {
+        // A complete frame with garbage inside errors exactly when the
+        // last byte arrives, never earlier.
+        let mut body = BytesMut::new();
+        put_varint(&mut body, 1); // sender
+        put_varint(&mut body, 3); // count, but no sub-frames follow
+        let mut wire = BytesMut::new();
+        wire.put_u32_le(body.len() as u32);
+        wire.extend_from_slice(&body);
+
+        let mut dec = frame::Decoder::new();
+        for (i, byte) in wire.iter().enumerate() {
+            dec.extend(&[*byte]);
+            if i + 1 < wire.len() {
+                assert_eq!(dec.next::<Envelope>(), Ok(None), "errored early at byte {i}");
+            } else {
+                assert_eq!(dec.next::<Envelope>(), Err(WireError::UnexpectedEof));
+            }
+        }
     }
 
     #[test]

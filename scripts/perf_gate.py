@@ -91,6 +91,24 @@ def main() -> int:
         if c is None:
             failures.append(f"{k}: entry missing from current run")
             continue
+        if b["protocol"] == "mux-hierarchical":
+            # Connection-scaling cell: a different regime (cold dials,
+            # hundreds of links) than the sharded matrix, so it stays
+            # out of the geomean aggregates and gets only a
+            # catastrophic-regression backstop. Cold-connect timing is
+            # dominated by kernel accept/scheduling noise (rep-to-rep
+            # spread near 2x even on an idle box), hence the 60%
+            # threshold: the backstop exists to catch the cell wedging
+            # or collapsing by an order of magnitude, not to referee
+            # connect-storm jitter.
+            b_t = b["throughput_ops_per_sec"] / base_tput_ref
+            c_t = c["throughput_ops_per_sec"] / cur_tput_ref
+            if c_t < b_t * 0.4:
+                failures.append(
+                    f"{k}: connection-scaling throughput collapsed "
+                    f"{100 * (1 - c_t / b_t):.1f}% ({b_t:.0f} -> {c_t:.0f})"
+                )
+            continue
         if b["protocol"] != "sharded-hierarchical":
             continue  # naimi/raymond rows are scale references, not gated
         b_tput = b["throughput_ops_per_sec"] / base_tput_ref

@@ -45,6 +45,7 @@ const VOCABULARY: &[&str] = &[
     "recovery_completed",
     "token_regenerated",
     "stale_epoch_fenced",
+    "backpressure",
 ];
 
 /// One exclusive acquire→hold→release per node.

@@ -1,0 +1,137 @@
+//! Differential test: the mux event-loop transport against the legacy
+//! thread-per-peer oracle. The same crash-recovery scenario runs on
+//! both transports; after normalizing away transport-private noise
+//! (message counts, timer cadence, redial timing) the per-node streams
+//! of protocol-visible outcomes must be identical: every locally-issued
+//! grant and release in order, each node's recovery rounds in order,
+//! and the set of locks whose tokens were regenerated.
+//!
+//! Grant and recovery events are compared as *separate* per-node
+//! streams: recovery completion races grant delivery in real time on
+//! both transports, so their relative interleaving is scenario noise,
+//! while the order within each stream is a protocol guarantee.
+//!
+//! This is the contract the refactor rides on: swapping the I/O engine
+//! must not change a single externally observable protocol outcome.
+
+#![cfg(feature = "legacy-threads")]
+
+use hlock::core::{LockId, Mode, NodeId, Observer, ProtocolConfig, ProtocolEvent, RecoverySpace};
+use hlock::net::{Cluster, Transport};
+use std::collections::BTreeSet;
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+const TIMEOUT: Duration = Duration::from_secs(30);
+
+/// The normalized, transport-independent residue of one run.
+#[derive(Debug, PartialEq, Eq, Default)]
+struct Trace {
+    /// Per node: local grants/releases in the order the node saw them.
+    ops: Vec<Vec<String>>,
+    /// Per node: recovery rounds in the order the node saw them.
+    recovery: Vec<Vec<String>>,
+    /// Locks whose tokens were regenerated (any coordinator).
+    regenerated: BTreeSet<u32>,
+}
+
+/// Collects one node's protocol-visible outcomes. Transport-dependent
+/// events (message/delivery counts, timers, backpressure) are dropped.
+struct Collect {
+    node: NodeId,
+    sink: Arc<Mutex<Trace>>,
+}
+
+impl Observer for Collect {
+    fn on_event(&mut self, _at_micros: u64, event: &ProtocolEvent) {
+        let slot = self.node.0 as usize;
+        match event {
+            ProtocolEvent::Granted { node, lock, mode, .. } if *node == self.node => {
+                self.sink.lock().unwrap().ops[slot].push(format!("granted {} {mode:?}", lock.0));
+            }
+            ProtocolEvent::Released { node, lock, mode, .. } if *node == self.node => {
+                self.sink.lock().unwrap().ops[slot].push(format!("released {} {mode:?}", lock.0));
+            }
+            ProtocolEvent::RecoveryStarted { node, epoch, dead } if *node == self.node => {
+                self.sink.lock().unwrap().recovery[slot]
+                    .push(format!("recovery_started e{epoch} dead={dead}"));
+            }
+            ProtocolEvent::RecoveryCompleted { node, epoch } if *node == self.node => {
+                self.sink.lock().unwrap().recovery[slot]
+                    .push(format!("recovery_completed e{epoch}"));
+            }
+            ProtocolEvent::TokenRegenerated { lock, .. } => {
+                self.sink.lock().unwrap().regenerated.insert(lock.0);
+            }
+            _ => {}
+        }
+    }
+}
+
+/// The scenario: a warm-up grant pulls lock 0's token to node 1, the
+/// token home is killed while the mesh is quiet (so exactly lock 1's
+/// token dies with it — no racing in-flight transfers), suspicion is
+/// raised explicitly (so the run does not race the failure detector's
+/// backoff schedule), and the survivors then work through recovery:
+/// node 1 re-takes the token it already holds, node 2 needs lock 1's
+/// token regenerated, and post-recovery traffic keeps serializing.
+fn run_scenario(transport: Transport) -> Trace {
+    let n = 3;
+    let sink = Arc::new(Mutex::new(Trace {
+        ops: vec![Vec::new(); n],
+        recovery: vec![Vec::new(); n],
+        regenerated: BTreeSet::new(),
+    }));
+    let config = ProtocolConfig::default();
+    let cluster = Cluster::spawn_observed_on(
+        transport,
+        n,
+        move |i| RecoverySpace::new(NodeId(i as u32), 2, NodeId(0), n as u32, config),
+        |node| Some(Box::new(Collect { node, sink: sink.clone() }) as Box<dyn Observer + Send>),
+    )
+    .unwrap();
+
+    // Warm up: lock 0's token migrates home -> node 1 and stays there.
+    let t = cluster.node(1).acquire(LockId(0), Mode::Write, TIMEOUT).unwrap();
+    cluster.node(1).release(LockId(0), t).unwrap();
+
+    // Quiet crash of the home, then explicit suspicion from both
+    // survivors.
+    cluster.kill(0);
+    cluster.node(1).suspect(&[NodeId(0)]).unwrap();
+    cluster.node(2).suspect(&[NodeId(0)]).unwrap();
+
+    // Survivors' work drains through the recovery round.
+    let r1 = cluster.node(1).acquire(LockId(0), Mode::Write, TIMEOUT).unwrap();
+    cluster.node(1).release(LockId(0), r1).unwrap();
+    let r2 = cluster.node(2).acquire(LockId(1), Mode::Write, TIMEOUT).unwrap();
+    cluster.node(2).release(LockId(1), r2).unwrap();
+    for i in [1usize, 2, 1, 2] {
+        let t = cluster.node(i).acquire(LockId(0), Mode::Write, TIMEOUT).unwrap();
+        cluster.node(i).release(LockId(0), t).unwrap();
+    }
+    cluster.shutdown();
+
+    // `shutdown` joined every event loop, so ours is the last reference.
+    Arc::try_unwrap(sink).expect("all observers dropped").into_inner().unwrap()
+}
+
+#[test]
+fn recovery_outcomes_identical_on_both_transports() {
+    let mux = run_scenario(Transport::Mux);
+    let legacy = run_scenario(Transport::LegacyThreads);
+
+    assert_eq!(
+        mux, legacy,
+        "the mux transport and the thread-per-peer oracle diverged on \
+         protocol-visible outcomes"
+    );
+    // And the run did what the scenario says: a recovery round happened
+    // and the dead home's lost token was regenerated on both transports.
+    assert!(
+        mux.recovery[1].iter().any(|e| e.starts_with("recovery_completed")),
+        "node 1 must complete recovery: {:?}",
+        mux.recovery[1]
+    );
+    assert_eq!(mux.regenerated, BTreeSet::from([1]), "exactly lock 1's token died with the home");
+}
