@@ -20,11 +20,13 @@
 //! ```
 
 use hlock_core::{
-    check_span_balance, ChromeTraceObserver, JsonlObserver, MetricsRegistry, Observer,
-    ProtocolConfig, ProtocolEvent,
+    check_span_balance, ChromeTraceObserver, JsonlObserver, MetricsRegistry, NodeId, Observer,
+    ProtocolConfig, ProtocolEvent, RecordingAuditor, DEFAULT_FLIGHT_CAPACITY,
 };
-use hlock_sim::LatencyModel;
-use hlock_workload::{run_observed_experiment, ProtocolKind, WorkloadConfig};
+use hlock_sim::{Duration as SimDuration, LatencyModel, NodeCrash, SimConfig, SimTime};
+use hlock_workload::{
+    run_observed_experiment, run_observed_recovery_experiment, ProtocolKind, WorkloadConfig,
+};
 use std::cell::RefCell;
 use std::fs::File;
 use std::io::BufWriter;
@@ -179,12 +181,95 @@ fn main() {
         fail(&format!("cannot write {}: {e}", prom_path.display()));
     }
 
+    // 5. Crash-recovery scenario, flight-recorded and live-audited:
+    //    kill the token home mid-workload, let the survivors elect a
+    //    new epoch, and stream every event through the invariant
+    //    auditor. The auditor must stay silent (the protocol is
+    //    correct), the dead node's open spans must close via
+    //    `request_aborted` (no span leak on crash), and every node's
+    //    flight window is dumped for the `timeline` merger.
+    let flight_dir = dir.join("flight");
+    let _ = std::fs::remove_dir_all(&flight_dir);
+    const CRASH_NODES: usize = 5;
+    let auditor = Rc::new(RefCell::new(RecordingAuditor::new(
+        CRASH_NODES,
+        DEFAULT_FLIGHT_CAPACITY,
+        Some(flight_dir.clone()),
+    )));
+    let crash_events: Rc<RefCell<Vec<ProtocolEvent>>> = Rc::default();
+    let (a, ev) = (Rc::clone(&auditor), Rc::clone(&crash_events));
+    let crash_observer = move |at: u64, e: &ProtocolEvent| {
+        a.borrow_mut().on_event(at, e);
+        ev.borrow_mut().push(e.clone());
+    };
+    // Entry tokens spread over nodes 1..n, so node 0's entry requests
+    // travel the wire: crashing it mid-run both loses a token (forcing
+    // an election) and strands open request spans (forcing aborts).
+    let wl = WorkloadConfig {
+        entries: 4,
+        ops_per_node: 6,
+        seed: 13,
+        spread_token_homes: true,
+        ..Default::default()
+    };
+    let sim = SimConfig {
+        check_every: 1,
+        crashes: vec![NodeCrash { node: NodeId(0), at: SimTime::from_millis(600) }],
+        watchdog: Some(SimDuration::from_millis(60_000)),
+        ..SimConfig::default()
+    };
+    let recovery = match run_observed_recovery_experiment(
+        ProtocolConfig::default(),
+        CRASH_NODES,
+        &wl,
+        sim,
+        Some(Box::new(crash_observer)),
+    ) {
+        Ok(r) => r,
+        Err(e) => fail(&format!("recovery run violated an invariant: {e}")),
+    };
+    if !recovery.report.quiescent {
+        fail("recovery run did not quiesce");
+    }
+    if recovery.max_epoch == 0 {
+        fail("crash did not trigger a recovery round");
+    }
+    let auditor = auditor.borrow();
+    if !auditor.auditor.is_clean() {
+        fail(&format!("auditor flagged a clean recovery run: {:?}", auditor.auditor.findings()));
+    }
+    if auditor.dumped() {
+        fail("flight dump triggered without a violation");
+    }
+    let crash_events = crash_events.borrow();
+    if let Err(e) = check_span_balance(crash_events.iter()) {
+        fail(&format!("span imbalance across crash: {e}"));
+    }
+    let aborted = crash_events.iter().filter(|e| e.name() == "request_aborted").count();
+    if aborted == 0 {
+        fail("crash closed no spans via request_aborted");
+    }
+    let paths = match auditor.recorder.dump_all(&flight_dir) {
+        Ok(p) => p,
+        Err(e) => fail(&format!("cannot dump flight windows: {e}")),
+    };
+    if paths.len() != CRASH_NODES {
+        fail(&format!("dumped {} flight windows for {CRASH_NODES} nodes", paths.len()));
+    }
+
     println!(
         "obs_smoke: OK — {} events, {} requests, spans balanced",
         events.len(),
         report.metrics.total_requests()
     );
+    println!(
+        "obs_smoke: crash scenario OK — epoch {}, {} spans aborted, auditor clean, {} dumps",
+        recovery.max_epoch,
+        aborted,
+        paths.len()
+    );
     println!("  {}", jsonl_path.display());
     println!("  {}", trace_path.display());
     println!("  {}", prom_path.display());
+    println!("  {}", flight_dir.display());
 }

@@ -61,7 +61,7 @@
 use hlock_core::{
     BatchHost, Classify, ConcurrencyProtocol, EffectSink, HostRuntime, Inspect, LockId, LockSpace,
     Mode, NodeId, Observer, Priority, ProtocolConfig, ProtocolEvent, RecoverySpace, ShardSpec,
-    ShardedSpace, Ticket,
+    ShardedSpace, SpanId, Ticket,
 };
 use hlock_naimi::NaimiSpace;
 use hlock_raymond::RaymondSpace;
@@ -679,6 +679,19 @@ where
             Step::Crash(node) => {
                 label = format!("{node} crashes");
                 s.crashed[node.index()] = true;
+                // Close every span the dead node still had open: its
+                // outstanding requests can never be granted, and an
+                // observer tracking span balance must see a terminal
+                // event for each (mirrors the simulator's crash aborts).
+                let mut dead_reqs = s.nodes[node.index()].open_requests();
+                dead_reqs.sort_unstable();
+                for (lock, ticket) in dead_reqs {
+                    self.observe_with(|| ProtocolEvent::RequestAborted {
+                        node,
+                        lock,
+                        span: SpanId::new(node, ticket),
+                    });
+                }
                 // Crash-stop: nothing addressed to the dead node is ever
                 // processed — discarding those frames now is equivalent
                 // and keeps the state space smaller. Its timers die too.

@@ -74,7 +74,10 @@ mod runtime;
 mod shard;
 mod space;
 
-pub use audit::{audit_lock, mean_tree_depth, tree_depths, AuditFinding};
+pub use audit::{
+    audit_lock, mean_tree_depth, tree_depths, AuditFinding, InvariantAuditor, LiveAuditFinding,
+    RecordingAuditor, SharedAuditor,
+};
 pub use config::ProtocolConfig;
 pub use effect::{Effect, EffectSink, StepEffect};
 pub use error::ProtocolError;
@@ -90,8 +93,9 @@ pub use mode::{
 };
 pub use node::LockNode;
 pub use observe::{
-    check_span_balance, ChromeTraceObserver, JsonlObserver, MetricsRegistry, NullObserver,
-    Observer, ProtocolEvent, Reservoir, ShardGauges, SpanId, VecObserver,
+    check_span_balance, ChromeTraceObserver, ClusterRecorder, FlightRecorder, Hlc, HlcClock,
+    JsonlObserver, LinkDownReason, MetricsRegistry, NullObserver, Observer, ProtocolEvent,
+    Reservoir, ShardGauges, SharedRecorder, SpanId, VecObserver, DEFAULT_FLIGHT_CAPACITY,
     DEFAULT_RESERVOIR_CAPACITY,
 };
 pub use protocol::{CancelOutcome, ConcurrencyProtocol, Inspect};

@@ -337,6 +337,71 @@ pub enum ProtocolEvent {
         /// Bytes of the frame that was dropped.
         dropped: u64,
     },
+    /// A request was aborted before grant because its node died or the
+    /// cluster fenced it behind a new epoch; closes the span so balance
+    /// checking holds under crash-recovery runs.
+    RequestAborted {
+        /// The node whose request aborted (dead or fenced).
+        node: NodeId,
+        /// Lock concerned.
+        lock: LockId,
+        /// The aborted request's span.
+        span: SpanId,
+    },
+    /// A transport link was torn down (emitted by readiness-driven
+    /// hosts; previously only visible via `HLOCK_MUX_DEBUG` stderr).
+    LinkDown {
+        /// The node observing the teardown.
+        node: NodeId,
+        /// The peer on the other end, when the link had identified
+        /// itself (`None` for inbound connections that died before the
+        /// hello frame arrived).
+        peer: Option<NodeId>,
+        /// Why the link went down.
+        reason: LinkDownReason,
+    },
+}
+
+/// Why a transport link was torn down — the closed vocabulary behind
+/// [`ProtocolEvent::LinkDown`], stable for metrics labels.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum LinkDownReason {
+    /// A write on an established outbound link failed.
+    WriteFailed,
+    /// A read on an inbound connection failed.
+    ReadFailed,
+    /// The peer closed the connection (EOF).
+    Eof,
+    /// An incoming frame failed to decode.
+    DecodeFailed,
+    /// An outbound dial could not be started or completed.
+    DialFailed,
+    /// The socket reported an error/hangup readiness condition.
+    Hangup,
+}
+
+impl LinkDownReason {
+    /// All reasons, in label order — sizes metrics arrays.
+    pub const ALL: [LinkDownReason; 6] = [
+        LinkDownReason::WriteFailed,
+        LinkDownReason::ReadFailed,
+        LinkDownReason::Eof,
+        LinkDownReason::DecodeFailed,
+        LinkDownReason::DialFailed,
+        LinkDownReason::Hangup,
+    ];
+
+    /// Stable snake_case label (JSONL `reason` field, metrics label).
+    pub fn label(self) -> &'static str {
+        match self {
+            LinkDownReason::WriteFailed => "write_failed",
+            LinkDownReason::ReadFailed => "read_failed",
+            LinkDownReason::Eof => "eof",
+            LinkDownReason::DecodeFailed => "decode_failed",
+            LinkDownReason::DialFailed => "dial_failed",
+            LinkDownReason::Hangup => "hangup",
+        }
+    }
 }
 
 impl ProtocolEvent {
@@ -369,6 +434,8 @@ impl ProtocolEvent {
             ProtocolEvent::TokenRegenerated { .. } => "token_regenerated",
             ProtocolEvent::StaleEpochFenced { .. } => "stale_epoch_fenced",
             ProtocolEvent::Backpressure { .. } => "backpressure",
+            ProtocolEvent::RequestAborted { .. } => "request_aborted",
+            ProtocolEvent::LinkDown { .. } => "link_down",
         }
     }
 
@@ -399,7 +466,9 @@ impl ProtocolEvent {
             | ProtocolEvent::RecoveryCompleted { node, .. }
             | ProtocolEvent::TokenRegenerated { node, .. }
             | ProtocolEvent::StaleEpochFenced { node, .. }
-            | ProtocolEvent::Backpressure { node, .. } => *node,
+            | ProtocolEvent::Backpressure { node, .. }
+            | ProtocolEvent::RequestAborted { node, .. }
+            | ProtocolEvent::LinkDown { node, .. } => *node,
         }
     }
 
@@ -413,7 +482,8 @@ impl ProtocolEvent {
             | ProtocolEvent::TokenSent { span, .. }
             | ProtocolEvent::TokenReceived { span, .. }
             | ProtocolEvent::Granted { span, .. }
-            | ProtocolEvent::RequestCancelled { span, .. } => Some(*span),
+            | ProtocolEvent::RequestCancelled { span, .. }
+            | ProtocolEvent::RequestAborted { span, .. } => Some(*span),
             _ => None,
         }
     }
@@ -423,9 +493,15 @@ impl ProtocolEvent {
         matches!(self, ProtocolEvent::RequestIssued { .. })
     }
 
-    /// Whether this event closes its span (grant or cancellation).
+    /// Whether this event closes its span (grant, cancellation, or a
+    /// crash/fence abort).
     pub fn closes_span(&self) -> bool {
-        matches!(self, ProtocolEvent::Granted { .. } | ProtocolEvent::RequestCancelled { .. })
+        matches!(
+            self,
+            ProtocolEvent::Granted { .. }
+                | ProtocolEvent::RequestCancelled { .. }
+                | ProtocolEvent::RequestAborted { .. }
+        )
     }
 
     /// Appends this event as one flat JSON object (no trailing newline).
@@ -551,6 +627,18 @@ impl ProtocolEvent {
             }
             ProtocolEvent::Backpressure { peer, dropped, .. } => {
                 let _ = write!(out, ",\"peer\":{},\"dropped\":{dropped}", peer.0);
+            }
+            ProtocolEvent::RequestAborted { lock, span, .. } => {
+                span_json(out, lock, span);
+            }
+            ProtocolEvent::LinkDown { peer, reason, .. } => {
+                match peer {
+                    Some(p) => {
+                        let _ = write!(out, ",\"peer\":{}", p.0);
+                    }
+                    None => out.push_str(",\"peer\":null"),
+                }
+                let _ = write!(out, ",\"reason\":\"{}\"", reason.label());
             }
         }
         out.push('}');
@@ -702,6 +790,14 @@ impl ChromeTraceObserver {
         self.entries.is_empty()
     }
 
+    /// Appends one pre-rendered Trace Event Format object. Used by
+    /// offline mergers (the `timeline` tool) that re-emit
+    /// flight-recorder lines through the same document sink instead of
+    /// reconstructing [`ProtocolEvent`]s from JSON.
+    pub fn push_entry(&mut self, entry: String) {
+        self.entries.push(entry);
+    }
+
     /// Renders the complete trace document.
     pub fn finish(&self) -> String {
         let mut out = String::from("{\"traceEvents\":[\n");
@@ -751,6 +847,365 @@ impl Observer for ChromeTraceObserver {
         push_json_str(&mut e, &payload);
         e.push_str("}}");
         self.entries.push(e);
+    }
+}
+
+/// A hybrid-logical-clock stamp, packed into one `u64`: the upper 48
+/// bits are physical microseconds (host time), the lower 16 bits a
+/// logical counter that breaks ties and carries causality when physical
+/// clocks stall or run behind. Packed stamps compare correctly with
+/// plain integer ordering, so they sort, merge and travel as varints on
+/// the wire without any unpacking.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Hlc(pub u64);
+
+/// Widest physical component an [`Hlc`] can carry (48 bits of
+/// microseconds ≈ 8.9 years of uptime).
+const HLC_PHYS_MAX: u64 = (1 << 48) - 1;
+
+impl Hlc {
+    /// Packs a physical/logical pair (physical saturates at 48 bits).
+    pub fn pack(physical_micros: u64, logical: u16) -> Hlc {
+        Hlc((physical_micros.min(HLC_PHYS_MAX) << 16) | logical as u64)
+    }
+
+    /// The physical component, in microseconds of host time.
+    pub fn physical_micros(self) -> u64 {
+        self.0 >> 16
+    }
+
+    /// The logical (tie-breaking) component.
+    pub fn logical(self) -> u16 {
+        (self.0 & 0xffff) as u16
+    }
+}
+
+impl fmt::Display for Hlc {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}+{}", self.physical_micros(), self.logical())
+    }
+}
+
+/// A hybrid logical clock (Kulkarni et al.): monotone, causally
+/// consistent across nodes, and never further from physical time than
+/// the true clock skew. [`HlcClock::tick`] stamps local events and
+/// outgoing messages; [`HlcClock::observe`] folds a received stamp in so
+/// every delivery is ordered after its send.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct HlcClock {
+    last: Hlc,
+}
+
+impl HlcClock {
+    /// A clock at zero.
+    pub fn new() -> Self {
+        HlcClock::default()
+    }
+
+    /// The last stamp issued (zero before the first tick).
+    pub fn now(&self) -> Hlc {
+        self.last
+    }
+
+    fn advance(&mut self, physical: u64, logical: u32) -> Hlc {
+        // Logical overflow spills into the physical component, keeping
+        // the packed stamp strictly monotone.
+        self.last = if logical > u16::MAX as u32 {
+            Hlc::pack(physical + 1, 0)
+        } else {
+            Hlc::pack(physical, logical as u16)
+        };
+        self.last
+    }
+
+    /// Issues a stamp for a local event at host time `at_micros`.
+    pub fn tick(&mut self, at_micros: u64) -> Hlc {
+        let pt = at_micros.min(HLC_PHYS_MAX);
+        let lp = self.last.physical_micros();
+        if pt > lp {
+            self.advance(pt, 0)
+        } else {
+            self.advance(lp, self.last.logical() as u32 + 1)
+        }
+    }
+
+    /// Folds a remote stamp in (message receipt) and issues a stamp
+    /// ordered strictly after both the remote stamp and every local one.
+    pub fn observe(&mut self, remote: Hlc, at_micros: u64) -> Hlc {
+        let pt = at_micros.min(HLC_PHYS_MAX);
+        let lp = self.last.physical_micros();
+        let rp = remote.physical_micros();
+        let np = lp.max(rp).max(pt);
+        let nl = if np == lp && np == rp {
+            self.last.logical().max(remote.logical()) as u32 + 1
+        } else if np == lp {
+            self.last.logical() as u32 + 1
+        } else if np == rp {
+            remote.logical() as u32 + 1
+        } else {
+            0
+        };
+        self.advance(np, nl)
+    }
+}
+
+/// Default flight-recorder capacity: the last 4096 events per node,
+/// ~a few hundred KiB — enough tail to reconstruct the window around a
+/// violation or crash without unbounded growth.
+pub const DEFAULT_FLIGHT_CAPACITY: usize = 4096;
+
+/// A fixed-capacity per-node ring buffer of the most recent protocol
+/// events, each stamped with a hybrid logical clock. Recording is a
+/// clock tick plus a ring push — cheap enough to leave on in production
+/// — and the buffer only materialises as JSONL when a dump trigger
+/// fires (on demand, on crash, or on an audit violation).
+///
+/// Dump lines are ordinary observability JSONL with one extra leading
+/// `"hlc"` field, so every existing tool keeps working and the
+/// `timeline` merger can causally order lines across nodes.
+#[derive(Debug, Clone)]
+pub struct FlightRecorder {
+    node: NodeId,
+    cap: usize,
+    ring: std::collections::VecDeque<(Hlc, u64, ProtocolEvent)>,
+    clock: HlcClock,
+    dropped: u64,
+}
+
+impl FlightRecorder {
+    /// A recorder for `node` keeping at most `capacity` events.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(node: NodeId, capacity: usize) -> Self {
+        assert!(capacity > 0, "capacity must be positive");
+        FlightRecorder {
+            node,
+            cap: capacity,
+            ring: std::collections::VecDeque::with_capacity(capacity.min(1024)),
+            clock: HlcClock::new(),
+            dropped: 0,
+        }
+    }
+
+    /// The node this recorder belongs to.
+    pub fn node(&self) -> NodeId {
+        self.node
+    }
+
+    /// Events currently retained.
+    pub fn len(&self) -> usize {
+        self.ring.len()
+    }
+
+    /// Whether nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.ring.is_empty()
+    }
+
+    /// Events evicted because the ring was full.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// The clock's latest stamp.
+    pub fn now(&self) -> Hlc {
+        self.clock.now()
+    }
+
+    /// Ticks the clock and records one event; returns the stamp.
+    pub fn record(&mut self, at_micros: u64, event: &ProtocolEvent) -> Hlc {
+        let h = self.clock.tick(at_micros);
+        if self.ring.len() == self.cap {
+            self.ring.pop_front();
+            self.dropped += 1;
+        }
+        self.ring.push_back((h, at_micros, event.clone()));
+        h
+    }
+
+    /// Issues a stamp for an outgoing message (a bare clock tick).
+    pub fn stamp_send(&mut self, at_micros: u64) -> Hlc {
+        self.clock.tick(at_micros)
+    }
+
+    /// Folds the stamp of a received message into the clock.
+    pub fn observe_remote(&mut self, remote: Hlc, at_micros: u64) -> Hlc {
+        self.clock.observe(remote, at_micros)
+    }
+
+    /// Renders the retained window as JSONL, oldest first. Each line is
+    /// the event's flat JSON with a leading `"hlc"` field spliced in.
+    pub fn dump_jsonl(&self) -> String {
+        use fmt::Write as _;
+        let mut out = String::new();
+        let mut line = String::new();
+        for (h, at, ev) in &self.ring {
+            line.clear();
+            ev.write_json(*at, &mut line);
+            let _ = write!(out, "{{\"hlc\":{},", h.0);
+            out.push_str(&line[1..]);
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Writes the retained window to `path` (parent directories are
+    /// created as needed).
+    pub fn dump_to(&self, path: &std::path::Path) -> io::Result<()> {
+        if let Some(parent) = path.parent() {
+            std::fs::create_dir_all(parent)?;
+        }
+        std::fs::write(path, self.dump_jsonl())
+    }
+}
+
+impl Observer for FlightRecorder {
+    fn on_event(&mut self, at_micros: u64, event: &ProtocolEvent) {
+        self.record(at_micros, event);
+    }
+}
+
+/// A cloneable, thread-safe handle to one node's [`FlightRecorder`],
+/// shared between the node's event-loop worker (which records events
+/// and stamps/merges wire HLCs) and whoever holds the dump trigger.
+#[derive(Debug, Clone)]
+pub struct SharedRecorder(std::sync::Arc<std::sync::Mutex<FlightRecorder>>);
+
+impl SharedRecorder {
+    /// A shared recorder for `node` with the given ring capacity.
+    pub fn new(node: NodeId, capacity: usize) -> Self {
+        SharedRecorder(std::sync::Arc::new(std::sync::Mutex::new(FlightRecorder::new(
+            node, capacity,
+        ))))
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, FlightRecorder> {
+        self.0.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Ticks the clock for an outgoing wire frame; returns the raw
+    /// stamp to carry in the batch header.
+    pub fn stamp_send(&self, at_micros: u64) -> u64 {
+        self.lock().stamp_send(at_micros).0
+    }
+
+    /// Folds a received frame's raw stamp into the clock (zero stamps —
+    /// unobserved senders — are ignored).
+    pub fn observe_remote(&self, raw: u64, at_micros: u64) {
+        if raw != 0 {
+            self.lock().observe_remote(Hlc(raw), at_micros);
+        }
+    }
+
+    /// Events currently retained.
+    pub fn len(&self) -> usize {
+        self.lock().len()
+    }
+
+    /// Whether nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.lock().is_empty()
+    }
+
+    /// Renders the retained window as JSONL (see
+    /// [`FlightRecorder::dump_jsonl`]).
+    pub fn dump_jsonl(&self) -> String {
+        self.lock().dump_jsonl()
+    }
+
+    /// Writes the retained window to `path`.
+    pub fn dump_to(&self, path: &std::path::Path) -> io::Result<()> {
+        self.lock().dump_to(path)
+    }
+
+    /// Runs `f` with the recorder locked (tests, custom triggers).
+    pub fn with<R>(&self, f: impl FnOnce(&mut FlightRecorder) -> R) -> R {
+        f(&mut self.lock())
+    }
+}
+
+impl Observer for SharedRecorder {
+    fn on_event(&mut self, at_micros: u64, event: &ProtocolEvent) {
+        self.lock().record(at_micros, event);
+    }
+}
+
+/// Per-node flight recorders for single-threaded hosts (simulator,
+/// model checker) driven by one merged event stream. Message causality
+/// is reconstructed from the stream itself: each `message_sent` pushes
+/// its stamp onto the link's in-flight queue and the matching
+/// `delivered` / `dropped` pops it, merging into the receiver's clock —
+/// so cross-node stamps order sends before deliveries exactly as the
+/// wire-carried HLC does on the TCP transport. (Under reordering fault
+/// injection the FIFO pop pairs a delivery with the *oldest* in-flight
+/// send on its link — a conservative, still-causal bound.)
+#[derive(Debug, Clone)]
+pub struct ClusterRecorder {
+    nodes: Vec<FlightRecorder>,
+    in_flight: HashMap<(u32, u32), std::collections::VecDeque<Hlc>>,
+}
+
+impl ClusterRecorder {
+    /// Recorders for nodes `0..n`, each with ring capacity `capacity`.
+    pub fn new(n: usize, capacity: usize) -> Self {
+        ClusterRecorder {
+            nodes: (0..n).map(|i| FlightRecorder::new(NodeId(i as u32), capacity)).collect(),
+            in_flight: HashMap::new(),
+        }
+    }
+
+    /// The per-node recorders.
+    pub fn nodes(&self) -> &[FlightRecorder] {
+        &self.nodes
+    }
+
+    /// Writes every node's window to `dir/flight-node-<i>.jsonl` and
+    /// returns the paths written.
+    pub fn dump_all(&self, dir: &std::path::Path) -> io::Result<Vec<std::path::PathBuf>> {
+        std::fs::create_dir_all(dir)?;
+        let mut paths = Vec::with_capacity(self.nodes.len());
+        for (i, rec) in self.nodes.iter().enumerate() {
+            let path = dir.join(format!("flight-node-{i}.jsonl"));
+            rec.dump_to(&path)?;
+            paths.push(path);
+        }
+        Ok(paths)
+    }
+}
+
+impl Observer for ClusterRecorder {
+    fn on_event(&mut self, at_micros: u64, event: &ProtocolEvent) {
+        let n = event.node().0 as usize;
+        if n >= self.nodes.len() {
+            return;
+        }
+        match event {
+            ProtocolEvent::MessageSent { node, to, .. } => {
+                let h = self.nodes[n].record(at_micros, event);
+                self.in_flight.entry((node.0, to.0)).or_default().push_back(h);
+            }
+            ProtocolEvent::Delivered { node, from, .. } => {
+                if let Some(h) =
+                    self.in_flight.get_mut(&(from.0, node.0)).and_then(|q| q.pop_front())
+                {
+                    self.nodes[n].observe_remote(h, at_micros);
+                }
+                self.nodes[n].record(at_micros, event);
+            }
+            ProtocolEvent::Dropped { node, from, .. } => {
+                // The stamp never arrives; discard it so later
+                // deliveries pair with their own sends.
+                if let Some(q) = self.in_flight.get_mut(&(from.0, node.0)) {
+                    q.pop_front();
+                }
+                self.nodes[n].record(at_micros, event);
+            }
+            _ => {
+                self.nodes[n].record(at_micros, event);
+            }
+        }
     }
 }
 
@@ -957,6 +1412,8 @@ pub struct MetricsRegistry {
     fenced: u64,
     backpressure_drops: u64,
     backpressure_bytes: u64,
+    aborts: u64,
+    link_down: [u64; LinkDownReason::ALL.len()],
     queue_depth: HashMap<u32, u64>,
     copyset_size: HashMap<u32, u64>,
     latency_by_mode: [Option<Reservoir>; 5],
@@ -1023,6 +1480,16 @@ impl MetricsRegistry {
         (self.backpressure_drops, self.backpressure_bytes)
     }
 
+    /// Requests aborted by node death or epoch fencing.
+    pub fn aborts_total(&self) -> u64 {
+        self.aborts
+    }
+
+    /// Transport link teardowns, summed over reasons.
+    pub fn link_down_total(&self) -> u64 {
+        self.link_down.iter().sum()
+    }
+
     /// Releases suppressed by Rule 5.2.
     pub fn releases_suppressed(&self) -> u64 {
         self.releases_suppressed
@@ -1073,6 +1540,10 @@ impl MetricsRegistry {
         self.fenced += other.fenced;
         self.backpressure_drops += other.backpressure_drops;
         self.backpressure_bytes += other.backpressure_bytes;
+        self.aborts += other.aborts;
+        for i in 0..self.link_down.len() {
+            self.link_down[i] += other.link_down[i];
+        }
         if let Some(theirs) = &other.recovery_latency {
             self.recovery_latency.get_or_insert_with(Reservoir::default).merge(theirs);
         }
@@ -1105,8 +1576,8 @@ impl MetricsRegistry {
     }
 
     /// Renders the registry in the Prometheus text exposition format.
-    /// Histograms render as summaries (quantiles 0.5 / 0.9 / 0.99 plus
-    /// `_sum` and `_count`).
+    /// Histograms render as summaries (quantiles 0.5 / 0.9 / 0.99 /
+    /// 0.999 plus `_sum` and `_count`).
     pub fn render(&self) -> String {
         use fmt::Write as _;
         let mut out = String::new();
@@ -1195,6 +1666,17 @@ impl MetricsRegistry {
             "Bytes of frames dropped to outbox backpressure.",
         );
         let _ = writeln!(out, "hlock_backpressure_bytes_total {}", self.backpressure_bytes);
+        counter(
+            &mut out,
+            "hlock_aborts_total",
+            "Requests aborted by node death or epoch fencing.",
+        );
+        let _ = writeln!(out, "hlock_aborts_total {}", self.aborts);
+        counter(&mut out, "hlock_link_down_total", "Transport link teardowns, by reason.");
+        for (i, r) in LinkDownReason::ALL.iter().enumerate() {
+            let _ =
+                writeln!(out, "hlock_link_down_total{{reason=\"{}\"}} {}", r.label(), self.link_down[i]);
+        }
         let _ = writeln!(out, "# HELP hlock_recovery_epoch Highest installed recovery epoch.");
         let _ = writeln!(out, "# TYPE hlock_recovery_epoch gauge");
         let _ = writeln!(out, "hlock_recovery_epoch {}", self.recovery_epoch);
@@ -1219,7 +1701,7 @@ impl MetricsRegistry {
             let _ = writeln!(out, "# HELP {name} {help}");
             let _ = writeln!(out, "# TYPE {name} summary");
             let sep = if labels.is_empty() { "" } else { "," };
-            for q in [0.5, 0.9, 0.99] {
+            for q in [0.5, 0.9, 0.99, 0.999] {
                 if let Some(v) = r.percentile(q) {
                     let _ = writeln!(out, "{name}{{{labels}{sep}quantile=\"{q}\"}} {v}");
                 }
@@ -1398,33 +1880,49 @@ impl Observer for MetricsRegistry {
                 self.backpressure_drops += 1;
                 self.backpressure_bytes += *dropped;
             }
+            ProtocolEvent::RequestAborted { span, .. } => {
+                self.aborts += 1;
+                self.open_spans.remove(span);
+            }
+            ProtocolEvent::LinkDown { reason, .. } => {
+                let i = LinkDownReason::ALL.iter().position(|r| r == reason).unwrap_or(0);
+                self.link_down[i] += 1;
+            }
             ProtocolEvent::TokenReceived { .. } | ProtocolEvent::Released { .. } => {}
         }
     }
 }
 
 /// Verifies span accounting over an event stream: every close
-/// ([`ProtocolEvent::Granted`] / [`ProtocolEvent::RequestCancelled`])
-/// matches a prior open ([`ProtocolEvent::RequestIssued`]) of the same
+/// ([`ProtocolEvent::Granted`] / [`ProtocolEvent::RequestCancelled`] /
+/// [`ProtocolEvent::RequestAborted`]) matches a prior open ([`ProtocolEvent::RequestIssued`]) of the same
 /// span id, no span is closed more often than opened at any prefix, and
 /// every opened span is closed by the end. Sequential ticket reuse
-/// (request → grant → request again) is legal.
+/// (request → grant → request again) is legal, as is re-opening a
+/// still-open span after a recovery round started (token regeneration
+/// wipes the wait queues, so survivors re-issue wiped requests under
+/// the same span — the two opens still end in one close).
 pub fn check_span_balance<'a>(
     events: impl IntoIterator<Item = &'a ProtocolEvent>,
 ) -> Result<(), String> {
-    let mut open: HashMap<SpanId, i64> = HashMap::new();
+    let mut open: HashMap<SpanId, (i64, u64)> = HashMap::new();
+    let mut recovery_gen = 0u64;
     for event in events {
+        if matches!(event, ProtocolEvent::RecoveryStarted { .. }) {
+            recovery_gen += 1;
+        }
         if event.opens_span() {
             if let Some(span) = event.span() {
-                let c = open.entry(span).or_insert(0);
-                *c += 1;
-                if *c > 1 {
+                let (c, gen) = open.entry(span).or_insert((0, recovery_gen));
+                if *c > 0 && *gen == recovery_gen {
                     return Err(format!("span {span} opened twice without closing"));
                 }
+                *c = 1;
+                *gen = recovery_gen;
             }
         } else if event.closes_span() {
             if let Some(span) = event.span() {
-                let c = open.entry(span).or_insert(0);
+                let (c, _) = open.entry(span).or_insert((0, recovery_gen));
                 *c -= 1;
                 if *c < 0 {
                     return Err(format!("span {span} closed without a matching open"));
@@ -1433,7 +1931,7 @@ pub fn check_span_balance<'a>(
         }
     }
     let dangling: Vec<String> =
-        open.iter().filter(|(_, &c)| c != 0).map(|(s, _)| s.to_string()).collect();
+        open.iter().filter(|(_, &(c, _))| c != 0).map(|(s, _)| s.to_string()).collect();
     if dangling.is_empty() {
         Ok(())
     } else {
@@ -1752,6 +2250,157 @@ mod tests {
     fn balance_rejects_double_open() {
         let evs = vec![issued(0, 1), issued(0, 1)];
         assert!(check_span_balance(evs.iter()).unwrap_err().contains("opened twice"));
+    }
+
+    #[test]
+    fn hlc_tick_is_monotone_even_when_time_stalls() {
+        let mut c = HlcClock::new();
+        let a = c.tick(100);
+        let b = c.tick(100);
+        let d = c.tick(50); // physical time went backwards
+        let e = c.tick(200);
+        assert!(a < b && b < d && d < e);
+        assert_eq!(a.physical_micros(), 100);
+        assert_eq!(b.logical(), a.logical() + 1);
+        assert_eq!(e, Hlc::pack(200, 0));
+    }
+
+    #[test]
+    fn hlc_observe_orders_delivery_after_send() {
+        let mut sender = HlcClock::new();
+        let mut receiver = HlcClock::new();
+        let wire = sender.tick(1_000); // sender's clock is far ahead
+        let rx = receiver.observe(wire, 10); // receiver's lags behind
+        assert!(rx > wire, "delivery stamp must exceed the send stamp");
+        let next = receiver.tick(11);
+        assert!(next > rx);
+    }
+
+    #[test]
+    fn hlc_logical_overflow_spills_into_physical() {
+        let mut c = HlcClock::new();
+        c.tick(7);
+        for _ in 0..u16::MAX {
+            c.tick(7);
+        }
+        assert_eq!(c.now(), Hlc::pack(7, u16::MAX));
+        let spilled = c.tick(7);
+        assert_eq!(spilled, Hlc::pack(8, 0));
+    }
+
+    #[test]
+    fn flight_recorder_keeps_a_bounded_stamped_tail() {
+        let mut rec = FlightRecorder::new(NodeId(0), 4);
+        for t in 0..10u64 {
+            rec.record(t, &issued(0, t));
+        }
+        assert_eq!(rec.len(), 4);
+        assert_eq!(rec.dropped(), 6);
+        let dump = rec.dump_jsonl();
+        assert_eq!(dump.lines().count(), 4);
+        // Oldest retained line is the 7th event (t=6); hlc leads.
+        let first = dump.lines().next().unwrap();
+        assert!(first.starts_with("{\"hlc\":"), "dump line: {first}");
+        assert!(first.contains("\"at\":6"));
+        // Stamps are strictly increasing down the dump.
+        let stamps: Vec<u64> = dump
+            .lines()
+            .map(|l| {
+                let rest = &l["{\"hlc\":".len()..];
+                rest[..rest.find(',').unwrap()].parse().unwrap()
+            })
+            .collect();
+        assert!(stamps.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn cluster_recorder_carries_causality_across_nodes() {
+        let mut rec = ClusterRecorder::new(2, 64);
+        // Node 0's clock runs hot (large at); node 1 receives later by
+        // wall-clock but must still be stamped after the send.
+        rec.on_event(5_000, &issued(0, 1));
+        rec.on_event(
+            5_001,
+            &ProtocolEvent::MessageSent {
+                node: NodeId(0),
+                to: NodeId(1),
+                kind: MessageKind::Request,
+            },
+        );
+        rec.on_event(
+            3,
+            &ProtocolEvent::Delivered {
+                node: NodeId(1),
+                from: NodeId(0),
+                kind: MessageKind::Request,
+            },
+        );
+        let sent = rec.nodes()[0].now();
+        let delivered = rec.nodes()[1].now();
+        assert!(delivered > sent, "delivered {delivered} !> sent {sent}");
+    }
+
+    #[test]
+    fn aborted_event_closes_span_and_counts() {
+        let aborted = ProtocolEvent::RequestAborted {
+            node: NodeId(0),
+            lock: LockId(0),
+            span: span(0, 1),
+        };
+        assert!(aborted.closes_span());
+        let evs = vec![issued(0, 1), aborted.clone()];
+        assert!(check_span_balance(evs.iter()).is_ok());
+        let mut reg = MetricsRegistry::new();
+        reg.on_event(0, &issued(0, 1));
+        reg.on_event(10, &aborted);
+        assert_eq!(reg.aborts_total(), 1);
+        assert!(reg.latency(Mode::Read).is_none(), "aborts must not record grant latency");
+        let text = reg.render();
+        assert!(text.contains("hlock_aborts_total 1"));
+        let mut json = String::new();
+        aborted.write_json(10, &mut json);
+        assert!(json.contains("\"event\":\"request_aborted\""));
+        assert!(json.contains("\"span_origin\":0"));
+    }
+
+    #[test]
+    fn link_down_renders_reason_and_counts() {
+        let ev = ProtocolEvent::LinkDown {
+            node: NodeId(2),
+            peer: Some(NodeId(5)),
+            reason: LinkDownReason::Eof,
+        };
+        let mut json = String::new();
+        ev.write_json(1, &mut json);
+        assert!(json.contains("\"event\":\"link_down\""));
+        assert!(json.contains("\"peer\":5"));
+        assert!(json.contains("\"reason\":\"eof\""));
+        let anon = ProtocolEvent::LinkDown {
+            node: NodeId(2),
+            peer: None,
+            reason: LinkDownReason::DecodeFailed,
+        };
+        let mut json = String::new();
+        anon.write_json(1, &mut json);
+        assert!(json.contains("\"peer\":null"));
+        let mut reg = MetricsRegistry::new();
+        reg.on_event(0, &ev);
+        reg.on_event(0, &anon);
+        assert_eq!(reg.link_down_total(), 2);
+        let text = reg.render();
+        assert!(text.contains("hlock_link_down_total{reason=\"eof\"} 1"));
+        assert!(text.contains("hlock_link_down_total{reason=\"decode_failed\"} 1"));
+    }
+
+    #[test]
+    fn render_includes_p999_quantile() {
+        let mut reg = MetricsRegistry::new();
+        for t in 0..100u64 {
+            reg.on_event(t, &issued(0, t));
+            reg.on_event(t + 1, &granted(0, t));
+        }
+        let text = reg.render();
+        assert!(text.contains("quantile=\"0.999\""), "missing p99.9 in:\n{text}");
     }
 
     #[test]

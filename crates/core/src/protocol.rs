@@ -264,4 +264,15 @@ pub trait Inspect {
     fn frozen(&self) -> bool {
         false
     }
+
+    /// Requests issued locally that have not yet been granted or
+    /// cancelled, as `(lock, ticket)` pairs. Hosts use this to close
+    /// observability spans when a node dies or is fenced behind a new
+    /// epoch: each open request gets a terminal
+    /// [`crate::observe::ProtocolEvent::RequestAborted`] event so span
+    /// balance holds under crash-recovery runs. The default reports
+    /// none (for protocols without local introspection).
+    fn open_requests(&self) -> Vec<(LockId, Ticket)> {
+        Vec::new()
+    }
 }

@@ -1091,6 +1091,10 @@ impl<P: Recoverable> Inspect for RecoverySpace<P> {
     fn frozen(&self) -> bool {
         self.is_recovering()
     }
+
+    fn open_requests(&self) -> Vec<(LockId, Ticket)> {
+        self.inner.open_requests()
+    }
 }
 
 /// Equality and hashing over recovery-relevant state (the scratch sink

@@ -345,6 +345,10 @@ impl Inspect for ShardedSpace {
     fn lock_node(&self, lock: LockId) -> Option<&crate::LockNode> {
         self.shard_for(lock).lock_node(lock)
     }
+
+    fn open_requests(&self) -> Vec<(LockId, Ticket)> {
+        self.shards.iter().flat_map(Inspect::open_requests).collect()
+    }
 }
 
 /// Equality over protocol state only: the shard map and each shard's

@@ -307,6 +307,17 @@ impl Inspect for LockSpace {
     fn lock_node(&self, lock: LockId) -> Option<&LockNode> {
         self.locks.get(lock.index())
     }
+
+    fn open_requests(&self) -> Vec<(LockId, Ticket)> {
+        let mut out = Vec::new();
+        for (i, node) in self.locks.iter().enumerate() {
+            let (requests, upgrades) = node.outstanding_snapshot();
+            let lock = LockId(i as u32);
+            out.extend(requests.into_iter().map(|(t, _, _)| (lock, t)));
+            out.extend(upgrades.into_iter().map(|t| (lock, t)));
+        }
+        out
+    }
 }
 
 #[cfg(test)]

@@ -198,6 +198,18 @@ impl Inspect for NaimiSpace {
     fn holds_token(&self, lock: LockId) -> bool {
         self.locks.get(lock.index()).is_some_and(|s| s.has_token)
     }
+
+    fn open_requests(&self) -> Vec<(LockId, Ticket)> {
+        let mut out = Vec::new();
+        for (i, s) in self.locks.iter().enumerate() {
+            let lock = LockId(i as u32);
+            if !s.request_cancelled {
+                out.extend(s.requesting.map(|t| (lock, t)));
+            }
+            out.extend(s.waiting.iter().map(|&t| (lock, t)));
+        }
+        out
+    }
 }
 
 impl ConcurrencyProtocol for NaimiSpace {

@@ -52,8 +52,9 @@ pub use sharded::{ShardedCluster, ShardedNodeHandle};
 
 use crossbeam::channel::unbounded;
 use hlock_core::{
-    ConcurrencyProtocol, LockId, LockSpace, MessageKind, MetricsRegistry, Mode, NodeId, Observer,
-    Priority, ProtocolConfig, ProtocolEvent, RecoverySpace, RuntimeCounters, Ticket,
+    ConcurrencyProtocol, Inspect, LockId, LockSpace, MessageKind, MetricsRegistry, Mode, NodeId,
+    Observer, Priority, ProtocolConfig, ProtocolEvent, RecoverySpace, RuntimeCounters,
+    SharedAuditor, SharedRecorder, Ticket, DEFAULT_FLIGHT_CAPACITY,
 };
 use hlock_naimi::NaimiSpace;
 use hlock_raymond::RaymondSpace;
@@ -476,6 +477,63 @@ pub struct Cluster<P: ConcurrencyProtocol> {
     mux: Option<mux::MuxHandle>,
 }
 
+/// The diagnosis bundle returned by [`Cluster::spawn_recorded`]: one
+/// flight recorder per node (HLC-stamped ring buffers fed by the event
+/// loops and by the wire) plus the cluster-wide online invariant
+/// auditor. Dumps can be triggered on demand here; crashes
+/// ([`NodeHandle::kill`]) and auditor violations dump automatically
+/// when a dump directory was configured.
+#[derive(Clone)]
+pub struct ClusterFlight {
+    recorders: Vec<SharedRecorder>,
+    auditor: SharedAuditor,
+}
+
+impl ClusterFlight {
+    /// The online invariant auditor every node feeds.
+    pub fn auditor(&self) -> &SharedAuditor {
+        &self.auditor
+    }
+
+    /// Node `i`'s flight recorder.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn recorder(&self, i: usize) -> &SharedRecorder {
+        &self.recorders[i]
+    }
+
+    /// All per-node recorders, indexed by node id.
+    pub fn recorders(&self) -> &[SharedRecorder] {
+        &self.recorders
+    }
+
+    /// Dump-on-demand: writes every node's retained window to
+    /// `dir/flight-node-<i>.jsonl` and returns the paths written.
+    ///
+    /// # Errors
+    ///
+    /// Any filesystem error creating the directory or writing a dump.
+    pub fn dump_all(&self, dir: &std::path::Path) -> std::io::Result<Vec<std::path::PathBuf>> {
+        std::fs::create_dir_all(dir)?;
+        let mut paths = Vec::with_capacity(self.recorders.len());
+        for rec in &self.recorders {
+            let node = rec.with(|r| r.node());
+            let path = dir.join(format!("flight-node-{}.jsonl", node.0));
+            rec.dump_to(&path)?;
+            paths.push(path);
+        }
+        Ok(paths)
+    }
+}
+
+impl fmt::Debug for ClusterFlight {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ClusterFlight").field("nodes", &self.recorders.len()).finish()
+    }
+}
+
 impl Cluster<LockSpace> {
     /// Spawns `n` nodes running the paper's hierarchical protocol with
     /// `locks` locks (token home: node 0), fully meshed over localhost.
@@ -607,7 +665,7 @@ impl Cluster<SuzukiSpace> {
 
 impl<P> Cluster<P>
 where
-    P: ConcurrencyProtocol + Send + 'static,
+    P: ConcurrencyProtocol + Inspect + Send + 'static,
     P::Message: WireCodec + Send + 'static,
 {
     /// Spawns `n` nodes built by `make`, fully meshed over localhost.
@@ -685,7 +743,7 @@ where
     ) -> Result<Cluster<P>, NetError> {
         match transport {
             Transport::Mux => {
-                let (nodes, handle) = mux::spawn_cluster(n, make, observe)?;
+                let (nodes, handle) = mux::spawn_cluster(n, make, observe, |_| None)?;
                 Ok(Cluster { nodes, metrics_server: None, mux: Some(handle) })
             }
             #[cfg(feature = "legacy-threads")]
@@ -708,6 +766,70 @@ where
                 Ok(Cluster { nodes, metrics_server: None, mux: None })
             }
         }
+    }
+
+    /// Spawns `n` nodes on the mux transport with the full runtime
+    /// diagnosis layer armed: every node gets a [`SharedRecorder`]
+    /// flight recorder (ring capacity
+    /// [`DEFAULT_FLIGHT_CAPACITY`]) whose hybrid logical clock rides
+    /// the wire format, and every node's event stream feeds the
+    /// cluster-wide [`SharedAuditor`] checking live invariants
+    /// (token uniqueness, grant legitimacy, span balance, link FIFO,
+    /// epoch fencing).
+    ///
+    /// With `dump_dir` set, the first auditor violation and every
+    /// [`NodeHandle::kill`] dump flight windows to
+    /// `dump_dir/flight-node-<i>.jsonl`; [`ClusterFlight::dump_all`]
+    /// dumps on demand. `observe` may add a per-node sink downstream of
+    /// the recorder and auditor (e.g. a [`ClusterMetrics`]).
+    ///
+    /// # Errors
+    ///
+    /// Any socket error during setup.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero or `make` returns a protocol whose node id
+    /// does not match its index.
+    pub fn spawn_recorded(
+        n: usize,
+        make: impl Fn(usize) -> P,
+        dump_dir: Option<std::path::PathBuf>,
+        observe: impl Fn(NodeId) -> Option<Box<dyn Observer + Send>>,
+    ) -> Result<(Cluster<P>, ClusterFlight), NetError> {
+        let auditor = SharedAuditor::new(dump_dir.clone());
+        let recorders: Vec<SharedRecorder> =
+            (0..n).map(|i| SharedRecorder::new(NodeId(i as u32), DEFAULT_FLIGHT_CAPACITY)).collect();
+        for rec in &recorders {
+            auditor.attach_recorder(rec.clone());
+        }
+        let obs_recorders = recorders.clone();
+        let obs_auditor = auditor.clone();
+        let rec_recorders = recorders.clone();
+        let (nodes, handle) = mux::spawn_cluster(
+            n,
+            make,
+            move |id| {
+                let mut rec = obs_recorders[id.index()].clone();
+                let mut aud = obs_auditor.clone();
+                let mut user = observe(id);
+                Some(Box::new(move |at: u64, ev: &ProtocolEvent| {
+                    rec.on_event(at, ev);
+                    aud.on_event(at, ev);
+                    if let Some(u) = user.as_deref_mut() {
+                        u.on_event(at, ev);
+                    }
+                }) as Box<dyn Observer + Send>)
+            },
+            move |id| {
+                Some(mux::FlightConfig {
+                    recorder: rec_recorders[id.index()].clone(),
+                    dump_on_crash: dump_dir.clone(),
+                })
+            },
+        )?;
+        let cluster = Cluster { nodes, metrics_server: None, mux: Some(handle) };
+        Ok((cluster, ClusterFlight { recorders, auditor }))
     }
 
     /// Handle of node `i`.

@@ -26,14 +26,15 @@ use crate::{NetError, NodeHandle, Port};
 use bytes::BytesMut;
 use crossbeam::channel::{unbounded, Receiver, Sender};
 use hlock_core::{
-    BatchHost, Classify, ConcurrencyProtocol, EffectSink, HostRuntime, LockId, Mode, NodeId,
-    Observer, ProtocolEvent, RuntimeCounters, Ticket,
+    BatchHost, Classify, ConcurrencyProtocol, EffectSink, HostRuntime, Inspect, LinkDownReason,
+    LockId, Mode, NodeId, Observer, ProtocolEvent, RuntimeCounters, SharedRecorder, SpanId, Ticket,
 };
 use hlock_wire::{frame, WireCodec};
 use parking_lot::Mutex;
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashMap};
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
@@ -410,6 +411,19 @@ struct NodeIo<M> {
     out: BytesMut,
     /// Backpressure drops recorded during a dispatch: `(peer, bytes)`.
     backpressured: Vec<(NodeId, u64)>,
+    /// Flight recorder: HLC source for wire stamps (sends tick it,
+    /// received stamps merge into it). Event capture itself rides the
+    /// observer chain; this handle only drives the clock.
+    recorder: Option<SharedRecorder>,
+    /// Where to dump the flight recorder when this node is killed
+    /// (`None` disables the crash dump).
+    dump_on_crash: Option<PathBuf>,
+    /// Mirror of `NodeCore::epoch` so the send path (which cannot reach
+    /// the core half of the slot) can stamp with the same timeline.
+    epoch: Instant,
+    /// Link teardowns recorded outside a dispatch: `(peer, reason)`.
+    /// Drained into the observer as [`ProtocolEvent::LinkDown`].
+    link_events: Vec<(Option<NodeId>, LinkDownReason)>,
 }
 
 struct InConn {
@@ -502,7 +516,11 @@ where
             self.io.counters.bump(message.kind());
         }
         self.io.out.clear();
-        frame::write_batch(&mut self.io.out, self.io.me, &messages);
+        let stamp = match self.io.recorder.as_ref() {
+            Some(rec) => rec.stamp_send(self.io.epoch.elapsed().as_micros() as u64),
+            None => 0,
+        };
+        frame::write_batch_stamped(&mut self.io.out, self.io.me, stamp, &messages);
         self.io.counters.add_bytes(self.io.out.len() as u64);
 
         let slot = self.slot;
@@ -538,6 +556,7 @@ where
                     Err(_) => {
                         // Immediate refusal: count it and back off like
                         // any other failed attempt.
+                        self.io.link_events.push((Some(to), LinkDownReason::DialFailed));
                         link.redial = true;
                         if link.backoff.failure() {
                             let _ = self
@@ -579,6 +598,7 @@ where
                         if mux_debug() {
                             eprintln!("mux-debug: inline write to {to:?} failed: {e}");
                         }
+                        self.io.link_events.push((Some(to), LinkDownReason::WriteFailed));
                         let (fd, tok) = (stream.as_raw_fd(), *token);
                         let _ = stream.shutdown(Shutdown::Both);
                         self.poller.remove(fd);
@@ -626,7 +646,7 @@ struct Worker<P: ConcurrencyProtocol> {
 
 impl<P> Worker<P>
 where
-    P: ConcurrencyProtocol + Send + 'static,
+    P: ConcurrencyProtocol + Inspect + Send + 'static,
     P::Message: WireCodec + Send + 'static,
 {
     fn run(mut self) {
@@ -678,11 +698,16 @@ where
                 w.accept_inbound(slot, node);
                 true
             }),
-            Some(&Tok::Inbound(slot)) => {
-                self.with_slot(slot, |w, node| w.service_inbound(slot, node, ev))
-            }
+            Some(&Tok::Inbound(slot)) => self.with_slot(slot, |w, node| {
+                let keep = w.service_inbound(slot, node, ev);
+                if keep {
+                    Self::flush_link_events(&mut node.core, &mut node.io);
+                }
+                keep
+            }),
             Some(&Tok::Outbound(slot, peer)) => self.with_slot(slot, |w, node| {
                 w.service_outbound(slot, node, peer, ev);
+                Self::flush_link_events(&mut node.core, &mut node.io);
                 true
             }),
             None => {} // stale token: registration already torn down
@@ -727,14 +752,18 @@ where
         // close. Only a pure error event skips straight to teardown.
         let dbg = mux_debug();
         let mut dead = ev.failed && !ev.readable;
-        if dead && dbg {
-            eprintln!("mux-debug: inbound at {:?} pure-failed event", node.io.me);
+        if dead {
+            node.io.link_events.push((conn.peer, LinkDownReason::Hangup));
+            if dbg {
+                eprintln!("mux-debug: inbound at {:?} pure-failed event", node.io.me);
+            }
         }
         let mut chunk = [0u8; 16 * 1024];
         while !dead {
             match conn.stream.read(&mut chunk) {
                 Ok(0) => {
                     dead = true;
+                    node.io.link_events.push((conn.peer, LinkDownReason::Eof));
                     if dbg {
                         eprintln!(
                             "mux-debug: inbound at {:?} from {:?} EOF",
@@ -747,6 +776,7 @@ where
                 Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
                 Err(e) => {
                     dead = true;
+                    node.io.link_events.push((conn.peer, LinkDownReason::ReadFailed));
                     if dbg {
                         eprintln!(
                             "mux-debug: inbound at {:?} from {:?} read err {e}",
@@ -764,6 +794,7 @@ where
                     Ok(None) => break,
                     Err(e) => {
                         dead = true;
+                        node.io.link_events.push((conn.peer, LinkDownReason::DecodeFailed));
                         if dbg {
                             eprintln!("mux-debug: inbound at {:?} hello err {e:?}", node.io.me);
                         }
@@ -774,6 +805,12 @@ where
             match conn.dec.next::<P::Message>() {
                 Ok(Some((from, messages))) => {
                     debug_assert_eq!(Some(from), conn.peer);
+                    if let Some(rec) = node.io.recorder.as_ref() {
+                        // Merge the sender's wire stamp so this node's
+                        // flight-recorder clock orders after the send.
+                        let now = node.core.epoch.elapsed().as_micros() as u64;
+                        rec.observe_remote(conn.dec.last_hlc(), now);
+                    }
                     keep_node =
                         self.protocol_event(slot, node, LoopEvent::Incoming(from, messages));
                     if !keep_node {
@@ -783,6 +820,7 @@ where
                 Ok(None) => break,
                 Err(e) => {
                     dead = true;
+                    node.io.link_events.push((conn.peer, LinkDownReason::DecodeFailed));
                     if dbg {
                         eprintln!(
                             "mux-debug: inbound at {:?} from {:?} decode err {e:?}",
@@ -824,6 +862,7 @@ where
                             peer, ev.failed
                         );
                     }
+                    node.io.link_events.push((Some(peer), LinkDownReason::DialFailed));
                     let fd = stream.as_raw_fd();
                     let tok = *token;
                     self.poller.remove(fd);
@@ -867,6 +906,7 @@ where
                         }
                     }
                     Err(_) => {
+                        node.io.link_events.push((Some(peer), LinkDownReason::WriteFailed));
                         self.poller.remove(fd);
                         self.tokens.remove(&tok);
                         link.state = LinkState::Waiting;
@@ -893,6 +933,7 @@ where
                             ev.failed
                         );
                     }
+                    node.io.link_events.push((Some(peer), LinkDownReason::WriteFailed));
                     let fd = stream.as_raw_fd();
                     let tok = *token;
                     let _ = stream.shutdown(Shutdown::Both);
@@ -1019,6 +1060,23 @@ where
                 let _ = done.send(());
             }
             PostEvent::Kill { done } => {
+                // Close the observability spans this node leaves behind:
+                // every still-open request gets a terminal abort so span
+                // balance holds across the crash, then the flight
+                // recorder dumps — the artifact a postmortem starts from.
+                if let Some(obs) = core.observer.as_deref_mut() {
+                    let now = core.epoch.elapsed().as_micros() as u64;
+                    let me = io.me;
+                    for (lock, ticket) in core.protocol.open_requests() {
+                        let span = SpanId::new(me, ticket);
+                        obs.on_event(now, &ProtocolEvent::RequestAborted { node: me, lock, span });
+                    }
+                }
+                if let (Some(rec), Some(dir)) = (io.recorder.as_ref(), io.dump_on_crash.as_ref()) {
+                    let _ = std::fs::create_dir_all(dir);
+                    let path = dir.join(format!("flight-node-{}.jsonl", io.me.0));
+                    let _ = rec.with(|r| r.dump_to(&path));
+                }
                 for link in io.links.values() {
                     if let LinkState::Established { stream, .. }
                     | LinkState::Connecting { stream, .. } = &link.state
@@ -1093,6 +1151,25 @@ where
                 io.backpressured.clear();
             }
         }
+        Self::flush_link_events(core, io);
+    }
+
+    /// Surfaces buffered link teardowns as [`ProtocolEvent::LinkDown`].
+    /// Split out of [`Worker::step`] so pure-I/O paths (a teardown with
+    /// no frame behind it never reaches a dispatch) can flush too.
+    fn flush_link_events(core: &mut NodeCore<P>, io: &mut NodeIo<P::Message>) {
+        if io.link_events.is_empty() {
+            return;
+        }
+        if let Some(obs) = core.observer.as_deref_mut() {
+            let now = core.epoch.elapsed().as_micros() as u64;
+            let me = io.me;
+            for (peer, reason) in io.link_events.drain(..) {
+                obs.on_event(now, &ProtocolEvent::LinkDown { node: me, peer, reason });
+            }
+        } else {
+            io.link_events.clear();
+        }
     }
 }
 
@@ -1140,15 +1217,24 @@ fn pool_width(n: usize) -> usize {
     n.min(cores.saturating_sub(1).max(1)).min(8)
 }
 
+/// Per-node flight-recorder wiring handed to [`spawn_cluster`]: the
+/// shared ring that stamps this node's wire traffic, plus where to dump
+/// it when the node is killed.
+pub(crate) struct FlightConfig {
+    pub(crate) recorder: SharedRecorder,
+    pub(crate) dump_on_crash: Option<PathBuf>,
+}
+
 /// Spawns `n` nodes on the readiness mux: node `i` lives in slot
 /// `i / width` of worker `i % width`.
 pub(crate) fn spawn_cluster<P>(
     n: usize,
     make: impl Fn(usize) -> P,
     observe: impl Fn(NodeId) -> Option<Box<dyn Observer + Send>>,
+    record: impl Fn(NodeId) -> Option<FlightConfig>,
 ) -> Result<(Vec<Arc<NodeHandle<P>>>, MuxHandle), NetError>
 where
-    P: ConcurrencyProtocol + Send + 'static,
+    P: ConcurrencyProtocol + Inspect + Send + 'static,
     P::Message: WireCodec + Send + 'static,
 {
     assert!(n >= 1, "need at least one node");
@@ -1197,6 +1283,7 @@ where
         let protocol = make(i);
         assert_eq!(protocol.node_id(), id, "factory must honour node ids");
         let observer = observe(id);
+        let flight = record(id);
 
         let w = i % width;
         let worker = &mut workers[w];
@@ -1214,15 +1301,14 @@ where
         let runtime_mirror = Arc::new(Mutex::new(RuntimeCounters::default()));
         let mut fx = EffectSink::new();
         fx.set_observing(observer.is_some());
+        let epoch = Instant::now();
+        let (recorder, dump_on_crash) = match flight {
+            Some(f) => (Some(f.recorder), f.dump_on_crash),
+            None => (None, None),
+        };
 
         worker.slots.push(Some(NodeState {
-            core: NodeCore {
-                protocol,
-                runtime: HostRuntime::new(),
-                fx,
-                observer,
-                epoch: Instant::now(),
-            },
+            core: NodeCore { protocol, runtime: HostRuntime::new(), fx, observer, epoch },
             io: NodeIo {
                 me: id,
                 cmds: rx,
@@ -1237,6 +1323,10 @@ where
                 links: HashMap::new(),
                 out: BytesMut::new(),
                 backpressured: Vec::new(),
+                recorder,
+                dump_on_crash,
+                epoch,
+                link_events: Vec::new(),
             },
         }));
 

@@ -270,6 +270,22 @@ impl Inspect for RaymondSpace {
     fn holds_token(&self, lock: LockId) -> bool {
         self.locks.get(lock.index()).is_some_and(RaymondLock::has_privilege)
     }
+
+    fn open_requests(&self) -> Vec<(LockId, Ticket)> {
+        let mut out = Vec::new();
+        for (i, s) in self.locks.iter().enumerate() {
+            let lock = LockId(i as u32);
+            if !s.cancelled {
+                for w in &s.queue {
+                    if let Waiter::Me(t) = w {
+                        out.push((lock, *t));
+                    }
+                }
+            }
+            out.extend(s.waiting.iter().map(|&t| (lock, t)));
+        }
+        out
+    }
 }
 
 impl ConcurrencyProtocol for RaymondSpace {

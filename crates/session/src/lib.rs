@@ -698,6 +698,10 @@ impl<P: ConcurrencyProtocol + Inspect> Inspect for SessionSpace<P> {
     fn frozen(&self) -> bool {
         self.inner.frozen()
     }
+
+    fn open_requests(&self) -> Vec<(LockId, Ticket)> {
+        self.inner.open_requests()
+    }
 }
 
 /// Fingerprint support for the model checker.

@@ -17,7 +17,7 @@ use crate::time::{Duration, SimTime};
 use crate::trace::{Tracer, TracerObserver};
 use hlock_core::{
     BatchHost, Classify, ConcurrencyProtocol, EffectSink, HostRuntime, Inspect, LockId, Mode,
-    NodeId, NullObserver, Observer, Priority, ProtocolEvent, Ticket,
+    NodeId, NullObserver, Observer, Priority, ProtocolEvent, SpanId, Ticket,
 };
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -377,6 +377,9 @@ pub struct Sim<P: ConcurrencyProtocol, D> {
     /// [`ConcurrencyProtocol::on_suspect`]; a wedged run fails only once
     /// suspicion has been raised and a full window passed without progress.
     last_suspects: BTreeSet<NodeId>,
+    /// Nodes whose scheduled crash has already closed its open request
+    /// spans (each crash aborts exactly once).
+    crash_aborted: BTreeSet<NodeId>,
 }
 
 impl<P, D> Sim<P, D>
@@ -421,6 +424,7 @@ where
             host_events: Vec::new(),
             last_progress: SimTime::ZERO,
             last_suspects: BTreeSet::new(),
+            crash_aborted: BTreeSet::new(),
         }
     }
 
@@ -453,6 +457,43 @@ where
     pub fn with_frame_sizer(mut self, sizer: impl Fn(&[P::Message]) -> u64 + 'static) -> Self {
         self.frame_sizer = Some(Box::new(sizer));
         self
+    }
+
+    /// Closes the open request spans of every node whose scheduled
+    /// crash time has now passed: each still-outstanding request of a
+    /// dead node gets a terminal [`ProtocolEvent::RequestAborted`], so
+    /// span balance holds across crash-recovery runs. Runs once per
+    /// crash (tracked in `crash_aborted`).
+    fn flush_crash_aborts(&mut self) {
+        if self.crash_aborted.len() == self.config.crashes.len() {
+            return;
+        }
+        let now = self.now;
+        let newly: Vec<NodeId> = self
+            .config
+            .crashes
+            .iter()
+            .filter(|c| now >= c.at && !self.crash_aborted.contains(&c.node))
+            .map(|c| c.node)
+            .collect();
+        for node in newly {
+            self.crash_aborted.insert(node);
+            let mut dead: Vec<(LockId, Ticket)> = self
+                .outstanding
+                .keys()
+                .filter(|&&(n, _, _)| n == node)
+                .map(|&(_, lock, ticket)| (lock, ticket))
+                .collect();
+            dead.sort_unstable();
+            for (lock, ticket) in dead {
+                self.outstanding.remove(&(node, lock, ticket));
+                self.observe_with(|| ProtocolEvent::RequestAborted {
+                    node,
+                    lock,
+                    span: SpanId::new(node, ticket),
+                });
+            }
+        }
     }
 
     /// Records a host-level event; like `EffectSink::emit_with`, the
@@ -516,6 +557,7 @@ where
             };
             debug_assert!(ev.time >= self.now, "time must not go backwards");
             self.now = ev.time;
+            self.flush_crash_aborts();
             if self.now > self.config.max_virtual_time {
                 return Err(InvariantViolation(format!(
                     "virtual time bound exceeded at {} ({} events): likely livelock",

@@ -565,27 +565,48 @@ impl<M: WireCodec> WireCodec for SessionFrame<M> {
 /// Layout: `u32` little-endian body length, then the body:
 ///
 /// ```text
-/// varint sender | varint count | count × (varint sub_len | sub_len bytes)
+/// varint sender | varint hlc | varint count | count × (varint sub_len | sub_len bytes)
 /// ```
 ///
-/// The sender header is paid once per frame regardless of how many
-/// messages the step coalesced; each sub-frame is one message in the
-/// existing per-message codec. Decoding is zero-copy: the body is split
-/// into [`Bytes`] sub-slices handed to the per-message codecs without
-/// re-buffering.
+/// The sender header and hybrid-logical-clock stamp are paid once per
+/// frame regardless of how many messages the step coalesced; each
+/// sub-frame is one message in the existing per-message codec. The
+/// `hlc` field carries the sender's clock at frame-encode time so
+/// receivers can causally order cross-node flight-recorder dumps; hosts
+/// without a recorder write `0` (one byte) and receivers ignore it.
+/// Decoding is zero-copy: the body is split into [`Bytes`] sub-slices
+/// handed to the per-message codecs without re-buffering.
 pub mod frame {
     use super::*;
 
-    /// Appends one frame containing a whole batch from `sender` to `buf`.
+    /// Appends one frame containing a whole batch from `sender` to
+    /// `buf`, with a zero (absent) clock stamp.
     ///
     /// # Panics
     ///
     /// Panics if `messages` is empty — empty batches never cross the
     /// step/flush boundary.
     pub fn write_batch<M: WireCodec>(buf: &mut BytesMut, sender: NodeId, messages: &[M]) {
+        write_batch_stamped(buf, sender, 0, messages);
+    }
+
+    /// Appends one frame carrying `hlc` — the sender's packed
+    /// hybrid-logical-clock stamp at encode time.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `messages` is empty — empty batches never cross the
+    /// step/flush boundary.
+    pub fn write_batch_stamped<M: WireCodec>(
+        buf: &mut BytesMut,
+        sender: NodeId,
+        hlc: u64,
+        messages: &[M],
+    ) {
         assert!(!messages.is_empty(), "a batch frame carries at least one message");
         let mut body = BytesMut::new();
         put_varint(&mut body, u64::from(sender.0));
+        put_varint(&mut body, hlc);
         put_varint(&mut body, messages.len() as u64);
         let mut sub = BytesMut::new();
         for message in messages {
@@ -605,7 +626,8 @@ pub mod frame {
 
     /// Tries to split one complete frame off the front of `buf`,
     /// returning the sender and the batch's messages in wire order.
-    /// Returns `Ok(None)` if more bytes are needed.
+    /// Returns `Ok(None)` if more bytes are needed. The frame's clock
+    /// stamp is discarded; use [`read_stamped`] to keep it.
     ///
     /// Bytes trailing the advertised message count inside a complete
     /// body are ignored (forward compatibility); the count itself is
@@ -615,6 +637,18 @@ pub mod frame {
     ///
     /// Any [`WireError`] from decoding a complete but malformed frame.
     pub fn read<M: WireCodec>(buf: &mut BytesMut) -> Result<Option<(NodeId, Vec<M>)>, WireError> {
+        Ok(read_stamped(buf)?.map(|(sender, _, messages)| (sender, messages)))
+    }
+
+    /// Like [`read`], but also returns the frame's hybrid-logical-clock
+    /// stamp (`0` when the sender carries no clock).
+    ///
+    /// # Errors
+    ///
+    /// Any [`WireError`] from decoding a complete but malformed frame.
+    pub fn read_stamped<M: WireCodec>(
+        buf: &mut BytesMut,
+    ) -> Result<Option<(NodeId, u64, Vec<M>)>, WireError> {
         if buf.len() < 4 {
             return Ok(None);
         }
@@ -625,6 +659,7 @@ pub mod frame {
         let _ = buf.split_to(4);
         let mut body = buf.split_to(len).freeze();
         let sender = NodeId(get_varint(&mut body)? as u32);
+        let hlc = get_varint(&mut body)?;
         let count = get_varint(&mut body)?;
         let mut messages = Vec::new();
         for _ in 0..count {
@@ -635,7 +670,7 @@ pub mod frame {
             let mut sub = body.split_to(sub_len as usize);
             messages.push(M::decode(&mut sub)?);
         }
-        Ok(Some((sender, messages)))
+        Ok(Some((sender, hlc, messages)))
     }
 
     /// Appends the link handshake — a frame whose body is a bare varint
@@ -661,6 +696,7 @@ pub mod frame {
     #[derive(Debug, Default)]
     pub struct Decoder {
         buf: BytesMut,
+        last_hlc: u64,
     }
 
     impl Decoder {
@@ -679,13 +715,26 @@ pub mod frame {
             self.buf.len()
         }
 
-        /// Pops the next complete batch frame, if one is buffered.
+        /// The clock stamp of the last frame popped by [`Decoder::next`]
+        /// (`0` before any frame, or when the sender carries no clock).
+        pub fn last_hlc(&self) -> u64 {
+            self.last_hlc
+        }
+
+        /// Pops the next complete batch frame, if one is buffered; its
+        /// clock stamp is retained for [`Decoder::last_hlc`].
         ///
         /// # Errors
         ///
         /// Any [`WireError`] from a complete but malformed frame.
         pub fn next<M: WireCodec>(&mut self) -> Result<Option<(NodeId, Vec<M>)>, WireError> {
-            read(&mut self.buf)
+            match read_stamped(&mut self.buf)? {
+                Some((sender, hlc, messages)) => {
+                    self.last_hlc = hlc;
+                    Ok(Some((sender, messages)))
+                }
+                None => Ok(None),
+            }
         }
 
         /// Pops the handshake frame (see [`write_hello`]), if complete.
@@ -1102,6 +1151,7 @@ mod tests {
         // last byte arrives, never earlier.
         let mut body = BytesMut::new();
         put_varint(&mut body, 1); // sender
+        put_varint(&mut body, 0); // hlc
         put_varint(&mut body, 3); // count, but no sub-frames follow
         let mut wire = BytesMut::new();
         wire.put_u32_le(body.len() as u32);
@@ -1141,6 +1191,40 @@ mod tests {
     }
 
     #[test]
+    fn batch_frame_carries_the_hlc_stamp() {
+        let msg = Envelope {
+            lock: LockId(1),
+            payload: Payload::Request {
+                origin: NodeId(3),
+                mode: Mode::Read,
+                stamp: Stamp(1),
+                priority: Priority::NORMAL,
+                span: Ticket(9),
+            },
+        };
+        let stamp = (123_456u64 << 16) | 7;
+        let mut wire = BytesMut::new();
+        frame::write_batch_stamped(&mut wire, NodeId(3), stamp, std::slice::from_ref(&msg));
+        frame::write_batch(&mut wire, NodeId(3), std::slice::from_ref(&msg));
+
+        let mut probe = wire.clone();
+        let (from, hlc, decoded) = frame::read_stamped::<Envelope>(&mut probe).unwrap().unwrap();
+        assert_eq!((from, hlc), (NodeId(3), stamp));
+        assert_eq!(decoded, vec![msg.clone()]);
+        let (_, hlc, _) = frame::read_stamped::<Envelope>(&mut probe).unwrap().unwrap();
+        assert_eq!(hlc, 0, "unstamped frames read back a zero stamp");
+
+        // The incremental decoder exposes the same stamp per frame.
+        let mut dec = frame::Decoder::new();
+        dec.extend(&wire);
+        assert_eq!(dec.last_hlc(), 0);
+        let _ = dec.next::<Envelope>().unwrap().unwrap();
+        assert_eq!(dec.last_hlc(), stamp);
+        let _ = dec.next::<Envelope>().unwrap().unwrap();
+        assert_eq!(dec.last_hlc(), 0);
+    }
+
+    #[test]
     fn batch_frame_amortizes_the_header() {
         // n messages in one batch frame cost less than n single frames:
         // the u32 length prefix and sender varint are paid once.
@@ -1172,6 +1256,7 @@ mod tests {
         // Body claims 3 sub-frames but truncates after the count.
         let mut body = BytesMut::new();
         put_varint(&mut body, 1); // sender
+        put_varint(&mut body, 0); // hlc
         put_varint(&mut body, 3); // count
         let mut wire = BytesMut::new();
         wire.put_u32_le(body.len() as u32);
@@ -1181,6 +1266,7 @@ mod tests {
         // Sub-frame length larger than the remaining body.
         let mut body = BytesMut::new();
         put_varint(&mut body, 1);
+        put_varint(&mut body, 0); // hlc
         put_varint(&mut body, 1);
         put_varint(&mut body, 1_000_000); // sub_len way past the body
         body.put_u8(0xAA);
@@ -1192,6 +1278,7 @@ mod tests {
         // Absurd count (2^63) with no sub-frames: must error, not OOM.
         let mut body = BytesMut::new();
         put_varint(&mut body, 1);
+        put_varint(&mut body, 0); // hlc
         put_varint(&mut body, 1 << 63);
         let mut wire = BytesMut::new();
         wire.put_u32_le(body.len() as u32);
@@ -1201,6 +1288,7 @@ mod tests {
         // A sub-frame holding garbage bytes surfaces the codec's error.
         let mut body = BytesMut::new();
         put_varint(&mut body, 1);
+        put_varint(&mut body, 0); // hlc
         put_varint(&mut body, 1);
         put_varint(&mut body, 2);
         body.put_u8(0x00); // lock 0

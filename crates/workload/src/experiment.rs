@@ -297,6 +297,27 @@ pub fn run_recovery_experiment(
     workload: &WorkloadConfig,
     sim: SimConfig,
 ) -> Result<RecoveryExperimentReport, InvariantViolation> {
+    run_observed_recovery_experiment(cfg, nodes, workload, sim, None)
+}
+
+/// Like [`run_recovery_experiment`], additionally streaming every
+/// [`ProtocolEvent`] of the run — including the crash-time
+/// `request_aborted` span closers and the recovery/fencing events —
+/// into `observer`. Attach a `hlock_core::ClusterRecorder` or
+/// `RecordingAuditor` to flight-record and live-audit a faulty run.
+///
+/// # Errors
+///
+/// Propagates [`InvariantViolation`] from the simulator — either a
+/// protocol bug or, with `sim.watchdog` set, a liveness stall that
+/// recovery failed to clear.
+pub fn run_observed_recovery_experiment(
+    cfg: ProtocolConfig,
+    nodes: usize,
+    workload: &WorkloadConfig,
+    sim: SimConfig,
+    observer: Option<Box<dyn Observer>>,
+) -> Result<RecoveryExperimentReport, InvariantViolation> {
     // Keepalive probes let a falsely-suspected node announce itself
     // after resuming, so it gets fenced, taught the new epoch, and its
     // outstanding requests are re-issued.
@@ -311,9 +332,12 @@ pub fn run_recovery_experiment(
         .collect();
     let crashed: Vec<NodeId> = sim.crashes.iter().map(|c| c.node).collect();
     let sim_cfg = SimConfig { seed: derive_seed(workload, nodes), lock_count, ..sim };
-    let (report, spaces) = Sim::new(spaces, HierarchicalDriver::new(workload, nodes), sim_cfg)
-        .with_frame_sizer(wire_frame_size)
-        .run_with_nodes()?;
+    let sim = Sim::new(spaces, HierarchicalDriver::new(workload, nodes), sim_cfg)
+        .with_frame_sizer(wire_frame_size);
+    let (report, spaces) = match observer {
+        Some(obs) => sim.with_observer(BoxedObserver(obs)).run_with_nodes()?,
+        None => sim.run_with_nodes()?,
+    };
     let max_epoch = spaces
         .iter()
         .filter(|s| !crashed.contains(&s.node_id()))

@@ -41,9 +41,9 @@ mod plan_driver;
 
 pub use drivers::{HierarchicalDriver, NaimiPureDriver, NaimiSameWorkDriver};
 pub use experiment::{
-    run_experiment, run_observed_experiment, run_recovery_experiment, run_session_experiment,
-    run_sharded_recovery_experiment, ProtocolKind, RecoveryExperimentReport,
-    SessionExperimentReport,
+    run_experiment, run_observed_experiment, run_observed_recovery_experiment,
+    run_recovery_experiment, run_session_experiment, run_sharded_recovery_experiment, ProtocolKind,
+    RecoveryExperimentReport, SessionExperimentReport,
 };
 pub use mix::{ModeMix, WorkloadConfig};
 pub use ops::{plan_for_node, OpKind, OpPlan};

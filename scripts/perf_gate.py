@@ -91,8 +91,9 @@ def main() -> int:
         if c is None:
             failures.append(f"{k}: entry missing from current run")
             continue
-        if b["protocol"] == "mux-hierarchical":
-            # Connection-scaling cell: a different regime (cold dials,
+        if b["protocol"] in ("mux-hierarchical", "mux-hierarchical-flight"):
+            # Connection-scaling and flight-recorder cells: a different
+            # regime (cold dials,
             # hundreds of links) than the sharded matrix, so it stays
             # out of the geomean aggregates and gets only a
             # catastrophic-regression backstop. Cold-connect timing is

@@ -2,6 +2,12 @@
 """Validate an observability JSONL export: every line parses, every
 request span opens exactly once and closes at most once.
 
+A span closes on ``granted``, ``request_cancelled`` or
+``request_aborted`` (crash/fence). Re-opening a still-open span is
+tolerated once a ``recovery_started`` has been seen since the open:
+token regeneration wipes the wait queues, so survivors legitimately
+re-issue a wiped request under the same span id.
+
 Usage: validate_obs.py [path/to/events.jsonl]
 
 Used by the obs-smoke CI job against the stream `obs_smoke` writes; run
@@ -12,25 +18,37 @@ obs_smoke`.
 import json
 import sys
 
+CLOSERS = ("granted", "request_cancelled", "request_aborted")
+
 
 def main() -> int:
     path = sys.argv[1] if len(sys.argv) > 1 else "target/experiments/obs_smoke.jsonl"
-    opened: dict = {}
-    closed: dict = {}
+    # span -> [net open count, recovery generation at last open]
+    state: dict = {}
+    closes = 0
+    gen = 0
     with open(path) as f:
         events = [json.loads(line) for line in f]
     assert events, "empty event stream"
     for e in events:
         assert {"at", "event", "node"} <= e.keys(), e
-        span = (e.get("span_origin"), e.get("span_ticket"))
+        if e["event"] == "recovery_started":
+            gen += 1
+        if "span_origin" not in e:
+            continue
+        span = (e["span_origin"], e["span_ticket"])
         if e["event"] == "request_issued":
-            opened[span] = opened.get(span, 0) + 1
-        elif e["event"] in ("granted", "request_cancelled"):
-            closed[span] = closed.get(span, 0) + 1
-    assert all(n == 1 for n in opened.values()), "span opened twice"
-    assert all(n == 1 for n in closed.values()), "span closed twice"
-    assert set(closed) <= set(opened), "closed a span that never opened"
-    print(f"{len(events)} events, {len(opened)} spans, balanced")
+            c, g = state.get(span, (0, gen))
+            assert not (c > 0 and g == gen), f"span {span} opened twice"
+            state[span] = (1, gen)
+        elif e["event"] in CLOSERS:
+            c, g = state.get(span, (0, gen))
+            assert c > 0, f"span {span} closed ({e['event']}) without an open"
+            state[span] = (c - 1, g)
+            closes += 1
+    dangling = [s for s, (c, _) in state.items() if c != 0]
+    assert not dangling, f"spans left open: {sorted(dangling)}"
+    print(f"{len(events)} events, {len(state)} spans, {closes} closes, balanced")
     return 0
 
 

@@ -46,6 +46,8 @@ const VOCABULARY: &[&str] = &[
     "token_regenerated",
     "stale_epoch_fenced",
     "backpressure",
+    "request_aborted",
+    "link_down",
 ];
 
 /// One exclusive acquire→hold→release per node.
