@@ -19,13 +19,38 @@
 //! — the CI gate compares throughput and p99 request-to-grant latency
 //! against the committed `BENCH_perf.json`.
 //!
+//! Alongside the wall-clock matrix, the bin runs the **open-loop
+//! scenario library** (`hlock_workload::scenario_presets`): Zipfian hot
+//! locks, a flash crowd, multi-tenant namespaces, a filesystem-metadata
+//! tree and a deliberately saturated cell, each executed in the
+//! deterministic simulator (virtual time, fixed seeds) so the recorded
+//! offered/achieved throughput and sojourn tails are bit-identical
+//! across machines — which is what lets `scripts/perf_gate.py` hold
+//! them to tight per-cell backstops. Each cell's summary and
+//! offered-vs-achieved time series land in
+//! `target/experiments/scenarios/<name>.jsonl`, and every cell's
+//! flight-recorder window is dumped under
+//! `target/experiments/scenarios/flight/<name>/` for post-mortems.
+//!
 //! ```text
 //! cargo run --release -p hlock-bench --bin perf_baseline [--quick] [--out PATH]
+//!     [--scenarios-only | --no-scenarios] [--scenario SUBSTR]...
+//!     [--inject-tail MULT]
 //! ```
+//!
+//! `--scenario` filters the scenario matrix by substring (repeatable);
+//! `--inject-tail` multiplies one op-in-256's hold time to fake a tail
+//! regression — it exists to prove the perf gate's p99.9 backstop fires.
 
-use hlock_core::{LockId, Mode, ProtocolConfig};
+use hlock_core::{
+    ClusterRecorder, LockId, Mode, Observer, ProtocolConfig, DEFAULT_FLIGHT_CAPACITY,
+};
 use hlock_net::{Cluster, ShardedCluster};
+use hlock_workload::{run_observed_scenario, scenario_presets, ScenarioReport};
+use std::cell::RefCell;
 use std::fmt::Write as _;
+use std::path::Path;
+use std::rc::Rc;
 use std::time::{Duration, Instant};
 
 /// Locks per node: the whole-table lock (id 0) plus 63 entry locks.
@@ -287,9 +312,117 @@ fn entry(
     }
 }
 
+/// Runs the open-loop scenario matrix (deterministic simulator cells),
+/// writing one JSONL (summary + per-second windows) and one directory
+/// of flight-recorder dumps per cell under `target/experiments/`.
+fn run_scenarios(quick: bool, filters: &[String], inject_tail: f64) -> Vec<ScenarioReport> {
+    let dir = Path::new("target/experiments/scenarios");
+    std::fs::create_dir_all(dir).expect("create scenario artifact dir");
+    let mut reports = Vec::new();
+    for preset in scenario_presets() {
+        if !filters.is_empty() && !filters.iter().any(|f| preset.name.contains(f.as_str())) {
+            continue;
+        }
+        let mut scenario = if quick { preset.quick() } else { preset };
+        if inject_tail > 1.0 {
+            scenario = scenario.with_tail_injection(inject_tail);
+        }
+        let recorder =
+            Rc::new(RefCell::new(ClusterRecorder::new(scenario.nodes, DEFAULT_FLIGHT_CAPACITY)));
+        let sink = Rc::clone(&recorder);
+        let observer =
+            move |at: u64, e: &hlock_core::ProtocolEvent| sink.borrow_mut().on_event(at, e);
+        let r = run_observed_scenario(&scenario, Some(Box::new(observer)));
+        println!(
+            "scenario {:<22} [{:<14}] offered {:>7.0}/s achieved {:>7.0}/s  \
+             p50={}us p99={}us p99.9={}us  msgs/grant={:.2}",
+            r.name,
+            r.protocol,
+            r.offered_rate,
+            r.achieved_rate,
+            r.sojourn_p50,
+            r.sojourn_p99,
+            r.sojourn_p999,
+            r.messages_per_grant
+        );
+
+        // Flight window per cell: the artifact CI uploads when the gate
+        // trips, so a tail regression arrives with its event history.
+        let flight_dir = dir.join("flight").join(&r.name);
+        let _ = std::fs::remove_dir_all(&flight_dir);
+        recorder.borrow().dump_all(&flight_dir).expect("dump flight windows");
+
+        // Summary line + one line per offered/achieved window.
+        let mut jsonl = String::new();
+        let _ = writeln!(jsonl, "{}", scenario_json(&r));
+        for (i, w) in r.windows.iter().enumerate() {
+            let _ = writeln!(
+                jsonl,
+                "{{\"scenario\": \"{}\", \"window_s\": {}, \"arrivals\": {}, \"completions\": {}}}",
+                r.name, i, w.arrivals, w.completions
+            );
+        }
+        std::fs::write(dir.join(format!("{}.jsonl", r.name)), jsonl).expect("write scenario jsonl");
+        reports.push(r);
+    }
+    reports
+}
+
+/// One scenario cell as a JSON object (shared by the JSONL artifact and
+/// the `scenarios` array of `BENCH_perf.json`).
+fn scenario_json(r: &ScenarioReport) -> String {
+    format!(
+        "{{\"name\": \"{}\", \"protocol\": \"{}\", \"nodes\": {}, \"locks\": {}, \
+         \"offered_ops\": {}, \"completed_ops\": {}, \"offered_rate\": {:.1}, \
+         \"achieved_rate\": {:.1}, \
+         \"sojourn_micros\": {{\"p50\": {}, \"p90\": {}, \"p99\": {}, \"p999\": {}, \
+         \"mean\": {:.1}, \"max\": {}}}, \
+         \"messages\": {}, \"grants\": {}, \"messages_per_grant\": {:.3}, \
+         \"messages_per_op\": {:.3}, \"max_in_flight\": {}, \"end_time_micros\": {}}}",
+        r.name,
+        r.protocol,
+        r.nodes,
+        r.locks,
+        r.offered_ops,
+        r.completed_ops,
+        r.offered_rate,
+        r.achieved_rate,
+        r.sojourn_p50,
+        r.sojourn_p90,
+        r.sojourn_p99,
+        r.sojourn_p999,
+        r.sojourn_mean,
+        r.sojourn_max,
+        r.messages,
+        r.grants,
+        r.messages_per_grant,
+        r.messages_per_op,
+        r.max_in_flight,
+        r.end_time_micros
+    )
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let quick = args.iter().any(|a| a == "--quick");
+    let scenarios_only = args.iter().any(|a| a == "--scenarios-only");
+    let no_scenarios = args.iter().any(|a| a == "--no-scenarios");
+    if scenarios_only && no_scenarios {
+        eprintln!("--scenarios-only and --no-scenarios are mutually exclusive");
+        std::process::exit(2);
+    }
+    let scenario_filters: Vec<String> = args
+        .iter()
+        .enumerate()
+        .filter(|(_, a)| a.as_str() == "--scenario")
+        .filter_map(|(i, _)| args.get(i + 1).cloned())
+        .collect();
+    let inject_tail: f64 = args
+        .iter()
+        .position(|a| a == "--inject-tail")
+        .and_then(|i| args.get(i + 1))
+        .map(|v| v.parse().expect("--inject-tail takes a multiplier >= 1"))
+        .unwrap_or(1.0);
     let out_path = args
         .iter()
         .position(|a| a == "--out")
@@ -297,6 +430,17 @@ fn main() {
         .cloned()
         .unwrap_or_else(|| "BENCH_perf.json".to_string());
     let ops_per_thread: u64 = if quick { 500 } else { 10_000 };
+
+    let scenarios = if no_scenarios {
+        Vec::new()
+    } else {
+        run_scenarios(quick, &scenario_filters, inject_tail)
+    };
+    if scenarios_only {
+        write_json(&out_path, quick, ops_per_thread, &[], &scenarios);
+        println!("wrote {out_path}");
+        return;
+    }
 
     // Scheduling noise dominates tail latency on short runs; keep the
     // best-throughput repetition of each cell (standard
@@ -446,11 +590,25 @@ fn main() {
     let speedup = tput(4, "read_heavy") / tput(1, "read_heavy").max(1e-9);
     println!("speedup read_heavy 4 shards vs 1: {speedup:.2}x");
 
-    // Hand-rolled JSON, matching the repo's no-serde-for-artifacts
-    // convention: the schema is documented in docs/PERFORMANCE.md.
+    write_json(&out_path, quick, ops_per_thread, &entries, &scenarios);
+    println!("wrote {out_path}");
+}
+
+/// Hand-rolled JSON, matching the repo's no-serde-for-artifacts
+/// convention: the v2 schema is documented in docs/PERFORMANCE.md.
+/// Sections the invocation skipped stay empty arrays, and derived
+/// metrics are emitted only when their inputs ran — the gate scopes its
+/// checks to the populated sections via `--cells`.
+fn write_json(
+    out_path: &str,
+    quick: bool,
+    ops_per_thread: u64,
+    entries: &[Entry],
+    scenarios: &[ScenarioReport],
+) {
     let mut json = String::new();
     json.push_str("{\n");
-    let _ = writeln!(json, "  \"schema\": \"hlock-perf-baseline/v1\",");
+    let _ = writeln!(json, "  \"schema\": \"hlock-perf-baseline/v2\",");
     let _ = writeln!(json, "  \"quick\": {quick},");
     let _ = writeln!(json, "  \"nodes\": 2,");
     let _ = writeln!(json, "  \"locks\": {LOCKS},");
@@ -481,8 +639,42 @@ fn main() {
         );
     }
     json.push_str("  ],\n");
-    let _ = writeln!(json, "  \"derived\": {{\"speedup_read_heavy_4_shards\": {speedup:.3}}}");
+    json.push_str("  \"scenarios\": [\n");
+    for (i, r) in scenarios.iter().enumerate() {
+        let comma = if i + 1 < scenarios.len() { "," } else { "" };
+        let _ = writeln!(json, "    {}{}", scenario_json(r), comma);
+    }
+    json.push_str("  ],\n");
+
+    let mut derived: Vec<String> = Vec::new();
+    if !entries.is_empty() {
+        let tput = |shards: usize, mix: &str| {
+            entries
+                .iter()
+                .find(|e| {
+                    e.protocol == "sharded-hierarchical" && e.shards == shards && e.mix == mix
+                })
+                .map(|e| e.throughput)
+                .unwrap_or(0.0)
+        };
+        let speedup = tput(4, "read_heavy") / tput(1, "read_heavy").max(1e-9);
+        derived.push(format!("\"speedup_read_heavy_4_shards\": {speedup:.3}"));
+    }
+    let cell = |name: &str| scenarios.iter().find(|r| r.name == name);
+    if let (Some(hier), Some(flat)) = (cell("zipf_read_heavy"), cell("zipf_read_heavy_flat")) {
+        // The paper's headline: intention modes + release suppression
+        // make the hierarchical protocol cheaper per grant than the
+        // flat exclusive baseline doing the identical offered work.
+        let ratio = flat.messages_per_grant / hier.messages_per_grant.max(1e-9);
+        derived.push(format!("\"zipf_flat_over_hier_messages_per_grant\": {ratio:.3}"));
+    }
+    if let Some(sat) = cell("saturation") {
+        // < 1.0 is the saturation knee: the open-loop driver kept
+        // offering load the cell could not serve.
+        let knee = sat.achieved_rate / sat.offered_rate.max(1e-9);
+        derived.push(format!("\"saturation_achieved_over_offered\": {knee:.3}"));
+    }
+    let _ = writeln!(json, "  \"derived\": {{{}}}", derived.join(", "));
     json.push_str("}\n");
-    std::fs::write(&out_path, json).expect("write BENCH_perf.json");
-    println!("wrote {out_path}");
+    std::fs::write(out_path, json).expect("write BENCH_perf.json");
 }

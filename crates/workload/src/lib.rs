@@ -36,8 +36,11 @@
 mod drivers;
 mod experiment;
 mod mix;
+mod open_loop;
 mod ops;
 mod plan_driver;
+mod sampler;
+mod scenario;
 
 pub use drivers::{HierarchicalDriver, NaimiPureDriver, NaimiSameWorkDriver};
 pub use experiment::{
@@ -46,5 +49,11 @@ pub use experiment::{
     RecoveryExperimentReport, SessionExperimentReport,
 };
 pub use mix::{ModeMix, WorkloadConfig};
+pub use open_loop::{OpenLoopDriver, OpenLoopOp, OpenLoopStats, OpenLoopWindow};
 pub use ops::{plan_for_node, OpKind, OpPlan};
 pub use plan_driver::PlanDriver;
+pub use sampler::{poisson_schedule, Zipfian};
+pub use scenario::{
+    run_observed_scenario, run_scenario, scenario_presets, Scenario, ScenarioProtocol,
+    ScenarioReport, ScenarioWindow,
+};
